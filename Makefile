@@ -1,0 +1,41 @@
+# Build, test and reproduce the UDP paper's evaluation.
+
+GO ?= go
+
+.PHONY: all build test bench race examples reproduce reproduce-paper clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/machine ./internal/kernels/... .
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/csvload
+	$(GO) run ./examples/logscan
+	$(GO) run ./examples/telemetry
+	$(GO) run ./examples/queryscan
+	$(GO) run ./examples/assembler
+	$(GO) run ./examples/genomics
+	$(GO) run ./examples/dpi
+
+# CI-sized regeneration of every table and figure.
+reproduce:
+	$(GO) run ./cmd/udpbench -exp all -o docs/results-scale1.txt
+
+# Paper-sized working sets (the headline geomeans converge here).
+reproduce-paper:
+	$(GO) run ./cmd/udpbench -exp all -scale 4 -o docs/results-scale4.txt
+
+clean:
+	$(GO) clean ./...

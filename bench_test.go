@@ -1,0 +1,454 @@
+// Package udp_test benchmarks regenerate the paper's evaluation: one
+// benchmark per table/figure (see DESIGN.md's experiment index). Each UDP
+// benchmark reports both the host wall-clock of the simulation and, as
+// custom metrics, the simulated accelerator rate (sim-MB/s at the 1.03 GHz
+// ASIC clock) alongside the measured CPU-baseline rate where applicable.
+//
+//	go test -bench=. -benchmem
+package udp_test
+
+import (
+	"testing"
+
+	"udp"
+	"udp/internal/cpumodel"
+	"udp/internal/effclip"
+	"udp/internal/etl"
+	"udp/internal/experiments"
+	"udp/internal/kernels/csvparse"
+	"udp/internal/kernels/dict"
+	"udp/internal/kernels/encodings"
+	"udp/internal/kernels/histogram"
+	"udp/internal/kernels/huffman"
+	"udp/internal/kernels/jsonparse"
+	"udp/internal/kernels/pattern"
+	"udp/internal/kernels/snappy"
+	"udp/internal/kernels/trigger"
+	"udp/internal/machine"
+	"udp/internal/workload"
+)
+
+func simRate(b *testing.B, bytes int, cycles uint64) {
+	b.ReportMetric(machine.RateMBps(bytes, cycles), "sim-MB/s")
+}
+
+// BenchmarkFig1ETLLoad regenerates Figure 1's pipeline: gunzip + parse +
+// deserialize of lineitem-like CSV, reporting the CPU/IO ratio.
+func BenchmarkFig1ETLLoad(b *testing.B) {
+	gz := etl.GzipBytes(etl.LineitemCSV(20000, 1))
+	b.SetBytes(int64(len(gz)))
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		_, ph, err := etl.Load(gz)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = ph.CPUOverIO()
+	}
+	b.ReportMetric(ratio, "cpu/io")
+}
+
+// BenchmarkFig5BranchModels runs the BO and BI predictor simulations on the
+// CSV kernel (Figure 5a/5b's CPU side).
+func BenchmarkFig5BranchModels(b *testing.B) {
+	data := workload.CrimesCSV(workload.CSVSpec{Name: "c", Rows: 500, Seed: 1})
+	fsm, err := cpumodel.FromProgram(csvparse.BuildProgram(), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syms := cpumodel.BytesToSymbols(data)
+	b.SetBytes(int64(len(syms)))
+	b.ResetTimer()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		r := cpumodel.SimulateBO(fsm, syms)
+		frac = r.MispredictFraction()
+		cpumodel.SimulateBI(fsm, syms)
+	}
+	b.ReportMetric(100*frac, "bo-mispredict-%")
+}
+
+// BenchmarkFig8SsRefDecode runs the SsRef Huffman decoder (Figure 8's
+// winning design point).
+func BenchmarkFig8SsRefDecode(b *testing.B) {
+	data := workload.Text(workload.TextEnglish, 1<<16, 2)
+	tbl := huffman.Build(data)
+	comp, _ := tbl.Encode(data)
+	prog, err := huffman.BuildDecoder(tbl, huffman.SsRef)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := huffman.LayoutDecoder(prog, huffman.SsRef)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := huffman.RunDecoder(im, comp, len(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	simRate(b, len(data), cycles)
+}
+
+// BenchmarkFig11BlockSweep compresses at the three Figure 11 block sizes.
+func BenchmarkFig11BlockSweep(b *testing.B) {
+	data := workload.Text(workload.TextHTML, 1<<17, 3)
+	for _, bs := range []int{16 * 1024, 64 * 1024} {
+		codec, err := snappy.NewCodec(bs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(sizeName(bs), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				_, st, err := codec.CompressUDP(data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = st.Cycles
+			}
+			simRate(b, len(data), cycles)
+			b.ReportMetric(float64(codec.EncLanes()), "lanes")
+		})
+	}
+}
+
+func sizeName(bs int) string {
+	return map[int]string{16384: "16KB", 32768: "32KB", 65536: "64KB"}[bs]
+}
+
+// BenchmarkFig13CSVCPU and ...UDP are the two sides of Figure 13.
+func BenchmarkFig13CSVCPU(b *testing.B) {
+	data := workload.CrimesCSV(workload.CSVSpec{Name: "c", Rows: 5000, Seed: 4})
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csvparse.Parse(data)
+	}
+}
+
+func BenchmarkFig13CSVUDP(b *testing.B) {
+	data := workload.CrimesCSV(workload.CSVSpec{Name: "c", Rows: 5000, Seed: 4})
+	im, err := udp.Compile(csvparse.BuildProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		lane, err := udp.Run(im, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = lane.Stats().Cycles
+	}
+	simRate(b, len(data), cycles)
+}
+
+// BenchmarkFig14HuffmanEncode covers Figure 14 (UDP side).
+func BenchmarkFig14HuffmanEncode(b *testing.B) {
+	data := workload.Text(workload.TextEnglish, 1<<16, 5)
+	tbl := huffman.Build(data)
+	im, err := effclip.Layout(huffman.BuildEncoder(tbl), effclip.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := huffman.RunEncoder(im, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	simRate(b, len(data), cycles)
+}
+
+// BenchmarkFig15HuffmanDecodeCPU is the libhuffman-style baseline of Figure
+// 15 (the UDP side is BenchmarkFig8SsRefDecode).
+func BenchmarkFig15HuffmanDecodeCPU(b *testing.B) {
+	data := workload.Text(workload.TextEnglish, 1<<16, 5)
+	tbl := huffman.Build(data)
+	comp, _ := tbl.Encode(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Decode(comp, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16Pattern covers Figure 16: ADFA scan on the UDP.
+func BenchmarkFig16Pattern(b *testing.B) {
+	pats := workload.NIDSPatterns(12, false, 6)
+	set, err := pattern.Compile(pats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := workload.NetworkTrace(1<<18, pats, 0.05, 7)
+	prog, err := set.BuildADFA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := udp.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(trace)))
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		lane, err := udp.Run(im, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = lane.Stats().Cycles
+	}
+	simRate(b, len(trace), cycles)
+}
+
+// BenchmarkFig17DictRLE covers Figure 17.
+func BenchmarkFig17DictRLE(b *testing.B) {
+	d, err := dict.NewDictionary(workload.LocationDomain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := dict.Join(workload.DictColumn(50000, workload.LocationDomain, 8))
+	im, err := udp.Compile(d.BuildProgram(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(stream)))
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		lane, err := udp.Run(im, stream)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = lane.Stats().Cycles
+	}
+	simRate(b, len(stream), cycles)
+}
+
+// BenchmarkFig18Histogram covers Figure 18.
+func BenchmarkFig18Histogram(b *testing.B) {
+	values := workload.FloatColumn(100000, workload.DistNormal, 41.6, 42.0, 9)
+	edges := histogram.UniformEdges(10, 41.6, 42.0)
+	prog, err := histogram.BuildProgram(edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := udp.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := histogram.KeyBytes(values)
+	b.SetBytes(int64(len(keys)))
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		lane, err := udp.Run(im, keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = lane.Stats().Cycles
+	}
+	simRate(b, len(keys), cycles)
+}
+
+// BenchmarkFig19SnappyCompress / BenchmarkFig20SnappyDecompress cover
+// Figures 19 and 20 (UDP side), with the CPU baselines alongside.
+func BenchmarkFig19SnappyCompressUDP(b *testing.B) {
+	data := workload.Text(workload.TextHTML, 1<<17, 10)
+	codec, err := snappy.NewCodec(16 * 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := codec.CompressUDP(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	simRate(b, len(data), cycles)
+}
+
+func BenchmarkFig19SnappyCompressCPU(b *testing.B) {
+	data := workload.Text(workload.TextHTML, 1<<17, 10)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snappy.Encode(data)
+	}
+}
+
+func BenchmarkFig20SnappyDecompressUDP(b *testing.B) {
+	data := workload.Text(workload.TextHTML, 1<<17, 10)
+	codec, err := snappy.NewCodec(16 * 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := snappy.EncodeBlocked(data, 16*1024, true)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := codec.DecompressUDP(blocks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	simRate(b, len(data), cycles)
+}
+
+func BenchmarkFig20SnappyDecompressCPU(b *testing.B) {
+	data := workload.Text(workload.TextHTML, 1<<17, 10)
+	comp := snappy.Encode(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snappy.Decode(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrigger covers Section 5.7.
+func BenchmarkTrigger(b *testing.B) {
+	wave := workload.Waveform(1<<19, 11)
+	fsm, err := trigger.NewFSM(5, trigger.DefaultThresholds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := udp.Compile(fsm.BuildProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(wave)))
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		lane, err := udp.Run(im, wave)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = lane.Stats().Cycles
+	}
+	simRate(b, len(wave), cycles)
+}
+
+// BenchmarkFig21Overall runs the full Figure 21/22 collection (all kernels,
+// CPU and UDP sides) once per iteration.
+func BenchmarkFig21Overall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("fig21", experiments.Config{Scale: 1, Seed: int64(100 + i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3PowerModel exercises the Table 3 rendering path.
+func BenchmarkTable3PowerModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("table3", experiments.Config{Scale: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineDispatch measures raw simulator dispatch throughput (the
+// identity-copy program).
+func BenchmarkMachineDispatch(b *testing.B) {
+	p := udp.NewProgram("copy", 8)
+	s := p.AddState("s", udp.ModeStream)
+	s.Majority(s)
+	im, err := udp.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 1<<16)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := udp.Run(im, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtEncodingsRLE covers the extension RLE kernel (UDP side).
+func BenchmarkExtEncodingsRLE(b *testing.B) {
+	data := workload.Text(workload.TextRuns, 1<<17, 12)
+	im, err := effclip.Layout(encodings.BuildRLEEncoder(), effclip.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		lane, err := udp.Run(im, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = lane.Stats().Cycles
+	}
+	simRate(b, len(data), cycles)
+}
+
+// BenchmarkExtJSONTokenize covers the extension JSON kernel (UDP side).
+func BenchmarkExtJSONTokenize(b *testing.B) {
+	data := workload.JSONRecords(4000, 13)
+	im, err := effclip.Layout(jsonparse.BuildProgram(), effclip.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		lane, err := udp.Run(im, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = lane.Stats().Cycles
+	}
+	simRate(b, len(data), cycles)
+}
+
+// BenchmarkEffCLiPLayout measures the layout engine itself on the NIDS ADFA
+// program (compiler-side cost).
+func BenchmarkEffCLiPLayout(b *testing.B) {
+	pats := workload.NIDSPatterns(12, false, 14)
+	set, err := pattern.Compile(pats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := set.BuildADFA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := effclip.Layout(prog, effclip.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

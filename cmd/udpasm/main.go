@@ -1,0 +1,127 @@
+// Command udpasm assembles UDP assembly (.udp) files with the EffCLiP
+// backend and reports the layout: code size, segment count, action-region
+// occupancy and per-state base addresses. With -fmt it pretty-prints the
+// parsed program instead (the disassembler's canonical form).
+//
+// Usage:
+//
+//	udpasm program.udp
+//	udpasm -fmt program.udp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"udp/internal/asm"
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/kernels/csvparse"
+	"udp/internal/kernels/encodings"
+	"udp/internal/kernels/histogram"
+	"udp/internal/kernels/jsonparse"
+	"udp/internal/kernels/trigger"
+	"udp/internal/kernels/xmlparse"
+)
+
+// kernels exposes the built-in translators for inspection as assembly.
+var kernels = map[string]func() (*core.Program, error){
+	"csv":       func() (*core.Program, error) { return csvparse.BuildProgram(), nil },
+	"intdeser":  func() (*core.Program, error) { return csvparse.BuildIntDeserializer(), nil },
+	"json":      func() (*core.Program, error) { return jsonparse.BuildProgram(), nil },
+	"xml":       func() (*core.Program, error) { return xmlparse.BuildProgram(), nil },
+	"rle-enc":   func() (*core.Program, error) { return encodings.BuildRLEEncoder(), nil },
+	"rle-dec":   func() (*core.Program, error) { return encodings.BuildRLEDecoder(), nil },
+	"bitunpack": func() (*core.Program, error) { return encodings.BuildBitUnpacker(4) },
+	"histogram": func() (*core.Program, error) {
+		return histogram.BuildProgram(histogram.UniformEdges(10, 0, 1))
+	},
+	"trigger": func() (*core.Program, error) {
+		f, err := trigger.NewFSM(5, trigger.DefaultThresholds)
+		if err != nil {
+			return nil, err
+		}
+		return f.BuildProgram(), nil
+	},
+}
+
+func kernelNames() string {
+	names := make([]string, 0, len(kernels))
+	for n := range kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func main() {
+	format := flag.Bool("fmt", false, "print the canonical assembly instead of assembling")
+	kernel := flag.String("kernel", "", "inspect a built-in kernel translator ("+kernelNames()+")")
+	flag.Parse()
+
+	var prog *core.Program
+	var err error
+	switch {
+	case *kernel != "":
+		build, ok := kernels[*kernel]
+		if !ok {
+			fatal(fmt.Errorf("unknown kernel %q (have %s)", *kernel, kernelNames()))
+		}
+		prog, err = build()
+		if err != nil {
+			fatal(err)
+		}
+		if flag.NArg() != 0 {
+			fatal(fmt.Errorf("-kernel takes no file argument"))
+		}
+		if *format {
+			fmt.Print(asm.Format(prog))
+			return
+		}
+	case flag.NArg() == 1:
+		src, rerr := os.ReadFile(flag.Arg(0))
+		if rerr != nil {
+			fatal(rerr)
+		}
+		prog, err = asm.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: udpasm [-fmt] (file.udp | -kernel NAME)")
+		os.Exit(2)
+	}
+	if *format {
+		fmt.Print(asm.Format(prog))
+		return
+	}
+	im, err := effclip.Layout(prog, effclip.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	st := prog.Stats()
+	fmt.Printf("program %s: %d states, %d transitions, %d actions\n",
+		im.Name, st.States, st.Transitions, st.Actions)
+	fmt.Printf("image: %d words (%d B code: %d transition, %d pad, %d action), %d segment(s)\n",
+		len(im.Words), im.CodeBytes(), im.TransWords, im.PadWords, im.ActionWords, len(im.Segments))
+	fmt.Printf("footprint: %d B (%d bank(s)), up to %d parallel lanes\n",
+		im.FootprintBytes(), im.Banks(), 64/im.Banks())
+	fmt.Printf("entry: %s at word %d (mode %s, symbol %d bits)\n",
+		prog.Entry.Name, im.EntryBase, im.EntryMode, im.EntrySymbolBits)
+	names := make([]string, 0, len(im.StateBase))
+	for n := range im.StateBase {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return im.StateBase[names[i]] < im.StateBase[names[j]] })
+	for _, n := range names {
+		fmt.Printf("  state %-16s base %5d sig %2d\n", n, im.StateBase[n], effclip.Sig(im.StateBase[n]))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "udpasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command udpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	udpbench -exp fig13            # one experiment
+//	udpbench -exp fig21,fig22     # several
+//	udpbench -exp all -scale 4    # everything, larger datasets
+//	udpbench -list                 # show experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"udp/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id(s), comma separated, or 'all'")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	seed := flag.Int64("seed", 20170101, "generator seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	outPath := flag.String("o", "", "also write the tables to this file")
+	flag.Parse()
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "udpbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	failed := false
+	for _, id := range ids {
+		tbl, err := experiments.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "udpbench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		tbl.Render(out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

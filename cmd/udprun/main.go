@@ -1,0 +1,81 @@
+// Command udprun assembles a UDP assembly file and executes it over an
+// input, printing the program output to stdout and execution statistics to
+// stderr.
+//
+// Usage:
+//
+//	udprun program.udp input.bin            # one lane
+//	udprun -lanes 8 program.udp input.bin  # shard across lanes
+//	echo -n "text" | udprun program.udp -  # stdin input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"udp/internal/asm"
+	"udp/internal/effclip"
+	"udp/internal/machine"
+)
+
+func main() {
+	lanes := flag.Int("lanes", 1, "number of lanes to shard across")
+	sep := flag.String("sep", "", "shard on this single-byte record separator (e.g. '\\n')")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: udprun [-lanes N] [-sep C] file.udp input|-")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var input []byte
+	if flag.Arg(1) == "-" {
+		input, err = io.ReadAll(os.Stdin)
+	} else {
+		input, err = os.ReadFile(flag.Arg(1))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	im, err := effclip.Layout(prog, effclip.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	var shards [][]byte
+	switch {
+	case *lanes <= 1:
+		shards = [][]byte{input}
+	case *sep != "":
+		shards = machine.SplitRecords(input, *lanes, (*sep)[0])
+	default:
+		shards = machine.SplitBytes(input, *lanes)
+	}
+	res, err := machine.RunParallel(im, shards, nil)
+	if err != nil {
+		fatal(err)
+	}
+	for _, out := range res.Outputs {
+		os.Stdout.Write(out)
+	}
+	for i, ms := range res.Matches {
+		for _, m := range ms {
+			fmt.Fprintf(os.Stderr, "lane %d: accept pattern %d at bit %d\n", i, m.PatternID, m.BitPos)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "lanes=%d cycles=%d dispatches=%d actions=%d rate=%.1f MB/s\n",
+		res.Lanes, res.Cycles, res.Total.Dispatches, res.Total.Actions, res.Rate())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "udprun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// assembler: the software-stack path of paper Figure 12 — write UDP assembly
+// by hand, assemble it, inspect the EffCLiP layout, and run it. The program
+// is a bracket-depth checker: it tracks nesting depth of (), flags underflow
+// with an accept event, and reports the maximum depth in a register.
+//
+//	go run ./examples/assembler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"udp"
+	"udp/internal/asm"
+	"udp/internal/core"
+	"udp/internal/effclip"
+)
+
+const source = `
+; bracket-depth tracker: r1 = current depth, r2 = max depth
+program brackets symbol 8
+
+state scan stream
+  on '(' -> scan { addi r1, r1, #1; max r2, r2, r1 }
+  on ')' -> scan { subi r1, r1, #1 }
+  majority -> scan
+`
+
+func main() {
+	prog, err := asm.Parse(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("canonical form:")
+	fmt.Print(asm.Format(prog))
+
+	im, err := effclip.Layout(prog, effclip.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlayout: %d transition words, %d action words, %d B code, %d segment(s)\n",
+		im.TransWords, im.ActionWords, im.CodeBytes(), len(im.Segments))
+
+	input := []byte("((a(b)c)((d)))x")
+	lane, err := udp.Run(im, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input %q: final depth %d, max depth %d, %d cycles (%.0f MB/s/lane)\n",
+		input, int32(lane.Reg(core.R1)), lane.Reg(core.R2),
+		lane.Stats().Cycles, udp.RateMBps(len(input), lane.Stats().Cycles))
+}

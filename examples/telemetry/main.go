@@ -1,0 +1,67 @@
+// telemetry: a streaming sensor pipeline on the UDP — trigger on waveform
+// transitions (paper Section 5.7) and histogram a telemetry column (Section
+// 5.5), both verified against their CPU baselines.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"udp"
+	"udp/internal/kernels/histogram"
+	"udp/internal/kernels/trigger"
+	"udp/internal/workload"
+)
+
+func main() {
+	// 1. Transition localization over a pulsed waveform.
+	wave := workload.Waveform(1<<20, 99)
+	fsm, err := trigger.NewFSM(4, trigger.DefaultThresholds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := udp.Compile(fsm.BuildProgram())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lane, err := udp.Run(im, wave)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := fsm.Triggers(wave)
+	if len(lane.Matches()) != len(want) {
+		log.Fatalf("UDP %d triggers, CPU %d", len(lane.Matches()), len(want))
+	}
+	fmt.Printf("p4 trigger: %d edges in %.1f MS samples at %.0f MB/s/lane (CPU agrees)\n",
+		len(want), float64(len(wave))/1e6,
+		udp.RateMBps(len(wave), lane.Stats().Cycles))
+
+	// 2. Histogram the fare-like column with percentile bins.
+	fares := workload.FloatColumn(200000, workload.DistExp, 2.5, 80, 5)
+	edges := histogram.PercentileEdges(4, fares[:2048])
+	prog, err := histogram.BuildProgram(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	him, err := udp.Compile(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hlane, err := udp.Run(him, histogram.KeyBytes(fares))
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := histogram.ReadCounts(hlane.Mem(), 4)
+	ref := histogram.Histogram(edges, fares)
+	for i := range ref {
+		if got[i] != ref[i] {
+			log.Fatalf("bin %d: UDP %d, CPU %d", i, got[i], ref[i])
+		}
+	}
+	fmt.Printf("fare histogram (percentile bins): %v at %.0f MB/s/lane (CPU agrees)\n",
+		got, udp.RateMBps(8*len(fares), hlane.Stats().Cycles))
+	fmt.Printf("edges: %.2f / %.2f / %.2f / %.2f / %.2f\n",
+		edges[0], edges[1], edges[2], edges[3], edges[4])
+}

@@ -1,0 +1,3 @@
+module udp
+
+go 1.22

@@ -1,0 +1,434 @@
+// Package asm implements the textual UDP assembly language of the software
+// stack (paper Figure 12): domain translators emit this form, the assembler
+// parses it into the core program IR, and the EffCLiP backend lays it out.
+// A disassembler renders programs back to text for inspection and
+// round-tripping.
+//
+// Grammar (line oriented; ';' starts a comment):
+//
+//	program NAME symbol BITS [multiactive] [startalways] [database N] [databytes N]
+//	reg RN = VALUE                      ; initial register value
+//	data OFFSET = hex BYTES             ; scratch initialization
+//	state NAME (stream|common|flagged) [symbol BITS]
+//	  on SYM -> TARGET [{ ACTIONS }]
+//	  refill SYM consume N -> TARGET [{ ACTIONS }]
+//	  epsilon SYM -> TARGET
+//	  common -> TARGET [{ ACTIONS }]
+//	  majority -> TARGET [{ ACTIONS }]
+//	  default -> TARGET [{ ACTIONS }]
+//
+// SYM is a decimal number, 0xHEX, or a quoted byte like 'a' or '\n'.
+// ACTIONS are semicolon-separated: "movi r1, #31", "out8 r1",
+// "add r1, r2, r3" (reg form: dst, ref, src), "incm r0, #1024".
+package asm
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"udp/internal/core"
+)
+
+// Parse assembles source text into a program.
+func Parse(src string) (*core.Program, error) {
+	p := &parser{states: map[string]*core.State{}}
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", i+1, err)
+		}
+	}
+	if p.prog == nil {
+		return nil, fmt.Errorf("asm: no program directive")
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	if err := p.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// stripComment removes a trailing ';' comment, honoring action blocks where
+// ';' separates statements.
+func stripComment(line string) string {
+	depth := 0
+	for i, ch := range line {
+		switch ch {
+		case '{':
+			depth++
+		case '}':
+			depth--
+		case ';':
+			if depth == 0 {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+type pending struct {
+	state   *core.State
+	kind    core.TransKind
+	symbol  uint32
+	consume uint8
+	target  string
+	actions []core.Action
+}
+
+type parser struct {
+	prog    *core.Program
+	states  map[string]*core.State
+	current *core.State
+	pend    []pending
+}
+
+func (p *parser) line(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "program":
+		return p.programDirective(fields[1:])
+	case "reg":
+		return p.regDirective(line)
+	case "data":
+		return p.dataDirective(line)
+	case "state":
+		return p.stateDirective(fields[1:])
+	case "on", "refill", "epsilon", "common", "majority", "default":
+		return p.transition(line)
+	}
+	return fmt.Errorf("unknown directive %q", fields[0])
+}
+
+func (p *parser) programDirective(args []string) error {
+	if p.prog != nil {
+		return fmt.Errorf("duplicate program directive")
+	}
+	if len(args) < 3 || args[1] != "symbol" {
+		return fmt.Errorf("usage: program NAME symbol BITS [options]")
+	}
+	bits, err := strconv.Atoi(args[2])
+	if err != nil || bits < 1 || bits > core.MaxSymbolBits {
+		return fmt.Errorf("bad symbol size %q", args[2])
+	}
+	p.prog = core.NewProgram(args[0], uint8(bits))
+	rest := args[3:]
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case "multiactive":
+			p.prog.MultiActive = true
+		case "startalways":
+			p.prog.StartAlways = true
+		case "database", "databytes":
+			if i+1 >= len(rest) {
+				return fmt.Errorf("%s needs a value", rest[i])
+			}
+			v, err := strconv.Atoi(rest[i+1])
+			if err != nil {
+				return fmt.Errorf("bad %s value %q", rest[i], rest[i+1])
+			}
+			if rest[i] == "database" {
+				p.prog.DataBase = v
+			} else {
+				p.prog.DataBytes = v
+			}
+			i++
+		default:
+			return fmt.Errorf("unknown program option %q", rest[i])
+		}
+	}
+	return nil
+}
+
+func (p *parser) regDirective(line string) error {
+	if p.prog == nil {
+		return fmt.Errorf("reg before program")
+	}
+	var reg string
+	var val uint32
+	if _, err := fmt.Sscanf(line, "reg %s = %d", &reg, &val); err != nil {
+		return fmt.Errorf("usage: reg rN = VALUE")
+	}
+	r, err := parseReg(strings.TrimSuffix(reg, " "))
+	if err != nil {
+		return err
+	}
+	p.prog.InitRegs[r] = val
+	return nil
+}
+
+func (p *parser) dataDirective(line string) error {
+	if p.prog == nil {
+		return fmt.Errorf("data before program")
+	}
+	parts := strings.SplitN(line, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("usage: data OFFSET = hex BYTES")
+	}
+	offStr := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(parts[0]), "data"))
+	off, err := strconv.Atoi(offStr)
+	if err != nil {
+		return fmt.Errorf("bad data offset %q", offStr)
+	}
+	payload := strings.TrimSpace(parts[1])
+	payload = strings.TrimSpace(strings.TrimPrefix(payload, "hex"))
+	b, err := hex.DecodeString(strings.ReplaceAll(payload, " ", ""))
+	if err != nil {
+		return fmt.Errorf("bad hex payload: %v", err)
+	}
+	p.prog.DataInit[off] = b
+	return nil
+}
+
+func (p *parser) stateDirective(args []string) error {
+	if p.prog == nil {
+		return fmt.Errorf("state before program")
+	}
+	if len(args) < 2 {
+		return fmt.Errorf("usage: state NAME MODE [symbol BITS]")
+	}
+	var mode core.DispatchMode
+	switch args[1] {
+	case "stream":
+		mode = core.ModeStream
+	case "common":
+		mode = core.ModeCommon
+	case "flagged":
+		mode = core.ModeFlagged
+	default:
+		return fmt.Errorf("unknown mode %q", args[1])
+	}
+	s := p.prog.AddState(args[0], mode)
+	if len(args) >= 4 && args[2] == "symbol" {
+		bits, err := strconv.Atoi(args[3])
+		if err != nil || bits < 1 || bits > core.MaxSymbolBits {
+			return fmt.Errorf("bad state symbol size %q", args[3])
+		}
+		s.SymbolBits = uint8(bits)
+	}
+	p.states[args[0]] = s
+	p.current = s
+	return nil
+}
+
+func (p *parser) transition(line string) error {
+	if p.current == nil {
+		return fmt.Errorf("transition outside a state")
+	}
+	var actions []core.Action
+	if idx := strings.Index(line, "{"); idx >= 0 {
+		end := strings.LastIndex(line, "}")
+		if end < idx {
+			return fmt.Errorf("unterminated action block")
+		}
+		var err error
+		actions, err = parseActions(line[idx+1 : end])
+		if err != nil {
+			return err
+		}
+		line = strings.TrimSpace(line[:idx])
+	}
+	parts := strings.Split(line, "->")
+	if len(parts) != 2 {
+		return fmt.Errorf("missing -> target")
+	}
+	target := strings.TrimSpace(parts[1])
+	head := strings.Fields(strings.TrimSpace(parts[0]))
+	pd := pending{state: p.current, target: target, actions: actions}
+	switch head[0] {
+	case "on":
+		if len(head) != 2 {
+			return fmt.Errorf("usage: on SYM -> TARGET")
+		}
+		sym, err := parseSymbol(head[1])
+		if err != nil {
+			return err
+		}
+		pd.kind, pd.symbol = core.KindLabeled, sym
+	case "refill":
+		if len(head) != 4 || head[2] != "consume" {
+			return fmt.Errorf("usage: refill SYM consume N -> TARGET")
+		}
+		sym, err := parseSymbol(head[1])
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(head[3])
+		if err != nil || n < 1 || n > 8 {
+			return fmt.Errorf("bad consume count %q", head[3])
+		}
+		pd.kind, pd.symbol, pd.consume = core.KindRefill, sym, uint8(n)
+	case "epsilon":
+		if len(head) != 2 {
+			return fmt.Errorf("usage: epsilon SYM -> TARGET")
+		}
+		sym, err := parseSymbol(head[1])
+		if err != nil {
+			return err
+		}
+		pd.kind, pd.symbol = core.KindEpsilon, sym
+	case "common":
+		pd.kind = core.KindCommon
+	case "majority":
+		pd.kind = core.KindMajority
+	case "default":
+		pd.kind = core.KindDefault
+	}
+	p.pend = append(p.pend, pd)
+	return nil
+}
+
+func (p *parser) resolve() error {
+	for _, pd := range p.pend {
+		tgt, ok := p.states[pd.target]
+		if !ok {
+			return fmt.Errorf("asm: state %q: unknown target %q", pd.state.Name, pd.target)
+		}
+		switch pd.kind {
+		case core.KindLabeled:
+			pd.state.On(pd.symbol, tgt, pd.actions...)
+		case core.KindRefill:
+			pd.state.OnRefill(pd.symbol, pd.consume, tgt, pd.actions...)
+		case core.KindEpsilon:
+			pd.state.OnEpsilon(pd.symbol, tgt, pd.actions...)
+		case core.KindCommon:
+			pd.state.Common(tgt, pd.actions...)
+		case core.KindMajority:
+			pd.state.Majority(tgt, pd.actions...)
+		case core.KindDefault:
+			pd.state.Default(tgt, pd.actions...)
+		}
+	}
+	return nil
+}
+
+func parseSymbol(s string) (uint32, error) {
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		switch body {
+		case `\n`:
+			return '\n', nil
+		case `\r`:
+			return '\r', nil
+		case `\t`:
+			return '\t', nil
+		case `\\`:
+			return '\\', nil
+		case `\'`:
+			return '\'', nil
+		}
+		if len(body) == 1 {
+			return uint32(body[0]), nil
+		}
+		return 0, fmt.Errorf("bad char literal %s", s)
+	}
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad symbol %q", s)
+	}
+	return uint32(v), nil
+}
+
+var regNames = func() map[string]core.Reg {
+	m := map[string]core.Reg{"rsym": core.RSym, "ridx": core.RIdx}
+	for r := core.Reg(0); r < core.NumRegs; r++ {
+		m[fmt.Sprintf("r%d", r)] = r
+	}
+	return m
+}()
+
+func parseReg(s string) (core.Reg, error) {
+	if r, ok := regNames[strings.ToLower(strings.TrimSuffix(s, ","))]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+var opByName = func() map[string]core.Opcode {
+	m := map[string]core.Opcode{}
+	for op := core.Opcode(0); op < core.NumOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func parseActions(s string) ([]core.Action, error) {
+	var out []core.Action
+	for _, stmt := range strings.Split(s, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		a, err := parseAction(stmt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// parseAction accepts "op" plus comma-separated operands; register operands
+// fill dst, then (src | ref,src per format), and #N fills the immediate.
+func parseAction(stmt string) (core.Action, error) {
+	fields := strings.Fields(strings.ReplaceAll(stmt, ",", " "))
+	op, ok := opByName[fields[0]]
+	if !ok {
+		return core.Action{}, fmt.Errorf("unknown opcode %q", fields[0])
+	}
+	a := core.Action{Op: op}
+	var regs []core.Reg
+	for _, f := range fields[1:] {
+		if strings.HasPrefix(f, "#") {
+			v, err := strconv.ParseInt(strings.TrimPrefix(f, "#"), 0, 32)
+			if err != nil {
+				return core.Action{}, fmt.Errorf("bad immediate %q", f)
+			}
+			a.Imm = int32(v)
+			continue
+		}
+		r, err := parseReg(f)
+		if err != nil {
+			return core.Action{}, err
+		}
+		regs = append(regs, r)
+	}
+	switch op.Format() {
+	case core.FormatReg:
+		switch len(regs) {
+		case 3:
+			a.Dst, a.Ref, a.Src = regs[0], regs[1], regs[2]
+		case 2:
+			a.Ref, a.Src = regs[0], regs[1]
+		default:
+			return core.Action{}, fmt.Errorf("%s wants dst, ref, src", op)
+		}
+	default:
+		switch len(regs) {
+		case 2:
+			a.Dst, a.Src = regs[0], regs[1]
+		case 1:
+			// Source-only ops (out8, putbackr, setssr) read src; others
+			// write dst.
+			switch op {
+			case core.OpOut8, core.OpOut16, core.OpOut32, core.OpSetSSR,
+				core.OpPutBackR, core.OpSt8, core.OpSt16, core.OpSt32,
+				core.OpIncm, core.OpSetBase, core.OpEmitBits:
+				a.Src = regs[0]
+			default:
+				a.Dst = regs[0]
+			}
+		case 0:
+		default:
+			return core.Action{}, fmt.Errorf("%s: too many registers", op)
+		}
+	}
+	return a, nil
+}

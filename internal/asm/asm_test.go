@@ -1,0 +1,175 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/machine"
+)
+
+const copySrc = `
+; identity copy with a counter
+program copycount symbol 8
+
+state s stream
+  on 'a' -> s { addi r1, r1, #1; out8 rsym }
+  majority -> s { out8 rsym }
+`
+
+func TestParseAndRun(t *testing.T) {
+	p, err := Parse(copySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "copycount" || p.SymbolBits != 8 {
+		t.Fatalf("program header %q/%d", p.Name, p.SymbolBits)
+	}
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, []byte("banana"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(lane.Output()) != "banana" {
+		t.Fatalf("output %q", lane.Output())
+	}
+	if lane.Reg(core.R1) != 3 {
+		t.Fatalf("counter %d", lane.Reg(core.R1))
+	}
+}
+
+func TestParseAllTransitionKinds(t *testing.T) {
+	src := `
+program kinds symbol 2 multiactive startalways databytes 16
+reg r2 = 7
+data 4 = hex deadbeef
+
+state a stream
+  on 0 -> b
+  epsilon 1 -> b
+  epsilon 1 -> c
+  refill 2 consume 1 -> a
+  majority -> a
+
+state b stream
+  on 0 -> c { accept r0, r0, #3 }
+  default -> a
+
+state c common
+  common -> a { out8 rsym }
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.MultiActive || !p.StartAlways || p.DataBytes != 16 {
+		t.Fatal("program options lost")
+	}
+	if p.InitRegs[core.R2] != 7 {
+		t.Fatal("reg directive lost")
+	}
+	if string(p.DataInit[4]) != "\xde\xad\xbe\xef" {
+		t.Fatal("data directive lost")
+	}
+	st := p.Stats()
+	if st.States != 3 || st.Transitions != 8 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"state s stream",                    // no program
+		"program p symbol 99",               // bad width
+		"program p symbol 8\nstate s bogus", // bad mode
+		"program p symbol 8\nstate s stream\n  on 'a' -> nowhere",       // unknown target
+		"program p symbol 8\nstate s stream\n  on zz -> s",              // bad symbol
+		"program p symbol 8\nstate s stream\n  on 'a' -> s { frob r1 }", // bad opcode
+		"program p symbol 8\nprogram q symbol 8",                        // duplicate
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p, err := Parse(copySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p)
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if Format(p2) != text {
+		t.Fatalf("format not a fixed point:\n%s\nvs\n%s", text, Format(p2))
+	}
+	// Both must lay out to identical images.
+	im1, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im2, err := effclip.Layout(p2, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im1.Words) != len(im2.Words) {
+		t.Fatal("round-tripped image differs")
+	}
+	for i := range im1.Words {
+		if im1.Words[i] != im2.Words[i] {
+			t.Fatalf("word %d differs", i)
+		}
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	for lit, want := range map[string]uint32{`'a'`: 'a', `'\n'`: '\n', `'\t'`: '\t', `'\\'`: '\\', "0x41": 0x41, "65": 65} {
+		got, err := parseSymbol(lit)
+		if err != nil || got != want {
+			t.Errorf("symbol %s: got %d err %v", lit, got, err)
+		}
+	}
+}
+
+func TestFormatContainsDirectives(t *testing.T) {
+	p, _ := Parse(copySrc)
+	text := Format(p)
+	for _, want := range []string{"program copycount symbol 8", "state s stream", "majority -> s", "out8"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestParseNeverPanics feeds garbage to the parser: errors are fine, panics
+// are not.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	pieces := []string{
+		"program", "state", "on", "->", "{", "}", ";", "majority", "refill",
+		"consume", "symbol", "stream", "flagged", "r1", "#5", "'a'", "0x41",
+		"epsilon", "default", "common", "reg", "data", "hex", "=", "\n",
+		"movi", "out8", "frob", "p", "q",
+	}
+	for trial := 0; trial < 300; trial++ {
+		var b strings.Builder
+		for i, n := 0, 3+rng.Intn(40); i < n; i++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+			if rng.Intn(3) == 0 {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		_, _ = Parse(b.String()) // must not panic
+	}
+}

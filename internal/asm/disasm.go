@@ -1,0 +1,120 @@
+package asm
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"udp/internal/core"
+)
+
+// Format renders a program back to assembly text (round-trips through
+// Parse).
+func Format(p *core.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s symbol %d", p.Name, p.SymbolBits)
+	if p.MultiActive {
+		b.WriteString(" multiactive")
+	}
+	if p.StartAlways {
+		b.WriteString(" startalways")
+	}
+	if p.DataBase != 0 {
+		fmt.Fprintf(&b, " database %d", p.DataBase)
+	}
+	if p.DataBytes != 0 {
+		fmt.Fprintf(&b, " databytes %d", p.DataBytes)
+	}
+	b.WriteByte('\n')
+
+	regs := make([]int, 0, len(p.InitRegs))
+	for r := range p.InitRegs {
+		regs = append(regs, int(r))
+	}
+	sort.Ints(regs)
+	for _, r := range regs {
+		fmt.Fprintf(&b, "reg %s = %d\n", core.Reg(r), p.InitRegs[core.Reg(r)])
+	}
+	offs := make([]int, 0, len(p.DataInit))
+	for off := range p.DataInit {
+		offs = append(offs, off)
+	}
+	sort.Ints(offs)
+	for _, off := range offs {
+		fmt.Fprintf(&b, "data %d = hex %s\n", off, hex.EncodeToString(p.DataInit[off]))
+	}
+
+	// Entry state first, as Parse makes the first state the entry.
+	states := append([]*core.State(nil), p.States...)
+	for i, s := range states {
+		if s == p.Entry && i != 0 {
+			states[0], states[i] = states[i], states[0]
+			break
+		}
+	}
+	for _, s := range states {
+		fmt.Fprintf(&b, "\nstate %s %s", s.Name, s.Mode)
+		if s.SymbolBits != 0 {
+			fmt.Fprintf(&b, " symbol %d", s.SymbolBits)
+		}
+		b.WriteByte('\n')
+		for _, t := range s.Labeled {
+			switch t.Kind {
+			case core.KindRefill:
+				fmt.Fprintf(&b, "  refill %s consume %d -> %s%s\n",
+					symStr(t.Symbol), t.ConsumedBits, t.Target.Name, actStr(t.Actions))
+			case core.KindEpsilon:
+				fmt.Fprintf(&b, "  epsilon %s -> %s\n", symStr(t.Symbol), t.Target.Name)
+			case core.KindCommon:
+				fmt.Fprintf(&b, "  common -> %s%s\n", t.Target.Name, actStr(t.Actions))
+			default:
+				fmt.Fprintf(&b, "  on %s -> %s%s\n", symStr(t.Symbol), t.Target.Name, actStr(t.Actions))
+			}
+		}
+		if t := s.Fallback; t != nil {
+			kind := "majority"
+			if t.Kind == core.KindDefault {
+				kind = "default"
+			}
+			fmt.Fprintf(&b, "  %s -> %s%s\n", kind, t.Target.Name, actStr(t.Actions))
+		}
+	}
+	return b.String()
+}
+
+func symStr(v uint32) string { return fmt.Sprintf("%d", v) }
+
+func actStr(actions []core.Action) string {
+	if len(actions) == 0 {
+		return ""
+	}
+	parts := make([]string, len(actions))
+	for i, a := range actions {
+		parts[i] = actionText(a)
+	}
+	return " { " + strings.Join(parts, "; ") + " }"
+}
+
+func actionText(a core.Action) string {
+	if a.Op.Format() == core.FormatReg {
+		return fmt.Sprintf("%s %s, %s, %s", a.Op, a.Dst, a.Ref, a.Src)
+	}
+	switch a.Op {
+	case core.OpNop, core.OpFlushBits:
+		return a.Op.String()
+	case core.OpOutI, core.OpHalt, core.OpAccept, core.OpSetSS,
+		core.OpPutBack, core.OpSetCB, core.OpSetBase:
+		return fmt.Sprintf("%s #%d", a.Op, a.Imm)
+	case core.OpOut8, core.OpOut16, core.OpOut32, core.OpSetSSR, core.OpPutBackR:
+		return fmt.Sprintf("%s %s", a.Op, a.Src)
+	case core.OpEmitBits, core.OpIncm:
+		return fmt.Sprintf("%s %s, #%d", a.Op, a.Src, a.Imm)
+	case core.OpMovi, core.OpRead:
+		return fmt.Sprintf("%s %s, #%d", a.Op, a.Dst, a.Imm)
+	case core.OpMov, core.OpNot:
+		return fmt.Sprintf("%s %s, %s", a.Op, a.Dst, a.Src)
+	default:
+		return fmt.Sprintf("%s %s, %s, #%d", a.Op, a.Dst, a.Src, a.Imm)
+	}
+}

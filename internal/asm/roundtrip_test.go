@@ -1,0 +1,155 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/kernels/csvparse"
+	"udp/internal/kernels/dict"
+	"udp/internal/kernels/encodings"
+	"udp/internal/kernels/histogram"
+	"udp/internal/kernels/jsonparse"
+	"udp/internal/kernels/trigger"
+	"udp/internal/kernels/xmlparse"
+	"udp/internal/workload"
+)
+
+// kernelPrograms builds one program per translator family, covering every
+// transition kind and dispatch mode the assembler must round-trip.
+func kernelPrograms(t *testing.T) map[string]*core.Program {
+	t.Helper()
+	out := map[string]*core.Program{
+		"csvparse":  csvparse.BuildProgram(),
+		"intdeser":  csvparse.BuildIntDeserializer(),
+		"jsonparse": jsonparse.BuildProgram(),
+		"xmlparse":  xmlparse.BuildProgram(),
+		"rle-enc":   encodings.BuildRLEEncoder(),
+		"rle-dec":   encodings.BuildRLEDecoder(),
+	}
+	d, err := dict.NewDictionary(workload.DistrictDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["dictrle"] = d.BuildProgram(true)
+	hg, err := histogram.BuildProgram(histogram.UniformEdges(10, 41.6, 42.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["histogram"] = hg
+	f, err := trigger.NewFSM(3, trigger.DefaultThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["trigger"] = f.BuildProgram()
+	bp, err := encodings.BuildBitUnpacker(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["bitunpack"] = bp
+	return out
+}
+
+// TestKernelRoundTrips formats every kernel translator's output as assembly,
+// re-parses it, and requires bit-identical EffCLiP images — the full
+// software-stack loop of Figure 12.
+func TestKernelRoundTrips(t *testing.T) {
+	for name, prog := range kernelPrograms(t) {
+		text := Format(prog)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", name, err)
+		}
+		im1, err := effclip.Layout(prog, effclip.Options{})
+		if err != nil {
+			t.Fatalf("%s: layout original: %v", name, err)
+		}
+		im2, err := effclip.Layout(back, effclip.Options{})
+		if err != nil {
+			t.Fatalf("%s: layout round-trip: %v", name, err)
+		}
+		if len(im1.Words) != len(im2.Words) {
+			t.Fatalf("%s: image sizes differ (%d vs %d words)", name, len(im1.Words), len(im2.Words))
+		}
+		for i := range im1.Words {
+			if im1.Words[i] != im2.Words[i] {
+				t.Fatalf("%s: word %d differs after round trip", name, i)
+			}
+		}
+		if im1.EntryBase != im2.EntryBase || im1.DataBase != im2.DataBase {
+			t.Fatalf("%s: loader config differs", name)
+		}
+	}
+}
+
+// TestRandomProgramRoundTrips fuzzes the Format/Parse loop with random
+// programs spanning symbol widths, fallback kinds and action chains.
+func TestRandomProgramRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(812))
+	ops := []core.Opcode{
+		core.OpAddi, core.OpMovi, core.OpOut8, core.OpIncm, core.OpHash,
+		core.OpSeqi, core.OpShli, core.OpMov, core.OpEmitBits, core.OpAccept,
+		core.OpLoopCpy, core.OpMin, core.OpSetSS, core.OpOutI,
+	}
+	randAction := func() core.Action {
+		op := ops[rng.Intn(len(ops))]
+		a := core.Action{Op: op,
+			Dst: core.Reg(rng.Intn(14)), Src: core.Reg(rng.Intn(14))}
+		switch op.Format() {
+		case core.FormatReg:
+			a.Ref = core.Reg(rng.Intn(14))
+		case core.FormatImm2:
+			a.Imm = int32(rng.Intn(16))
+		default:
+			a.Imm = int32(rng.Intn(1000))
+			if op == core.OpSetSS {
+				a.Imm = int32(1 + rng.Intn(8))
+			}
+		}
+		return a
+	}
+	for trial := 0; trial < 80; trial++ {
+		bits := []uint8{2, 4, 8}[rng.Intn(3)]
+		p := core.NewProgram("fuzz", bits)
+		n := 2 + rng.Intn(8)
+		states := make([]*core.State, n)
+		for i := range states {
+			states[i] = p.AddState(string(rune('a'+i)), core.ModeStream)
+		}
+		for _, s := range states {
+			seen := map[uint32]bool{}
+			for k, stop := 0, 1+rng.Intn(4); k < stop; k++ {
+				sym := uint32(rng.Intn(1 << bits))
+				if seen[sym] {
+					continue
+				}
+				seen[sym] = true
+				var acts []core.Action
+				for a, na := 0, rng.Intn(3); a < na; a++ {
+					acts = append(acts, randAction())
+				}
+				if rng.Intn(6) == 0 && bits <= 8 && s != states[0] {
+					// Occasionally exercise refill round-tripping.
+					states[0].OnRefill(sym, uint8(1+rng.Intn(int(bits))), states[rng.Intn(n)], acts...)
+					continue
+				}
+				s.On(sym, states[rng.Intn(n)], acts...)
+			}
+			if rng.Intn(2) == 0 {
+				states[rng.Intn(n)].Majority(states[rng.Intn(n)])
+			}
+		}
+		if err := p.Validate(); err != nil {
+			continue // random duplicates; skip invalid draws
+		}
+		text := Format(p)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse: %v\n%s", trial, err, text)
+		}
+		if Format(back) != text {
+			t.Fatalf("trial %d: format not a fixed point", trial)
+		}
+	}
+}

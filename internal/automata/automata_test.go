@@ -1,0 +1,294 @@
+package automata
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/machine"
+)
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"(", "a)", "[", "a{3,1}", `\x9`, "*a", "[z-a]"} {
+		if _, err := ParseRegex(bad); err == nil {
+			t.Errorf("pattern %q: expected parse error", bad)
+		}
+	}
+	for _, ok := range []string{"abc", "a|b", "a*b+c?", "[a-z0-9_]+", `\d{2,4}`,
+		`a\.b`, "(ab|cd)*e", `\x41\x42`, "[^\\n]*", "a{3}"} {
+		if _, err := ParseRegex(ok); err != nil {
+			t.Errorf("pattern %q: unexpected error %v", ok, err)
+		}
+	}
+}
+
+// matchStrings runs an NFA-based matcher and reports matched end positions
+// per pattern id.
+func nfaFor(t *testing.T, pattern string) *NFA {
+	t.Helper()
+	n, err := CompileRegex(pattern, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n.EpsFree()
+}
+
+func TestNFAMatchBasics(t *testing.T) {
+	cases := []struct {
+		pattern string
+		input   string
+		ends    []int
+	}{
+		{"abc", "xxabcxxabc", []int{5, 10}},
+		{"a+b", "aaab", []int{4}},
+		{"a|b", "ab", []int{1, 2}},
+		{"[0-9]{2}", "a12b345", []int{3, 6, 7}},
+		{"colou?r", "color colour", []int{5, 12}},
+		{"(ab)+", "ababab", []int{2, 4, 6}},
+		{"x.z", "xyz xz xaz", []int{3, 10}},
+		{`\d+\.\d+`, "pi=3.14.", []int{6, 7}},
+	}
+	for _, c := range cases {
+		n := nfaFor(t, c.pattern)
+		var ends []int
+		for _, e := range n.Match([]byte(c.input)) {
+			ends = append(ends, e.End)
+		}
+		if !reflect.DeepEqual(ends, c.ends) {
+			t.Errorf("pattern %q on %q: ends %v, want %v", c.pattern, c.input, ends, c.ends)
+		}
+	}
+}
+
+func TestDFAAgreesWithNFA(t *testing.T) {
+	patterns := []string{"abc", "a(b|c)d", "[a-f]{3}", "ab*c", "x[0-9]+y"}
+	var ns []*NFA
+	for i, p := range patterns {
+		n, err := CompileRegex(p, int32(i), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, n)
+	}
+	merged := MergeNFAs(ns).EpsFree()
+	d, err := Determinize(merged, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := d.Minimize()
+
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []byte("abcdefxy0123 ")
+	for trial := 0; trial < 50; trial++ {
+		buf := make([]byte, 120)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		want := merged.Match(buf)
+		got := d.Match(buf)
+		gotMin := dm.Match(buf)
+		if !sameEvents(want, got) {
+			t.Fatalf("trial %d: DFA disagrees with NFA\nnfa=%v\ndfa=%v\ninput=%q", trial, want, got, buf)
+		}
+		if !sameEvents(want, gotMin) {
+			t.Fatalf("trial %d: minimized DFA disagrees\nnfa=%v\nmin=%v", trial, want, gotMin)
+		}
+	}
+	if len(dm.States) > len(d.States) {
+		t.Fatalf("minimization grew the DFA: %d -> %d", len(d.States), len(dm.States))
+	}
+}
+
+func sameEvents(a, b []MatchEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runUDP lays out and executes a compiled program on input, returning match
+// events in MatchEvent form (bit positions converted to byte ends).
+func runUDP(t *testing.T, p *core.Program, input []byte) []MatchEvent {
+	t.Helper()
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []MatchEvent
+	for _, m := range lane.Matches() {
+		events = append(events, MatchEvent{m.PatternID, int(m.BitPos / 8)})
+	}
+	return events
+}
+
+// TestUDPDFAMatchesReference cross-validates the UDP single-active execution
+// of a compiled DFA against the software matcher for all three styles.
+func TestUDPDFAMatchesReference(t *testing.T) {
+	patterns := []string{"attack", "GET /[a-z]+", "rm -rf", "[0-9]{4}-[0-9]{2}"}
+	var ns []*NFA
+	for i, pat := range patterns {
+		n, err := CompileRegex(pat, int32(i), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, n)
+	}
+	merged := MergeNFAs(ns).EpsFree()
+	d, err := Determinize(merged, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = d.Minimize()
+	input := []byte("GET /index HTTP attack here 2024-06 rm -rf / GET /abc attack")
+	want := d.Match(input)
+
+	for _, style := range []DFAStyle{StyleADFA, StyleTable, StyleMajority} {
+		p, err := CompileDFA(d, "nids", style)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runUDP(t, p, input)
+		if !sameEvents(want, got) {
+			t.Fatalf("style %d: UDP events %v, want %v", style, got, want)
+		}
+	}
+}
+
+// TestUDPNFAMatchesReference cross-validates multi-active UDP execution.
+func TestUDPNFAMatchesReference(t *testing.T) {
+	patterns := []string{"ab+c", "a.c", "bc"}
+	var ns []*NFA
+	for i, pat := range patterns {
+		n, err := CompileRegex(pat, int32(i), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, n)
+	}
+	merged := MergeNFAs(ns).EpsFree()
+	input := []byte("zabcc abbbc axc bc")
+	want := merged.Match(input)
+
+	p, err := CompileNFA(merged, "nfa", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runUDP(t, p, input)
+	// UDP reports in stream order; reference sorts by (end, id). Sort ours
+	// the same way.
+	sortEvents(got)
+	sortEvents(want)
+	if !sameEvents(want, got) {
+		t.Fatalf("UDP NFA events %v, want %v", got, want)
+	}
+}
+
+func sortEvents(ev []MatchEvent) {
+	for i := 1; i < len(ev); i++ {
+		for j := i; j > 0 && (ev[j].End < ev[j-1].End || ev[j].End == ev[j-1].End && ev[j].ID < ev[j-1].ID); j-- {
+			ev[j], ev[j-1] = ev[j-1], ev[j]
+		}
+	}
+}
+
+// TestADFACompression checks that the ADFA style produces a materially
+// smaller image than the flat table for a typical pattern set.
+func TestADFACompression(t *testing.T) {
+	patterns := []string{"evil", "worm[0-9]+", "bad(stuff|things)", "overflow"}
+	var ns []*NFA
+	for i, pat := range patterns {
+		n, err := CompileRegex(pat, int32(i), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, n)
+	}
+	d, err := Determinize(MergeNFAs(ns).EpsFree(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = d.Minimize()
+	table, err := CompileDFA(d, "t", StyleTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adfa, err := CompileDFA(d, "a", StyleADFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, as := table.Stats(), adfa.Stats()
+	if as.Transitions*2 > ts.Transitions {
+		t.Fatalf("ADFA %d transitions vs table %d: expected >2x compression", as.Transitions, ts.Transitions)
+	}
+}
+
+// TestDeterminizeCap ensures the state cap triggers instead of exploding.
+func TestDeterminizeCap(t *testing.T) {
+	n, err := CompileRegex("a.{12}b", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Determinize(n.EpsFree(), 64); err == nil {
+		t.Fatal("expected state-cap error")
+	}
+}
+
+func TestLiteralPattern(t *testing.T) {
+	if !LiteralPattern("hello world") || LiteralPattern("a+b") {
+		t.Fatal("literal classification")
+	}
+}
+
+func TestRepeatBounds(t *testing.T) {
+	n := nfaFor(t, "a{2,3}")
+	check := func(in string, want int) {
+		got := len(n.Match([]byte(in)))
+		if got != want {
+			t.Errorf("a{2,3} on %q: %d events, want %d", in, got, want)
+		}
+	}
+	check("a", 0)
+	check("aa", 1)
+	check("aaa", 2)  // ends at 2 and 3
+	check("aaaa", 3) // ends at 2,3,4
+	check("b aa b", 1)
+	if strings.Repeat("a", 3) != "aaa" {
+		t.Fatal("sanity")
+	}
+}
+
+func TestCaseInsensitiveCompile(t *testing.T) {
+	n, err := CompileRegexFold("Attack[a-c]+", 0, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef := n.EpsFree()
+	for _, in := range []string{"xxATTACKabc", "attackB", "AtTaCkC"} {
+		if len(ef.Match([]byte(in))) == 0 {
+			t.Errorf("fold should match %q", in)
+		}
+	}
+	if len(ef.Match([]byte("attack9"))) != 0 {
+		t.Error("digit must not match the folded class")
+	}
+	// Folding must not disturb non-letters.
+	n2, err := CompileRegexFold(`\d{2}`, 0, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n2.EpsFree().Match([]byte("ab12"))) == 0 {
+		t.Error("digits unaffected by folding")
+	}
+}

@@ -1,0 +1,257 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+
+	"udp/internal/core"
+)
+
+// DFAStyle selects how a DFA is expressed as UDP transitions.
+type DFAStyle int
+
+const (
+	// StyleADFA compresses each state with the better of a majority
+	// fallback (dominant target) or a D2FA default transition to the
+	// start state (delta storage), the paper's ADFA model.
+	StyleADFA DFAStyle = iota
+	// StyleTable stores every live transition explicitly (flat DFA).
+	StyleTable
+	// StyleMajority uses only majority compression (no default deltas).
+	StyleMajority
+)
+
+// CompileDFA translates a total DFA (every state has no dead entries, as
+// produced from unanchored patterns) into a single-active UDP program.
+// Accepting states fire OpAccept with each pattern id on entry.
+func CompileDFA(d *DFA, name string, style DFAStyle) (*core.Program, error) {
+	p := core.NewProgram(name, 8)
+	states := make([]*core.State, len(d.States))
+	for i := range d.States {
+		states[i] = p.AddState(fmt.Sprintf("q%d", i), core.ModeStream)
+	}
+	p.Entry = states[d.Start]
+
+	acceptActions := func(to int32) []core.Action {
+		var acts []core.Action
+		for _, id := range d.States[to].Accepts {
+			acts = append(acts, core.AAccept(id))
+		}
+		return acts
+	}
+
+	for qi, st := range d.States {
+		counts := map[int32]int{}
+		for _, t := range st.Next {
+			if t != Dead {
+				counts[t]++
+			}
+		}
+		var best int32 = Dead
+		bestN := 0
+		var tgts []int32
+		for t := range counts {
+			tgts = append(tgts, t)
+		}
+		sort.Slice(tgts, func(i, j int) bool { return tgts[i] < tgts[j] })
+		for _, t := range tgts {
+			if counts[t] > bestN {
+				best, bestN = t, counts[t]
+			}
+		}
+		total := counts[best] > 0 && len(counts) > 0 && liveCount(st) == 256
+
+		// Delta vs the start state's row (D2FA default to start).
+		deltaN := 0
+		for b := 0; b < 256; b++ {
+			if st.Next[b] != d.States[d.Start].Next[b] {
+				deltaN++
+			}
+		}
+
+		useMajority := false
+		useDefault := false
+		switch style {
+		case StyleTable:
+		case StyleMajority:
+			useMajority = total && bestN >= 2
+		case StyleADFA:
+			if qi != d.Start && total && deltaN < 256-bestN {
+				useDefault = true
+			} else {
+				useMajority = total && bestN >= 2
+			}
+		}
+
+		switch {
+		case useDefault:
+			for b := 0; b < 256; b++ {
+				t := st.Next[b]
+				if t == d.States[d.Start].Next[b] {
+					continue
+				}
+				if t == Dead {
+					return nil, fmt.Errorf("automata: dead entry in total DFA state %d", qi)
+				}
+				states[qi].On(uint32(b), states[t], acceptActions(t)...)
+			}
+			states[qi].Default(states[d.Start])
+		case useMajority:
+			for b := 0; b < 256; b++ {
+				t := st.Next[b]
+				if t == Dead || t == best {
+					continue
+				}
+				states[qi].On(uint32(b), states[t], acceptActions(t)...)
+			}
+			states[qi].Majority(states[best], acceptActions(best)...)
+		default:
+			for b := 0; b < 256; b++ {
+				t := st.Next[b]
+				if t == Dead {
+					continue
+				}
+				states[qi].On(uint32(b), states[t], acceptActions(t)...)
+			}
+		}
+	}
+	return p, nil
+}
+
+func liveCount(st DState) int {
+	n := 0
+	for _, t := range st.Next {
+		if t != Dead {
+			n++
+		}
+	}
+	return n
+}
+
+// CompileNFA translates an epsilon-free NFA into a multi-active UDP program
+// using epsilon fork chains for symbols with several targets (paper Section
+// 3.2.1, multi-state activation).
+func CompileNFA(n *NFA, name string, alwaysStart bool) (*core.Program, error) {
+	p := core.NewProgram(name, 8)
+	p.MultiActive = true
+	p.StartAlways = alwaysStart
+	states := make([]*core.State, len(n.States))
+	for i := range n.States {
+		states[i] = p.AddState(fmt.Sprintf("q%d", i), core.ModeStream)
+	}
+	p.Entry = states[n.Start]
+
+	acceptsOf := func(q int) []int32 {
+		s := n.States[q]
+		if len(s.Accepts) > 0 {
+			return s.Accepts
+		}
+		if s.Accept != NoAccept {
+			return []int32{s.Accept}
+		}
+		return nil
+	}
+
+	for qi, st := range n.States {
+		// Gather per-symbol target sets.
+		var targets [256][]int
+		for _, e := range st.Edges {
+			for b := int(e.Lo); b <= int(e.Hi); b++ {
+				targets[b] = appendUnique(targets[b], e.To)
+			}
+		}
+		// Majority is usable only when every symbol has some target
+		// (otherwise a miss must deactivate, not take the fallback).
+		counts := map[int]int{}
+		total := true
+		for b := 0; b < 256; b++ {
+			switch len(targets[b]) {
+			case 0:
+				total = false
+			case 1:
+				counts[targets[b][0]]++
+			}
+		}
+		majority := -1
+		if total {
+			bestN := 1 // require at least 2 symbols to pay off
+			keys := make([]int, 0, len(counts))
+			for t := range counts {
+				keys = append(keys, t)
+			}
+			sort.Ints(keys)
+			for _, t := range keys {
+				if counts[t] > bestN {
+					majority, bestN = t, counts[t]
+				}
+			}
+		}
+		for b := 0; b < 256; b++ {
+			ts := targets[b]
+			if len(ts) == 0 {
+				continue
+			}
+			if len(ts) == 1 {
+				t := ts[0]
+				if t == majority {
+					continue
+				}
+				var acts []core.Action
+				for _, id := range acceptsOf(t) {
+					acts = append(acts, core.AAccept(id))
+				}
+				states[qi].On(uint32(b), states[t], acts...)
+				continue
+			}
+			// Fork chain: non-accepting targets ride epsilon entries;
+			// one terminal entry carries every accept.
+			var accTargets, plain []int
+			for _, t := range ts {
+				if len(acceptsOf(t)) > 0 {
+					accTargets = append(accTargets, t)
+				} else {
+					plain = append(plain, t)
+				}
+			}
+			sort.Ints(accTargets)
+			sort.Ints(plain)
+			if len(accTargets) == 0 {
+				for _, t := range ts {
+					states[qi].OnEpsilon(uint32(b), states[t])
+				}
+				continue
+			}
+			term := accTargets[0]
+			var acts []core.Action
+			for _, t := range accTargets {
+				for _, id := range acceptsOf(t) {
+					acts = append(acts, core.AAccept(id))
+				}
+			}
+			for _, t := range plain {
+				states[qi].OnEpsilon(uint32(b), states[t])
+			}
+			for _, t := range accTargets[1:] {
+				states[qi].OnEpsilon(uint32(b), states[t])
+			}
+			states[qi].On(uint32(b), states[term], acts...)
+		}
+		if majority >= 0 {
+			var acts []core.Action
+			for _, id := range acceptsOf(majority) {
+				acts = append(acts, core.AAccept(id))
+			}
+			states[qi].Majority(states[majority], acts...)
+		}
+	}
+	return p, nil
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}

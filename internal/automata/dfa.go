@@ -1,0 +1,236 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dead marks the absence of a DFA transition.
+const Dead int32 = -1
+
+// DState is one DFA state: a full 256-way next table plus the set of
+// patterns accepted on entering it.
+type DState struct {
+	Next    [256]int32
+	Accepts []int32
+}
+
+// DFA is a deterministic automaton over bytes.
+type DFA struct {
+	Start  int
+	States []DState
+}
+
+// Determinize runs subset construction over an epsilon-free NFA, failing
+// once maxStates subsets have been created (0 means 1<<16).
+func Determinize(n *NFA, maxStates int) (*DFA, error) {
+	if maxStates == 0 {
+		maxStates = 1 << 16
+	}
+	key := func(set []int) string {
+		var b strings.Builder
+		for _, s := range set {
+			b.WriteString(strconv.Itoa(s))
+			b.WriteByte(',')
+		}
+		return b.String()
+	}
+	d := &DFA{}
+	index := map[string]int{}
+	var sets [][]int
+	mk := func(set []int) (int, error) {
+		k := key(set)
+		if id, ok := index[k]; ok {
+			return id, nil
+		}
+		if len(d.States) >= maxStates {
+			return 0, fmt.Errorf("automata: subset construction exceeded %d states", maxStates)
+		}
+		id := len(d.States)
+		index[k] = id
+		sets = append(sets, set)
+		st := DState{}
+		for i := range st.Next {
+			st.Next[i] = Dead
+		}
+		accSet := map[int32]bool{}
+		for _, q := range set {
+			for _, a := range n.States[q].Accepts {
+				accSet[a] = true
+			}
+			if a := n.States[q].Accept; a != NoAccept {
+				accSet[a] = true
+			}
+		}
+		for a := range accSet {
+			st.Accepts = append(st.Accepts, a)
+		}
+		sort.Slice(st.Accepts, func(i, j int) bool { return st.Accepts[i] < st.Accepts[j] })
+		d.States = append(d.States, st)
+		return id, nil
+	}
+	start, err := mk([]int{n.Start})
+	if err != nil {
+		return nil, err
+	}
+	d.Start = start
+	for id := 0; id < len(d.States); id++ {
+		set := sets[id]
+		// move(set, b) for all b at once
+		var move [256]map[int]bool
+		for _, q := range set {
+			for _, e := range n.States[q].Edges {
+				for b := int(e.Lo); b <= int(e.Hi); b++ {
+					if move[b] == nil {
+						move[b] = map[int]bool{}
+					}
+					move[b][e.To] = true
+				}
+			}
+		}
+		for b := 0; b < 256; b++ {
+			if move[b] == nil {
+				continue
+			}
+			tgt := make([]int, 0, len(move[b]))
+			for q := range move[b] {
+				tgt = append(tgt, q)
+			}
+			sort.Ints(tgt)
+			tid, err := mk(tgt)
+			if err != nil {
+				return nil, err
+			}
+			d.States[id].Next[b] = int32(tid)
+		}
+	}
+	return d, nil
+}
+
+// Minimize returns an equivalent DFA with Hopcroft-style partition
+// refinement (Moore's algorithm; adequate at our state counts). Dead
+// transitions stay dead.
+func (d *DFA) Minimize() *DFA {
+	n := len(d.States)
+	// Initial partition by accept signature (and deadness pattern is
+	// refined iteratively).
+	sig := make(map[string][]int)
+	part := make([]int, n)
+	for i, s := range d.States {
+		var b strings.Builder
+		for _, a := range s.Accepts {
+			fmt.Fprintf(&b, "%d,", a)
+		}
+		sig[b.String()] = append(sig[b.String()], i)
+	}
+	keys := make([]string, 0, len(sig))
+	for k := range sig {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for pi, k := range keys {
+		for _, s := range sig[k] {
+			part[s] = pi
+		}
+	}
+	nparts := len(keys)
+	for {
+		// Refine: states in the same part must agree on the part of
+		// every successor.
+		next := make(map[string]int)
+		newPart := make([]int, n)
+		changed := false
+		for i := range d.States {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d|", part[i])
+			for c := 0; c < 256; c++ {
+				t := d.States[i].Next[c]
+				if t == Dead {
+					b.WriteString("-,")
+				} else {
+					fmt.Fprintf(&b, "%d,", part[t])
+				}
+			}
+			k := b.String()
+			id, ok := next[k]
+			if !ok {
+				id = len(next)
+				next[k] = id
+			}
+			newPart[i] = id
+		}
+		newCount := len(next)
+		if newCount == nparts {
+			break
+		}
+		copy(part, newPart)
+		nparts = newCount
+		changed = true
+		_ = changed
+	}
+	out := &DFA{}
+	out.States = make([]DState, nparts)
+	rep := make([]int, nparts)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for i := range d.States {
+		if rep[part[i]] == -1 {
+			rep[part[i]] = i
+		}
+	}
+	for pi, r := range rep {
+		st := DState{Accepts: d.States[r].Accepts}
+		for c := 0; c < 256; c++ {
+			if t := d.States[r].Next[c]; t == Dead {
+				st.Next[c] = Dead
+			} else {
+				st.Next[c] = int32(part[t])
+			}
+		}
+		out.States[pi] = st
+	}
+	out.Start = part[d.Start]
+	return out
+}
+
+// Match runs the DFA over data with table-lookup semantics (the CPU
+// branch-indirect baseline), recording accepts. A dead transition restarts at
+// the start state (patterns are compiled unanchored, so this only occurs for
+// anchored automata).
+func (d *DFA) Match(data []byte) []MatchEvent {
+	var events []MatchEvent
+	q := int32(d.Start)
+	for i, b := range data {
+		q = d.States[q].Next[b]
+		if q == Dead {
+			q = int32(d.Start)
+			continue
+		}
+		for _, a := range d.States[q].Accepts {
+			events = append(events, MatchEvent{a, i + 1})
+		}
+	}
+	return events
+}
+
+// Stats summarizes DFA shape.
+type DFAStats struct {
+	States      int
+	Transitions int // non-dead entries
+}
+
+// Stats counts live transitions.
+func (d *DFA) Stats() DFAStats {
+	st := DFAStats{States: len(d.States)}
+	for _, s := range d.States {
+		for _, t := range s.Next {
+			if t != Dead {
+				st.Transitions++
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,183 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+
+	"udp/internal/effclip"
+	"udp/internal/machine"
+)
+
+// randomTotalDFA builds a random total DFA over a restricted byte alphabet
+// with accepting states, the adversarial input for the layout+machine
+// equivalence property.
+func randomTotalDFA(rng *rand.Rand, states int, alphabet []byte) *DFA {
+	d := &DFA{}
+	for i := 0; i < states; i++ {
+		st := DState{}
+		for b := range st.Next {
+			st.Next[b] = Dead
+		}
+		for _, b := range alphabet {
+			st.Next[b] = int32(rng.Intn(states))
+		}
+		if rng.Intn(3) == 0 {
+			st.Accepts = []int32{int32(rng.Intn(4))}
+		}
+		d.States = append(d.States, st)
+	}
+	d.Start = 0
+	// Totalize over the full byte range so miss handling never triggers:
+	// route unlisted bytes to a random state.
+	for i := range d.States {
+		def := int32(rng.Intn(states))
+		for b := 0; b < 256; b++ {
+			if d.States[i].Next[b] == Dead {
+				d.States[i].Next[b] = def
+			}
+		}
+	}
+	return d
+}
+
+// TestRandomDFAMachineEquivalence is the central end-to-end property: for
+// random DFAs under every compile style, EffCLiP layout plus cycle-level
+// execution must reproduce the reference matcher's accept sequence exactly.
+func TestRandomDFAMachineEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2017))
+	alphabet := []byte("abcdxyz019 .")
+	for trial := 0; trial < 60; trial++ {
+		d := randomTotalDFA(rng, 2+rng.Intn(14), alphabet)
+		input := make([]byte, 200+rng.Intn(400))
+		for i := range input {
+			input[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		want := d.Match(input)
+		for _, style := range []DFAStyle{StyleADFA, StyleTable, StyleMajority} {
+			prog, err := CompileDFA(d, "fuzz", style)
+			if err != nil {
+				t.Fatalf("trial %d style %d: %v", trial, style, err)
+			}
+			im, err := effclip.Layout(prog, effclip.Options{})
+			if err != nil {
+				t.Fatalf("trial %d style %d: %v", trial, style, err)
+			}
+			lane, err := machine.RunSingle(im, input)
+			if err != nil {
+				t.Fatalf("trial %d style %d: %v", trial, style, err)
+			}
+			got := lane.Matches()
+			if len(got) != len(want) {
+				t.Fatalf("trial %d style %d: %d accepts, want %d",
+					trial, style, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].PatternID != want[i].ID || int(got[i].BitPos/8) != want[i].End {
+					t.Fatalf("trial %d style %d: accept %d = (%d,%d), want (%d,%d)",
+						trial, style, i, got[i].PatternID, got[i].BitPos/8,
+						want[i].ID, want[i].End)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomNFAMachineEquivalence drives the multi-active path with random
+// epsilon-free NFAs.
+func TestRandomNFAMachineEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	alphabet := []byte("abc")
+	for trial := 0; trial < 40; trial++ {
+		n := &NFA{}
+		states := 3 + rng.Intn(6)
+		for i := 0; i < states; i++ {
+			st := NState{Accept: NoAccept}
+			if rng.Intn(4) == 0 {
+				st.Accepts = []int32{int32(rng.Intn(3))}
+			}
+			for _, b := range alphabet {
+				for k, stop := 0, rng.Intn(3); k < stop; k++ {
+					st.Edges = append(st.Edges, NEdge{b, b, rng.Intn(states)})
+				}
+			}
+			n.States = append(n.States, st)
+		}
+		n.Start = 0
+		input := make([]byte, 150)
+		for i := range input {
+			input[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		want := n.Match(input)
+		prog, err := CompileNFA(n, "fuzznfa", false)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		im, err := effclip.Layout(prog, effclip.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lane, err := machine.RunSingle(im, input)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := dedupEvents(lane.Matches())
+		sortEvents(got)
+		sortEvents(want)
+		if !sameEvents(want, got) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+func dedupEvents(ms []machine.Match) []MatchEvent {
+	seen := map[[2]int64]bool{}
+	var out []MatchEvent
+	for _, m := range ms {
+		k := [2]int64{int64(m.PatternID), m.BitPos / 8}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, MatchEvent{m.PatternID, int(m.BitPos / 8)})
+	}
+	return out
+}
+
+// TestMultiSegmentExecution forces a program past the 12-bit target window
+// (several thousand transition words) and cross-validates execution: the
+// layout engine must emit SetCB segment switches that the machine honors.
+func TestMultiSegmentExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("abcdefgh")
+	d := randomTotalDFA(rng, 30, alphabet)
+	prog, err := CompileDFA(d, "big", StyleTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := effclip.Layout(prog, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Segments) < 2 {
+		t.Fatalf("expected a multi-segment image, got %d segments (%d trans words)",
+			len(im.Segments), im.TransWords)
+	}
+	input := make([]byte, 3000)
+	for i := range input {
+		input[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	want := d.Match(input)
+	lane, err := machine.RunSingle(im, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lane.Matches()
+	if len(got) != len(want) {
+		t.Fatalf("%d accepts, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].PatternID != want[i].ID || int(got[i].BitPos/8) != want[i].End {
+			t.Fatalf("accept %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NoAccept marks a non-accepting state.
+const NoAccept int32 = -1
+
+// NEdge is a byte-range labeled NFA edge.
+type NEdge struct {
+	Lo, Hi byte
+	To     int
+}
+
+// NState is one Thompson NFA state.
+type NState struct {
+	// Eps are epsilon successors.
+	Eps []int
+	// Edges are consuming successors.
+	Edges []NEdge
+	// Accept is the accepted pattern id, or NoAccept.
+	Accept int32
+	// Accepts lists all pattern ids accepted here (filled by EpsFree,
+	// which folds epsilon closures; Accept is then the first entry).
+	Accepts []int32
+}
+
+// NFA is a Thompson-constructed nondeterministic automaton, possibly the
+// merge of several patterns.
+type NFA struct {
+	Start  int
+	States []NState
+}
+
+func (n *NFA) add() int {
+	n.States = append(n.States, NState{Accept: NoAccept})
+	return len(n.States) - 1
+}
+
+func (n *NFA) eps(from, to int) { n.States[from].Eps = append(n.States[from].Eps, to) }
+func (n *NFA) edge(from int, lo, hi byte, to int) {
+	n.States[from].Edges = append(n.States[from].Edges, NEdge{lo, hi, to})
+}
+
+// CompileRegex compiles one pattern into an NFA whose accepting state carries
+// id. When unanchored is true the automaton matches at any input offset (a
+// leading any-byte self-loop is added).
+func CompileRegex(pattern string, id int32, unanchored bool) (*NFA, error) {
+	return CompileRegexFold(pattern, id, unanchored, false)
+}
+
+// CompileRegexFold is CompileRegex with optional ASCII case folding (NIDS
+// rule sets routinely match case-insensitively). A leading '^' anchors the
+// pattern to the stream start regardless of the unanchored flag.
+func CompileRegexFold(pattern string, id int32, unanchored, foldCase bool) (*NFA, error) {
+	if len(pattern) > 0 && pattern[0] == '^' {
+		pattern = pattern[1:]
+		unanchored = false
+	}
+	ast, err := ParseRegex(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if foldCase {
+		foldAST(ast)
+	}
+	n := &NFA{}
+	start := n.add()
+	n.Start = start
+	if unanchored {
+		n.edge(start, 0, 255, start)
+	}
+	fin, err := n.build(ast, start)
+	if err != nil {
+		return nil, err
+	}
+	n.States[fin].Accept = id
+	return n, nil
+}
+
+// foldAST widens every letter range/class to cover both cases.
+func foldAST(a *node) {
+	switch a.op {
+	case opRange:
+		if isAlphaRange(a.lo, a.hi) {
+			set := &[256]bool{}
+			for b := int(a.lo); b <= int(a.hi); b++ {
+				set[b] = true
+				set[foldByte(byte(b))] = true
+			}
+			a.op, a.set = opClass, set
+		}
+	case opClass:
+		for b := 0; b < 256; b++ {
+			if a.set[b] {
+				a.set[foldByte(byte(b))] = true
+			}
+		}
+	}
+	for _, sub := range a.sub {
+		foldAST(sub)
+	}
+}
+
+func isAlphaRange(lo, hi byte) bool {
+	alpha := func(c byte) bool {
+		return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+	}
+	for b := int(lo); b <= int(hi); b++ {
+		if alpha(byte(b)) {
+			return true
+		}
+	}
+	return false
+}
+
+func foldByte(c byte) byte {
+	switch {
+	case c >= 'a' && c <= 'z':
+		return c - 'a' + 'A'
+	case c >= 'A' && c <= 'Z':
+		return c - 'A' + 'a'
+	}
+	return c
+}
+
+// build wires the AST fragment starting at state "from" and returns the
+// fragment's exit state.
+func (n *NFA) build(a *node, from int) (int, error) {
+	switch a.op {
+	case opEmpty:
+		return from, nil
+	case opRange:
+		to := n.add()
+		n.edge(from, a.lo, a.hi, to)
+		return to, nil
+	case opClass:
+		to := n.add()
+		for lo := 0; lo < 256; {
+			if !a.set[lo] {
+				lo++
+				continue
+			}
+			hi := lo
+			for hi+1 < 256 && a.set[hi+1] {
+				hi++
+			}
+			n.edge(from, byte(lo), byte(hi), to)
+			lo = hi + 1
+		}
+		return to, nil
+	case opConcat:
+		cur := from
+		for _, s := range a.sub {
+			var err error
+			cur, err = n.build(s, cur)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return cur, nil
+	case opAlt:
+		out := n.add()
+		for _, s := range a.sub {
+			in := n.add()
+			n.eps(from, in)
+			fin, err := n.build(s, in)
+			if err != nil {
+				return 0, err
+			}
+			n.eps(fin, out)
+		}
+		return out, nil
+	case opStar:
+		hub := n.add()
+		n.eps(from, hub)
+		fin, err := n.build(a.sub[0], hub)
+		if err != nil {
+			return 0, err
+		}
+		n.eps(fin, hub)
+		return hub, nil
+	case opPlus:
+		fin, err := n.build(a.sub[0], from)
+		if err != nil {
+			return 0, err
+		}
+		hub := n.add()
+		n.eps(fin, hub)
+		// loop back through another copy entry
+		n.eps(hub, from)
+		return hub, nil
+	case opOpt:
+		fin, err := n.build(a.sub[0], from)
+		if err != nil {
+			return 0, err
+		}
+		out := n.add()
+		n.eps(from, out)
+		n.eps(fin, out)
+		return out, nil
+	case opRepeat:
+		cur := from
+		for i := 0; i < a.min; i++ {
+			var err error
+			cur, err = n.build(a.sub[0], cur)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if a.max == -1 {
+			hub := n.add()
+			n.eps(cur, hub)
+			fin, err := n.build(a.sub[0], hub)
+			if err != nil {
+				return 0, err
+			}
+			n.eps(fin, hub)
+			return hub, nil
+		}
+		out := n.add()
+		n.eps(cur, out)
+		for i := a.min; i < a.max; i++ {
+			var err error
+			cur, err = n.build(a.sub[0], cur)
+			if err != nil {
+				return 0, err
+			}
+			n.eps(cur, out)
+		}
+		return out, nil
+	default:
+		return 0, fmt.Errorf("automata: unknown AST op %d", a.op)
+	}
+}
+
+// MergeNFAs joins several pattern NFAs under a fresh common start state.
+func MergeNFAs(ns []*NFA) *NFA {
+	m := &NFA{}
+	start := m.add()
+	m.Start = start
+	for _, n := range ns {
+		base := len(m.States)
+		for _, s := range n.States {
+			ns2 := NState{Accept: s.Accept}
+			for _, e := range s.Eps {
+				ns2.Eps = append(ns2.Eps, e+base)
+			}
+			for _, e := range s.Edges {
+				ns2.Edges = append(ns2.Edges, NEdge{e.Lo, e.Hi, e.To + base})
+			}
+			m.States = append(m.States, ns2)
+		}
+		m.eps(start, n.Start+base)
+	}
+	return m
+}
+
+// closure expands set (sorted state ids) with all epsilon-reachable states.
+func (n *NFA) closure(set []int) []int {
+	seen := map[int]bool{}
+	stack := append([]int(nil), set...)
+	for _, s := range set {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.States[s].Eps {
+			if !seen[e] {
+				seen[e] = true
+				stack = append(stack, e)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EpsFree converts the NFA to an epsilon-free NFA with the same language:
+// state q gets edge (sigma, t) for every t in closure(move(closure(q),
+// sigma)), and q accepts if its closure contains an accepting state. The UDP
+// multi-active compiler and the CPU NFA baseline both consume this form.
+func (n *NFA) EpsFree() *NFA {
+	out := &NFA{Start: n.Start}
+	out.States = make([]NState, len(n.States))
+	for q := range n.States {
+		cl := n.closure([]int{q})
+		st := NState{Accept: NoAccept}
+		accSet := map[int32]bool{}
+		for _, c := range cl {
+			if a := n.States[c].Accept; a != NoAccept && !accSet[a] {
+				accSet[a] = true
+				st.Accepts = append(st.Accepts, a)
+			}
+		}
+		sort.Slice(st.Accepts, func(i, j int) bool { return st.Accepts[i] < st.Accepts[j] })
+		if len(st.Accepts) > 0 {
+			st.Accept = st.Accepts[0]
+		}
+		// Collect per-target byte sets from all closure members.
+		cover := map[int]*[256]bool{}
+		for _, c := range cl {
+			for _, e := range n.States[c].Edges {
+				set := cover[e.To]
+				if set == nil {
+					set = &[256]bool{}
+					cover[e.To] = set
+				}
+				for b := int(e.Lo); b <= int(e.Hi); b++ {
+					set[b] = true
+				}
+			}
+		}
+		tos := make([]int, 0, len(cover))
+		for to := range cover {
+			tos = append(tos, to)
+		}
+		sort.Ints(tos)
+		for _, to := range tos {
+			set := cover[to]
+			for lo := 0; lo < 256; {
+				if !set[lo] {
+					lo++
+					continue
+				}
+				hi := lo
+				for hi+1 < 256 && set[hi+1] {
+					hi++
+				}
+				st.Edges = append(st.Edges, NEdge{byte(lo), byte(hi), to})
+				lo = hi + 1
+			}
+		}
+		out.States[q] = st
+	}
+	return out.trim()
+}
+
+// trim drops states unreachable from the start (after eps-free conversion
+// many epsilon-only states become garbage).
+func (n *NFA) trim() *NFA {
+	remap := map[int]int{}
+	order := []int{n.Start}
+	remap[n.Start] = 0
+	for i := 0; i < len(order); i++ {
+		for _, e := range n.States[order[i]].Edges {
+			if _, ok := remap[e.To]; !ok {
+				remap[e.To] = len(order)
+				order = append(order, e.To)
+			}
+		}
+	}
+	out := &NFA{Start: 0}
+	for _, q := range order {
+		s := n.States[q]
+		ns := NState{Accept: s.Accept, Accepts: s.Accepts}
+		for _, e := range s.Edges {
+			ns.Edges = append(ns.Edges, NEdge{e.Lo, e.Hi, remap[e.To]})
+		}
+		out.States = append(out.States, ns)
+	}
+	return out
+}
+
+// MatchEvent is a reference-matcher accept record.
+type MatchEvent struct {
+	// ID is the pattern id.
+	ID int32
+	// End is the input offset just past the matching position.
+	End int
+}
+
+// Match runs the epsilon-free NFA over data (the CPU reference
+// interpretation), reporting an event each time an active state accepts.
+func (n *NFA) Match(data []byte) []MatchEvent { return n.match(data, false) }
+
+// MatchAlways matches with the start state re-activated on every step (the
+// always-active-start convention of anchored pattern automata scanned
+// unanchored).
+func (n *NFA) MatchAlways(data []byte) []MatchEvent { return n.match(data, true) }
+
+func (n *NFA) match(data []byte, always bool) []MatchEvent {
+	var events []MatchEvent
+	active := map[int]bool{n.Start: true}
+	next := map[int]bool{}
+	fired := map[int32]bool{}
+	for i, b := range data {
+		if always {
+			active[n.Start] = true
+		}
+		for k := range next {
+			delete(next, k)
+		}
+		for k := range fired {
+			delete(fired, k)
+		}
+		for q := range active {
+			for _, e := range n.States[q].Edges {
+				if b >= e.Lo && b <= e.Hi {
+					if !next[e.To] {
+						next[e.To] = true
+						accepts := n.States[e.To].Accepts
+						if len(accepts) == 0 && n.States[e.To].Accept != NoAccept {
+							accepts = []int32{n.States[e.To].Accept}
+						}
+						for _, a := range accepts {
+							if !fired[a] {
+								fired[a] = true
+								events = append(events, MatchEvent{a, i + 1})
+							}
+						}
+					}
+				}
+			}
+		}
+		active, next = next, active
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].End != events[j].End {
+			return events[i].End < events[j].End
+		}
+		return events[i].ID < events[j].ID
+	})
+	return events
+}

@@ -1,0 +1,372 @@
+// Package automata provides the finite-automata substrate of the UDP
+// reproduction: a regular-expression compiler (Thompson construction),
+// subset-construction determinization, DFA minimization, D2FA-style default
+// compression (the paper's ADFA model [66]), and compilers from automata to
+// UDP programs in both single-active (DFA) and multi-active (NFA) execution
+// modes.
+package automata
+
+import (
+	"fmt"
+	"strings"
+)
+
+// node is a parsed regex AST node.
+type node struct {
+	op       nodeOp
+	lo, hi   byte       // opRange
+	set      *[256]bool // opClass
+	sub      []*node    // operands
+	min, max int        // opRepeat ({m,n}; max -1 = unbounded)
+}
+
+type nodeOp uint8
+
+const (
+	opEmpty nodeOp = iota
+	opRange        // single byte range [lo,hi]
+	opClass        // arbitrary byte set
+	opConcat
+	opAlt
+	opStar
+	opPlus
+	opOpt
+	opRepeat
+)
+
+// parser is a recursive-descent parser for the supported regex subset:
+// literals, '.', escapes (\n \t \r \\ \. \d \D \w \W \s \S \xHH), classes
+// [a-z0-9^-], grouping (), alternation |, and the postfix operators
+// * + ? {m} {m,} {m,n}. A leading '^' (handled by CompileRegexFold) anchors
+// the pattern to the stream start; '$' is not supported (byte automata
+// cannot observe end-of-stream).
+type parser struct {
+	src string
+	pos int
+}
+
+// ParseRegex parses pattern into an AST; it returns an error describing the
+// first syntax problem.
+func ParseRegex(pattern string) (*node, error) {
+	p := &parser{src: pattern}
+	n, err := p.alt()
+	if err != nil {
+		return nil, fmt.Errorf("regex %q: %w", pattern, err)
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("regex %q: unexpected %q at %d", pattern, p.src[p.pos], p.pos)
+	}
+	return n, nil
+}
+
+func (p *parser) alt() (*node, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*node{first}
+	for p.peek() == '|' {
+		p.pos++
+		n, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	if len(subs) == 1 {
+		return first, nil
+	}
+	return &node{op: opAlt, sub: subs}, nil
+}
+
+func (p *parser) concat() (*node, error) {
+	var subs []*node
+	for {
+		c := p.peek()
+		if c == 0 || c == '|' || c == ')' {
+			break
+		}
+		n, err := p.repeat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	switch len(subs) {
+	case 0:
+		return &node{op: opEmpty}, nil
+	case 1:
+		return subs[0], nil
+	}
+	return &node{op: opConcat, sub: subs}, nil
+}
+
+func (p *parser) repeat() (*node, error) {
+	n, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			n = &node{op: opStar, sub: []*node{n}}
+		case '+':
+			p.pos++
+			n = &node{op: opPlus, sub: []*node{n}}
+		case '?':
+			p.pos++
+			n = &node{op: opOpt, sub: []*node{n}}
+		case '{':
+			m, mx, ok, err := p.bounds()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return n, nil
+			}
+			n = &node{op: opRepeat, sub: []*node{n}, min: m, max: mx}
+		default:
+			return n, nil
+		}
+	}
+}
+
+// bounds parses {m}, {m,}, {m,n}; ok=false when '{' is a literal.
+func (p *parser) bounds() (int, int, bool, error) {
+	save := p.pos
+	p.pos++ // '{'
+	m, ok := p.number()
+	if !ok {
+		p.pos = save
+		return 0, 0, false, nil
+	}
+	mx := m
+	if p.peek() == ',' {
+		p.pos++
+		if p.peek() == '}' {
+			mx = -1
+		} else {
+			v, ok := p.number()
+			if !ok {
+				return 0, 0, false, fmt.Errorf("bad repetition bound at %d", p.pos)
+			}
+			mx = v
+		}
+	}
+	if p.peek() != '}' {
+		p.pos = save
+		return 0, 0, false, nil
+	}
+	p.pos++
+	if mx != -1 && mx < m || m > 255 || mx > 255 {
+		return 0, 0, false, fmt.Errorf("repetition bounds {%d,%d} invalid", m, mx)
+	}
+	return m, mx, true, nil
+}
+
+func (p *parser) number() (int, bool) {
+	start := p.pos
+	v := 0
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		v = v*10 + int(p.src[p.pos]-'0')
+		p.pos++
+		if v > 1<<20 {
+			return 0, false
+		}
+	}
+	return v, p.pos > start
+}
+
+func (p *parser) atom() (*node, error) {
+	c := p.peek()
+	switch c {
+	case '(':
+		p.pos++
+		n, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("missing ) at %d", p.pos)
+		}
+		p.pos++
+		return n, nil
+	case '[':
+		return p.class()
+	case '.':
+		p.pos++
+		return &node{op: opRange, lo: 0, hi: 255}, nil
+	case '\\':
+		p.pos++
+		return p.escape()
+	case 0:
+		return nil, fmt.Errorf("unexpected end of pattern")
+	case '*', '+', '?':
+		return nil, fmt.Errorf("dangling %q at %d", c, p.pos)
+	default:
+		p.pos++
+		return &node{op: opRange, lo: c, hi: c}, nil
+	}
+}
+
+func (p *parser) escape() (*node, error) {
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("trailing backslash")
+	}
+	c := p.src[p.pos]
+	p.pos++
+	lit := func(b byte) *node { return &node{op: opRange, lo: b, hi: b} }
+	switch c {
+	case 'n':
+		return lit('\n'), nil
+	case 't':
+		return lit('\t'), nil
+	case 'r':
+		return lit('\r'), nil
+	case '0':
+		return lit(0), nil
+	case 'd', 'D', 'w', 'W', 's', 'S':
+		set := classSet(c)
+		return &node{op: opClass, set: set}, nil
+	case 'x':
+		if p.pos+2 > len(p.src) {
+			return nil, fmt.Errorf("bad \\x escape")
+		}
+		hi, ok1 := hexVal(p.src[p.pos])
+		lo, ok2 := hexVal(p.src[p.pos+1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("bad \\x escape")
+		}
+		p.pos += 2
+		return lit(hi<<4 | lo), nil
+	default:
+		return lit(c), nil
+	}
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func classSet(c byte) *[256]bool {
+	var s [256]bool
+	mark := func(lo, hi byte) {
+		for b := int(lo); b <= int(hi); b++ {
+			s[b] = true
+		}
+	}
+	switch c {
+	case 'd', 'D':
+		mark('0', '9')
+	case 'w', 'W':
+		mark('0', '9')
+		mark('a', 'z')
+		mark('A', 'Z')
+		s['_'] = true
+	case 's', 'S':
+		for _, b := range []byte{' ', '\t', '\n', '\r', '\f', '\v'} {
+			s[b] = true
+		}
+	}
+	if c == 'D' || c == 'W' || c == 'S' {
+		for i := range s {
+			s[i] = !s[i]
+		}
+	}
+	return &s
+}
+
+func (p *parser) class() (*node, error) {
+	p.pos++ // '['
+	var s [256]bool
+	negate := false
+	if p.peek() == '^' {
+		negate = true
+		p.pos++
+	}
+	first := true
+	for {
+		c := p.peek()
+		if c == 0 {
+			return nil, fmt.Errorf("missing ] ")
+		}
+		if c == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		var lo byte
+		if c == '\\' {
+			p.pos++
+			n, err := p.escape()
+			if err != nil {
+				return nil, err
+			}
+			if n.op == opClass {
+				for i, v := range n.set {
+					if v {
+						s[i] = true
+					}
+				}
+				continue
+			}
+			lo = n.lo
+		} else {
+			lo = c
+			p.pos++
+		}
+		hi := lo
+		if p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++
+			h := p.peek()
+			if h == '\\' {
+				p.pos++
+				n, err := p.escape()
+				if err != nil {
+					return nil, err
+				}
+				if n.op != opRange || n.lo != n.hi {
+					return nil, fmt.Errorf("bad class range end")
+				}
+				h = n.lo
+			} else {
+				p.pos++
+			}
+			hi = h
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("inverted class range %q-%q", lo, hi)
+		}
+		for b := int(lo); b <= int(hi); b++ {
+			s[b] = true
+		}
+	}
+	if negate {
+		for i := range s {
+			s[i] = !s[i]
+		}
+	}
+	return &node{op: opClass, set: &s}, nil
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// LiteralPattern reports whether pattern is a plain string (no regex
+// metacharacters), the "simple" workload class of paper Figure 16.
+func LiteralPattern(pattern string) bool {
+	return !strings.ContainsAny(pattern, `.*+?|()[]{}\^$`)
+}

@@ -1,0 +1,412 @@
+// Package core defines the UDP lane instruction-set architecture: the seven
+// multi-way dispatch transition kinds, the action opcodes, the register file
+// layout, and the in-memory program representation (Program, State,
+// Transition, Action) that the assembler, the EffCLiP layout engine and the
+// cycle-level machine all share.
+//
+// The ISA follows "UDP: A Programmable Accelerator for Extract-Transform-Load
+// Workloads and More" (MICRO-50, 2017), Section 3 and Figure 6. Where the
+// paper leaves bit-level semantics unspecified, the choices made here are
+// documented on the relevant declarations and in DESIGN.md.
+package core
+
+import "fmt"
+
+// TransKind identifies one of the seven UDP transition types implementing
+// variants of multi-way dispatch (paper Section 3.2.1).
+type TransKind uint8
+
+const (
+	// KindLabeled is a single labeled (specific symbol) transition: the
+	// dispatch slot for exactly one symbol value.
+	KindLabeled TransKind = iota
+	// KindMajority is a fallback transition representing the set of
+	// outgoing transitions that share a destination state from a given
+	// source state. It consumes the dispatched symbol.
+	KindMajority
+	// KindDefault is a fallback transition enabling "delta" storage of
+	// transitions shared across different source states (D2FA style): the
+	// symbol is NOT consumed and is re-dispatched at the target state.
+	KindDefault
+	// KindEpsilon activates the target state in addition to the currently
+	// active set (multi-state activation for NFA execution). The Attach
+	// field holds the word offset of the next fork entry in the chain
+	// (0 terminates the chain).
+	KindEpsilon
+	// KindCommon is a "don't care" transition: whatever symbol is
+	// received, the transition is taken (the symbol is consumed). A state
+	// entered in common mode stores this single word at its base.
+	KindCommon
+	// KindFlagged provides control-flow driven state transfer: dispatch
+	// uses UDP data register R0 as the symbol source and consumes no
+	// stream bits.
+	KindFlagged
+	// KindRefill supports variable-size symbols (the SsRef design): the
+	// low RefillLenBits of Attach hold the number of symbol bits actually
+	// consumed; the machine puts back ssReg-len bits into the stream.
+	KindRefill
+
+	// NumTransKinds is the count of transition kinds.
+	NumTransKinds = 7
+)
+
+var transKindNames = [...]string{
+	"labeled", "majority", "default", "epsilon", "common", "flagged", "refill",
+}
+
+// String returns the assembly-level mnemonic of the transition kind.
+func (k TransKind) String() string {
+	if int(k) < len(transKindNames) {
+		return transKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// DispatchMode describes how the machine computes the next dispatch slot once
+// a state has been entered. The mode of a state is back-propagated by the
+// compiler onto every transition that targets it (paper Section 3.2.1:
+// "The UDP assembler back-propagates transition type information along
+// dispatch arcs").
+type DispatchMode uint8
+
+const (
+	// ModeStream dispatches on the next ssReg bits of the stream buffer:
+	// slot = base + symbol.
+	ModeStream DispatchMode = iota
+	// ModeCommon consumes a symbol but reads the single word at the state
+	// base regardless of its value.
+	ModeCommon
+	// ModeFlagged dispatches on scalar register R0 and consumes no stream
+	// bits: slot = base + R0.
+	ModeFlagged
+
+	// NumDispatchModes is the count of dispatch modes.
+	NumDispatchModes = 3
+)
+
+var dispatchModeNames = [...]string{"stream", "common", "flagged"}
+
+// String returns the mnemonic of the dispatch mode.
+func (m DispatchMode) String() string {
+	if int(m) < len(dispatchModeNames) {
+		return dispatchModeNames[m]
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Reg names one of the sixteen general-purpose scalar data registers of a UDP
+// lane. R0, R14 and R15 have architectural roles.
+type Reg uint8
+
+const (
+	// R0 is the scalar dispatch source used by flagged transitions.
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	// RSym (R14) latches the most recently dispatched symbol value. It is
+	// written by the dispatch unit and readable by actions.
+	RSym
+	// RIdx (R15) stores the stream buffer index in bits. Writing it seeks
+	// the stream.
+	RIdx
+
+	// NumRegs is the size of the scalar register file.
+	NumRegs = 16
+)
+
+// String returns the assembly name of the register.
+func (r Reg) String() string {
+	switch r {
+	case RSym:
+		return "rsym"
+	case RIdx:
+		return "ridx"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Opcode identifies a UDP action. The action set (paper: "50 actions
+// including arithmetic, logical, loop-comparing, configuration and memory
+// operations") forms general code blocks attached to transitions.
+type Opcode uint8
+
+const (
+	// OpNop does nothing for one cycle.
+	OpNop Opcode = iota
+
+	// --- Arithmetic and logic, register and immediate forms ---
+
+	// OpAdd : dst = ref + src.
+	OpAdd
+	// OpAddi : dst = src + imm.
+	OpAddi
+	// OpSub : dst = ref - src.
+	OpSub
+	// OpSubi : dst = src - imm.
+	OpSubi
+	// OpMul : dst = ref * src.
+	OpMul
+	// OpMuli : dst = src * imm.
+	OpMuli
+	// OpAnd : dst = ref & src.
+	OpAnd
+	// OpAndi : dst = src & imm (imm zero-extended).
+	OpAndi
+	// OpOr : dst = ref | src.
+	OpOr
+	// OpOri : dst = src | imm.
+	OpOri
+	// OpXor : dst = ref ^ src.
+	OpXor
+	// OpXori : dst = src ^ imm.
+	OpXori
+	// OpNot : dst = ^src.
+	OpNot
+	// OpShl : dst = ref << (src & 31).
+	OpShl
+	// OpShli : dst = src << (imm & 31).
+	OpShli
+	// OpShr : dst = ref >> (src & 31) (logical).
+	OpShr
+	// OpShri : dst = src >> (imm & 31) (logical).
+	OpShri
+	// OpMov : dst = src.
+	OpMov
+	// OpMovi : dst = imm (zero-extended 16-bit; use OpSubi for negatives).
+	OpMovi
+	// OpLui : dst = (src & 0xFFFF) | imm<<16.
+	OpLui
+
+	// --- Comparison ---
+
+	// OpSeq : dst = (ref == src) ? 1 : 0.
+	OpSeq
+	// OpSeqi : dst = (src == imm) ? 1 : 0.
+	OpSeqi
+	// OpSne : dst = (ref != src) ? 1 : 0.
+	OpSne
+	// OpSnei : dst = (src != imm) ? 1 : 0.
+	OpSnei
+	// OpSlt : dst = (ref < src) ? 1 : 0 (unsigned).
+	OpSlt
+	// OpSlti : dst = (src < imm) ? 1 : 0 (unsigned, imm zero-extended).
+	OpSlti
+	// OpSge : dst = (ref >= src) ? 1 : 0 (unsigned).
+	OpSge
+	// OpMin : dst = min(ref, src) (unsigned).
+	OpMin
+	// OpMax : dst = max(ref, src) (unsigned).
+	OpMax
+
+	// --- Local-memory operations (byte addresses within the lane window) ---
+
+	// OpLd8 : dst = zeroext(mem8[src + imm]).
+	OpLd8
+	// OpLd16 : dst = zeroext(mem16[src + imm]) (little endian).
+	OpLd16
+	// OpLd32 : dst = mem32[src + imm] (little endian).
+	OpLd32
+	// OpSt8 : mem8[dst + imm] = src.
+	OpSt8
+	// OpSt16 : mem16[dst + imm] = src.
+	OpSt16
+	// OpSt32 : mem32[dst + imm] = src.
+	OpSt32
+	// OpLdx : dst = zeroext(mem8[ref + src]).
+	OpLdx
+	// OpLdx32 : dst = mem32[ref + src].
+	OpLdx32
+	// OpStx : mem8[ref + src] = dst.
+	OpStx
+	// OpIncm : mem32[src + imm] += 1 (histogram bin update).
+	OpIncm
+
+	// --- Output stream (drained by the DLT engine) ---
+
+	// OpOut8 : append low 8 bits of src to the lane output.
+	OpOut8
+	// OpOut16 : append low 16 bits of src (little endian).
+	OpOut16
+	// OpOut32 : append src (little endian).
+	OpOut32
+	// OpOutI : append the low 8 bits of the immediate to the lane output
+	// (one-cycle constant emission, used by unrolled decoders).
+	OpOutI
+	// OpEmitBits : append the low imm bits of src to the bit-packed lane
+	// output (MSB first). Used by Huffman encoding.
+	OpEmitBits
+	// OpEmitBitsR : append the low ref-register-count bits of src.
+	OpEmitBitsR
+	// OpFlushBits : pad the bit-packed output to a byte boundary.
+	OpFlushBits
+	// OpOutMem : append mem8[ref .. ref+src) to the lane output;
+	// costs 1 + ceil(n/4) cycles.
+	OpOutMem
+
+	// --- Stream buffer / configuration ---
+
+	// OpSetSS : set the symbol-size register to imm bits (1..8, 16, 32).
+	OpSetSS
+	// OpSetSSR : set the symbol-size register from src.
+	OpSetSSR
+	// OpPutBack : put back imm bits into the stream buffer.
+	OpPutBack
+	// OpPutBackR : put back src bits into the stream buffer.
+	OpPutBackR
+	// OpRead : dst = next imm bits of the stream (bypassing dispatch).
+	OpRead
+	// OpSetBase : set the lane window base register to src + imm bytes
+	// (restricted addressing, paper Section 3.2.4).
+	OpSetBase
+	// OpSetCB : set the lane code-base register to imm words. Programs
+	// larger than one 12-bit target window (4096 words) are split into
+	// segments; cross-segment transitions carry a SetCB action emitted by
+	// the layout engine.
+	OpSetCB
+
+	// --- Customized actions (paper Section 3.2.5) ---
+
+	// OpHash : dst = (src * 0x1e35a7bd) >> (32 - imm), a fast
+	// multiplicative hash of the input symbol/value into imm bits.
+	OpHash
+	// OpLoopCmp : dst = length of the common prefix of mem[ref..] and
+	// mem[src..], capped at LoopCmpMax; costs 1 + ceil(len/8) cycles.
+	OpLoopCmp
+	// OpLoopCpy : copy src bytes from mem[ref] to mem[dst]; the copy is
+	// performed byte-by-byte in address order so overlapping RLE-style
+	// copies behave as on hardware; costs 1 + ceil(n/4) cycles.
+	// R[dst] and R[ref] are advanced by src bytes.
+	OpLoopCpy
+
+	// --- Control ---
+
+	// OpAccept : record an accept event (pattern id = imm, position =
+	// current stream bit index) in the lane match log.
+	OpAccept
+	// OpHalt : stop the lane; the imm value is the exit code.
+	OpHalt
+
+	// NumOpcodes is the number of defined opcodes.
+	NumOpcodes
+)
+
+var opcodeNames = [NumOpcodes]string{
+	OpNop: "nop", OpAdd: "add", OpAddi: "addi", OpSub: "sub", OpSubi: "subi",
+	OpMul: "mul", OpMuli: "muli", OpAnd: "and", OpAndi: "andi", OpOr: "or",
+	OpOri: "ori", OpXor: "xor", OpXori: "xori", OpNot: "not", OpShl: "shl",
+	OpShli: "shli", OpShr: "shr", OpShri: "shri", OpMov: "mov", OpMovi: "movi",
+	OpLui: "lui", OpSeq: "seq", OpSeqi: "seqi", OpSne: "sne", OpSnei: "snei",
+	OpSlt: "slt", OpSlti: "slti", OpSge: "sge", OpMin: "min", OpMax: "max",
+	OpLd8: "ld8", OpLd16: "ld16", OpLd32: "ld32", OpSt8: "st8", OpSt16: "st16",
+	OpSt32: "st32", OpLdx: "ldx", OpLdx32: "ldx32", OpStx: "stx", OpIncm: "incm",
+	OpOut8: "out8", OpOut16: "out16", OpOut32: "out32", OpOutI: "outi",
+	OpEmitBits:  "emitbits",
+	OpEmitBitsR: "emitbitsr", OpFlushBits: "flushbits", OpOutMem: "outmem",
+	OpSetSS: "setss", OpSetSSR: "setssr", OpPutBack: "putback",
+	OpPutBackR: "putbackr", OpRead: "read", OpSetBase: "setbase", OpSetCB: "setcb",
+	OpHash: "hash", OpLoopCmp: "loopcmp", OpLoopCpy: "loopcpy",
+	OpAccept: "accept", OpHalt: "halt",
+}
+
+// String returns the assembly mnemonic of the opcode.
+func (o Opcode) String() string {
+	if o < NumOpcodes {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ActionFormat classifies an action into one of the three 32-bit machine
+// formats of Figure 6.
+type ActionFormat uint8
+
+const (
+	// FormatImm : opcode(7) last(1) dst(4) src(4) imm(16).
+	FormatImm ActionFormat = iota
+	// FormatImm2 : opcode(7) last(1) dst(4) src(4) imm1(4) imm2(12).
+	FormatImm2
+	// FormatReg : opcode(7) last(1) dst(4) ref(4) src(4) unused(12).
+	FormatReg
+)
+
+// Format returns the machine format an opcode is encoded with.
+func (o Opcode) Format() ActionFormat {
+	switch o {
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpSeq, OpSne, OpSlt, OpSge, OpMin, OpMax,
+		OpLdx, OpLdx32, OpStx, OpLoopCmp, OpLoopCpy, OpOutMem, OpEmitBitsR:
+		return FormatReg
+	case OpEmitBits, OpHash:
+		return FormatImm2
+	default:
+		return FormatImm
+	}
+}
+
+// UsesRef reports whether the opcode reads a second source register (ref).
+func (o Opcode) UsesRef() bool { return o.Format() == FormatReg }
+
+// Architectural constants of the UDP (paper Sections 3.1, 6).
+const (
+	// NumLanes is the number of parallel lanes in one UDP.
+	NumLanes = 64
+	// BankBytes is the size of one local-memory bank.
+	BankBytes = 16 * 1024
+	// NumBanks is the number of local memory banks.
+	NumBanks = 64
+	// LocalMemBytes is the total UDP local memory (1 MB).
+	LocalMemBytes = NumBanks * BankBytes
+	// WordBytes is the size of a transition or action machine word.
+	WordBytes = 4
+	// WindowWords is the number of 32-bit words addressable by the 12-bit
+	// target field: one bank worth of words.
+	WindowWords = 4096
+	// SignatureBits is the width of the transition validity signature.
+	// The paper's Figure 6 uses 8 bits; this implementation narrows it to
+	// 6 bits to carry the back-propagated dispatch mode explicitly (see
+	// DESIGN.md, "Known divergences").
+	SignatureBits = 6
+	// NumSignatures is the number of distinct signature values.
+	NumSignatures = 1 << SignatureBits
+	// TargetBits is the width of the transition target field.
+	TargetBits = 12
+	// AttachBits is the width of the transition attach field.
+	AttachBits = 8
+	// RefillLenBits is the number of low Attach bits that hold the
+	// consumed-length of a refill transition; the remaining high bits
+	// address the action block in scaled mode.
+	RefillLenBits = 3
+	// LoopCmpMax caps the length returned by a single OpLoopCmp.
+	LoopCmpMax = 4096
+	// MaxSymbolBits is the largest configurable symbol size.
+	MaxSymbolBits = 32
+)
+
+// AttachMode selects how the 8-bit attach field addresses the action block of
+// a transition (paper Section 3.2.1: "the UDP replaces UAP's offset
+// addressing with two modes, direct and scaled-offset").
+type AttachMode uint8
+
+const (
+	// AttachDirect : action block at actionBase + attach. Addresses 256
+	// shared (globally reusable) blocks.
+	AttachDirect AttachMode = iota
+	// AttachScaled : action block at actionBase + attach*ScaledStride.
+	// Addresses private blocks across a 2048-word region.
+	AttachScaled
+)
+
+// ScaledStride is the word stride of scaled-offset attach addressing.
+const ScaledStride = 8

@@ -1,0 +1,378 @@
+package core
+
+import "fmt"
+
+// Action is one executable UDP action in a transition's action chain.
+type Action struct {
+	Op  Opcode
+	Dst Reg
+	Src Reg
+	Ref Reg   // second source register, FormatReg opcodes only
+	Imm int32 // immediate; width-checked at encode time per format
+}
+
+// String renders the action in assembly syntax.
+func (a Action) String() string {
+	switch a.Op.Format() {
+	case FormatReg:
+		return fmt.Sprintf("%s %s, %s, %s", a.Op, a.Dst, a.Ref, a.Src)
+	case FormatImm2:
+		return fmt.Sprintf("%s %s, %s, #%d", a.Op, a.Dst, a.Src, a.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, #%d", a.Op, a.Dst, a.Src, a.Imm)
+	}
+}
+
+// Transition is one outgoing multi-way dispatch arc of a state.
+type Transition struct {
+	Kind TransKind
+	// Symbol is the dispatch value this transition occupies. Meaningful
+	// for KindLabeled and KindRefill (stream symbol) and KindFlagged
+	// (value of R0). Fallback kinds (majority/default) and common ignore
+	// it.
+	Symbol uint32
+	// Target is the destination state. It must be non-nil for every kind.
+	Target *State
+	// Actions is the chained action list executed when the transition is
+	// taken.
+	Actions []Action
+	// ConsumedBits, for KindRefill only, is the number of symbol bits the
+	// transition actually consumes; the machine puts back
+	// ssReg-ConsumedBits bits.
+	ConsumedBits uint8
+}
+
+// State is one multi-way dispatch point of a UDP program.
+type State struct {
+	// Name is a diagnostic label (unique within the program).
+	Name string
+	// Mode is how this state dispatches (stream, common or flagged). The
+	// compiler back-propagates it onto incoming transitions.
+	Mode DispatchMode
+	// SymbolBits is the symbol size in effect when dispatching from this
+	// state; 0 means "inherit" (use the dynamic symbol-size register).
+	// The layout engine uses max(SymbolBits, program.SymbolBits) as the
+	// dispatch range for collision analysis.
+	SymbolBits uint8
+	// Labeled are the explicitly placed transitions (labeled, refill,
+	// epsilon fork heads, flagged values, or the single common
+	// transition).
+	Labeled []*Transition
+	// Fallback is the at-most-one majority or default transition, stored
+	// at base-1.
+	Fallback *Transition
+
+	// index is assigned by Program.AddState.
+	index int
+}
+
+// Index returns the state's position in its program's state list.
+func (s *State) Index() int { return s.index }
+
+// Program is a complete UDP lane program: a set of states with an entry
+// point, an initial symbol size, and a dispatch source. One lane runs one
+// program (each lane has its own UDP program, paper Section 3.1).
+type Program struct {
+	// Name labels the program for diagnostics and reports.
+	Name string
+	// States in creation order; States[0] need not be the entry.
+	States []*State
+	// Entry is the initial active state.
+	Entry *State
+	// SymbolBits is the initial value of the symbol-size register.
+	SymbolBits uint8
+	// DataBytes is the number of bytes of per-lane scratch data the
+	// program needs beyond its code (tables, dictionaries, output
+	// regions). The loader reserves it after the code segment and the
+	// parallelism model charges it against bank capacity.
+	DataBytes int
+	// DataBase is the byte offset within the lane window where the
+	// scratch region starts. Zero means "place automatically after the
+	// code"; programs that bake table addresses into action immediates
+	// set it explicitly, and layout fails if the code grows into it.
+	DataBase int
+	// MultiActive enables NFA-style execution: the lane keeps a frontier
+	// of active states and a dispatch miss silently deactivates a state
+	// instead of raising an error.
+	MultiActive bool
+	// StartAlways keeps the entry state active on every step of a
+	// multi-active program (the UAP's always-active start), so unanchored
+	// matching needs no explicit any-byte self-loops.
+	StartAlways bool
+	// DataInit maps byte offsets within the scratch region to
+	// initialization payloads (decode tables, dictionaries).
+	DataInit map[int][]byte
+	// InitRegs optionally presets scalar registers at lane start.
+	InitRegs map[Reg]uint32
+}
+
+// NewProgram returns an empty program with the given name and initial symbol
+// size in bits.
+func NewProgram(name string, symbolBits uint8) *Program {
+	return &Program{
+		Name:       name,
+		SymbolBits: symbolBits,
+		DataInit:   map[int][]byte{},
+		InitRegs:   map[Reg]uint32{},
+	}
+}
+
+// AddState appends a new state with the given name and dispatch mode and
+// returns it. The first added state becomes the entry unless overridden.
+func (p *Program) AddState(name string, mode DispatchMode) *State {
+	s := &State{Name: name, Mode: mode, index: len(p.States)}
+	p.States = append(p.States, s)
+	if p.Entry == nil {
+		p.Entry = s
+	}
+	return s
+}
+
+// On adds a labeled transition from s on symbol sym to target, executing
+// actions, and returns it for further configuration.
+func (s *State) On(sym uint32, target *State, actions ...Action) *Transition {
+	t := &Transition{Kind: KindLabeled, Symbol: sym, Target: target, Actions: actions}
+	s.Labeled = append(s.Labeled, t)
+	return t
+}
+
+// OnRefill adds a refill transition: dispatch on sym (ssReg bits wide), but
+// consume only consumed bits, putting the rest back.
+func (s *State) OnRefill(sym uint32, consumed uint8, target *State, actions ...Action) *Transition {
+	t := &Transition{Kind: KindRefill, Symbol: sym, Target: target,
+		Actions: actions, ConsumedBits: consumed}
+	s.Labeled = append(s.Labeled, t)
+	return t
+}
+
+// OnEpsilon adds an epsilon (multi-activation) transition on symbol sym.
+// Multiple epsilon transitions on the same symbol form a fork chain.
+func (s *State) OnEpsilon(sym uint32, target *State, actions ...Action) *Transition {
+	t := &Transition{Kind: KindEpsilon, Symbol: sym, Target: target, Actions: actions}
+	s.Labeled = append(s.Labeled, t)
+	return t
+}
+
+// Common sets the state's single always-taken transition (the state must be
+// entered in ModeCommon).
+func (s *State) Common(target *State, actions ...Action) *Transition {
+	t := &Transition{Kind: KindCommon, Target: target, Actions: actions}
+	s.Labeled = append(s.Labeled, t)
+	return t
+}
+
+// Majority sets the state's fallback to a symbol-consuming majority
+// transition.
+func (s *State) Majority(target *State, actions ...Action) *Transition {
+	t := &Transition{Kind: KindMajority, Target: target, Actions: actions}
+	s.Fallback = t
+	return t
+}
+
+// Default sets the state's fallback to a non-consuming default transition
+// (the symbol is re-dispatched at target, D2FA style).
+func (s *State) Default(target *State, actions ...Action) *Transition {
+	t := &Transition{Kind: KindDefault, Target: target, Actions: actions}
+	s.Fallback = t
+	return t
+}
+
+// EffSymbolBits returns the dispatch range width used for layout of state s
+// within program p.
+func (p *Program) EffSymbolBits(s *State) uint8 {
+	if s.SymbolBits != 0 {
+		return s.SymbolBits
+	}
+	if s.Mode == ModeFlagged || s.Mode == ModeCommon {
+		// Flagged ranges are program-defined; common has one slot.
+		// Use the declared bits (possibly 0 -> handled by caller).
+		return p.SymbolBits
+	}
+	return p.SymbolBits
+}
+
+// Validate checks structural invariants of the program: entry exists, every
+// transition has a target belonging to this program, symbol values fit the
+// dispatch width, refill lengths fit their field, at most one fallback per
+// state, common states have exactly one transition, and action immediates fit
+// their encoding. It returns the first violation found.
+func (p *Program) Validate() error {
+	if p.Entry == nil {
+		return fmt.Errorf("program %q: no entry state", p.Name)
+	}
+	member := make(map[*State]bool, len(p.States))
+	names := make(map[string]bool, len(p.States))
+	for _, s := range p.States {
+		member[s] = true
+		if names[s.Name] {
+			return fmt.Errorf("program %q: duplicate state name %q", p.Name, s.Name)
+		}
+		names[s.Name] = true
+	}
+	if !member[p.Entry] {
+		return fmt.Errorf("program %q: entry state not in program", p.Name)
+	}
+	for _, s := range p.States {
+		if err := p.validateState(s, member); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateState(s *State, member map[*State]bool) error {
+	bits := p.EffSymbolBits(s)
+	if bits == 0 || bits > MaxSymbolBits {
+		return fmt.Errorf("state %q: invalid symbol size %d", s.Name, bits)
+	}
+	if s.Mode == ModeCommon {
+		if len(s.Labeled) != 1 || s.Labeled[0].Kind != KindCommon {
+			return fmt.Errorf("state %q: common-mode state must have exactly one common transition", s.Name)
+		}
+	}
+	seen := map[uint32]TransKind{}
+	for _, t := range s.Labeled {
+		if t.Target == nil || !member[t.Target] {
+			return fmt.Errorf("state %q: transition to unknown state", s.Name)
+		}
+		if t.Kind == KindMajority || t.Kind == KindDefault {
+			return fmt.Errorf("state %q: %s transition must be the fallback", s.Name, t.Kind)
+		}
+		if t.Kind != KindCommon && bits < 31 && t.Symbol >= 1<<bits {
+			return fmt.Errorf("state %q: symbol %d exceeds %d-bit dispatch width", s.Name, t.Symbol, bits)
+		}
+		if prev, dup := seen[t.Symbol]; dup && t.Kind != KindEpsilon && prev != KindEpsilon {
+			return fmt.Errorf("state %q: duplicate transition on symbol %d", s.Name, t.Symbol)
+		}
+		seen[t.Symbol] = t.Kind
+		if t.Kind == KindRefill {
+			if t.ConsumedBits == 0 || uint32(t.ConsumedBits) >= 1<<RefillLenBits+1 {
+				// consumed stored as consumed-1 in RefillLenBits bits
+				if t.ConsumedBits == 0 || t.ConsumedBits > 1<<RefillLenBits {
+					return fmt.Errorf("state %q: refill consumed bits %d out of range", s.Name, t.ConsumedBits)
+				}
+			}
+		}
+		for _, a := range t.Actions {
+			if err := validateAction(a); err != nil {
+				return fmt.Errorf("state %q: %v", s.Name, err)
+			}
+		}
+	}
+	if s.Fallback != nil {
+		f := s.Fallback
+		if f.Kind != KindMajority && f.Kind != KindDefault {
+			return fmt.Errorf("state %q: fallback must be majority or default, got %s", s.Name, f.Kind)
+		}
+		if f.Target == nil || !member[f.Target] {
+			return fmt.Errorf("state %q: fallback to unknown state", s.Name)
+		}
+		for _, a := range f.Actions {
+			if err := validateAction(a); err != nil {
+				return fmt.Errorf("state %q: %v", s.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func validateAction(a Action) error {
+	if a.Op >= NumOpcodes {
+		return fmt.Errorf("invalid opcode %d", a.Op)
+	}
+	if a.Dst >= NumRegs || a.Src >= NumRegs || a.Ref >= NumRegs {
+		return fmt.Errorf("action %s: register out of range", a)
+	}
+	switch a.Op.Format() {
+	case FormatImm:
+		if a.Imm < -(1<<15) || a.Imm >= 1<<16 {
+			// Zero-extended users may pass up to 0xFFFF; sign users
+			// down to -32768.
+			return fmt.Errorf("action %s: imm %d does not fit 16 bits", a, a.Imm)
+		}
+	case FormatImm2:
+		if a.Imm < 0 || a.Imm >= 1<<16 {
+			return fmt.Errorf("action %s: imm %d does not fit imm1:imm2", a, a.Imm)
+		}
+	case FormatReg:
+		if a.Imm != 0 {
+			return fmt.Errorf("action %s: register-format action cannot carry an immediate", a)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a program's static shape.
+type Stats struct {
+	States      int
+	Transitions int
+	Actions     int
+}
+
+// Stats computes static counts over the program.
+func (p *Program) Stats() Stats {
+	var st Stats
+	st.States = len(p.States)
+	for _, s := range p.States {
+		st.Transitions += len(s.Labeled)
+		for _, t := range s.Labeled {
+			st.Actions += len(t.Actions)
+		}
+		if s.Fallback != nil {
+			st.Transitions++
+			st.Actions += len(s.Fallback.Actions)
+		}
+	}
+	return st
+}
+
+// Convenience action constructors. They keep kernel translators terse and
+// readable; each returns a single Action value.
+
+// AMovi builds dst = imm.
+func AMovi(dst Reg, imm int32) Action { return Action{Op: OpMovi, Dst: dst, Imm: imm} }
+
+// AMov builds dst = src.
+func AMov(dst, src Reg) Action { return Action{Op: OpMov, Dst: dst, Src: src} }
+
+// AAddi builds dst = src + imm.
+func AAddi(dst, src Reg, imm int32) Action { return Action{Op: OpAddi, Dst: dst, Src: src, Imm: imm} }
+
+// AAdd builds dst = ref + src.
+func AAdd(dst, ref, src Reg) Action { return Action{Op: OpAdd, Dst: dst, Ref: ref, Src: src} }
+
+// ASubi builds dst = src - imm.
+func ASubi(dst, src Reg, imm int32) Action { return Action{Op: OpSubi, Dst: dst, Src: src, Imm: imm} }
+
+// ASub builds dst = ref - src.
+func ASub(dst, ref, src Reg) Action { return Action{Op: OpSub, Dst: dst, Ref: ref, Src: src} }
+
+// AOut8 builds "emit low byte of src".
+func AOut8(src Reg) Action { return Action{Op: OpOut8, Src: src} }
+
+// AOut32 builds "emit src as 4 little-endian bytes".
+func AOut32(src Reg) Action { return Action{Op: OpOut32, Src: src} }
+
+// AEmitBits builds "emit low n bits of src".
+func AEmitBits(src Reg, n int32) Action { return Action{Op: OpEmitBits, Src: src, Imm: n} }
+
+// AHalt builds a halt with exit code.
+func AHalt(code int32) Action { return Action{Op: OpHalt, Imm: code} }
+
+// AAccept builds an accept event for pattern id.
+func AAccept(id int32) Action { return Action{Op: OpAccept, Imm: id} }
+
+// AIncm builds mem32[src+imm] += 1.
+func AIncm(src Reg, imm int32) Action { return Action{Op: OpIncm, Src: src, Imm: imm} }
+
+// ALd8 builds dst = mem8[src+imm].
+func ALd8(dst, src Reg, imm int32) Action { return Action{Op: OpLd8, Dst: dst, Src: src, Imm: imm} }
+
+// ALdx builds dst = mem8[ref+src].
+func ALdx(dst, ref, src Reg) Action { return Action{Op: OpLdx, Dst: dst, Ref: ref, Src: src} }
+
+// ASt8 builds mem8[dst+imm] = src.
+func ASt8(dst, src Reg, imm int32) Action { return Action{Op: OpSt8, Dst: dst, Src: src, Imm: imm} }
+
+// AHash builds dst = hash(src) into imm bits.
+func AHash(dst, src Reg, bits int32) Action { return Action{Op: OpHash, Dst: dst, Src: src, Imm: bits} }

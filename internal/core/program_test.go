@@ -1,0 +1,198 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderAndValidateOK(t *testing.T) {
+	p := NewProgram("t", 8)
+	s0 := p.AddState("s0", ModeStream)
+	s1 := p.AddState("s1", ModeStream)
+	s0.On('a', s1, AOut8(RSym))
+	s1.Majority(s0)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != s0 {
+		t.Fatal("first state must become the entry")
+	}
+	st := p.Stats()
+	if st.States != 2 || st.Transitions != 2 || st.Actions != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestValidateNoEntry(t *testing.T) {
+	p := NewProgram("t", 8)
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected error for empty program")
+	}
+}
+
+func TestValidateSymbolRange(t *testing.T) {
+	p := NewProgram("t", 4)
+	s := p.AddState("s", ModeStream)
+	s.On(16, s)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("expected symbol-range error, got %v", err)
+	}
+}
+
+func TestValidateDuplicateSymbol(t *testing.T) {
+	p := NewProgram("t", 8)
+	s := p.AddState("s", ModeStream)
+	s.On('a', s)
+	s.On('a', s)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("expected duplicate-symbol error, got %v", err)
+	}
+}
+
+func TestValidateEpsilonForkAllowed(t *testing.T) {
+	p := NewProgram("t", 8)
+	s := p.AddState("s", ModeStream)
+	b := p.AddState("b", ModeStream)
+	c := p.AddState("c", ModeStream)
+	s.OnEpsilon('a', b)
+	s.OnEpsilon('a', c)
+	b.Majority(b)
+	c.Majority(c)
+	p.MultiActive = true
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCommonShape(t *testing.T) {
+	p := NewProgram("t", 8)
+	s := p.AddState("s", ModeCommon)
+	s.On('a', s)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "common") {
+		t.Fatalf("expected common-shape error, got %v", err)
+	}
+}
+
+func TestValidateRefillRange(t *testing.T) {
+	p := NewProgram("t", 8)
+	s := p.AddState("s", ModeStream)
+	s.OnRefill(0, 9, s)
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected refill-range error")
+	}
+	p2 := NewProgram("t2", 8)
+	s2 := p2.AddState("s", ModeStream)
+	s2.OnRefill(1, 0, s2)
+	if err := p2.Validate(); err == nil {
+		t.Fatal("expected refill-zero error")
+	}
+}
+
+func TestValidateFallbackKind(t *testing.T) {
+	p := NewProgram("t", 8)
+	s := p.AddState("s", ModeStream)
+	s.Labeled = append(s.Labeled, &Transition{Kind: KindMajority, Target: s})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "fallback") {
+		t.Fatalf("expected fallback-kind error, got %v", err)
+	}
+}
+
+func TestValidateDuplicateName(t *testing.T) {
+	p := NewProgram("t", 8)
+	s := p.AddState("x", ModeStream)
+	p.AddState("x", ModeStream)
+	s.Majority(s)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate state name") {
+		t.Fatalf("expected duplicate-name error, got %v", err)
+	}
+}
+
+func TestValidateRegisterFormatImm(t *testing.T) {
+	p := NewProgram("t", 8)
+	s := p.AddState("s", ModeStream)
+	s.On('a', s, Action{Op: OpAdd, Dst: R1, Ref: R2, Src: R3, Imm: 5})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "immediate") {
+		t.Fatalf("expected reg-format error, got %v", err)
+	}
+}
+
+func TestOpcodeStringsAndFormats(t *testing.T) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d lacks a name", op)
+		}
+		_ = op.Format() // must not panic
+	}
+	if KindRefill.String() != "refill" {
+		t.Error("kind name")
+	}
+	if RSym.String() != "rsym" || RIdx.String() != "ridx" || R3.String() != "r3" {
+		t.Error("register names")
+	}
+	if ModeFlagged.String() != "flagged" {
+		t.Error("mode name")
+	}
+}
+
+// TestActionConstructors pins the operand mapping of every convenience
+// constructor (cross-package tests exercise them dynamically; this is the
+// static contract).
+func TestActionConstructors(t *testing.T) {
+	cases := []struct {
+		got  Action
+		want Action
+	}{
+		{AMovi(R1, 7), Action{Op: OpMovi, Dst: R1, Imm: 7}},
+		{AMov(R2, R3), Action{Op: OpMov, Dst: R2, Src: R3}},
+		{AAddi(R1, R2, 5), Action{Op: OpAddi, Dst: R1, Src: R2, Imm: 5}},
+		{AAdd(R1, R2, R3), Action{Op: OpAdd, Dst: R1, Ref: R2, Src: R3}},
+		{ASubi(R1, R2, 5), Action{Op: OpSubi, Dst: R1, Src: R2, Imm: 5}},
+		{ASub(R1, R2, R3), Action{Op: OpSub, Dst: R1, Ref: R2, Src: R3}},
+		{AOut8(R4), Action{Op: OpOut8, Src: R4}},
+		{AOut32(R4), Action{Op: OpOut32, Src: R4}},
+		{AEmitBits(R5, 6), Action{Op: OpEmitBits, Src: R5, Imm: 6}},
+		{AHalt(2), Action{Op: OpHalt, Imm: 2}},
+		{AAccept(3), Action{Op: OpAccept, Imm: 3}},
+		{AIncm(R6, 64), Action{Op: OpIncm, Src: R6, Imm: 64}},
+		{ALd8(R1, R2, 8), Action{Op: OpLd8, Dst: R1, Src: R2, Imm: 8}},
+		{ALdx(R1, R2, R3), Action{Op: OpLdx, Dst: R1, Ref: R2, Src: R3}},
+		{ASt8(R1, R2, 8), Action{Op: OpSt8, Dst: R1, Src: R2, Imm: 8}},
+		{AHash(R1, R2, 12), Action{Op: OpHash, Dst: R1, Src: R2, Imm: 12}},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: %+v != %+v", i, c.got, c.want)
+		}
+	}
+}
+
+// TestBuilderCommonDefaultIndex covers the remaining builder surface.
+func TestBuilderCommonDefaultIndex(t *testing.T) {
+	p := NewProgram("t", 8)
+	a := p.AddState("a", ModeCommon)
+	b := p.AddState("b", ModeStream)
+	a.Common(b, AOut8(RSym))
+	b.Default(a)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Index() != 0 || b.Index() != 1 {
+		t.Fatal("state indices")
+	}
+	if b.Fallback.Kind != KindDefault {
+		t.Fatal("default fallback kind")
+	}
+	if !OpLoopCpy.UsesRef() || OpMovi.UsesRef() {
+		t.Fatal("UsesRef classification")
+	}
+	acts := []Action{
+		{Op: OpAdd, Dst: R1, Ref: R2, Src: R3},
+		{Op: OpEmitBits, Src: R1, Imm: 3},
+		{Op: OpMovi, Dst: R1, Imm: 9},
+	}
+	for _, act := range acts {
+		if act.String() == "" {
+			t.Fatal("empty action string")
+		}
+	}
+}

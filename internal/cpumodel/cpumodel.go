@@ -1,0 +1,208 @@
+// Package cpumodel reproduces the CPU-side branch analysis of paper Figure 5:
+// it models the two fastest CPU implementations of symbol-driven multi-way
+// dispatch — branch-with-offset (BO, a compare-and-branch chain as in a
+// switch) and branch-indirect (BI, a computed jump through a target table) —
+// with a gshare direction predictor and a BTB, and reports cycles,
+// misprediction counts and static code size. The experiment harness combines
+// these with UDP machine simulations to regenerate Figures 5a/5b/5c.
+package cpumodel
+
+// FSM is the kernel control-flow skeleton the branch models execute: for
+// each state, Cases lists the explicitly tested symbols (the if-chain arms)
+// with their targets, and Fallback is the fall-through target (majority
+// behavior). Symbol values must be < Alphabet.
+type FSM struct {
+	Alphabet int
+	States   []FSMState
+	Start    int
+}
+
+// FSMState is one dispatch point.
+type FSMState struct {
+	// Cases are the compare-chain arms in test order.
+	Cases []Case
+	// Fallback is the state reached when no case matches (-1 halts).
+	Fallback int32
+}
+
+// Case is one tested symbol.
+type Case struct {
+	Symbol uint32
+	Target int32
+}
+
+// Next returns the successor state for a symbol (table semantics).
+func (f *FSM) Next(state int, sym uint32) int32 {
+	st := &f.States[state]
+	for _, c := range st.Cases {
+		if c.Symbol == sym {
+			return c.Target
+		}
+	}
+	return st.Fallback
+}
+
+// Model parameters for a deep-pipelined out-of-order core (Xeon-class).
+const (
+	// MispredictPenalty is the pipeline refill cost in cycles.
+	MispredictPenalty = 15
+	// historyBits sizes the gshare global history.
+	historyBits = 12
+	// btbBits sizes the branch target buffer.
+	btbBits = 10
+)
+
+// gshare is a standard global-history XOR-PC predictor with 2-bit counters.
+type gshare struct {
+	table   [1 << historyBits]uint8
+	history uint32
+}
+
+func (g *gshare) predict(pc uint32) bool {
+	idx := (pc ^ g.history) & (1<<historyBits - 1)
+	return g.table[idx] >= 2
+}
+
+func (g *gshare) update(pc uint32, taken bool) {
+	idx := (pc ^ g.history) & (1<<historyBits - 1)
+	if taken {
+		if g.table[idx] < 3 {
+			g.table[idx]++
+		}
+	} else if g.table[idx] > 0 {
+		g.table[idx]--
+	}
+	g.history = g.history<<1 | b2u(taken)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// btb is a direct-mapped branch target buffer for indirect jumps.
+type btb struct {
+	targets [1 << btbBits]int32
+	valid   [1 << btbBits]bool
+}
+
+func (b *btb) predict(pc uint32) (int32, bool) {
+	idx := pc & (1<<btbBits - 1)
+	return b.targets[idx], b.valid[idx]
+}
+
+func (b *btb) update(pc uint32, target int32) {
+	idx := pc & (1<<btbBits - 1)
+	b.targets[idx] = target
+	b.valid[idx] = true
+}
+
+// Result summarizes one simulated execution.
+type Result struct {
+	Symbols       uint64
+	Instructions  uint64
+	Branches      uint64
+	Mispredicts   uint64
+	Cycles        uint64
+	MispredCycles uint64
+}
+
+// MispredictFraction is the share of cycles lost to branch misprediction
+// (Figure 5a's metric).
+func (r Result) MispredictFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.MispredCycles) / float64(r.Cycles)
+}
+
+// SimulateBO runs the branch-with-offset model: at each state the compare
+// chain tests cases in order (one compare + one conditional branch each,
+// every outcome predicted by gshare), then a 3-instruction taken-case body
+// or fall-through executes. Base CPI is 1.
+func SimulateBO(f *FSM, input []uint32) Result {
+	var g gshare
+	var r Result
+	state := f.Start
+	for _, sym := range input {
+		r.Symbols++
+		st := &f.States[state]
+		matched := int32(-2)
+		for ci, c := range st.Cases {
+			pc := uint32(state)<<8 | uint32(ci)
+			taken := c.Symbol == sym
+			pred := g.predict(pc)
+			g.update(pc, taken)
+			r.Instructions += 2 // compare + branch
+			r.Cycles += 2
+			r.Branches++
+			if pred != taken {
+				r.Mispredicts++
+				r.Cycles += MispredictPenalty
+				r.MispredCycles += MispredictPenalty
+			}
+			if taken {
+				matched = c.Target
+				break
+			}
+		}
+		// Case body or fall-through work (advance, store, loop back).
+		r.Instructions += 3
+		r.Cycles += 3
+		if matched == -2 {
+			matched = st.Fallback
+		}
+		if matched < 0 {
+			break
+		}
+		state = int(matched)
+	}
+	return r
+}
+
+// SimulateBI runs the branch-indirect model: per symbol, an index
+// computation, a table load and one indirect jump predicted by the BTB
+// (threaded-code dispatch; misprediction when the jump target changes).
+func SimulateBI(f *FSM, input []uint32) Result {
+	var b btb
+	var r Result
+	state := f.Start
+	for _, sym := range input {
+		r.Symbols++
+		next := f.Next(state, sym)
+		pc := uint32(state)
+		pred, ok := b.predict(pc)
+		b.update(pc, next)
+		r.Instructions += 4 // index calc, load, body, indirect jmp
+		r.Cycles += 4
+		r.Branches++
+		if !ok || pred != next {
+			r.Mispredicts++
+			r.Cycles += MispredictPenalty
+			r.MispredCycles += MispredictPenalty
+		}
+		if next < 0 {
+			break
+		}
+		state = int(next)
+	}
+	return r
+}
+
+// CodeSizeBO returns the static footprint of the compare-chain form:
+// 2 instructions (8 bytes) per case plus a 3-instruction body per state.
+func CodeSizeBO(f *FSM) int {
+	size := 0
+	for _, st := range f.States {
+		size += len(st.Cases)*8 + 12
+	}
+	return size
+}
+
+// CodeSizeBI returns the static footprint of the table form: a full
+// alphabet-wide target table per state plus the shared dispatch loop.
+func CodeSizeBI(f *FSM) int {
+	return len(f.States)*f.Alphabet*4 + 32
+}

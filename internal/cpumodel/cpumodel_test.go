@@ -1,0 +1,127 @@
+package cpumodel
+
+import (
+	"testing"
+
+	"udp/internal/kernels/csvparse"
+	"udp/internal/kernels/huffman"
+	"udp/internal/workload"
+)
+
+// csvFSM builds the CSV parser's branch skeleton.
+func csvFSM(t *testing.T) *FSM {
+	t.Helper()
+	f, err := FromProgram(csvparse.BuildProgram(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFSMNextSemantics(t *testing.T) {
+	f := csvFSM(t)
+	data := workload.CrimesCSV(workload.CSVSpec{Name: "crimes", Rows: 30, Seed: 1})
+	// Drive the FSM alongside the real parser: it must never fall off.
+	state := f.Start
+	for _, b := range data {
+		next := f.Next(state, uint32(b))
+		if next < 0 {
+			t.Fatalf("FSM fell to halt on byte %q in state %d", b, state)
+		}
+		state = int(next)
+	}
+}
+
+func TestBOAndBIAgreeOnPath(t *testing.T) {
+	f := csvFSM(t)
+	data := workload.TaxiCSV(workload.CSVSpec{Name: "taxi", Rows: 50, Seed: 2})
+	syms := BytesToSymbols(data)
+	bo := SimulateBO(f, syms)
+	bi := SimulateBI(f, syms)
+	if bo.Symbols != bi.Symbols || bo.Symbols != uint64(len(syms)) {
+		t.Fatalf("symbol counts differ: BO %d BI %d", bo.Symbols, bi.Symbols)
+	}
+	if bo.Mispredicts == 0 || bi.Mispredicts == 0 {
+		t.Fatal("CSV parsing should mispredict on both models")
+	}
+}
+
+// TestMispredictFractionRange pins Figure 5a's finding: ETL kernels lose a
+// large share of cycles (tens of percent) to branch misprediction under
+// either approach.
+func TestMispredictFractionRange(t *testing.T) {
+	f := csvFSM(t)
+	data := workload.CrimesCSV(workload.CSVSpec{Name: "crimes", Rows: 400, Seed: 3})
+	syms := BytesToSymbols(data)
+	for name, r := range map[string]Result{
+		"BO": SimulateBO(f, syms),
+		"BI": SimulateBI(f, syms),
+	} {
+		frac := r.MispredictFraction()
+		if frac < 0.10 || frac > 0.90 {
+			t.Fatalf("%s mispredict fraction %.2f outside [0.10,0.90]", name, frac)
+		}
+	}
+}
+
+// TestHuffmanBranchPerBit: the bit-walk decoder mispredicts heavily on
+// near-random bit streams.
+func TestHuffmanBranchPerBit(t *testing.T) {
+	data := workload.Text(workload.TextEnglish, 20000, 4)
+	tbl := huffman.Build(data)
+	comp, nbits := tbl.Encode(data)
+	f := HuffmanFSM(tbl)
+	syms := BitsToSymbols(comp, nbits)
+	r := SimulateBO(f, syms)
+	if r.MispredictFraction() < 0.2 {
+		t.Fatalf("Huffman BO mispredict fraction %.2f, expected heavy (>0.2)", r.MispredictFraction())
+	}
+	// Compressed bits carry little predictable structure: a meaningful
+	// share of branches must still mispredict after warmup.
+	if float64(r.Mispredicts)/float64(r.Branches) < 0.05 {
+		t.Fatalf("mispredict/branch ratio %.2f suspiciously low",
+			float64(r.Mispredicts)/float64(r.Branches))
+	}
+}
+
+// TestPredictableStreamFewMispredicts sanity-checks the predictor: a
+// constant stream becomes almost perfectly predicted.
+func TestPredictableStreamFewMispredicts(t *testing.T) {
+	f := csvFSM(t)
+	syms := make([]uint32, 20000)
+	for i := range syms {
+		syms[i] = 'a'
+	}
+	r := SimulateBO(f, syms)
+	if float64(r.Mispredicts)/float64(r.Branches) > 0.01 {
+		t.Fatalf("constant stream mispredicted %.3f of branches",
+			float64(r.Mispredicts)/float64(r.Branches))
+	}
+}
+
+func TestCodeSizes(t *testing.T) {
+	f := csvFSM(t)
+	bo := CodeSizeBO(f)
+	bi := CodeSizeBI(f)
+	if bo <= 0 || bi <= 0 {
+		t.Fatal("sizes must be positive")
+	}
+	// BI tables dominate for byte alphabets.
+	if bi <= bo {
+		t.Fatalf("BI size %d should exceed BO size %d for sparse FSMs", bi, bo)
+	}
+}
+
+func TestBitAndNibbleStreams(t *testing.T) {
+	syms := BitsToSymbols([]byte{0b10110000}, 4)
+	want := []uint32{1, 0, 1, 1}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Fatalf("bits %v", syms)
+		}
+	}
+	nib := NibblesToSymbols([]byte{0xAB})
+	if nib[0] != 0xA || nib[1] != 0xB {
+		t.Fatalf("nibbles %v", nib)
+	}
+}

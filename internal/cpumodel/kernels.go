@@ -1,0 +1,154 @@
+package cpumodel
+
+import (
+	"fmt"
+
+	"udp/internal/automata"
+	"udp/internal/core"
+	"udp/internal/kernels/histogram"
+	"udp/internal/kernels/huffman"
+)
+
+// FromProgram extracts the branch-model FSM from a UDP program: labeled
+// transitions become compare-chain cases and the majority fallback becomes
+// the fall-through. Only stream-mode programs convert (flagged/common states
+// have no CPU switch analogue).
+func FromProgram(p *core.Program, alphabet int) (*FSM, error) {
+	f := &FSM{Alphabet: alphabet}
+	index := map[*core.State]int32{}
+	for i, s := range p.States {
+		index[s] = int32(i)
+	}
+	for _, s := range p.States {
+		switch s.Mode {
+		case core.ModeStream:
+			st := FSMState{Fallback: -1}
+			for _, t := range s.Labeled {
+				st.Cases = append(st.Cases, Case{Symbol: t.Symbol, Target: index[t.Target]})
+			}
+			if s.Fallback != nil {
+				st.Fallback = index[s.Fallback.Target]
+			}
+			f.States = append(f.States, st)
+		case core.ModeCommon:
+			// A common state consumes one symbol unconditionally: an
+			// unconditional branch on the CPU (no cases to test).
+			f.States = append(f.States, FSMState{Fallback: index[s.Labeled[0].Target]})
+		default:
+			return nil, fmt.Errorf("cpumodel: state %q has no CPU switch analogue (mode %s)", s.Name, s.Mode)
+		}
+	}
+	f.Start = int(index[p.Entry])
+	return f, nil
+}
+
+// FromDFA converts a total DFA: the dominant target becomes the
+// fall-through, the rest become cases (the if-chain a hand-written matcher
+// would test).
+func FromDFA(d *automata.DFA) *FSM {
+	f := &FSM{Alphabet: 256, Start: d.Start}
+	for _, st := range d.States {
+		counts := map[int32]int{}
+		for _, t := range st.Next {
+			if t != automata.Dead {
+				counts[t]++
+			}
+		}
+		var best int32 = -1
+		bestN := 0
+		for t, n := range counts {
+			if n > bestN || n == bestN && t < best {
+				best, bestN = t, n
+			}
+		}
+		fs := FSMState{Fallback: best}
+		for sym, t := range st.Next {
+			if t != automata.Dead && t != best {
+				fs.Cases = append(fs.Cases, Case{Symbol: uint32(sym), Target: t})
+			}
+		}
+		f.States = append(f.States, fs)
+	}
+	return f
+}
+
+// BytesToSymbols widens a byte stream for the models.
+func BytesToSymbols(data []byte) []uint32 {
+	out := make([]uint32, len(data))
+	for i, b := range data {
+		out[i] = uint32(b)
+	}
+	return out
+}
+
+// BitsToSymbols explodes a bit-packed stream (MSB first) into 1-bit symbols,
+// the Huffman decoder's branch-per-bit structure.
+func BitsToSymbols(data []byte, nbits int) []uint32 {
+	out := make([]uint32, 0, nbits)
+	for i := 0; i < nbits && i < len(data)*8; i++ {
+		out = append(out, uint32(data[i>>3]>>(7-uint(i&7))&1))
+	}
+	return out
+}
+
+// NibblesToSymbols explodes bytes into 4-bit symbols (MSB first), the
+// histogram automaton's dispatch stream.
+func NibblesToSymbols(data []byte) []uint32 {
+	out := make([]uint32, 0, len(data)*2)
+	for _, b := range data {
+		out = append(out, uint32(b>>4), uint32(b&0xF))
+	}
+	return out
+}
+
+// HuffmanFSM builds the branch-per-bit decode tree walk: one state per tree
+// node, cases on bit values. Leaves return to the root.
+func HuffmanFSM(t *huffman.Table) *FSM {
+	type node struct{ kids [2]int32 }
+	// Rebuild the decode tree from the canonical codes.
+	nodes := []node{{kids: [2]int32{-1, -1}}}
+	for s := 0; s < 256; s++ {
+		c := t.Codes[s]
+		if c.Len == 0 {
+			continue
+		}
+		cur := int32(0)
+		for i := int(c.Len) - 1; i >= 0; i-- {
+			bit := c.Bits >> uint(i) & 1
+			if i == 0 {
+				nodes[cur].kids[bit] = -2 // leaf: back to root
+				break
+			}
+			next := nodes[cur].kids[bit]
+			if next < 0 {
+				next = int32(len(nodes))
+				nodes = append(nodes, node{kids: [2]int32{-1, -1}})
+				nodes[cur].kids[bit] = next
+			}
+			cur = next
+		}
+	}
+	f := &FSM{Alphabet: 2, Start: 0}
+	for _, n := range nodes {
+		st := FSMState{Fallback: -1}
+		for bit := uint32(0); bit < 2; bit++ {
+			tgt := n.kids[bit]
+			switch {
+			case tgt == -2:
+				st.Cases = append(st.Cases, Case{Symbol: bit, Target: 0})
+			case tgt >= 0:
+				st.Cases = append(st.Cases, Case{Symbol: bit, Target: tgt})
+			default:
+				st.Cases = append(st.Cases, Case{Symbol: bit, Target: 0})
+			}
+		}
+		f.States = append(f.States, st)
+	}
+	return f
+}
+
+// HistogramSymbols converts float values to the nibble stream of the
+// histogram automaton.
+func HistogramSymbols(values []float64) []uint32 {
+	return NibblesToSymbols(histogram.KeyBytes(values))
+}

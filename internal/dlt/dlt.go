@@ -1,0 +1,150 @@
+// Package dlt models the Data Layout Transformation engine that the UDP
+// system integrates (paper Figure 3a and Table 3; Thanh-Hoang et al.,
+// DATE'16): a DMA-style engine that restructures data between memory layouts
+// while staging it into the lanes' local memory — array-of-structs to
+// struct-of-arrays transposes, strided gathers/scatters, endianness swaps,
+// and the order-preserving IEEE-754 key transform the histogram kernel
+// streams over. Transformation is overlapped with UDP execution in the
+// paper; the model therefore accounts DLT cycles separately (an 8-byte/cycle
+// engine at the system clock) rather than adding them to lane time.
+package dlt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EngineBytesPerCycle is the DLT datapath width.
+const EngineBytesPerCycle = 8
+
+// Stats accumulates the engine's work.
+type Stats struct {
+	// Bytes moved through the engine.
+	Bytes uint64
+	// Cycles at the system clock (ceil(bytes/8) per operation).
+	Cycles uint64
+	// Ops is the operation count.
+	Ops uint64
+}
+
+func (s *Stats) charge(n int) {
+	s.Bytes += uint64(n)
+	s.Cycles += uint64((n + EngineBytesPerCycle - 1) / EngineBytesPerCycle)
+	s.Ops++
+}
+
+// Engine is a DLT instance with cycle accounting.
+type Engine struct {
+	stats Stats
+}
+
+// Stats returns the accumulated counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Transpose converts between AoS and SoA: src holds rows records of cols
+// fields, each width bytes; dst receives field-major order. dst must hold
+// rows*cols*width bytes.
+func (e *Engine) Transpose(dst, src []byte, rows, cols, width int) error {
+	n := rows * cols * width
+	if len(src) < n || len(dst) < n {
+		return fmt.Errorf("dlt: transpose needs %d bytes (src %d, dst %d)", n, len(src), len(dst))
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			copy(dst[(c*rows+r)*width:], src[(r*cols+c)*width:(r*cols+c)*width+width])
+		}
+	}
+	e.stats.charge(n)
+	return nil
+}
+
+// Gather copies n elements of width bytes from src at offset off with the
+// given stride into dst densely.
+func (e *Engine) Gather(dst, src []byte, off, stride, width, n int) error {
+	if stride < width || width <= 0 {
+		return fmt.Errorf("dlt: invalid gather geometry (stride %d, width %d)", stride, width)
+	}
+	need := off + (n-1)*stride + width
+	if n > 0 && (off < 0 || need > len(src)) {
+		return fmt.Errorf("dlt: gather reads past source (%d > %d)", need, len(src))
+	}
+	if n*width > len(dst) {
+		return fmt.Errorf("dlt: gather writes past destination")
+	}
+	for i := 0; i < n; i++ {
+		copy(dst[i*width:], src[off+i*stride:off+i*stride+width])
+	}
+	e.stats.charge(n * width)
+	return nil
+}
+
+// Scatter is the inverse of Gather: dense src elements written at strided
+// positions of dst.
+func (e *Engine) Scatter(dst, src []byte, off, stride, width, n int) error {
+	if stride < width || width <= 0 {
+		return fmt.Errorf("dlt: invalid scatter geometry (stride %d, width %d)", stride, width)
+	}
+	need := off + (n-1)*stride + width
+	if n > 0 && (off < 0 || need > len(dst)) {
+		return fmt.Errorf("dlt: scatter writes past destination")
+	}
+	if n*width > len(src) {
+		return fmt.Errorf("dlt: scatter reads past source")
+	}
+	for i := 0; i < n; i++ {
+		copy(dst[off+i*stride:], src[i*width:i*width+width])
+	}
+	e.stats.charge(n * width)
+	return nil
+}
+
+// SwapWidth reverses byte order within each width-sized element
+// (little-endian columns to the big-endian streams bit-level automata scan).
+func (e *Engine) SwapWidth(dst, src []byte, width int) error {
+	if width <= 0 || len(src)%width != 0 || len(dst) < len(src) {
+		return fmt.Errorf("dlt: swap geometry invalid")
+	}
+	for i := 0; i < len(src); i += width {
+		for k := 0; k < width; k++ {
+			dst[i+k] = src[i+width-1-k]
+		}
+	}
+	e.stats.charge(len(src))
+	return nil
+}
+
+// OrderKey maps a float64 to a uint64 whose unsigned order matches the
+// float's numeric order (the total-order transform).
+func OrderKey(f float64) uint64 {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		return ^u
+	}
+	return u | 1<<63
+}
+
+// OrderKeys stages a float64 column as big-endian order keys, the histogram
+// automaton's input stream.
+func (e *Engine) OrderKeys(values []float64) []byte {
+	out := make([]byte, len(values)*8)
+	for i, v := range values {
+		binary.BigEndian.PutUint64(out[i*8:], OrderKey(v))
+	}
+	e.stats.charge(len(out))
+	return out
+}
+
+// StageColumns extracts one fixed-width column from an AoS record block (a
+// Gather convenience used when feeding a single attribute to a lane).
+func (e *Engine) StageColumn(src []byte, recordBytes, fieldOff, fieldWidth int) ([]byte, error) {
+	if recordBytes <= 0 || len(src)%recordBytes != 0 {
+		return nil, fmt.Errorf("dlt: source is not whole records")
+	}
+	n := len(src) / recordBytes
+	dst := make([]byte, n*fieldWidth)
+	if err := e.Gather(dst, src, fieldOff, recordBytes, fieldWidth, n); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}

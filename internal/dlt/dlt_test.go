@@ -1,0 +1,128 @@
+package dlt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"udp/internal/kernels/histogram"
+)
+
+func TestTransposeRoundTrip(t *testing.T) {
+	rows, cols, width := 5, 3, 4
+	src := make([]byte, rows*cols*width)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	var e Engine
+	soa := make([]byte, len(src))
+	if err := e.Transpose(soa, src, rows, cols, width); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, len(src))
+	// Transposing the transpose with swapped dims restores the original.
+	if err := e.Transpose(back, soa, cols, rows, width); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatal("transpose round trip failed")
+	}
+	if e.Stats().Ops != 2 || e.Stats().Bytes != uint64(2*len(src)) {
+		t.Fatalf("stats %+v", e.Stats())
+	}
+	if e.Stats().Cycles != uint64(2*(len(src)+7)/8) {
+		t.Fatalf("cycles %d", e.Stats().Cycles)
+	}
+}
+
+func TestGatherScatterInverse(t *testing.T) {
+	var e Engine
+	src := make([]byte, 100)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	col := make([]byte, 10*2)
+	if err := e.Gather(col, src, 3, 10, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if col[2*i] != byte(3+10*i) || col[2*i+1] != byte(4+10*i) {
+			t.Fatalf("gather element %d wrong", i)
+		}
+	}
+	dst := make([]byte, 100)
+	if err := e.Scatter(dst, col, 3, 10, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if dst[3+10*i] != col[2*i] {
+			t.Fatalf("scatter element %d wrong", i)
+		}
+	}
+}
+
+func TestGeometryErrors(t *testing.T) {
+	var e Engine
+	if err := e.Gather(make([]byte, 4), make([]byte, 4), 0, 1, 2, 2); err == nil {
+		t.Fatal("stride < width must error")
+	}
+	if err := e.Gather(make([]byte, 100), make([]byte, 10), 0, 8, 4, 5); err == nil {
+		t.Fatal("overread must error")
+	}
+	if err := e.Transpose(make([]byte, 4), make([]byte, 4), 2, 2, 2); err == nil {
+		t.Fatal("short buffers must error")
+	}
+	if err := e.SwapWidth(make([]byte, 3), make([]byte, 3), 2); err == nil {
+		t.Fatal("ragged swap must error")
+	}
+}
+
+func TestSwapWidth(t *testing.T) {
+	var e Engine
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	dst := make([]byte, 8)
+	if err := e.SwapWidth(dst, src, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{4, 3, 2, 1, 8, 7, 6, 5}
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("swap %v", dst)
+	}
+}
+
+// TestOrderKeysMatchHistogram: the DLT staging transform and the histogram
+// kernel's reference agree bit for bit.
+func TestOrderKeysMatchHistogram(t *testing.T) {
+	f := func(values []float64) bool {
+		for _, v := range values {
+			if v != v { // skip NaN
+				return true
+			}
+		}
+		var e Engine
+		return bytes.Equal(e.OrderKeys(values), histogram.KeyBytes(values))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStageColumn(t *testing.T) {
+	var e Engine
+	// Records of 6 bytes: [id:2][val:4]
+	src := []byte{
+		1, 0, 0xAA, 0xBB, 0xCC, 0xDD,
+		2, 0, 0x11, 0x22, 0x33, 0x44,
+	}
+	col, err := e.StageColumn(src, 6, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0xAA, 0xBB, 0xCC, 0xDD, 0x11, 0x22, 0x33, 0x44}
+	if !bytes.Equal(col, want) {
+		t.Fatalf("col %v", col)
+	}
+	if _, err := e.StageColumn(src[:7], 6, 0, 2); err == nil {
+		t.Fatal("ragged records must error")
+	}
+}

@@ -1,0 +1,132 @@
+package effclip
+
+import (
+	"math/rand"
+	"testing"
+
+	"udp/internal/core"
+	"udp/internal/encode"
+)
+
+// randomProgram builds a random stream-mode program over a small symbol
+// width, with random labeled transitions, fallbacks and action chains.
+func randomProgram(rng *rand.Rand) *core.Program {
+	bits := []uint8{2, 3, 4, 8}[rng.Intn(4)]
+	p := core.NewProgram("rand", bits)
+	n := 2 + rng.Intn(20)
+	states := make([]*core.State, n)
+	for i := range states {
+		states[i] = p.AddState(stateName(i), core.ModeStream)
+	}
+	for _, s := range states {
+		rangeMax := 1 << bits
+		used := map[uint32]bool{}
+		for k, stop := 0, rng.Intn(rangeMax); k < stop; k++ {
+			sym := uint32(rng.Intn(rangeMax))
+			if used[sym] {
+				continue
+			}
+			used[sym] = true
+			var acts []core.Action
+			if rng.Intn(3) == 0 {
+				acts = append(acts, core.AAddi(core.R1, core.R1, int32(rng.Intn(100))))
+			}
+			if rng.Intn(4) == 0 {
+				acts = append(acts, core.AOut8(core.RSym))
+			}
+			s.On(sym, states[rng.Intn(n)], acts...)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			s.Majority(states[rng.Intn(n)])
+		case 1:
+			s.Default(states[rng.Intn(n)])
+		}
+	}
+	return p
+}
+
+func stateName(i int) string {
+	return string([]byte{'s', byte('A' + i/26), byte('a' + i%26)})
+}
+
+// TestPlacementInvariants checks EffCLiP's two safety properties directly on
+// the images of random programs:
+//
+//  1. Every declared transition's word sits at base+symbol with the owner's
+//     signature and the correct target base.
+//  2. No word inside a state's probe window ([base-1, base+2^bits)) carries
+//     the state's signature unless the state owns it.
+func TestPlacementInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20171014))
+	for trial := 0; trial < 150; trial++ {
+		p := randomProgram(rng)
+		im, err := Layout(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bits := int(p.SymbolBits)
+
+		// Ownership map from the program's own structure.
+		owned := map[int]bool{}
+		for _, s := range p.States {
+			b := im.StateBase[s.Name]
+			for _, tr := range s.Labeled {
+				owned[b+int(tr.Symbol)] = true
+			}
+			if s.Fallback != nil {
+				owned[b-1] = true
+			}
+		}
+
+		for _, s := range p.States {
+			b := im.StateBase[s.Name]
+			sig := Sig(b)
+			// Property 1.
+			for _, tr := range s.Labeled {
+				w := im.Words[b+int(tr.Symbol)]
+				if encode.EmptySlot(w) {
+					t.Fatalf("trial %d: %s slot %d empty", trial, s.Name, tr.Symbol)
+				}
+				et := encode.GetTransition(w)
+				if et.Sig != sig {
+					t.Fatalf("trial %d: %s slot %d sig %d want %d", trial, s.Name, tr.Symbol, et.Sig, sig)
+				}
+				wantTarget := im.StateBase[tr.Target.Name] % SegmentWords
+				if int(et.Target) != wantTarget {
+					t.Fatalf("trial %d: %s slot %d target %d want %d",
+						trial, s.Name, tr.Symbol, et.Target, wantTarget)
+				}
+			}
+			// Property 2: scan the full probe window.
+			mine := map[int]bool{}
+			for _, tr := range s.Labeled {
+				mine[b+int(tr.Symbol)] = true
+			}
+			if s.Fallback != nil {
+				mine[b-1] = true
+			}
+			for addr := b - 1; addr < b+(1<<bits) && addr < len(im.Words); addr++ {
+				if addr < 0 || mine[addr] {
+					continue
+				}
+				w := im.Words[addr]
+				if encode.EmptySlot(w) {
+					continue
+				}
+				if !owned[addr] {
+					continue // action/pad word: sig field is opcode bits, checked below
+				}
+				if encode.GetTransition(w).Sig == sig {
+					t.Fatalf("trial %d: state %s (base %d) can false-match foreign word at %d",
+						trial, s.Name, b, addr)
+				}
+			}
+		}
+		// Transition region words never collide with the action region.
+		if im.ActionBase < im.TransWords {
+			t.Fatalf("trial %d: action base %d below transition count %d",
+				trial, im.ActionBase, im.TransWords)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package encode implements the 32-bit UDP machine word formats of paper
+// Figure 6: the transition word and the three action formats (Imm, Imm2,
+// Reg). The cycle-level machine executes programs directly from these encoded
+// words; the EffCLiP layout engine produces them.
+//
+// Transition word layout used here (32 bits, MSB first):
+//
+//	signature(6) target(12) kind(3) nextmode(2) attachmode(1) attach(8)
+//
+// This narrows the paper's 8-bit signature to 6 bits in order to carry the
+// back-propagated dispatch mode of the target state explicitly in the word
+// (see DESIGN.md "Known divergences"). Signature value 0 is reserved to mark
+// empty dispatch slots, so a probe into a gap always miss-matches.
+package encode
+
+import (
+	"fmt"
+
+	"udp/internal/core"
+)
+
+// Transition is the decoded form of a 32-bit transition word.
+type Transition struct {
+	// Sig is the owning state's signature (1..63; 0 marks an empty slot).
+	Sig uint8
+	// Target is the word address of the destination state's base within
+	// the lane window.
+	Target uint16
+	// Kind is the transition behavior.
+	Kind core.TransKind
+	// NextMode is the dispatch mode of the destination state.
+	NextMode core.DispatchMode
+	// AttachMode selects direct or scaled action addressing.
+	AttachMode core.AttachMode
+	// Attach is the action-block reference; for refill kinds its low
+	// core.RefillLenBits hold consumed-bits-1 and the high bits the
+	// scaled action reference; for epsilon kinds it is the fork chain
+	// offset.
+	Attach uint8
+}
+
+// PutTransition encodes t into a machine word.
+func PutTransition(t Transition) (uint32, error) {
+	if t.Sig >= core.NumSignatures {
+		return 0, fmt.Errorf("encode: signature %d exceeds %d bits", t.Sig, core.SignatureBits)
+	}
+	if t.Target >= 1<<core.TargetBits {
+		return 0, fmt.Errorf("encode: target %d exceeds %d bits", t.Target, core.TargetBits)
+	}
+	if t.Kind >= core.NumTransKinds {
+		return 0, fmt.Errorf("encode: invalid transition kind %d", t.Kind)
+	}
+	if t.NextMode >= core.NumDispatchModes {
+		return 0, fmt.Errorf("encode: invalid dispatch mode %d", t.NextMode)
+	}
+	w := uint32(t.Sig)<<26 |
+		uint32(t.Target)<<14 |
+		uint32(t.Kind)<<11 |
+		uint32(t.NextMode)<<9 |
+		uint32(t.AttachMode)<<8 |
+		uint32(t.Attach)
+	return w, nil
+}
+
+// GetTransition decodes a transition machine word.
+func GetTransition(w uint32) Transition {
+	return Transition{
+		Sig:        uint8(w >> 26),
+		Target:     uint16(w>>14) & (1<<core.TargetBits - 1),
+		Kind:       core.TransKind(w >> 11 & 0x7),
+		NextMode:   core.DispatchMode(w >> 9 & 0x3),
+		AttachMode: core.AttachMode(w >> 8 & 0x1),
+		Attach:     uint8(w),
+	}
+}
+
+// EmptySlot reports whether the word marks an unoccupied dispatch slot.
+func EmptySlot(w uint32) bool { return w>>26 == 0 }
+
+// PutAction encodes action a with the given last-of-chain flag.
+func PutAction(a core.Action, last bool) (uint32, error) {
+	if a.Op >= core.NumOpcodes {
+		return 0, fmt.Errorf("encode: invalid opcode %d", a.Op)
+	}
+	if a.Dst >= core.NumRegs || a.Src >= core.NumRegs || a.Ref >= core.NumRegs {
+		return 0, fmt.Errorf("encode: register out of range in %s", a)
+	}
+	w := uint32(a.Op) << 25
+	if last {
+		w |= 1 << 24
+	}
+	w |= uint32(a.Dst) << 20
+	switch a.Op.Format() {
+	case core.FormatImm, core.FormatImm2:
+		if a.Imm < -(1<<15) || a.Imm >= 1<<16 {
+			return 0, fmt.Errorf("encode: imm %d does not fit 16 bits in %s", a.Imm, a)
+		}
+		w |= uint32(a.Src) << 16
+		w |= uint32(uint16(a.Imm))
+	case core.FormatReg:
+		w |= uint32(a.Ref) << 16
+		w |= uint32(a.Src) << 12
+	}
+	return w, nil
+}
+
+// GetAction decodes an action machine word, returning the action and whether
+// it terminates its chain.
+func GetAction(w uint32) (core.Action, bool) {
+	a := core.Action{
+		Op:  core.Opcode(w >> 25),
+		Dst: core.Reg(w >> 20 & 0xF),
+	}
+	last := w>>24&1 == 1
+	switch a.Op.Format() {
+	case core.FormatImm, core.FormatImm2:
+		a.Src = core.Reg(w >> 16 & 0xF)
+		a.Imm = int32(int16(uint16(w)))
+		if a.Op.Format() == core.FormatImm2 || immZeroExtended(a.Op) {
+			a.Imm = int32(uint16(w))
+		}
+	case core.FormatReg:
+		a.Ref = core.Reg(w >> 16 & 0xF)
+		a.Src = core.Reg(w >> 12 & 0xF)
+	}
+	return a, last
+}
+
+// immZeroExtended lists FormatImm opcodes whose immediate is an address
+// offset, bit mask, count or constant and therefore decodes unsigned (OpMovi
+// included: window addresses exceed 32767; negative constants use OpSubi).
+func immZeroExtended(op core.Opcode) bool {
+	switch op {
+	case core.OpMovi, core.OpOutI,
+		core.OpAndi, core.OpOri, core.OpXori, core.OpLui, core.OpSlti,
+		core.OpLd8, core.OpLd16, core.OpLd32, core.OpSt8, core.OpSt16,
+		core.OpSt32, core.OpIncm, core.OpSetSS, core.OpPutBack,
+		core.OpRead, core.OpSetBase, core.OpSetCB, core.OpSeqi, core.OpSnei,
+		core.OpAccept, core.OpEmitBits:
+		return true
+	}
+	return false
+}
+
+// RefillAttach packs a refill transition's consumed-bit count (1..8) and its
+// scaled action reference (0..31) into the attach byte.
+func RefillAttach(consumed uint8, actionRef uint8) (uint8, error) {
+	if consumed == 0 || consumed > 1<<core.RefillLenBits {
+		return 0, fmt.Errorf("encode: refill consumed bits %d out of range 1..%d",
+			consumed, 1<<core.RefillLenBits)
+	}
+	if actionRef >= 1<<(core.AttachBits-core.RefillLenBits) {
+		return 0, fmt.Errorf("encode: refill action ref %d out of range", actionRef)
+	}
+	return actionRef<<core.RefillLenBits | (consumed - 1), nil
+}
+
+// SplitRefillAttach is the inverse of RefillAttach.
+func SplitRefillAttach(attach uint8) (consumed uint8, actionRef uint8) {
+	return attach&(1<<core.RefillLenBits-1) + 1, attach >> core.RefillLenBits
+}

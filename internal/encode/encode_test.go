@@ -1,0 +1,189 @@
+package encode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"udp/internal/core"
+)
+
+func TestTransitionRoundTrip(t *testing.T) {
+	in := Transition{
+		Sig:        13,
+		Target:     3071,
+		Kind:       core.KindMajority,
+		NextMode:   core.ModeFlagged,
+		AttachMode: core.AttachScaled,
+		Attach:     0xA5,
+	}
+	w, err := PutTransition(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := GetTransition(w); got != in {
+		t.Fatalf("round trip: got %+v want %+v", got, in)
+	}
+}
+
+func TestTransitionRoundTripProperty(t *testing.T) {
+	f := func(sig uint8, target uint16, kind, mode, am uint8, attach uint8) bool {
+		in := Transition{
+			Sig:        sig % core.NumSignatures,
+			Target:     target % (1 << core.TargetBits),
+			Kind:       core.TransKind(kind % core.NumTransKinds),
+			NextMode:   core.DispatchMode(mode % core.NumDispatchModes),
+			AttachMode: core.AttachMode(am % 2),
+			Attach:     attach,
+		}
+		w, err := PutTransition(in)
+		if err != nil {
+			return false
+		}
+		return GetTransition(w) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitionFieldErrors(t *testing.T) {
+	cases := []Transition{
+		{Sig: core.NumSignatures},
+		{Target: 1 << core.TargetBits},
+		{Kind: core.NumTransKinds},
+		{NextMode: core.NumDispatchModes},
+	}
+	for i, c := range cases {
+		if _, err := PutTransition(c); err == nil {
+			t.Errorf("case %d: expected encode error", i)
+		}
+	}
+}
+
+func TestEmptySlot(t *testing.T) {
+	if !EmptySlot(0) {
+		t.Fatal("zero word must be an empty slot")
+	}
+	w, err := PutTransition(Transition{Sig: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EmptySlot(w) {
+		t.Fatal("sig-1 word must not read empty")
+	}
+}
+
+func TestActionRoundTripImm(t *testing.T) {
+	for _, a := range []core.Action{
+		{Op: core.OpSubi, Dst: core.R3, Imm: -1234},
+		{Op: core.OpAddi, Dst: core.R1, Src: core.R2, Imm: 32767},
+		{Op: core.OpLd8, Dst: core.R4, Src: core.R5, Imm: 0xFFF0},
+		{Op: core.OpAndi, Dst: core.R6, Src: core.R7, Imm: 0xFFFF},
+		{Op: core.OpHalt, Imm: 7},
+		{Op: core.OpEmitBits, Src: core.R9, Imm: 13},
+	} {
+		for _, last := range []bool{false, true} {
+			w, err := PutAction(a, last)
+			if err != nil {
+				t.Fatalf("%v: %v", a, err)
+			}
+			got, gotLast := GetAction(w)
+			if got != a || gotLast != last {
+				t.Fatalf("round trip %v/%v: got %v/%v", a, last, got, gotLast)
+			}
+		}
+	}
+}
+
+func TestActionRoundTripReg(t *testing.T) {
+	a := core.Action{Op: core.OpLoopCpy, Dst: core.R1, Ref: core.R2, Src: core.R3}
+	w, err := PutAction(a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, last := GetAction(w)
+	if got != a || !last {
+		t.Fatalf("got %v last=%v", got, last)
+	}
+}
+
+func TestActionImmOverflow(t *testing.T) {
+	if _, err := PutAction(core.Action{Op: core.OpMovi, Imm: 1 << 16}, true); err == nil {
+		t.Fatal("expected error for 17-bit immediate")
+	}
+	if _, err := PutAction(core.Action{Op: core.OpMovi, Imm: -40000}, true); err == nil {
+		t.Fatal("expected error for under-range immediate")
+	}
+}
+
+func TestRefillAttach(t *testing.T) {
+	for consumed := uint8(1); consumed <= 8; consumed++ {
+		for ref := uint8(0); ref < 32; ref++ {
+			a, err := RefillAttach(consumed, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, r := SplitRefillAttach(a)
+			if c != consumed || r != ref {
+				t.Fatalf("pack(%d,%d) -> unpack(%d,%d)", consumed, ref, c, r)
+			}
+		}
+	}
+	if _, err := RefillAttach(0, 0); err == nil {
+		t.Fatal("consumed 0 must error")
+	}
+	if _, err := RefillAttach(9, 0); err == nil {
+		t.Fatal("consumed 9 must error")
+	}
+	if _, err := RefillAttach(1, 32); err == nil {
+		t.Fatal("ref 32 must error")
+	}
+}
+
+// TestActionRoundTripAllOpcodes exhaustively round-trips every opcode with
+// randomized operands valid for its format.
+func TestActionRoundTripAllOpcodes(t *testing.T) {
+	rng := func(seed, n int32) int32 {
+		v := (seed*48271 + 12345) % n
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	for op := core.Opcode(0); op < core.NumOpcodes; op++ {
+		for trial := int32(0); trial < 8; trial++ {
+			a := core.Action{Op: op,
+				Dst: core.Reg(rng(trial+int32(op), core.NumRegs)),
+			}
+			switch op.Format() {
+			case core.FormatReg:
+				a.Ref = core.Reg(rng(trial*3+1, core.NumRegs))
+				a.Src = core.Reg(rng(trial*7+2, core.NumRegs))
+			case core.FormatImm2:
+				a.Src = core.Reg(rng(trial*5+3, core.NumRegs))
+				a.Imm = rng(trial*11+4, 1<<16)
+				if a.Imm < 0 {
+					a.Imm = -a.Imm
+				}
+			default:
+				a.Src = core.Reg(rng(trial*5+3, core.NumRegs))
+				if immZeroExtended(op) {
+					a.Imm = rng(trial*13+5, 1<<16)
+					if a.Imm < 0 {
+						a.Imm = -a.Imm
+					}
+				} else {
+					a.Imm = rng(trial*13+5, 1<<15)
+				}
+			}
+			w, err := PutAction(a, trial%2 == 0)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", op, trial, err)
+			}
+			got, last := GetAction(w)
+			if got != a || last != (trial%2 == 0) {
+				t.Fatalf("%s: %+v -> %+v (last %v)", op, a, got, last)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package energy carries the power, area and energy model of the UDP ASIC
+// implementation (paper Section 6, Table 3: 28nm TSMC synthesis plus CACTI
+// 6.5 memory modeling) and the comparison constants the evaluation uses. The
+// experiment harness converts machine.Stats into energy and derives the
+// throughput-per-watt figures of the paper's Figures 13-22.
+package energy
+
+import "udp/internal/machine"
+
+// Component is one row of the Table 3 breakdown.
+type Component struct {
+	Name    string
+	PowerMW float64
+	AreaMM2 float64
+}
+
+// LaneBreakdown is the per-lane half of Table 3.
+var LaneBreakdown = []Component{
+	{"Dispatch Unit", 0.71, 0.022},
+	{"SBP Unit", 0.24, 0.008},
+	{"Stream Buffer", 0.22, 0.002},
+	{"Action Unit", 0.68, 0.021},
+}
+
+// SystemBreakdown is the 64-lane system half of Table 3.
+var SystemBreakdown = []Component{
+	{"64 Lanes", 120.56, 3.430},
+	{"Vector Registers", 8.47, 0.256},
+	{"DLT Engine", 19.29, 0.138},
+	{"1MB Local Memory", 715.36, 4.864},
+}
+
+// Headline constants of the implementation study.
+const (
+	// LanePowerMW is one lane's logic power.
+	LanePowerMW = 1.88
+	// LaneAreaMM2 is one lane's logic area.
+	LaneAreaMM2 = 0.054
+	// SystemPowerW is the full 64-lane UDP system power (864 mW).
+	SystemPowerW = 0.86368
+	// SystemAreaMM2 is the full system area (8.69 mm^2).
+	SystemAreaMM2 = 8.688
+	// LogicPowerW is the UDP logic without local memory (149 mW wording
+	// in the abstract covers lanes+infrastructure).
+	LogicPowerW = 0.14832
+	// LogicAreaMM2 is the logic-only area (3.82 mm^2).
+	LogicAreaMM2 = 3.824
+
+	// CPUPowerW is the comparison CPU's TDP (Xeon E5620, paper §4.4).
+	CPUPowerW = 80.0
+	// CPUCorePowerW is one Westmere-EP core+L1 at 28nm (Table 3 footer).
+	CPUCorePowerW = 9.7
+	// CPUCoreAreaMM2 is the Westmere-EP core+L1 area (32nm, 19 mm^2).
+	CPUCoreAreaMM2 = 19.0
+
+	// LocalRefPJ is the per-reference local-memory energy under local or
+	// restricted addressing (Figure 11c, CACTI 6.5: 64 banks, one port
+	// each).
+	LocalRefPJ = 4.3
+	// GlobalRefPJ is the per-reference energy under global addressing
+	// (full crossbar reach: more than double).
+	GlobalRefPJ = 8.8
+	// LaneCyclePJ is one lane-cycle of logic energy (1.88 mW at the
+	// 0.97ns clock).
+	LaneCyclePJ = LanePowerMW * machine.ClockPeriodNs
+)
+
+// AddressingMode selects the Figure 10 memory organization.
+type AddressingMode int
+
+const (
+	// AddrLocal : each lane confined to one private bank.
+	AddrLocal AddressingMode = iota
+	// AddrRestricted : per-lane base-register windows (the UDP design).
+	AddrRestricted
+	// AddrGlobal : every lane addresses the whole 1MB.
+	AddrGlobal
+)
+
+// String names the mode as in Figure 10.
+func (m AddressingMode) String() string {
+	return [...]string{"local", "restricted", "global"}[m]
+}
+
+// RefEnergyPJ returns the per-reference memory energy for a mode (Fig 11c).
+func RefEnergyPJ(m AddressingMode) float64 {
+	if m == AddrGlobal {
+		return GlobalRefPJ
+	}
+	return LocalRefPJ
+}
+
+// LaneEnergyJ converts one lane's counters to joules: logic cycles plus
+// memory references under the given addressing mode.
+func LaneEnergyJ(st machine.Stats, mode AddressingMode) float64 {
+	return (float64(st.Cycles)*LaneCyclePJ + float64(st.MemRefs)*RefEnergyPJ(mode)) * 1e-12
+}
+
+// ThroughputPerWatt returns MB/s per watt.
+func ThroughputPerWatt(rateMBps, powerW float64) float64 {
+	if powerW == 0 {
+		return 0
+	}
+	return rateMBps / powerW
+}
+
+// UDPPerWattAdvantage computes the paper's headline ratio: UDP aggregate
+// throughput over system power versus CPU throughput over TDP.
+func UDPPerWattAdvantage(udpRateMBps, cpuRateMBps float64) float64 {
+	udp := ThroughputPerWatt(udpRateMBps, SystemPowerW)
+	cpu := ThroughputPerWatt(cpuRateMBps, CPUPowerW)
+	if cpu == 0 {
+		return 0
+	}
+	return udp / cpu
+}

@@ -1,0 +1,74 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"udp/internal/machine"
+)
+
+func TestBreakdownSumsMatchTable3(t *testing.T) {
+	var laneP, laneA float64
+	for _, c := range LaneBreakdown {
+		laneP += c.PowerMW
+		laneA += c.AreaMM2
+	}
+	if math.Abs(laneP-1.85) > 0.05 || math.Abs(laneA-0.053) > 0.002 {
+		t.Fatalf("lane breakdown sums %f mW / %f mm2 off Table 3", laneP, laneA)
+	}
+	var sysP, sysA float64
+	for _, c := range SystemBreakdown {
+		sysP += c.PowerMW
+		sysA += c.AreaMM2
+	}
+	if math.Abs(sysP-SystemPowerW*1000) > 1 {
+		t.Fatalf("system power sum %f mW, headline %f", sysP, SystemPowerW*1000)
+	}
+	if math.Abs(sysA-SystemAreaMM2) > 0.01 {
+		t.Fatalf("system area sum %f, headline %f", sysA, SystemAreaMM2)
+	}
+}
+
+func TestMemoryShareDominates(t *testing.T) {
+	// Table 3: local memory is 82.8% of system power.
+	mem := SystemBreakdown[3].PowerMW
+	if frac := mem / (SystemPowerW * 1000); frac < 0.80 || frac > 0.85 {
+		t.Fatalf("memory power share %.3f, Table 3 says 0.828", frac)
+	}
+}
+
+func TestRefEnergyModes(t *testing.T) {
+	if RefEnergyPJ(AddrLocal) != LocalRefPJ || RefEnergyPJ(AddrRestricted) != LocalRefPJ {
+		t.Fatal("local/restricted must share the banked energy")
+	}
+	if RefEnergyPJ(AddrGlobal) <= 2*RefEnergyPJ(AddrLocal)-0.1*RefEnergyPJ(AddrLocal) {
+		t.Fatalf("global %f should be over double local %f", GlobalRefPJ, LocalRefPJ)
+	}
+	if AddrGlobal.String() != "global" {
+		t.Fatal("mode name")
+	}
+}
+
+func TestLaneEnergy(t *testing.T) {
+	st := machine.Stats{Cycles: 1000, MemRefs: 100}
+	local := LaneEnergyJ(st, AddrRestricted)
+	global := LaneEnergyJ(st, AddrGlobal)
+	if local >= global {
+		t.Fatal("global addressing must cost more energy")
+	}
+	want := (1000*LaneCyclePJ + 100*LocalRefPJ) * 1e-12
+	if math.Abs(local-want) > 1e-18 {
+		t.Fatalf("lane energy %g, want %g", local, want)
+	}
+}
+
+func TestPerWattAdvantage(t *testing.T) {
+	// Equal throughput: advantage equals the power ratio (~92.6x).
+	adv := UDPPerWattAdvantage(1000, 1000)
+	if math.Abs(adv-CPUPowerW/SystemPowerW) > 0.01 {
+		t.Fatalf("advantage %f, want %f", adv, CPUPowerW/SystemPowerW)
+	}
+	if ThroughputPerWatt(100, 0) != 0 {
+		t.Fatal("zero power must not divide")
+	}
+}

@@ -1,0 +1,73 @@
+package etl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLineitemShape(t *testing.T) {
+	data := LineitemCSV(100, 1)
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	if len(lines) != 100 {
+		t.Fatalf("%d rows", len(lines))
+	}
+	if got := strings.Count(string(lines[0]), "|"); got != 12 {
+		t.Fatalf("row has %d separators, want 12", got)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	data := LineitemCSV(500, 2)
+	gz := GzipBytes(data)
+	if len(gz) >= len(data) {
+		t.Fatal("lineitem CSV should gzip smaller")
+	}
+	cols, ph, err := Load(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.Rows != 500 {
+		t.Fatalf("loaded %d rows", cols.Rows)
+	}
+	if len(cols.Price) != 500 || len(cols.ShipDate) != 500 || len(cols.Mode) != 500 {
+		t.Fatal("column lengths inconsistent")
+	}
+	if cols.Price[0] < 900 || cols.Price[0] > 99900 {
+		t.Fatalf("price %f out of generated domain", cols.Price[0])
+	}
+	if ph.RawBytes != len(data) || ph.GzBytes != len(gz) {
+		t.Fatal("phase byte accounting wrong")
+	}
+	if ph.TotalCPU <= 0 || ph.ModeledIO <= 0 {
+		t.Fatal("timings must be positive")
+	}
+}
+
+// TestCPUDominatesIO pins Figure 1's finding: transformation time exceeds
+// modeled SSD read time by a large factor.
+func TestCPUDominatesIO(t *testing.T) {
+	data := LineitemCSV(20000, 3)
+	gz := GzipBytes(data)
+	_, ph, err := Load(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.CPUOverIO() < 5 {
+		t.Fatalf("CPU/IO ratio %.1f, expected CPU-bound (>5)", ph.CPUOverIO())
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	if _, _, err := Load(GzipBytes([]byte("1|2|3\n"))); err == nil {
+		t.Fatal("short row must error")
+	}
+	if _, _, err := Load([]byte("not gzip")); err == nil {
+		t.Fatal("bad gzip must error")
+	}
+	bad := LineitemCSV(5, 4)
+	bad = bytes.Replace(bad, []byte("|1|"), []byte("|x|"), 1)
+	if _, _, err := Load(GzipBytes(bad)); err == nil {
+		t.Fatal("non-numeric field must error")
+	}
+}

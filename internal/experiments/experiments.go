@@ -1,0 +1,216 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figures 1, 5, 8, 9, 11, 13-22 and Tables 1-5) from the Go
+// reproduction: CPU baselines are measured wall-clock on the host, UDP
+// numbers come from the cycle-level machine at the ASIC clock, and the
+// energy model supplies the throughput-per-watt comparisons. Each experiment
+// returns a renderable Table; cmd/udpbench and the root benchmarks drive
+// them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"udp/internal/effclip"
+	"udp/internal/energy"
+	"udp/internal/machine"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	// Scale multiplies workload sizes (1 = quick, CI-sized; larger values
+	// approach the paper's dataset sizes).
+	Scale int
+	// Seed fixes all generators.
+	Seed int64
+}
+
+// DefaultConfig is used when a zero Config is passed.
+func (c Config) norm() Config {
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 20170101
+	}
+	return c
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, " ", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, "  note:", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// Runner is one registered experiment.
+type Runner func(Config) (*Table, error)
+
+// Registry maps experiment ids to runners; see DESIGN.md's experiment index.
+var Registry = map[string]Runner{}
+
+// IDs returns registered experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func register(id string, r Runner) { Registry[id] = r }
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(cfg.norm())
+}
+
+// --- measurement helpers ---
+
+// cpuRateMBps measures a single-threaded baseline: f processes bytes of
+// input; the loop runs until minDuration to stabilize.
+func cpuRateMBps(bytes int, f func()) float64 {
+	const minDuration = 30 * time.Millisecond
+	f() // warm-up
+	var elapsed time.Duration
+	iters := 0
+	for elapsed < minDuration {
+		t0 := time.Now()
+		f()
+		elapsed += time.Since(t0)
+		iters++
+		if iters > 1000 {
+			break
+		}
+	}
+	seconds := elapsed.Seconds() / float64(iters)
+	if seconds <= 0 {
+		return math.Inf(1)
+	}
+	return float64(bytes) / 1e6 / seconds
+}
+
+// laneRun executes an image over input on one lane and returns the rate
+// computed over rateBytes (usually the input size; decoders may use the
+// decoded size).
+func laneRun(im *effclip.Image, input []byte, rateBytes int) (float64, machine.Stats, error) {
+	lane, err := machine.RunSingle(im, input)
+	if err != nil {
+		return 0, machine.Stats{}, err
+	}
+	st := lane.Stats()
+	return machine.RateMBps(rateBytes, st.Cycles), st, nil
+}
+
+// KernelResult is the common comparison record of the Figure 13-21 style.
+type KernelResult struct {
+	Name       string
+	Workload   string
+	InputBytes int
+	// CPURate is the measured single-thread baseline (MB/s).
+	CPURate float64
+	// UDPLaneRate is the simulated single-lane rate (MB/s).
+	UDPLaneRate float64
+	// Lanes is the parallelism limit for this program's footprint.
+	Lanes int
+}
+
+// UDPAggRate is the full-UDP throughput (lanes x lane rate, data-parallel
+// sharding, paper Section 4.4's model).
+func (k KernelResult) UDPAggRate() float64 { return float64(k.Lanes) * k.UDPLaneRate }
+
+// CPU8Rate is the paper's most-optimistic CPU scaling: 8 threads = 8x one.
+func (k KernelResult) CPU8Rate() float64 { return 8 * k.CPURate }
+
+// Speedup is the Figure 21 metric: full UDP vs 8 CPU threads.
+func (k KernelResult) Speedup() float64 {
+	if k.CPU8Rate() == 0 {
+		return 0
+	}
+	return k.UDPAggRate() / k.CPU8Rate()
+}
+
+// PerWatt is the Figure 22 metric.
+func (k KernelResult) PerWatt() float64 {
+	return energy.UDPPerWattAdvantage(k.UDPAggRate(), k.CPU8Rate())
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, id string) *Table {
+	t.Helper()
+	tbl, err := Run(id, Config{Scale: 1, Seed: 42})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s: no rows", id)
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	if !strings.Contains(buf.String(), tbl.ID) {
+		t.Fatalf("%s: render missing id", id)
+	}
+	return tbl
+}
+
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(tbl.Rows[row][col], "%"), 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d: %q not numeric", tbl.ID, row, col, tbl.Rows[row][col])
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig5a", "fig5b", "fig5c", "fig8", "fig9", "fig11",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+		"fig21", "fig22", "trigger", "table1", "table2", "table3", "table4", "table5",
+		"ablation-layout", "ablation-adfa", "encodings", "json", "xml", "offload", "addressing-study", "occupancy"}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestFig1CPUBound(t *testing.T) {
+	tbl := run(t, "fig1")
+	for i := range tbl.Rows {
+		if ratio := cell(t, tbl, i, 8); ratio < 3 {
+			t.Fatalf("row %d: CPU/IO %.1f, expected CPU-bound", i, ratio)
+		}
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	a := run(t, "fig5a")
+	for i := range a.Rows {
+		bo := cell(t, a, i, 1)
+		if bo < 5 || bo > 95 {
+			t.Fatalf("fig5a row %d: BO mispredict %.1f%% implausible", i, bo)
+		}
+	}
+	b := run(t, "fig5b")
+	for i := range b.Rows {
+		udp := cell(t, b, i, 3)
+		if udp < 1.2 {
+			t.Fatalf("fig5b row %d: UDP effective branch rate %.2f should exceed BO", i, udp)
+		}
+	}
+	c := run(t, "fig5c")
+	for i := range c.Rows {
+		udp := cell(t, c, i, 4)
+		uap := cell(t, c, i, 3)
+		if udp > uap*1.15+0.05 {
+			t.Fatalf("fig5c row %d: UDP %.2fKB should not materially exceed UAP offset %.2fKB", i, udp, uap)
+		}
+	}
+	// Byte-alphabet kernels (csv row 0, pattern row 3): UDP undercuts the
+	// flat BI jump tables.
+	for _, i := range []int{0, 3} {
+		udp := cell(t, c, i, 4)
+		bi := cell(t, c, i, 2)
+		if udp >= bi {
+			t.Fatalf("fig5c row %d: UDP %.2fKB should undercut BI tables %.2fKB", i, udp, bi)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tbl := run(t, "fig8")
+	// Row 0..3 = huffman SsF,SsT,SsReg,SsRef.
+	ssfSize, ssrefSize := cell(t, tbl, 0, 3), cell(t, tbl, 3, 3)
+	if ssfSize <= 4*ssrefSize {
+		t.Fatalf("huffman SsF %.1fKB should dwarf SsRef %.1fKB", ssfSize, ssrefSize)
+	}
+	ssfTput, ssrefTput := cell(t, tbl, 0, 5), cell(t, tbl, 3, 5)
+	if ssrefTput <= ssfTput {
+		t.Fatalf("SsRef throughput %.0f should beat size-limited SsF %.0f", ssrefTput, ssfTput)
+	}
+}
+
+func TestFig9ScalarWins(t *testing.T) {
+	tbl := run(t, "fig9")
+	stream := cell(t, tbl, 0, 1)
+	scalar := cell(t, tbl, 1, 1)
+	if scalar <= stream {
+		t.Fatalf("scalar dispatch geomean %.1f should exceed stream-only %.1f", scalar, stream)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tbl := run(t, "fig11")
+	r16 := cell(t, tbl, 0, 4)
+	r64 := cell(t, tbl, 2, 4)
+	if r64 >= r16 {
+		t.Fatalf("64K ratio %.2f should beat 16K %.2f", r64, r16)
+	}
+	l16 := cell(t, tbl, 0, 2)
+	l64 := cell(t, tbl, 2, 2)
+	if l64 >= l16 {
+		t.Fatalf("64K lanes %.0f should be fewer than 16K %.0f", l64, l16)
+	}
+}
+
+func TestKernelFigures(t *testing.T) {
+	for _, id := range []string{"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20"} {
+		tbl := run(t, id)
+		// Every kernel row must show a full-UDP win over 8 CPU threads,
+		// with the paper's one exception: the Snappy compression of
+		// incompressible data, where the CPU's skip heuristic wins
+		// (footnote 3; our kennedy row).
+		speedCol := len(tbl.Columns) - 2
+		for i, row := range tbl.Rows {
+			sp := cell(t, tbl, i, speedCol)
+			if id == "fig19" && row[0] == "kennedy" {
+				if sp >= 1 {
+					t.Fatalf("fig19 kennedy: skip-heuristic CPU should win, speedup %.1f", sp)
+				}
+				continue
+			}
+			if sp <= 1 {
+				t.Fatalf("%s row %d (%s): speedup %.1f, UDP should win", id, i, row[0], sp)
+			}
+		}
+	}
+}
+
+// TestHuffmanDecodeBeatsEncode pins a paper shape: decode's speedup exceeds
+// encode's (the CPU bit-walk is the worst baseline).
+func TestHuffmanDecodeBeatsEncode(t *testing.T) {
+	enc := run(t, "fig14")
+	dec := run(t, "fig15")
+	col := len(enc.Columns) - 2
+	if cell(t, dec, 0, col) <= cell(t, enc, 0, col) {
+		t.Fatalf("decode speedup %.1f should exceed encode %.1f",
+			cell(t, dec, 0, col), cell(t, enc, 0, col))
+	}
+}
+
+func TestTriggerConstantRate(t *testing.T) {
+	tbl := run(t, "trigger")
+	first := cell(t, tbl, 0, 2)
+	for i := range tbl.Rows {
+		r := cell(t, tbl, i, 2)
+		if r < 0.95*first || r > 1.05*first {
+			t.Fatalf("trigger row %d rate %.0f not constant vs %.0f", i, r, first)
+		}
+		if r < 900 {
+			t.Fatalf("trigger UDP rate %.0f below ~1GB/s", r)
+		}
+	}
+}
+
+func TestOverallGeomeans(t *testing.T) {
+	t21 := run(t, "fig21")
+	last := t21.Rows[len(t21.Rows)-1]
+	geo, err := strconv.ParseFloat(last[4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo < 2 {
+		t.Fatalf("overall geomean speedup %.1f: UDP should clearly beat 8 CPU threads", geo)
+	}
+	t22 := run(t, "fig22")
+	last = t22.Rows[len(t22.Rows)-1]
+	pw, err := strconv.ParseFloat(last[4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw < 100 {
+		t.Fatalf("perf/watt geomean %.0f: expected orders of magnitude", pw)
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3", "table4", "table5"} {
+		run(t, id)
+	}
+}
+
+func TestAblationLayoutSavings(t *testing.T) {
+	tbl := run(t, "ablation-layout")
+	for i := range tbl.Rows {
+		if saving := cell(t, tbl, i, 5); saving < 1.5 {
+			t.Fatalf("row %d: EffCLiP saving %.1fx, expected >1.5x", i, saving)
+		}
+	}
+}
+
+func TestAblationADFATrade(t *testing.T) {
+	tbl := run(t, "ablation-adfa")
+	flatKB, adfaKB := cell(t, tbl, 0, 1), cell(t, tbl, 2, 1)
+	if adfaKB*5 > flatKB {
+		t.Fatalf("ADFA %.1fKB should be >5x smaller than flat %.1fKB", adfaKB, flatKB)
+	}
+	flatRate, adfaRate := cell(t, tbl, 0, 3), cell(t, tbl, 2, 3)
+	if adfaRate >= flatRate {
+		t.Fatalf("ADFA lane rate %.0f should trail flat %.0f (default-hop cost)", adfaRate, flatRate)
+	}
+	flatLanes, adfaLanes := cell(t, tbl, 0, 2), cell(t, tbl, 2, 2)
+	if adfaLanes <= flatLanes {
+		t.Fatal("ADFA must buy lane parallelism")
+	}
+}
+
+func TestAddressingStudyShape(t *testing.T) {
+	tbl := run(t, "addressing-study")
+	rRate, gRate := cell(t, tbl, 0, 5), cell(t, tbl, 1, 5)
+	if gRate >= rRate {
+		t.Fatalf("global rate %.0f should trail restricted %.0f (conflict stalls)", gRate, rRate)
+	}
+	rE, gE := cell(t, tbl, 0, 6), cell(t, tbl, 1, 6)
+	if gE <= rE {
+		t.Fatalf("global energy %.2f should exceed restricted %.2f", gE, rE)
+	}
+}
+
+func TestExtensionsRun(t *testing.T) {
+	for _, id := range []string{"encodings", "json", "xml"} {
+		run(t, id)
+	}
+}
+
+func TestOccupancyShapes(t *testing.T) {
+	tbl := run(t, "occupancy")
+	byName := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byName[row[0]] = row
+	}
+	trig, err := strconv.ParseFloat(byName["trigger"][2], 64)
+	if err != nil || trig < 90 {
+		t.Fatalf("trigger dispatch occupancy %.1f%%: all-labeled encoding should be dispatch-bound", trig)
+	}
+	sd, err := strconv.ParseFloat(byName["snappy-decomp"][3], 64)
+	if err != nil || sd < 50 {
+		t.Fatalf("snappy-decomp action occupancy %.1f%%: should be action-bound", sd)
+	}
+}
+
+func TestOffloadWins(t *testing.T) {
+	tbl := run(t, "offload")
+	parseOnly := cell(t, tbl, 1, 5)
+	if parseOnly <= 1.0 {
+		t.Fatalf("parse offload speedup %.2f should exceed 1", parseOnly)
+	}
+	full := cell(t, tbl, 2, 5)
+	if full <= parseOnly {
+		t.Fatalf("parse+deserialize offload (%.2f) should beat parse-only (%.2f)", full, parseOnly)
+	}
+}

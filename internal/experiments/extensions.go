@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"udp/internal/automata"
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/etl"
+	"udp/internal/kernels/csvparse"
+	"udp/internal/kernels/encodings"
+	"udp/internal/kernels/histogram"
+	"udp/internal/kernels/jsonparse"
+	"udp/internal/kernels/pattern"
+	"udp/internal/kernels/snappy"
+	"udp/internal/kernels/trigger"
+	"udp/internal/kernels/xmlparse"
+	"udp/internal/machine"
+	"udp/internal/workload"
+)
+
+func init() {
+	register("ablation-layout", AblationLayout)
+	register("ablation-adfa", AblationADFA)
+	register("encodings", EncodingsRates)
+	register("json", JSONRates)
+	register("xml", XMLRates)
+	register("offload", OffloadStudy)
+}
+
+// AblationLayout quantifies EffCLiP's contribution: dense coupled-linear
+// packing versus a naive layout that reserves a full 2^bits dispatch region
+// per state (what a compiler without gap-filling would emit).
+func AblationLayout(cfg Config) (*Table, error) {
+	t := &Table{ID: "ablation-layout", Title: "EffCLiP packing density vs naive per-state regions",
+		Columns: []string{"program", "states", "transitions", "EffCLiP KB", "naive KB", "saving"}}
+	progs := []*core.Program{csvparse.BuildProgram(), jsonparse.BuildProgram()}
+	edges := histogram.UniformEdges(10, 41.6, 42.0)
+	hg, err := histogram.BuildProgram(edges)
+	if err != nil {
+		return nil, err
+	}
+	progs = append(progs, hg)
+	pats := workload.NIDSPatterns(10, false, cfg.Seed+61)
+	set, err := pattern.Compile(pats)
+	if err != nil {
+		return nil, err
+	}
+	adfa, err := set.BuildADFA()
+	if err != nil {
+		return nil, err
+	}
+	progs = append(progs, adfa)
+
+	for _, p := range progs {
+		im, err := effclip.Layout(p, effclip.Options{})
+		if err != nil {
+			return nil, err
+		}
+		naive := 0
+		for _, s := range p.States {
+			bits := p.EffSymbolBits(s)
+			naive += (1<<bits + 1) * core.WordBytes
+		}
+		naive += im.ActionWords * core.WordBytes
+		st := p.Stats()
+		dense := im.CodeBytes()
+		t.AddRow(p.Name, d(st.States), d(st.Transitions),
+			f2(float64(dense)/1024), f2(float64(naive)/1024),
+			f1(float64(naive)/float64(dense)))
+	}
+	return t, nil
+}
+
+// AblationADFA isolates the majority/default compression trade: the same
+// pattern DFA compiled flat, majority-only, and with D2FA default deltas —
+// size shrinks, default hops add cycles (the paper's ADFA small-size /
+// slight-runtime trade).
+func AblationADFA(cfg Config) (*Table, error) {
+	t := &Table{ID: "ablation-adfa", Title: "DFA compile styles: size vs dispatch cost",
+		Columns: []string{"style", "code KB", "lanes", "lane MB/s", "fallback probes/KB input", "default hops/KB input"}}
+	pats := workload.NIDSPatterns(12, false, cfg.Seed+62)
+	set, err := pattern.Compile(pats)
+	if err != nil {
+		return nil, err
+	}
+	trace := workload.NetworkTrace(200000*cfg.Scale, pats, 0.05, cfg.Seed+63)
+	styles := []struct {
+		name  string
+		style automata.DFAStyle
+	}{
+		{"table (flat)", automata.StyleTable},
+		{"majority", automata.StyleMajority},
+		{"ADFA (majority+default)", automata.StyleADFA},
+	}
+	for _, s := range styles {
+		prog, err := automata.CompileDFA(set.DFA, "abl-"+s.name, s.style)
+		if err != nil {
+			return nil, err
+		}
+		im, err := effclip.Layout(prog, effclip.Options{})
+		if err != nil {
+			return nil, err
+		}
+		lane, err := machine.RunSingle(im, trace)
+		if err != nil {
+			return nil, err
+		}
+		st := lane.Stats()
+		kb := float64(len(trace)) / 1024
+		t.AddRow(s.name, f2(float64(im.CodeBytes())/1024), d(machine.MaxLanes(im)),
+			f1(machine.RateMBps(len(trace), st.Cycles)),
+			f1(float64(st.FallbackProbes)/kb), f1(float64(st.DefaultHops)/kb))
+	}
+	return t, nil
+}
+
+// EncodingsRates measures the RLE and bit-pack kernels (the Oracle DAX-RLE
+// and DAX-Pack coverage rows of Table 1).
+func EncodingsRates(cfg Config) (*Table, error) {
+	t := &Table{ID: "encodings", Title: "RLE and bit-pack encodings",
+		Columns: []string{"kernel", "workload", "CPU 1T MB/s", "UDP lane MB/s", "lanes", "UDP MB/s", "speedup vs 8T"}}
+	runs := workload.Text(workload.TextRuns, 200000*cfg.Scale, cfg.Seed+64)
+
+	// RLE encode.
+	cpu := cpuRateMBps(len(runs), func() { encodings.RLEEncode(runs) })
+	im, err := effclip.Layout(encodings.BuildRLEEncoder(), effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rate, _, err := laneRun(im, runs, len(runs))
+	if err != nil {
+		return nil, err
+	}
+	k := KernelResult{Name: "rle-enc", CPURate: cpu, UDPLaneRate: rate, Lanes: machine.MaxLanes(im)}
+	t.AddRow("rle-enc", "runs", f1(cpu), f1(rate), d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()))
+
+	// RLE decode.
+	rle := encodings.RLEEncode(runs)
+	cpu = cpuRateMBps(len(runs), func() {
+		if _, err := encodings.RLEDecode(rle); err != nil {
+			panic(err)
+		}
+	})
+	im, err = effclip.Layout(encodings.BuildRLEDecoder(), effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	lane, err := machine.RunSingle(im, rle)
+	if err != nil {
+		return nil, err
+	}
+	rate = machine.RateMBps(len(runs), lane.Stats().Cycles)
+	k = KernelResult{Name: "rle-dec", CPURate: cpu, UDPLaneRate: rate, Lanes: machine.MaxLanes(im)}
+	t.AddRow("rle-dec", "runs", f1(cpu), f1(rate), d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()))
+
+	// Bit-pack / unpack at width 3.
+	values := make([]byte, 400000*cfg.Scale)
+	for i := range values {
+		values[i] = byte(i*31) & 7
+	}
+	cpu = cpuRateMBps(len(values), func() {
+		if _, err := encodings.BitPack(values, 3); err != nil {
+			panic(err)
+		}
+	})
+	prog, err := encodings.BuildBitPacker(3)
+	if err != nil {
+		return nil, err
+	}
+	im, err = effclip.Layout(prog, effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rate, _, err = laneRun(im, values, len(values))
+	if err != nil {
+		return nil, err
+	}
+	k = KernelResult{Name: "bitpack", CPURate: cpu, UDPLaneRate: rate, Lanes: machine.MaxLanes(im)}
+	t.AddRow("bitpack w3", "uniform", f1(cpu), f1(rate), d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()))
+
+	packed, err := encodings.BitPack(values, 3)
+	if err != nil {
+		return nil, err
+	}
+	cpu = cpuRateMBps(len(values), func() {
+		if _, err := encodings.BitUnpack(packed, 3, len(values)); err != nil {
+			panic(err)
+		}
+	})
+	uprog, err := encodings.BuildBitUnpacker(3)
+	if err != nil {
+		return nil, err
+	}
+	im, err = effclip.Layout(uprog, effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	lane, err = machine.RunSingle(im, packed)
+	if err != nil {
+		return nil, err
+	}
+	rate = machine.RateMBps(len(values), lane.Stats().Cycles)
+	k = KernelResult{Name: "bitunpack", CPURate: cpu, UDPLaneRate: rate, Lanes: machine.MaxLanes(im)}
+	t.AddRow("bitunpack w3", "uniform", f1(cpu), f1(rate), d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()))
+	return t, nil
+}
+
+// XMLRates measures the XML/HTML tokenizer against the PowerEN XML
+// accelerator's published 1.5 GB/s (Table 4's parsing comparison point).
+func XMLRates(cfg Config) (*Table, error) {
+	t := &Table{ID: "xml", Title: "XML/HTML tokenizing",
+		Columns: []string{"dataset", "MB", "CPU 1T MB/s", "UDP lane MB/s", "lanes", "UDP MB/s", "speedup vs 8T", "vs PowerEN 1.5GB/s"}}
+	data := workload.Text(workload.TextHTML, 1<<20*cfg.Scale, cfg.Seed+66)
+	cpu := cpuRateMBps(len(data), func() { xmlparse.Tokenize(data) })
+	im, err := effclip.Layout(xmlparse.BuildProgram(), effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rate, _, err := laneRun(im, data, len(data))
+	if err != nil {
+		return nil, err
+	}
+	k := KernelResult{Name: "xml", CPURate: cpu, UDPLaneRate: rate, Lanes: machine.MaxLanes(im)}
+	t.AddRow("crawl-like", f2(float64(len(data))/1e6), f1(cpu), f1(rate),
+		d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()), f2(k.UDPAggRate()/1500))
+	return t, nil
+}
+
+// OffloadStudy projects Figure 2's deployment: the Figure 1 load pipeline
+// with the parse phase offloaded to a full UDP (simulated rate), CPU keeping
+// decompression and deserialization. The parse phase all but vanishes.
+func OffloadStudy(cfg Config) (*Table, error) {
+	t := &Table{ID: "offload", Title: "ETL load with UDP parse offload (Figure 2 deployment)",
+		Columns: []string{"configuration", "gunzip s", "parse s", "deserialize s", "total s", "speedup"},
+		Notes:   []string{"UDP parse time = bytes / simulated 64-lane aggregate rate; CPU phases measured"}}
+	data := etl.LineitemCSV(50000*cfg.Scale, cfg.Seed+67)
+	gz := etl.GzipBytes(data)
+	_, ph, err := etl.Load(gz)
+	if err != nil {
+		return nil, err
+	}
+	im, err := effclip.Layout(csvparse.BuildProgram(), effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// UDP parse rate over the raw CSV (lineitem uses '|' mapped to ',').
+	rate, _, err := laneRun(im, data[:min(len(data), 1<<20)], min(len(data), 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	agg := rate * float64(machine.MaxLanes(im)) // MB/s
+	udpParse := float64(ph.RawBytes) / 1e6 / agg
+
+	// Deeper offload: deserialization/validation also on the UDP (the
+	// int/decimal/date programs of internal/kernels/csvparse); strings
+	// columns stay free (they are copies). Model the phase at the integer
+	// deserializer's measured aggregate rate over the tokenized bytes.
+	dim, err := effclip.Layout(csvparse.BuildIntDeserializer(), effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	tokSample := csvparse.Parse(data[:min(len(data), 1<<20)])
+	drate, _, err := laneRun(dim, numericTok(tokSample), len(tokSample))
+	if err != nil {
+		return nil, err
+	}
+	dagg := drate * float64(machine.MaxLanes(dim))
+	udpDeser := float64(ph.RawBytes) / 1e6 / dagg
+
+	cpuTotal := ph.TotalCPU.Seconds()
+	offTotal := ph.Decompress.Seconds() + udpParse + ph.Deserialize.Seconds()
+	off2Total := ph.Decompress.Seconds() + udpParse + udpDeser
+	t.AddRow("CPU only", f2(ph.Decompress.Seconds()), f2(ph.Parse.Seconds()),
+		f2(ph.Deserialize.Seconds()), f2(cpuTotal), "1.0")
+	t.AddRow("UDP parse offload", f2(ph.Decompress.Seconds()), f2(udpParse),
+		f2(ph.Deserialize.Seconds()), f2(offTotal), f2(cpuTotal/offTotal))
+	t.AddRow("UDP parse+deserialize", f2(ph.Decompress.Seconds()), f2(udpParse),
+		f2(udpDeser), f2(off2Total), f2(cpuTotal/off2Total))
+	return t, nil
+}
+
+// numericTok filters a tokenized stream to digit/sign/separator bytes so the
+// integer deserializer can rate the deserialization phase on realistic field
+// mixes.
+func numericTok(tok []byte) []byte {
+	out := make([]byte, 0, len(tok))
+	for _, c := range tok {
+		switch {
+		case c >= '0' && c <= '9', c == '-',
+			c == csvparse.FieldSep, c == csvparse.RecordSep:
+			out = append(out, c)
+		case c == '.':
+			out = append(out, '1') // decimals rate like digits here
+		default:
+			out = append(out, '0')
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// JSONRates measures the JSON tokenizer (Table 1's parsing breadth).
+func JSONRates(cfg Config) (*Table, error) {
+	t := &Table{ID: "json", Title: "JSON tokenizing",
+		Columns: []string{"dataset", "MB", "CPU 1T MB/s", "UDP lane MB/s", "lanes", "UDP MB/s", "speedup vs 8T"}}
+	data := workload.JSONRecords(8000*cfg.Scale, cfg.Seed+65)
+	cpu := cpuRateMBps(len(data), func() { jsonparse.Tokenize(data) })
+	im, err := effclip.Layout(jsonparse.BuildProgram(), effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rate, _, err := laneRun(im, data, len(data))
+	if err != nil {
+		return nil, err
+	}
+	k := KernelResult{Name: "json", CPURate: cpu, UDPLaneRate: rate, Lanes: machine.MaxLanes(im)}
+	t.AddRow("events", f2(float64(len(data))/1e6), f1(cpu), f1(rate),
+		d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()))
+	return t, nil
+}
+
+func init() { register("occupancy", UnitOccupancy) }
+
+// UnitOccupancy attributes execution cycles to the lane's micro-architecture
+// units (Figure 23): the dispatch unit (probes and fallbacks) versus the
+// action unit (action words plus loop-datapath beats). The paper's Table 3
+// splits lane area 40.6% dispatch / 39.2% action; dynamic occupancy shows
+// which kernels stress which unit.
+func UnitOccupancy(cfg Config) (*Table, error) {
+	t := &Table{ID: "occupancy", Title: "Lane unit occupancy (dispatch vs action cycles)",
+		Columns: []string{"kernel", "cycles", "dispatch %", "action %", "loop-beat %"},
+		Notes:   []string{"Table 3 lane area: dispatch 40.6%, action 39.2%"}}
+
+	type probe struct {
+		name string
+		run  func() (machine.Stats, error)
+	}
+	crimes := workload.CrimesCSV(workload.CSVSpec{Name: "c", Rows: 1000 * cfg.Scale, Seed: cfg.Seed + 81})
+	wave := workload.Waveform(200000*cfg.Scale, cfg.Seed+82)
+	values := workload.FloatColumn(40000*cfg.Scale, workload.DistNormal, 41.6, 42.0, cfg.Seed+83)
+	html := workload.Text(workload.TextHTML, 128*1024*cfg.Scale, cfg.Seed+84)
+
+	runProg := func(p *core.Program, input []byte) func() (machine.Stats, error) {
+		return func() (machine.Stats, error) {
+			im, err := effclip.Layout(p, effclip.Options{})
+			if err != nil {
+				return machine.Stats{}, err
+			}
+			lane, err := machine.RunSingle(im, input)
+			if err != nil {
+				return machine.Stats{}, err
+			}
+			return lane.Stats(), nil
+		}
+	}
+	hg, err := histogram.BuildProgram(histogram.UniformEdges(10, 41.6, 42.0))
+	if err != nil {
+		return nil, err
+	}
+	trg, err := triggerProgram()
+	if err != nil {
+		return nil, err
+	}
+	probes := []probe{
+		{"csv", runProg(csvparse.BuildProgram(), crimes)},
+		{"histogram", runProg(hg, histogram.KeyBytes(values))},
+		{"trigger", runProg(trg, wave)},
+		{"snappy-decomp", func() (machine.Stats, error) {
+			codec, err := snappyCodec()
+			if err != nil {
+				return machine.Stats{}, err
+			}
+			blocks := snappyBlocked(html)
+			_, st, err := codec.DecompressUDP(blocks)
+			return st, err
+		}},
+	}
+	for _, pr := range probes {
+		st, err := pr.run()
+		if err != nil {
+			return nil, err
+		}
+		dispatch := st.Dispatches + st.FallbackProbes + st.DefaultHops
+		action := st.Actions
+		loop := st.Cycles - dispatch - action
+		pct := func(v uint64) string { return f1(100 * float64(v) / float64(st.Cycles)) }
+		t.AddRow(pr.name, d(int(st.Cycles)), pct(dispatch), pct(action), pct(loop))
+	}
+	return t, nil
+}
+
+func triggerProgram() (*core.Program, error) {
+	f, err := trigger.NewFSM(5, trigger.DefaultThresholds)
+	if err != nil {
+		return nil, err
+	}
+	return f.BuildProgram(), nil
+}
+
+func snappyCodec() (*snappy.Codec, error) { return snappy.NewCodec(snappyBlockSize) }
+
+func snappyBlocked(data []byte) []snappy.Block {
+	return snappy.EncodeBlocked(data, snappyBlockSize, true)
+}

@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"fmt"
+
+	"udp/internal/core"
+	"udp/internal/cpumodel"
+	"udp/internal/effclip"
+	"udp/internal/energy"
+	"udp/internal/etl"
+	"udp/internal/kernels/csvparse"
+	"udp/internal/kernels/histogram"
+	"udp/internal/kernels/huffman"
+	"udp/internal/kernels/pattern"
+	"udp/internal/kernels/snappy"
+	"udp/internal/machine"
+	"udp/internal/workload"
+)
+
+func init() {
+	register("fig1", Fig1ETL)
+	register("fig5a", Fig5aMispredicts)
+	register("fig5b", Fig5bEffectiveBranchRate)
+	register("fig5c", Fig5cCodeSize)
+	register("fig8", Fig8VariableSymbols)
+	register("fig9", Fig9DispatchSources)
+	register("fig11", Fig11Addressing)
+}
+
+// Fig1ETL regenerates Figure 1: loading gzip'd lineitem-like CSV, CPU time
+// by phase versus modeled SSD I/O time, across scale factors.
+func Fig1ETL(cfg Config) (*Table, error) {
+	t := &Table{ID: "fig1", Title: "Loading compressed CSV (TPC-H lineitem-like)",
+		Columns: []string{"SF unit", "raw MB", "gz MB", "gunzip s", "parse s", "deserialize s", "CPU s", "IO s", "CPU/IO"},
+		Notes:   []string{"SF unit = 50k rows (scaled-down TPC-H); I/O modeled at 500 MB/s SSD"}}
+	for _, sf := range []int{1, 2, 4} {
+		rows := 50000 * sf * cfg.Scale
+		data := etl.LineitemCSV(rows, cfg.Seed)
+		gz := etl.GzipBytes(data)
+		_, ph, err := etl.Load(gz)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d(sf*cfg.Scale), f1(float64(ph.RawBytes)/1e6), f1(float64(ph.GzBytes)/1e6),
+			f2(ph.Decompress.Seconds()), f2(ph.Parse.Seconds()), f2(ph.Deserialize.Seconds()),
+			f2(ph.TotalCPU.Seconds()), f2(ph.ModeledIO.Seconds()), f1(ph.CPUOverIO()))
+	}
+	return t, nil
+}
+
+// fig5Kernel bundles one Figure 5 kernel: a branch-model FSM, its symbol
+// stream, and the equivalent UDP program with its input.
+type fig5Kernel struct {
+	name    string
+	fsm     *cpumodel.FSM
+	symbols []uint32
+	img     *effclip.Image
+	input   []byte
+}
+
+func fig5Kernels(cfg Config) ([]fig5Kernel, error) {
+	var ks []fig5Kernel
+
+	// CSV parsing over crimes-like data.
+	crimes := workload.CrimesCSV(workload.CSVSpec{Name: "crimes", Rows: 800 * cfg.Scale, Seed: cfg.Seed})
+	csvProg := csvparse.BuildProgram()
+	csvFSM, err := cpumodel.FromProgram(csvProg, 256)
+	if err != nil {
+		return nil, err
+	}
+	csvIm, err := effclip.Layout(csvProg, effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ks = append(ks, fig5Kernel{"csv", csvFSM, cpumodel.BytesToSymbols(crimes), csvIm, crimes})
+
+	// Huffman decoding over english text (branch per bit on the CPU).
+	text := workload.Text(workload.TextEnglish, 100*1024*cfg.Scale, cfg.Seed+1)
+	tbl := huffman.Build(text)
+	comp, nbits := tbl.Encode(text)
+	hProg, err := huffman.BuildDecoder(tbl, huffman.SsRef)
+	if err != nil {
+		return nil, err
+	}
+	hIm, err := huffman.LayoutDecoder(hProg, huffman.SsRef)
+	if err != nil {
+		return nil, err
+	}
+	ks = append(ks, fig5Kernel{"huffman", cpumodel.HuffmanFSM(tbl),
+		cpumodel.BitsToSymbols(comp, nbits), hIm, comp})
+
+	// Histogram over latitude-like floats (nibble walk).
+	values := workload.FloatColumn(40000*cfg.Scale, workload.DistNormal, 41.6, 42.0, cfg.Seed+2)
+	edges := histogram.UniformEdges(10, 41.6, 42.0)
+	hgProg, err := histogram.BuildProgram(edges)
+	if err != nil {
+		return nil, err
+	}
+	hgFSM, err := cpumodel.FromProgram(hgProg, 16)
+	if err != nil {
+		return nil, err
+	}
+	hgIm, err := effclip.Layout(hgProg, effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	keys := histogram.KeyBytes(values)
+	ks = append(ks, fig5Kernel{"histogram", hgFSM, cpumodel.NibblesToSymbols(keys), hgIm, keys})
+
+	// Pattern matching (ADFA) over a network trace.
+	pats := workload.NIDSPatterns(10, false, cfg.Seed+3)
+	set, err := pattern.Compile(pats)
+	if err != nil {
+		return nil, err
+	}
+	trace := workload.NetworkTrace(150000*cfg.Scale, pats, 0.05, cfg.Seed+4)
+	adfa, err := set.BuildADFA()
+	if err != nil {
+		return nil, err
+	}
+	pIm, err := effclip.Layout(adfa, effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ks = append(ks, fig5Kernel{"pattern", cpumodel.FromDFA(set.DFA),
+		cpumodel.BytesToSymbols(trace), pIm, trace})
+	return ks, nil
+}
+
+// Fig5aMispredicts regenerates Figure 5a: fraction of cycles lost to branch
+// misprediction under BO and BI.
+func Fig5aMispredicts(cfg Config) (*Table, error) {
+	ks, err := fig5Kernels(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig5a", Title: "Branch misprediction cycles (BO vs BI)",
+		Columns: []string{"kernel", "BO mispredict %", "BI mispredict %"}}
+	for _, k := range ks {
+		bo := cpumodel.SimulateBO(k.fsm, k.symbols)
+		bi := cpumodel.SimulateBI(k.fsm, k.symbols)
+		t.AddRow(k.name, f1(100*bo.MispredictFraction()), f1(100*bi.MispredictFraction()))
+	}
+	return t, nil
+}
+
+// Fig5bEffectiveBranchRate regenerates Figure 5b: cycle counts normalized to
+// BO (higher = resolves the kernel's control flow faster).
+func Fig5bEffectiveBranchRate(cfg Config) (*Table, error) {
+	ks, err := fig5Kernels(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig5b", Title: "Effective branch rate relative to BO",
+		Columns: []string{"kernel", "BO", "BI", "UDP multi-way"}}
+	for _, k := range ks {
+		bo := cpumodel.SimulateBO(k.fsm, k.symbols)
+		bi := cpumodel.SimulateBI(k.fsm, k.symbols)
+		lane, err := machine.RunSingle(k.img, k.input)
+		if err != nil {
+			return nil, err
+		}
+		udp := lane.Stats().Cycles
+		t.AddRow(k.name, "1.00",
+			f2(float64(bo.Cycles)/float64(bi.Cycles)),
+			f2(float64(bo.Cycles)/float64(udp)))
+	}
+	return t, nil
+}
+
+// Fig5cCodeSize regenerates Figure 5c: static code size under BO, BI, the
+// UAP's offset attach addressing, and the UDP's direct+scaled modes.
+func Fig5cCodeSize(cfg Config) (*Table, error) {
+	ks, err := fig5Kernels(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig5c", Title: "Code size (KB) by dispatch approach",
+		Columns: []string{"kernel", "BO", "BI", "UAP offset", "UDP"}}
+	for _, k := range ks {
+		prog, err := programFor(k.name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		uap, err := effclip.Layout(prog, effclip.Options{Policy: effclip.PolicyUAPOffset})
+		if err != nil {
+			return nil, err
+		}
+		kb := func(b int) string { return f2(float64(b) / 1024) }
+		t.AddRow(k.name,
+			kb(cpumodel.CodeSizeBO(k.fsm)),
+			kb(cpumodel.CodeSizeBI(k.fsm)),
+			kb(uap.CodeBytes()),
+			kb(k.img.CodeBytes()))
+	}
+	return t, nil
+}
+
+// programFor rebuilds the kernel program (layout policies consume programs,
+// not images).
+func programFor(name string, cfg Config) (*core.Program, error) {
+	switch name {
+	case "csv":
+		return csvparse.BuildProgram(), nil
+	case "huffman":
+		text := workload.Text(workload.TextEnglish, 100*1024*cfg.Scale, cfg.Seed+1)
+		return huffman.BuildDecoder(huffman.Build(text), huffman.SsRef)
+	case "histogram":
+		return histogram.BuildProgram(histogram.UniformEdges(10, 41.6, 42.0))
+	case "pattern":
+		pats := workload.NIDSPatterns(10, false, cfg.Seed+3)
+		set, err := pattern.Compile(pats)
+		if err != nil {
+			return nil, err
+		}
+		return set.BuildADFA()
+	}
+	return nil, fmt.Errorf("experiments: unknown fig5 kernel %q", name)
+}
+
+// Fig8VariableSymbols regenerates Figure 8: the four variable-size-symbol
+// designs on Huffman decoding (dynamic sizes) and Histogram (static sizes).
+func Fig8VariableSymbols(cfg Config) (*Table, error) {
+	t := &Table{ID: "fig8", Title: "Variable-size symbol designs (SsF/SsT/SsReg/SsRef)",
+		Columns: []string{"kernel", "variant", "rate MB/s (1 lane)", "code KB", "lanes", "throughput MB/s"}}
+
+	// Huffman decoding: dynamic symbol sizes.
+	text := workload.Text(workload.TextEnglish, 100*1024*cfg.Scale, cfg.Seed+21)
+	tbl := huffman.Build(text)
+	comp, _ := tbl.Encode(text)
+	for _, v := range []huffman.Variant{huffman.SsF, huffman.SsT, huffman.SsReg, huffman.SsRef} {
+		prog, err := huffman.BuildDecoder(tbl, v)
+		if err != nil {
+			return nil, err
+		}
+		im, err := huffman.LayoutDecoder(prog, v)
+		if err != nil {
+			return nil, err
+		}
+		_, st, err := huffman.RunDecoder(im, comp, len(text))
+		if err != nil {
+			return nil, err
+		}
+		rate := machine.RateMBps(len(text), st.Cycles)
+		lanes := machine.MaxLanes(im)
+		t.AddRow("huffman", v.String(), f1(rate), f2(float64(im.CodeBytes())/1024),
+			d(lanes), f0(float64(lanes)*rate))
+	}
+
+	// Histogram: compile-time static symbol sizes (4-bit design vs the
+	// fixed-8-bit SsF alternative; SsReg==SsRef when widths never change
+	// at runtime).
+	values := workload.FloatColumn(60000*cfg.Scale, workload.DistNormal, 41.6, 42.0, cfg.Seed+22)
+	edges := histogram.UniformEdges(10, 41.6, 42.0)
+	keys := histogram.KeyBytes(values)
+	for _, v := range []struct {
+		name string
+		step int
+		wide bool
+	}{
+		{"SsF", 8, true},
+		{"SsT", 4, true},
+		{"SsReg", 4, false},
+		{"SsRef", 4, false},
+	} {
+		prog, err := histogram.BuildProgramStep(edges, v.step)
+		if err != nil {
+			return nil, err
+		}
+		im, err := effclip.Layout(prog, effclip.Options{WideAttach: v.wide})
+		if err != nil {
+			return nil, err
+		}
+		lane, err := machine.RunSingle(im, keys)
+		if err != nil {
+			return nil, err
+		}
+		rate := machine.RateMBps(len(keys), lane.Stats().Cycles)
+		lanes := machine.MaxLanes(im)
+		t.AddRow("histogram", v.name, f1(rate), f2(float64(im.CodeBytes())/1024),
+			d(lanes), f0(float64(lanes)*rate))
+	}
+	return t, nil
+}
+
+// Fig9DispatchSources regenerates Figure 9: geometric-mean speedup over the
+// remaining ETL kernels with stream-buffer-only dispatch versus stream +
+// scalar-register dispatch. Kernels that require scalar (flagged) dispatch
+// cannot be offloaded at all in the stream-only configuration and contribute
+// 1x.
+func Fig9DispatchSources(cfg Config) (*Table, error) {
+	results, err := Collect(cfg)
+	if err != nil {
+		return nil, err
+	}
+	needsScalar := map[string]bool{
+		"dict-rle": true, "snappy-comp": true, "snappy-decomp": true,
+	}
+	pick := map[string]bool{
+		"huffenc": true, "dict": true, "dict-rle": true,
+		"snappy-comp": true, "snappy-decomp": true,
+	}
+	var streamOnly, withScalar []float64
+	for _, k := range results {
+		if !pick[k.Name] {
+			continue
+		}
+		withScalar = append(withScalar, k.Speedup())
+		if needsScalar[k.Name] {
+			streamOnly = append(streamOnly, 1.0)
+		} else {
+			streamOnly = append(streamOnly, k.Speedup())
+		}
+	}
+	t := &Table{ID: "fig9", Title: "Dispatch sources: geomean speedup vs 8-thread CPU",
+		Columns: []string{"configuration", "geomean speedup"},
+		Notes:   []string{"kernels: huffman-enc, dict, dict-rle, snappy comp/decomp (the set unused by the other architecture comparisons)"}}
+	t.AddRow("stream buffer only", f1(geomean(streamOnly)))
+	t.AddRow("stream + scalar register", f1(geomean(withScalar)))
+	return t, nil
+}
+
+// Fig11Addressing regenerates Figure 11: Snappy rate and ratio versus block
+// size under restricted addressing (a/b) and per-reference memory energy by
+// addressing mode (c).
+func Fig11Addressing(cfg Config) (*Table, error) {
+	t := &Table{ID: "fig11", Title: "Addressing flexibility: Snappy block size & memory energy",
+		Columns: []string{"block KB", "banks/lane", "lanes", "lane MB/s", "ratio", "agg MB/s", "agg x (1/ratio)"},
+		Notes:   []string{"memory energy per reference: local 4.3 pJ, restricted 4.3 pJ, global 8.8 pJ (Figure 11c)"}}
+	data := workload.Text(workload.TextHTML, 256*1024*cfg.Scale, cfg.Seed+31)
+	for _, bs := range []int{16 * 1024, 32 * 1024, 64 * 1024} {
+		codec, err := snappy.NewCodec(bs)
+		if err != nil {
+			return nil, err
+		}
+		blocks, st, err := codec.CompressUDP(data)
+		if err != nil {
+			return nil, err
+		}
+		comp := snappy.BlocksToStream(blocks)
+		rate := machine.RateMBps(len(data), st.Cycles)
+		lanes := codec.EncLanes()
+		ratio := snappy.Ratio(len(comp), len(data))
+		agg := float64(lanes) * rate
+		t.AddRow(d(bs/1024), d(codec.EncBanks()), d(lanes), f1(rate), f2(ratio),
+			f0(agg), f0(agg/ratio))
+	}
+	t.AddRow("", "", "", "", "", "", "")
+	t.AddRow("mode", "pJ/ref", "", "", "", "", "")
+	for _, m := range []energy.AddressingMode{energy.AddrLocal, energy.AddrRestricted, energy.AddrGlobal} {
+		t.AddRow(m.String(), f1(energy.RefEnergyPJ(m)), "", "", "", "", "")
+	}
+	return t, nil
+}

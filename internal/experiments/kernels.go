@@ -1,0 +1,609 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/kernels/csvparse"
+	"udp/internal/kernels/dict"
+	"udp/internal/kernels/histogram"
+	"udp/internal/kernels/huffman"
+	"udp/internal/kernels/pattern"
+	"udp/internal/kernels/snappy"
+	"udp/internal/kernels/trigger"
+	"udp/internal/kernels/xmlparse"
+	"udp/internal/machine"
+	"udp/internal/workload"
+)
+
+func init() {
+	register("fig13", Fig13CSV)
+	register("fig14", Fig14HuffmanEncode)
+	register("fig15", Fig15HuffmanDecode)
+	register("fig16", Fig16PatternMatching)
+	register("fig17", Fig17Dictionary)
+	register("fig18", Fig18Histogram)
+	register("fig19", Fig19SnappyCompress)
+	register("fig20", Fig20SnappyDecompress)
+	register("trigger", TriggerRates)
+	register("fig21", Fig21Overall)
+	register("fig22", Fig22PerWatt)
+}
+
+// --- Figure 13: CSV parsing ---
+
+func csvDatasets(cfg Config) map[string][]byte {
+	rows := 1500 * cfg.Scale
+	return map[string][]byte{
+		"crimes": workload.CrimesCSV(workload.CSVSpec{Name: "crimes", Rows: rows, Seed: cfg.Seed}),
+		"taxi":   workload.TaxiCSV(workload.CSVSpec{Name: "taxi", Rows: rows, Seed: cfg.Seed + 1}),
+		"food":   workload.FoodCSV(workload.CSVSpec{Name: "food", Rows: rows / 4, Seed: cfg.Seed + 2}),
+	}
+}
+
+// Fig13CSV regenerates Figure 13: per-dataset CSV parsing rates.
+func Fig13CSV(cfg Config) (*Table, error) {
+	t := &Table{ID: "fig13", Title: "CSV File Parsing",
+		Columns: []string{"dataset", "MB", "CPU 1T MB/s", "UDP lane MB/s", "lanes", "UDP MB/s", "speedup vs 8T", "tput/W vs CPU"}}
+	im, err := effclip.Layout(csvparse.BuildProgram(), effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"crimes", "taxi", "food"} {
+		data := csvDatasets(cfg)[name]
+		k, err := csvResult(name, data, im)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, f2(float64(len(data))/1e6), f1(k.CPURate), f1(k.UDPLaneRate),
+			d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()), f0(k.PerWatt()))
+	}
+	return t, nil
+}
+
+func csvResult(name string, data []byte, im *effclip.Image) (KernelResult, error) {
+	cpu := cpuRateMBps(len(data), func() { csvparse.Parse(data) })
+	rate, _, err := laneRun(im, data, len(data))
+	if err != nil {
+		return KernelResult{}, err
+	}
+	return KernelResult{Name: "csv", Workload: name, InputBytes: len(data),
+		CPURate: cpu, UDPLaneRate: rate, Lanes: machine.MaxLanes(im)}, nil
+}
+
+// --- Figures 14/15: Huffman ---
+
+func huffCorpus(cfg Config) []workload.CorpusFile { return workload.Corpus(cfg.Scale) }
+
+// Fig14HuffmanEncode regenerates Figure 14.
+func Fig14HuffmanEncode(cfg Config) (*Table, error) {
+	t := &Table{ID: "fig14", Title: "Huffman Encoding",
+		Columns: []string{"file", "KB", "CPU 1T MB/s", "UDP lane MB/s", "lanes", "UDP MB/s", "speedup vs 8T", "tput/W vs CPU"},
+		Notes:   []string{"tree generation excluded on both sides (paper Section 4.1)"}}
+	for _, f := range huffCorpus(cfg) {
+		data := f.Data()
+		tbl := huffman.Build(data)
+		cpu := cpuRateMBps(len(data), func() { tbl.Encode(data) })
+		im, err := effclip.Layout(huffman.BuildEncoder(tbl), effclip.Options{})
+		if err != nil {
+			return nil, err
+		}
+		_, st, err := huffman.RunEncoder(im, data)
+		if err != nil {
+			return nil, err
+		}
+		k := KernelResult{Name: "huffenc", Workload: f.Name, InputBytes: len(data),
+			CPURate: cpu, UDPLaneRate: machine.RateMBps(len(data), st.Cycles),
+			Lanes: machine.MaxLanes(im)}
+		t.AddRow(f.Name, d(len(data)/1024), f1(k.CPURate), f1(k.UDPLaneRate),
+			d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()), f0(k.PerWatt()))
+	}
+	return t, nil
+}
+
+// Fig15HuffmanDecode regenerates Figure 15 (rates over decoded bytes).
+func Fig15HuffmanDecode(cfg Config) (*Table, error) {
+	t := &Table{ID: "fig15", Title: "Huffman Decoding",
+		Columns: []string{"file", "KB", "CPU 1T MB/s", "UDP lane MB/s", "lanes", "UDP MB/s", "speedup vs 8T", "tput/W vs CPU"}}
+	for _, f := range huffCorpus(cfg) {
+		data := f.Data()
+		tbl := huffman.Build(data)
+		comp, _ := tbl.Encode(data)
+		cpu := cpuRateMBps(len(data), func() {
+			if _, err := tbl.Decode(comp, len(data)); err != nil {
+				panic(err)
+			}
+		})
+		prog, err := huffman.BuildDecoder(tbl, huffman.SsRef)
+		if err != nil {
+			return nil, err
+		}
+		im, err := huffman.LayoutDecoder(prog, huffman.SsRef)
+		if err != nil {
+			return nil, err
+		}
+		_, st, err := huffman.RunDecoder(im, comp, len(data))
+		if err != nil {
+			return nil, err
+		}
+		k := KernelResult{Name: "huffdec", Workload: f.Name, InputBytes: len(data),
+			CPURate: cpu, UDPLaneRate: machine.RateMBps(len(data), st.Cycles),
+			Lanes: machine.MaxLanes(im)}
+		t.AddRow(f.Name, d(len(data)/1024), f1(k.CPURate), f1(k.UDPLaneRate),
+			d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()), f0(k.PerWatt()))
+	}
+	return t, nil
+}
+
+// --- Figure 16: pattern matching ---
+
+// Fig16PatternMatching regenerates Figure 16: string sets via ADFA, complex
+// regexes via NFA.
+func Fig16PatternMatching(cfg Config) (*Table, error) {
+	t := &Table{ID: "fig16", Title: "Pattern Matching (NIDS)",
+		Columns: []string{"set", "model", "CPU 1T MB/s", "UDP lane MB/s", "lanes", "UDP MB/s", "speedup vs 8T", "tput/W vs CPU"}}
+	traceLen := 300000 * cfg.Scale
+	for _, mode := range []string{"simple", "complex"} {
+		complexSet := mode == "complex"
+		patterns := workload.NIDSPatterns(12, complexSet, cfg.Seed+7)
+		set, err := pattern.Compile(patterns)
+		if err != nil {
+			return nil, err
+		}
+		trace := workload.NetworkTrace(traceLen, patterns, 0.05, cfg.Seed+8)
+		var cpu float64
+		var prog *core.Program
+		if complexSet {
+			cpu = cpuRateMBps(len(trace), func() { set.MatchCPUNFA(trace) })
+			prog, err = set.BuildNFA()
+		} else {
+			cpu = cpuRateMBps(len(trace), func() { set.MatchCPU(trace) })
+			prog, err = set.BuildADFA()
+		}
+		if err != nil {
+			return nil, err
+		}
+		im, err := effclip.Layout(prog, effclip.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rate, _, err := laneRun(im, trace, len(trace))
+		if err != nil {
+			return nil, err
+		}
+		k := KernelResult{Name: "pattern-" + mode, Workload: mode, InputBytes: len(trace),
+			CPURate: cpu, UDPLaneRate: rate, Lanes: machine.MaxLanes(im)}
+		model := "ADFA"
+		if complexSet {
+			model = "NFA"
+		}
+		t.AddRow(mode, model, f1(k.CPURate), f1(k.UDPLaneRate),
+			d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()), f0(k.PerWatt()))
+	}
+	return t, nil
+}
+
+// --- Figure 17: dictionary / dictionary-RLE ---
+
+// Fig17Dictionary regenerates Figure 17 (and the Dictionary numbers of
+// Section 5.4).
+func Fig17Dictionary(cfg Config) (*Table, error) {
+	t := &Table{ID: "fig17", Title: "Dictionary and Dictionary-RLE Encoding",
+		Columns: []string{"attribute", "kind", "CPU 1T MB/s", "UDP lane MB/s", "lanes", "UDP MB/s", "speedup vs 8T", "tput/W vs CPU"}}
+	domains := map[string][]string{
+		"Arrest":   workload.ArrestDomain,
+		"District": workload.DistrictDomain,
+		"Location": workload.LocationDomain,
+	}
+	n := 40000 * cfg.Scale
+	for _, name := range []string{"Arrest", "District", "Location"} {
+		domain := domains[name]
+		d8, err := dict.NewDictionary(domain)
+		if err != nil {
+			return nil, err
+		}
+		col := workload.DictColumn(n, domain, cfg.Seed+9)
+		stream := dict.Join(col)
+		for _, rle := range []bool{false, true} {
+			kind := "dict"
+			cpuF := func() { d8.Encode(stream) }
+			if rle {
+				kind = "dict-rle"
+				cpuF = func() { d8.EncodeRLE(stream) }
+			}
+			cpu := cpuRateMBps(len(stream), cpuF)
+			im, err := effclip.Layout(d8.BuildProgram(rle), effclip.Options{})
+			if err != nil {
+				return nil, err
+			}
+			rate, _, err := laneRun(im, stream, len(stream))
+			if err != nil {
+				return nil, err
+			}
+			k := KernelResult{Name: kind, Workload: name, InputBytes: len(stream),
+				CPURate: cpu, UDPLaneRate: rate, Lanes: machine.MaxLanes(im)}
+			t.AddRow(name, kind, f1(k.CPURate), f1(k.UDPLaneRate),
+				d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()), f0(k.PerWatt()))
+		}
+	}
+	return t, nil
+}
+
+// --- Figure 18: histogram ---
+
+// Fig18Histogram regenerates Figure 18: Crimes.Latitude/Longitude (10 bins)
+// and Taxi.Fare (4 bins), uniform and percentile edges.
+func Fig18Histogram(cfg Config) (*Table, error) {
+	t := &Table{ID: "fig18", Title: "Histogram",
+		Columns: []string{"column", "bins", "edges", "CPU 1T MB/s", "UDP lane MB/s", "lanes", "UDP MB/s", "speedup vs 8T", "tput/W vs CPU"}}
+	n := 100000 * cfg.Scale
+	cases := []struct {
+		name   string
+		bins   int
+		lo, hi float64
+		dist   workload.FloatDist
+	}{
+		{"Crimes.Latitude", 10, 41.6, 42.0, workload.DistNormal},
+		{"Crimes.Longitude", 10, -87.9, -87.5, workload.DistUniform},
+		{"Taxi.Fare", 4, 2.5, 80, workload.DistExp},
+	}
+	for _, c := range cases {
+		values := workload.FloatColumn(n, c.dist, c.lo, c.hi, cfg.Seed+11)
+		for _, kind := range []string{"uniform", "percentile"} {
+			var edges []float64
+			if kind == "uniform" {
+				edges = histogram.UniformEdges(c.bins, c.lo, c.hi)
+			} else {
+				edges = histogram.PercentileEdges(c.bins, values[:1024])
+			}
+			bytes := 8 * len(values)
+			cpu := cpuRateMBps(bytes, func() { histogram.Histogram(edges, values) })
+			prog, err := histogram.BuildProgram(edges)
+			if err != nil {
+				return nil, err
+			}
+			im, err := effclip.Layout(prog, effclip.Options{})
+			if err != nil {
+				return nil, err
+			}
+			rate, _, err := laneRun(im, histogram.KeyBytes(values), bytes)
+			if err != nil {
+				return nil, err
+			}
+			k := KernelResult{Name: "histogram", Workload: c.name, InputBytes: bytes,
+				CPURate: cpu, UDPLaneRate: rate, Lanes: machine.MaxLanes(im)}
+			t.AddRow(c.name, d(c.bins), kind, f1(k.CPURate), f1(k.UDPLaneRate),
+				d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()), f0(k.PerWatt()))
+		}
+	}
+	return t, nil
+}
+
+// --- Figures 19/20: Snappy ---
+
+// snappyBlockSize keeps per-lane footprint near the paper's 3-bank regime.
+const snappyBlockSize = 16 * 1024
+
+// Fig19SnappyCompress regenerates Figure 19.
+func Fig19SnappyCompress(cfg Config) (*Table, error) {
+	t := &Table{ID: "fig19", Title: "Snappy Compression",
+		Columns: []string{"file", "KB", "ratio", "CPU 1T MB/s", "UDP lane MB/s", "lanes", "UDP MB/s", "speedup vs 8T", "tput/W vs CPU"},
+		Notes:   []string{"CPU baseline keeps the incompressible-skip heuristic; the UDP program does not (paper footnote 3)"}}
+	codec, err := snappy.NewCodec(snappyBlockSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range huffCorpus(cfg) {
+		data := f.Data()
+		cpu := cpuRateMBps(len(data), func() { snappy.Encode(data) })
+		blocks, st, err := codec.CompressUDP(data)
+		if err != nil {
+			return nil, err
+		}
+		comp := snappy.BlocksToStream(blocks)
+		k := KernelResult{Name: "snappy-comp", Workload: f.Name, InputBytes: len(data),
+			CPURate: cpu, UDPLaneRate: machine.RateMBps(len(data), st.Cycles),
+			Lanes: codec.EncLanes()}
+		t.AddRow(f.Name, d(len(data)/1024), f2(snappy.Ratio(len(comp), len(data))),
+			f1(k.CPURate), f1(k.UDPLaneRate), d(k.Lanes), f0(k.UDPAggRate()),
+			f1(k.Speedup()), f0(k.PerWatt()))
+	}
+	return t, nil
+}
+
+// Fig20SnappyDecompress regenerates Figure 20 (rates over decompressed
+// bytes).
+func Fig20SnappyDecompress(cfg Config) (*Table, error) {
+	t := &Table{ID: "fig20", Title: "Snappy Decompression",
+		Columns: []string{"file", "KB", "CPU 1T MB/s", "UDP lane MB/s", "lanes", "UDP MB/s", "speedup vs 8T", "tput/W vs CPU"}}
+	codec, err := snappy.NewCodec(snappyBlockSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range huffCorpus(cfg) {
+		data := f.Data()
+		stream := snappy.Encode(data)
+		cpu := cpuRateMBps(len(data), func() {
+			if _, err := snappy.Decode(stream); err != nil {
+				panic(err)
+			}
+		})
+		blocks := snappy.EncodeBlocked(data, snappyBlockSize, true)
+		_, st, err := codec.DecompressUDP(blocks)
+		if err != nil {
+			return nil, err
+		}
+		k := KernelResult{Name: "snappy-decomp", Workload: f.Name, InputBytes: len(data),
+			CPURate: cpu, UDPLaneRate: machine.RateMBps(len(data), st.Cycles),
+			Lanes: codec.DecLanes()}
+		t.AddRow(f.Name, d(len(data)/1024), f1(k.CPURate), f1(k.UDPLaneRate),
+			d(k.Lanes), f0(k.UDPAggRate()), f1(k.Speedup()), f0(k.PerWatt()))
+	}
+	return t, nil
+}
+
+// --- Section 5.7: signal triggering ---
+
+// TriggerRates regenerates the Section 5.7 comparison: UDP lane rate is
+// constant across p2..p13 and beats both the CPU LUT and the product FPGA.
+func TriggerRates(cfg Config) (*Table, error) {
+	t := &Table{ID: "trigger", Title: "Signal Triggering (transition localization p2..p13)",
+		Columns: []string{"FSM", "CPU LUT MB/s", "UDP lane MB/s", "FPGA MB/s", "triggers"},
+		Notes:   []string{"FPGA rate is the Keysight product constant the paper cites (256 MB/s)"}}
+	wave := workload.Waveform(400000*cfg.Scale, cfg.Seed+13)
+	for k := 2; k <= 13; k++ {
+		f, err := trigger.NewFSM(k, trigger.DefaultThresholds)
+		if err != nil {
+			return nil, err
+		}
+		cpu := cpuRateMBps(len(wave), func() { f.TriggersLUT(wave) })
+		im, err := effclip.Layout(f.BuildProgram(), effclip.Options{})
+		if err != nil {
+			return nil, err
+		}
+		lane, err := machine.RunSingle(im, wave)
+		if err != nil {
+			return nil, err
+		}
+		rate := machine.RateMBps(len(wave), lane.Stats().Cycles)
+		t.AddRow(fmt.Sprintf("p%d", k), f1(cpu), f1(rate), "256", d(len(lane.Matches())))
+	}
+	return t, nil
+}
+
+// --- Figures 21/22: overall ---
+
+var collectMu sync.Mutex
+var collectCache = map[Config][]KernelResult{}
+
+// Collect runs one representative workload per kernel and caches the results
+// for the overall figures.
+func Collect(cfg Config) ([]KernelResult, error) {
+	cfg = cfg.norm()
+	collectMu.Lock()
+	defer collectMu.Unlock()
+	if rs, ok := collectCache[cfg]; ok {
+		return rs, nil
+	}
+	var results []KernelResult
+
+	// CSV (crimes).
+	csvIm, err := effclip.Layout(csvparse.BuildProgram(), effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	crimes := workload.CrimesCSV(workload.CSVSpec{Name: "crimes", Rows: 2000 * cfg.Scale, Seed: cfg.Seed})
+	k, err := csvResult("crimes", crimes, csvIm)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, k)
+
+	// Huffman encode/decode (english corpus).
+	text := workload.Text(workload.TextEnglish, 256*1024*cfg.Scale, cfg.Seed+1)
+	htbl := huffman.Build(text)
+	comp, _ := htbl.Encode(text)
+	encIm, err := effclip.Layout(huffman.BuildEncoder(htbl), effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	_, encSt, err := huffman.RunEncoder(encIm, text)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, KernelResult{Name: "huffenc", Workload: "english", InputBytes: len(text),
+		CPURate:     cpuRateMBps(len(text), func() { htbl.Encode(text) }),
+		UDPLaneRate: machine.RateMBps(len(text), encSt.Cycles), Lanes: machine.MaxLanes(encIm)})
+
+	decProg, err := huffman.BuildDecoder(htbl, huffman.SsRef)
+	if err != nil {
+		return nil, err
+	}
+	decIm, err := huffman.LayoutDecoder(decProg, huffman.SsRef)
+	if err != nil {
+		return nil, err
+	}
+	_, decSt, err := huffman.RunDecoder(decIm, comp, len(text))
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, KernelResult{Name: "huffdec", Workload: "english", InputBytes: len(text),
+		CPURate: cpuRateMBps(len(text), func() {
+			if _, err := htbl.Decode(comp, len(text)); err != nil {
+				panic(err)
+			}
+		}),
+		UDPLaneRate: machine.RateMBps(len(text), decSt.Cycles), Lanes: machine.MaxLanes(decIm)})
+
+	// Pattern matching (simple, ADFA).
+	pats := workload.NIDSPatterns(12, false, cfg.Seed+2)
+	set, err := pattern.Compile(pats)
+	if err != nil {
+		return nil, err
+	}
+	trace := workload.NetworkTrace(400000*cfg.Scale, pats, 0.05, cfg.Seed+3)
+	adfa, err := set.BuildADFA()
+	if err != nil {
+		return nil, err
+	}
+	adfaIm, err := effclip.Layout(adfa, effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	patRate, _, err := laneRun(adfaIm, trace, len(trace))
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, KernelResult{Name: "pattern", Workload: "nids", InputBytes: len(trace),
+		CPURate:     cpuRateMBps(len(trace), func() { set.MatchCPU(trace) }),
+		UDPLaneRate: patRate, Lanes: machine.MaxLanes(adfaIm)})
+
+	// Dictionary and dictionary-RLE (Location).
+	dd, err := dict.NewDictionary(workload.LocationDomain)
+	if err != nil {
+		return nil, err
+	}
+	col := workload.DictColumn(60000*cfg.Scale, workload.LocationDomain, cfg.Seed+4)
+	stream := dict.Join(col)
+	for _, rle := range []bool{false, true} {
+		name := "dict"
+		cpuF := func() { dd.Encode(stream) }
+		if rle {
+			name = "dict-rle"
+			cpuF = func() { dd.EncodeRLE(stream) }
+		}
+		dim, err := effclip.Layout(dd.BuildProgram(rle), effclip.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rate, _, err := laneRun(dim, stream, len(stream))
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, KernelResult{Name: name, Workload: "Location", InputBytes: len(stream),
+			CPURate: cpuRateMBps(len(stream), cpuF), UDPLaneRate: rate, Lanes: machine.MaxLanes(dim)})
+	}
+
+	// Histogram (latitude, 10 uniform bins).
+	values := workload.FloatColumn(150000*cfg.Scale, workload.DistNormal, 41.6, 42.0, cfg.Seed+5)
+	edges := histogram.UniformEdges(10, 41.6, 42.0)
+	hprog, err := histogram.BuildProgram(edges)
+	if err != nil {
+		return nil, err
+	}
+	him, err := effclip.Layout(hprog, effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	hbytes := 8 * len(values)
+	hrate, _, err := laneRun(him, histogram.KeyBytes(values), hbytes)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, KernelResult{Name: "histogram", Workload: "latitude", InputBytes: hbytes,
+		CPURate:     cpuRateMBps(hbytes, func() { histogram.Histogram(edges, values) }),
+		UDPLaneRate: hrate, Lanes: machine.MaxLanes(him)})
+
+	// Snappy compression/decompression (html corpus).
+	html := workload.Text(workload.TextHTML, 256*1024*cfg.Scale, cfg.Seed+6)
+	codec, err := snappy.NewCodec(snappyBlockSize)
+	if err != nil {
+		return nil, err
+	}
+	_, cst, err := codec.CompressUDP(html)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, KernelResult{Name: "snappy-comp", Workload: "html", InputBytes: len(html),
+		CPURate:     cpuRateMBps(len(html), func() { snappy.Encode(html) }),
+		UDPLaneRate: machine.RateMBps(len(html), cst.Cycles), Lanes: codec.EncLanes()})
+
+	blocks := snappy.EncodeBlocked(html, snappyBlockSize, true)
+	stream2 := snappy.Encode(html)
+	_, dst, err := codec.DecompressUDP(blocks)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, KernelResult{Name: "snappy-decomp", Workload: "html", InputBytes: len(html),
+		CPURate: cpuRateMBps(len(html), func() {
+			if _, err := snappy.Decode(stream2); err != nil {
+				panic(err)
+			}
+		}),
+		UDPLaneRate: machine.RateMBps(len(html), dst.Cycles), Lanes: codec.DecLanes()})
+
+	// XML tokenizing (crawl-like HTML).
+	html2 := workload.Text(workload.TextHTML, 512*1024*cfg.Scale, cfg.Seed+8)
+	xim, err := effclip.Layout(xmlparse.BuildProgram(), effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	xrate, _, err := laneRun(xim, html2, len(html2))
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, KernelResult{Name: "xml", Workload: "crawl", InputBytes: len(html2),
+		CPURate:     cpuRateMBps(len(html2), func() { xmlparse.Tokenize(html2) }),
+		UDPLaneRate: xrate, Lanes: machine.MaxLanes(xim)})
+
+	// Signal triggering (p5).
+	wave := workload.Waveform(400000*cfg.Scale, cfg.Seed+7)
+	tf, err := trigger.NewFSM(5, trigger.DefaultThresholds)
+	if err != nil {
+		return nil, err
+	}
+	tim, err := effclip.Layout(tf.BuildProgram(), effclip.Options{})
+	if err != nil {
+		return nil, err
+	}
+	trate, _, err := laneRun(tim, wave, len(wave))
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, KernelResult{Name: "trigger", Workload: "p5", InputBytes: len(wave),
+		CPURate:     cpuRateMBps(len(wave), func() { tf.TriggersLUT(wave) }),
+		UDPLaneRate: trate, Lanes: machine.MaxLanes(tim)})
+
+	collectCache[cfg] = results
+	return results, nil
+}
+
+// Fig21Overall regenerates Figure 21: full-UDP speedup over 8 CPU threads
+// per kernel plus the geometric mean.
+func Fig21Overall(cfg Config) (*Table, error) {
+	results, err := Collect(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig21", Title: "Overall UDP Speedup vs 8 CPU threads",
+		Columns: []string{"kernel", "workload", "CPU 8T MB/s", "UDP MB/s", "speedup"}}
+	var sp []float64
+	for _, k := range results {
+		sp = append(sp, k.Speedup())
+		t.AddRow(k.Name, k.Workload, f0(k.CPU8Rate()), f0(k.UDPAggRate()), f1(k.Speedup()))
+	}
+	t.AddRow("geomean", "", "", "", f1(geomean(sp)))
+	return t, nil
+}
+
+// Fig22PerWatt regenerates Figure 22: throughput/power advantage per kernel
+// plus the geometric mean.
+func Fig22PerWatt(cfg Config) (*Table, error) {
+	results, err := Collect(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig22", Title: "Overall UDP Performance/Watt vs CPU",
+		Columns: []string{"kernel", "workload", "UDP MB/s/W", "CPU MB/s/W", "advantage"}}
+	var adv []float64
+	for _, k := range results {
+		a := k.PerWatt()
+		adv = append(adv, a)
+		t.AddRow(k.Name, k.Workload,
+			f0(k.UDPAggRate()/0.86368), f2(k.CPU8Rate()/80.0), f0(a))
+	}
+	t.AddRow("geomean", "", "", "", f0(geomean(adv)))
+	return t, nil
+}

@@ -1,0 +1,152 @@
+// Package csvparse implements the CSV-parsing kernel of paper Section 5.1:
+// a libcsv-style finite-state parser handling quoted fields and escaped
+// quotes, as both a CPU baseline (the branch-offset switch structure of
+// Figure 4a) and a UDP program exploiting multi-way dispatch.
+//
+// Both produce the same tokenized output: field bytes with 0x1F (ASCII unit
+// separator) between fields and 0x1E (record separator) after each record,
+// with quoting resolved.
+package csvparse
+
+import (
+	"udp/internal/core"
+)
+
+// FieldSep and RecordSep delimit the tokenized output.
+const (
+	FieldSep  = 0x1F
+	RecordSep = 0x1E
+)
+
+// Parse is the CPU reference parser (libcsv FSM, branch-offset style): it
+// tokenizes CSV input into the FieldSep/RecordSep stream, resolving quotes
+// and escaped quotes. It returns the tokenized bytes.
+func Parse(data []byte) []byte {
+	out := make([]byte, 0, len(data))
+	const (
+		stField = iota // at field start
+		stPlain        // inside unquoted field
+		stQuote        // inside quoted field
+		stQQ           // quote seen inside quoted field
+	)
+	st := stField
+	for _, c := range data {
+		switch st {
+		case stField:
+			switch c {
+			case '"':
+				st = stQuote
+			case ',':
+				out = append(out, FieldSep)
+			case '\n':
+				out = append(out, RecordSep)
+			case '\r':
+			default:
+				out = append(out, c)
+				st = stPlain
+			}
+		case stPlain:
+			switch c {
+			case ',':
+				out = append(out, FieldSep)
+				st = stField
+			case '\n':
+				out = append(out, RecordSep)
+				st = stField
+			case '\r':
+			default:
+				out = append(out, c)
+			}
+		case stQuote:
+			if c == '"' {
+				st = stQQ
+			} else {
+				out = append(out, c)
+			}
+		case stQQ:
+			switch c {
+			case '"':
+				out = append(out, '"')
+				st = stQuote
+			case ',':
+				out = append(out, FieldSep)
+				st = stField
+			case '\n':
+				out = append(out, RecordSep)
+				st = stField
+			case '\r':
+				st = stPlain
+			default:
+				out = append(out, c)
+				st = stPlain
+			}
+		}
+	}
+	return out
+}
+
+// Rows splits a tokenized stream back into records and fields (test and
+// example helper).
+func Rows(tok []byte) [][]string {
+	var rows [][]string
+	var row []string
+	var field []byte
+	for _, c := range tok {
+		switch c {
+		case FieldSep:
+			row = append(row, string(field))
+			field = field[:0]
+		case RecordSep:
+			row = append(row, string(field))
+			field = field[:0]
+			rows = append(rows, row)
+			row = nil
+		default:
+			field = append(field, c)
+		}
+	}
+	if len(field) > 0 || len(row) > 0 {
+		row = append(row, string(field))
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// BuildProgram constructs the UDP CSV parser. The finite-state machine is
+// the same as Parse's; multi-way dispatch selects the delimiter handling in
+// one cycle per input character (paper: "multi-way dispatch enables fast
+// parsing tree traversal and delimiter matching").
+func BuildProgram() *core.Program {
+	p := core.NewProgram("csvparse", 8)
+	field := p.AddState("field", core.ModeStream)
+	plain := p.AddState("plain", core.ModeStream)
+	quote := p.AddState("quote", core.ModeStream)
+	qq := p.AddState("qq", core.ModeStream)
+
+	emitSym := core.AOut8(core.RSym)
+	emitSep := []core.Action{core.AMovi(core.R1, FieldSep), core.AOut8(core.R1)}
+	emitRec := []core.Action{core.AMovi(core.R1, RecordSep), core.AOut8(core.R1)}
+	emitQuote := []core.Action{core.AMovi(core.R1, '"'), core.AOut8(core.R1)}
+
+	field.On('"', quote)
+	field.On(',', field, emitSep...)
+	field.On('\n', field, emitRec...)
+	field.On('\r', field)
+	field.Majority(plain, emitSym)
+
+	plain.On(',', field, emitSep...)
+	plain.On('\n', field, emitRec...)
+	plain.On('\r', plain)
+	plain.Majority(plain, emitSym)
+
+	quote.On('"', qq)
+	quote.Majority(quote, emitSym)
+
+	qq.On('"', quote, emitQuote...)
+	qq.On(',', field, emitSep...)
+	qq.On('\n', field, emitRec...)
+	qq.On('\r', plain)
+	qq.Majority(plain, emitSym)
+
+	return p
+}

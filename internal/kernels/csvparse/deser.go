@@ -1,0 +1,336 @@
+package csvparse
+
+import "udp/internal/core"
+
+// Invalid is emitted for fields that fail integer validation.
+const Invalid = 0xFFFFFFFF
+
+// DeserializeInts is the CPU baseline for the deserialization/validation
+// stage (the "costly follow-on processing" of paper Section 7): it converts
+// a tokenized column of ASCII integers (fields separated by FieldSep or
+// RecordSep) into binary uint32 values with domain validation. Arithmetic
+// wraps at 32 bits, matching the UDP lane datapath. Invalid fields produce
+// the Invalid marker and are counted.
+func DeserializeInts(tok []byte) (values []uint32, invalid int) {
+	var v uint32
+	neg := false
+	bad := false
+	started := false
+	flush := func() {
+		switch {
+		case bad:
+			values = append(values, Invalid)
+			invalid++
+		case neg:
+			values = append(values, -v)
+		default:
+			values = append(values, v)
+		}
+		v, neg, bad, started = 0, false, false, false
+	}
+	for _, c := range tok {
+		switch {
+		case c == FieldSep || c == RecordSep:
+			flush()
+		case c == '-' && !started && !bad:
+			neg = true
+			started = true
+		case c >= '0' && c <= '9' && !bad:
+			v = v*10 + uint32(c-'0')
+			started = true
+		default:
+			bad = true
+		}
+	}
+	if started || neg || bad {
+		flush()
+	}
+	return values, invalid
+}
+
+// BuildIntDeserializer constructs the UDP program for the same stage: digits
+// accumulate via multiply-add actions, separators flush through a flagged
+// sign check, and invalid bytes divert to a skip state that emits the
+// Invalid marker and records an Accept event (the validation trap).
+func BuildIntDeserializer() *core.Program {
+	p := core.NewProgram("intdeser", 8)
+	start := p.AddState("start", core.ModeStream)
+	digits := p.AddState("digits", core.ModeStream)
+	fin := p.AddState("fin", core.ModeFlagged)
+	fin.SymbolBits = 1
+	bad := p.AddState("bad", core.ModeStream)
+
+	A := func(op core.Opcode, dst, ref, src core.Reg, imm int32) core.Action {
+		return core.Action{Op: op, Dst: dst, Ref: ref, Src: src, Imm: imm}
+	}
+	accum := []core.Action{
+		A(core.OpMuli, core.R2, 0, core.R2, 10),
+		A(core.OpSubi, core.R3, 0, core.RSym, '0'),
+		A(core.OpAdd, core.R2, core.R2, core.R3, 0),
+	}
+	firstDigit := []core.Action{A(core.OpSubi, core.R2, 0, core.RSym, '0')}
+	toFin := []core.Action{core.AMov(core.R0, core.R4)}
+
+	for d := byte('0'); d <= '9'; d++ {
+		start.On(uint32(d), digits, firstDigit...)
+		digits.On(uint32(d), digits, accum...)
+		bad.On(uint32(d), bad)
+	}
+	start.On('-', digits, core.AMovi(core.R4, 1))
+	for _, sep := range []byte{FieldSep, RecordSep} {
+		start.On(uint32(sep), fin, toFin...) // empty field flushes 0
+		digits.On(uint32(sep), fin, toFin...)
+		bad.On(uint32(sep), start,
+			core.AMovi(core.R2, 0xFFFF),
+			A(core.OpLui, core.R2, 0, core.R2, 0xFFFF),
+			core.AOut32(core.R2),
+			core.AAccept(9), // validation trap
+			core.AMovi(core.R2, 0),
+			core.AMovi(core.R4, 0),
+		)
+	}
+	start.Majority(bad)
+	digits.Majority(bad)
+	bad.Majority(bad)
+
+	flushTail := []core.Action{
+		core.AOut32(core.R2),
+		core.AMovi(core.R2, 0),
+		core.AMovi(core.R4, 0),
+	}
+	fin.On(0, start, flushTail...)
+	fin.On(1, start, append([]core.Action{
+		core.AMovi(core.R3, 0),
+		A(core.OpSub, core.R2, core.R3, core.R2, 0),
+	}, flushTail...)...)
+	return p
+}
+
+// BuildDateValidator constructs a UDP program validating YYYY-MM-DD date
+// fields (FieldSep/RecordSep separated): the calendar constraints (month
+// 01..12, day 01..31 with 30/31 shape checks) are compiled into the dispatch
+// structure itself, so validation costs one cycle per byte (the Figure 1
+// "validation of domains such as dates" stage). Valid fields emit 'V',
+// invalid ones emit 'X' and record an Accept event.
+func BuildDateValidator() *core.Program {
+	p := core.NewProgram("datevalid", 8)
+	states := map[string]*core.State{}
+	mk := func(name string) *core.State {
+		if s, ok := states[name]; ok {
+			return s
+		}
+		s := p.AddState(name, core.ModeStream)
+		states[name] = s
+		return s
+	}
+	start := mk("start")
+	bad := mk("bad")
+
+	ok := []core.Action{core.AMovi(core.R1, 'V'), core.AOut8(core.R1)}
+	fail := []core.Action{core.AMovi(core.R1, 'X'), core.AOut8(core.R1), core.AAccept(7)}
+
+	digits := func(s *core.State, lo, hi byte, next *core.State) {
+		for d := lo; d <= hi; d++ {
+			s.On(uint32(d), next)
+		}
+	}
+	seps := func(s *core.State, next *core.State, acts []core.Action) {
+		s.On(FieldSep, next, acts...)
+		s.On(RecordSep, next, acts...)
+	}
+
+	// Year: four digits.
+	y := []*core.State{start, mk("y2"), mk("y3"), mk("y4"), mk("dash1")}
+	for i := 0; i < 4; i++ {
+		digits(y[i], '0', '9', y[i+1])
+	}
+	dash1 := y[4]
+	m1 := mk("m1")
+	dash1.On('-', m1)
+
+	// Month: 01..09 or 10..12.
+	m2a := mk("m2a") // after leading 0
+	m2b := mk("m2b") // after leading 1
+	dash2 := mk("dash2")
+	m1.On('0', m2a)
+	m1.On('1', m2b)
+	digits(m2a, '1', '9', dash2)
+	digits(m2b, '0', '2', dash2)
+	d1 := mk("d1")
+	dash2.On('-', d1)
+
+	// Day: 01..09, 10..29, 30..31 (month-length subtleties beyond the
+	// 31-day cap are left to the engine, as real loaders do in the fast
+	// path).
+	d2a := mk("d2a") // leading 0 -> 1..9
+	d2b := mk("d2b") // leading 1..2 -> 0..9
+	d2c := mk("d2c") // leading 3 -> 0..1
+	fin := mk("fin")
+	d1.On('0', d2a)
+	d1.On('1', d2b)
+	d1.On('2', d2b)
+	d1.On('3', d2c)
+	digits(d2a, '1', '9', fin)
+	digits(d2b, '0', '9', fin)
+	digits(d2c, '0', '1', fin)
+	seps(fin, start, ok)
+
+	// Every other byte anywhere diverts to the skip state.
+	for _, s := range p.States {
+		if s != bad && s.Fallback == nil {
+			s.Default(bad)
+		}
+	}
+	seps(bad, start, fail)
+	bad.Majority(bad)
+	return p
+}
+
+// ValidDate is the CPU reference for BuildDateValidator's acceptance set.
+func ValidDate(s string) bool {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return false
+	}
+	for i, c := range []byte(s) {
+		if i == 4 || i == 7 {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	m := int(s[5]-'0')*10 + int(s[6]-'0')
+	d := int(s[8]-'0')*10 + int(s[9]-'0')
+	return m >= 1 && m <= 12 && d >= 1 && d <= 31
+}
+
+// DeserializeDecimals is the CPU baseline for fixed-point decimal columns
+// (prices, discounts): fields with up to two fraction digits become cents
+// (value x 100), with the same wrap-at-32-bits and Invalid-marker semantics
+// as DeserializeInts.
+func DeserializeDecimals(tok []byte) (cents []uint32, invalid int) {
+	var v uint32
+	neg, bad, started := false, false, false
+	frac := -1 // -1 = integer part; 0..2 = fraction digits seen
+	flush := func() {
+		switch {
+		case bad || frac > 2:
+			cents = append(cents, Invalid)
+			invalid++
+		default:
+			switch frac {
+			case -1, 0:
+				v *= 100
+			case 1:
+				v *= 10
+			}
+			if neg {
+				v = -v
+			}
+			cents = append(cents, v)
+		}
+		v, neg, bad, started, frac = 0, false, false, false, -1
+	}
+	for _, c := range tok {
+		switch {
+		case c == FieldSep || c == RecordSep:
+			flush()
+		case c == '-' && !started && !bad:
+			neg, started = true, true
+		case c == '.' && frac == -1 && !bad:
+			frac = 0
+		case c >= '0' && c <= '9' && !bad:
+			if frac >= 0 {
+				frac++
+				if frac > 2 {
+					bad = true
+					continue
+				}
+			}
+			v = v*10 + uint32(c-'0')
+			started = true
+		default:
+			bad = true
+		}
+	}
+	if started || neg || bad {
+		flush()
+	}
+	return cents, invalid
+}
+
+// BuildDecimalDeserializer constructs the UDP fixed-point decimal parser:
+// the fraction-digit count lives in the state identity (ipart/frac1/frac2),
+// so each flush path applies its scale with a single multiply before the
+// flagged sign check.
+func BuildDecimalDeserializer() *core.Program {
+	p := core.NewProgram("decdeser", 8)
+	start := p.AddState("start", core.ModeStream)
+	ipart := p.AddState("ipart", core.ModeStream)
+	frac0 := p.AddState("frac0", core.ModeStream)
+	frac1 := p.AddState("frac1", core.ModeStream)
+	frac2 := p.AddState("frac2", core.ModeStream)
+	fin := p.AddState("fin", core.ModeFlagged)
+	fin.SymbolBits = 1
+	bad := p.AddState("bad", core.ModeStream)
+
+	A := func(op core.Opcode, dst, ref, src core.Reg, imm int32) core.Action {
+		return core.Action{Op: op, Dst: dst, Ref: ref, Src: src, Imm: imm}
+	}
+	accum := []core.Action{
+		A(core.OpMuli, core.R2, 0, core.R2, 10),
+		A(core.OpSubi, core.R3, 0, core.RSym, '0'),
+		A(core.OpAdd, core.R2, core.R2, core.R3, 0),
+	}
+	firstDigit := []core.Action{A(core.OpSubi, core.R2, 0, core.RSym, '0')}
+	flushScaled := func(scale int32) []core.Action {
+		var acts []core.Action
+		if scale > 1 {
+			acts = append(acts, A(core.OpMuli, core.R2, 0, core.R2, scale))
+		}
+		return append(acts, core.AMov(core.R0, core.R4))
+	}
+
+	for d := byte('0'); d <= '9'; d++ {
+		start.On(uint32(d), ipart, firstDigit...)
+		ipart.On(uint32(d), ipart, accum...)
+		frac0.On(uint32(d), frac1, accum...)
+		frac1.On(uint32(d), frac2, accum...)
+		bad.On(uint32(d), bad)
+		// A third fraction digit is a domain violation.
+		frac2.On(uint32(d), bad)
+	}
+	start.On('-', ipart, core.AMovi(core.R4, 1))
+	ipart.On('.', frac0)
+	for _, sep := range []byte{FieldSep, RecordSep} {
+		start.On(uint32(sep), fin, flushScaled(100)...)
+		ipart.On(uint32(sep), fin, flushScaled(100)...)
+		frac0.On(uint32(sep), fin, flushScaled(100)...)
+		frac1.On(uint32(sep), fin, flushScaled(10)...)
+		frac2.On(uint32(sep), fin, flushScaled(1)...)
+		bad.On(uint32(sep), start,
+			core.AMovi(core.R2, 0xFFFF),
+			A(core.OpLui, core.R2, 0, core.R2, 0xFFFF),
+			core.AOut32(core.R2),
+			core.AAccept(9),
+			core.AMovi(core.R2, 0),
+			core.AMovi(core.R4, 0),
+		)
+	}
+	for _, s := range []*core.State{start, ipart, frac0, frac1, frac2} {
+		s.Default(bad)
+	}
+	bad.Majority(bad)
+
+	flushTail := []core.Action{
+		core.AOut32(core.R2),
+		core.AMovi(core.R2, 0),
+		core.AMovi(core.R4, 0),
+	}
+	fin.On(0, start, flushTail...)
+	fin.On(1, start, append([]core.Action{
+		core.AMovi(core.R3, 0),
+		A(core.OpSub, core.R2, core.R3, core.R2, 0),
+	}, flushTail...)...)
+	return p
+}

@@ -1,0 +1,328 @@
+package csvparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"udp/internal/effclip"
+	"udp/internal/machine"
+)
+
+func fieldsToTok(fields []string) []byte {
+	var b []byte
+	for _, f := range fields {
+		b = append(b, f...)
+		b = append(b, FieldSep)
+	}
+	return b
+}
+
+func TestDeserializeAgainstStrconv(t *testing.T) {
+	fields := []string{"0", "1", "42", "999999", "4294967295", "-17", "-0", "007"}
+	values, invalid := DeserializeInts(fieldsToTok(fields))
+	if invalid != 0 {
+		t.Fatalf("%d invalid", invalid)
+	}
+	for i, f := range fields {
+		want, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if values[i] != uint32(want) {
+			t.Errorf("field %q: got %d want %d", f, values[i], uint32(want))
+		}
+	}
+}
+
+func TestDeserializeValidation(t *testing.T) {
+	values, invalid := DeserializeInts(fieldsToTok([]string{"12", "1x2", "3-4", "", "9"}))
+	if invalid != 2 {
+		t.Fatalf("invalid = %d, want 2", invalid)
+	}
+	want := []uint32{12, Invalid, Invalid, 0, 9}
+	for i := range want {
+		if values[i] != want[i] {
+			t.Fatalf("values %v", values)
+		}
+	}
+}
+
+func TestDeserializeProperty(t *testing.T) {
+	f := func(nums []int32) bool {
+		fields := make([]string, len(nums))
+		for i, n := range nums {
+			fields[i] = strconv.FormatInt(int64(n), 10)
+		}
+		values, invalid := DeserializeInts(fieldsToTok(fields))
+		if invalid != 0 || len(values) != len(nums) {
+			return false
+		}
+		for i, n := range nums {
+			if values[i] != uint32(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func udpDeserialize(t *testing.T, tok []byte) ([]uint32, int) {
+	t.Helper()
+	im, err := effclip.Layout(BuildIntDeserializer(), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := lane.Output()
+	if len(out)%4 != 0 {
+		t.Fatalf("output %d bytes not word aligned", len(out))
+	}
+	values := make([]uint32, len(out)/4)
+	for i := range values {
+		values[i] = uint32(out[4*i]) | uint32(out[4*i+1])<<8 |
+			uint32(out[4*i+2])<<16 | uint32(out[4*i+3])<<24
+	}
+	return values, len(lane.Matches())
+}
+
+func TestUDPDeserializerMatchesBaseline(t *testing.T) {
+	cases := [][]string{
+		{"1", "22", "333", "4444"},
+		{"-5", "0", "-4294967295"},
+		{"12", "bad1", "34", "5x", "", "-"},
+		{"4294967295", "4294967296"}, // wraps identically on both sides
+	}
+	for ci, fields := range cases {
+		tok := fieldsToTok(fields)
+		wantV, wantInv := DeserializeInts(tok)
+		gotV, gotInv := udpDeserialize(t, tok)
+		if gotInv != wantInv {
+			t.Fatalf("case %d: %d validation traps, want %d", ci, gotInv, wantInv)
+		}
+		if len(gotV) != len(wantV) {
+			t.Fatalf("case %d: %d values, want %d (%v vs %v)", ci, len(gotV), len(wantV), gotV, wantV)
+		}
+		for i := range wantV {
+			if gotV[i] != wantV[i] {
+				t.Fatalf("case %d field %d: %d want %d", ci, i, gotV[i], wantV[i])
+			}
+		}
+	}
+}
+
+// TestEndToEndParseThenDeserialize chains the two UDP stages: tokenize a CSV
+// column, then deserialize it, verifying against the composed CPU pipeline.
+func TestEndToEndParseThenDeserialize(t *testing.T) {
+	var rows []string
+	for i := 0; i < 500; i++ {
+		rows = append(rows, fmt.Sprintf("%d", i*7919%100000))
+	}
+	csv := strings.Join(rows, "\n") + "\n"
+
+	// Stage 1: UDP parse.
+	parseIm, err := effclip.Layout(BuildProgram(), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(parseIm, []byte(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := append([]byte(nil), lane.Output()...)
+
+	// Stage 2: UDP deserialize.
+	gotV, gotInv := udpDeserialize(t, tok)
+	if gotInv != 0 {
+		t.Fatalf("%d invalid", gotInv)
+	}
+	if len(gotV) != len(rows) {
+		t.Fatalf("%d values, want %d", len(gotV), len(rows))
+	}
+	for i, r := range rows {
+		want, _ := strconv.Atoi(r)
+		if gotV[i] != uint32(want) {
+			t.Fatalf("row %d: %d want %d", i, gotV[i], want)
+		}
+	}
+}
+
+// TestDeserializerCost pins the per-digit cost (multiply-add chain).
+func TestDeserializerCost(t *testing.T) {
+	var fields []string
+	for i := 0; i < 2000; i++ {
+		fields = append(fields, strconv.Itoa(1000000+i))
+	}
+	tok := fieldsToTok(fields)
+	im, err := effclip.Layout(BuildIntDeserializer(), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpb := float64(lane.Stats().Cycles) / float64(len(tok))
+	if cpb < 3 || cpb > 5 {
+		t.Fatalf("cycles/byte %.2f outside [3,5]", cpb)
+	}
+}
+
+func TestDateValidator(t *testing.T) {
+	fields := []string{
+		"1994-01-31", "1999-12-01", "2024-02-28", // valid
+		"1994-13-01", "1994-00-10", "1994-06-32", "1994-06-00", // bad ranges
+		"199-01-01", "19940101", "1994-1-01", "abcd-ef-gh", "", // bad shapes
+		"2000-10-30", "2000-10-31",
+	}
+	tok := fieldsToTok(fields)
+	im, err := effclip.Layout(BuildDateValidator(), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := lane.Output()
+	if len(out) != len(fields) {
+		t.Fatalf("%d verdicts for %d fields: %q", len(out), len(fields), out)
+	}
+	invalid := 0
+	for i, f := range fields {
+		want := byte('X')
+		if ValidDate(f) {
+			want = 'V'
+		} else {
+			invalid++
+		}
+		if out[i] != want {
+			t.Fatalf("field %q: verdict %q, want %q", f, out[i], want)
+		}
+	}
+	if len(lane.Matches()) != invalid {
+		t.Fatalf("%d accept events, want %d", len(lane.Matches()), invalid)
+	}
+	// Validation is pure dispatch: ~1 cycle/byte plus flush actions.
+	cpb := float64(lane.Stats().Cycles) / float64(len(tok))
+	if cpb > 2.5 {
+		t.Fatalf("cycles/byte %.2f: date validation should be dispatch-bound", cpb)
+	}
+}
+
+func TestDateValidatorOnLineitemDates(t *testing.T) {
+	// The ETL generator's ship dates must all validate.
+	var fields []string
+	for m := 1; m <= 12; m++ {
+		for d := 1; d <= 28; d++ {
+			fields = append(fields, fmt.Sprintf("199%d-%02d-%02d", m%8+2, m, d))
+		}
+	}
+	tok := fieldsToTok(fields)
+	im, err := effclip.Layout(BuildDateValidator(), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range lane.Output() {
+		if v != 'V' {
+			t.Fatalf("field %q flagged invalid", fields[i])
+		}
+	}
+}
+
+func udpDecimals(t *testing.T, tok []byte) ([]uint32, int) {
+	t.Helper()
+	im, err := effclip.Layout(BuildDecimalDeserializer(), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := lane.Output()
+	values := make([]uint32, len(out)/4)
+	for i := range values {
+		values[i] = uint32(out[4*i]) | uint32(out[4*i+1])<<8 |
+			uint32(out[4*i+2])<<16 | uint32(out[4*i+3])<<24
+	}
+	return values, len(lane.Matches())
+}
+
+func TestDecimalDeserializer(t *testing.T) {
+	fields := []string{"0", "1.5", "12.34", "900.00", "7.", "-3.25", "42", "0.09"}
+	tok := fieldsToTok(fields)
+	wantV, wantInv := DeserializeDecimals(tok)
+	if wantInv != 0 {
+		t.Fatalf("baseline flagged %d invalid", wantInv)
+	}
+	expect := []int32{0, 150, 1234, 90000, 700, -325, 4200, 9}
+	for i, e := range expect {
+		if wantV[i] != uint32(e) {
+			t.Fatalf("baseline field %q = %d, want %d", fields[i], int32(wantV[i]), e)
+		}
+	}
+	gotV, gotInv := udpDecimals(t, tok)
+	if gotInv != 0 || len(gotV) != len(wantV) {
+		t.Fatalf("UDP inv=%d n=%d", gotInv, len(gotV))
+	}
+	for i := range wantV {
+		if gotV[i] != wantV[i] {
+			t.Fatalf("field %q: UDP %d, CPU %d", fields[i], int32(gotV[i]), int32(wantV[i]))
+		}
+	}
+}
+
+func TestDecimalDeserializerInvalid(t *testing.T) {
+	fields := []string{"1.234", "1.2.3", "x.1", "9.99", "--1", "3-"}
+	tok := fieldsToTok(fields)
+	wantV, wantInv := DeserializeDecimals(tok)
+	gotV, gotInv := udpDecimals(t, tok)
+	if gotInv != wantInv {
+		t.Fatalf("UDP %d traps, CPU %d", gotInv, wantInv)
+	}
+	for i := range wantV {
+		if gotV[i] != wantV[i] {
+			t.Fatalf("field %q: UDP %#x, CPU %#x", fields[i], gotV[i], wantV[i])
+		}
+	}
+	if wantV[3] != 999 {
+		t.Fatalf("9.99 -> %d", wantV[3])
+	}
+	if wantV[0] != Invalid || wantV[1] != Invalid {
+		t.Fatal("over-precise decimals must be invalid")
+	}
+}
+
+// TestDecimalAgainstLineitemPrices validates against the ETL generator's
+// actual price format (%.2f).
+func TestDecimalAgainstLineitemPrices(t *testing.T) {
+	var fields []string
+	var expect []uint32
+	for i := 0; i < 500; i++ {
+		cents := uint32(90000 + i*137)
+		fields = append(fields, fmt.Sprintf("%d.%02d", cents/100, cents%100))
+		expect = append(expect, cents)
+	}
+	gotV, inv := udpDecimals(t, fieldsToTok(fields))
+	if inv != 0 {
+		t.Fatalf("%d invalid", inv)
+	}
+	for i, e := range expect {
+		if gotV[i] != e {
+			t.Fatalf("field %q: %d want %d", fields[i], gotV[i], e)
+		}
+	}
+}

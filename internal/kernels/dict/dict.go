@@ -1,0 +1,240 @@
+// Package dict implements the dictionary and dictionary-RLE encoding kernels
+// of paper Section 5.4. The CPU baseline is a Parquet-style hash-map encoder
+// (the paper's "costly hash" bottleneck); the UDP program compiles the
+// defined dictionary into a byte trie traversed by multi-way dispatch, with
+// run-length tracking through flagged (scalar-register) dispatch — no
+// hashing at all.
+package dict
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"udp/internal/core"
+)
+
+// Sep terminates each value in the input column stream.
+const Sep = '\n'
+
+// Unknown is the code emitted for values absent from the dictionary.
+const Unknown = 0xFFFF
+
+// Dictionary maps a fixed value domain to dense uint16 codes.
+type Dictionary struct {
+	// Values holds the domain in code order.
+	Values []string
+	index  map[string]uint16
+}
+
+// NewDictionary builds a dictionary over the domain (sorted, deduplicated).
+func NewDictionary(domain []string) (*Dictionary, error) {
+	uniq := map[string]bool{}
+	for _, v := range domain {
+		if len(v) == 0 {
+			return nil, fmt.Errorf("dict: empty value in domain")
+		}
+		if bytes.IndexByte([]byte(v), Sep) >= 0 {
+			return nil, fmt.Errorf("dict: value %q contains the separator", v)
+		}
+		uniq[v] = true
+	}
+	d := &Dictionary{index: map[string]uint16{}}
+	for v := range uniq {
+		d.Values = append(d.Values, v)
+	}
+	sort.Strings(d.Values)
+	if len(d.Values) >= Unknown {
+		return nil, fmt.Errorf("dict: domain too large (%d)", len(d.Values))
+	}
+	for i, v := range d.Values {
+		d.index[v] = uint16(i)
+	}
+	return d, nil
+}
+
+// Join serializes a column as the Sep-terminated stream both encoders
+// consume.
+func Join(column []string) []byte {
+	var b bytes.Buffer
+	for _, v := range column {
+		b.WriteString(v)
+		b.WriteByte(Sep)
+	}
+	return b.Bytes()
+}
+
+// Encode is the CPU baseline dictionary encoder: per-value hash lookup
+// (Parquet C++ style). Input is the Sep-terminated stream; output is one
+// little-endian uint16 code per value.
+func (d *Dictionary) Encode(stream []byte) []byte {
+	out := make([]byte, 0, len(stream)/4)
+	start := 0
+	for i, c := range stream {
+		if c != Sep {
+			continue
+		}
+		code, ok := d.index[string(stream[start:i])]
+		if !ok {
+			code = Unknown
+		}
+		out = append(out, byte(code), byte(code>>8))
+		start = i + 1
+	}
+	return out
+}
+
+// EncodeRLE is the CPU baseline dictionary+run-length encoder: (code, count)
+// little-endian uint16 pairs.
+func (d *Dictionary) EncodeRLE(stream []byte) []byte {
+	codes := d.Encode(stream)
+	out := make([]byte, 0, len(codes)/2)
+	for i := 0; i < len(codes); i += 2 {
+		c := uint16(codes[i]) | uint16(codes[i+1])<<8
+		n := len(out)
+		if n >= 4 {
+			prev := uint16(out[n-4]) | uint16(out[n-3])<<8
+			cnt := uint16(out[n-2]) | uint16(out[n-1])<<8
+			if prev == c && cnt < 0xFFFF {
+				cnt++
+				out[n-2], out[n-1] = byte(cnt), byte(cnt>>8)
+				continue
+			}
+		}
+		out = append(out, byte(c), byte(c>>8), 1, 0)
+	}
+	return out
+}
+
+// Decode expands dictionary codes back to values (verification helper).
+func (d *Dictionary) Decode(codes []byte) ([]string, error) {
+	if len(codes)%2 != 0 {
+		return nil, fmt.Errorf("dict: odd code stream")
+	}
+	out := make([]string, 0, len(codes)/2)
+	for i := 0; i < len(codes); i += 2 {
+		c := uint16(codes[i]) | uint16(codes[i+1])<<8
+		if c == Unknown {
+			out = append(out, "")
+			continue
+		}
+		if int(c) >= len(d.Values) {
+			return nil, fmt.Errorf("dict: code %d out of range", c)
+		}
+		out = append(out, d.Values[c])
+	}
+	return out, nil
+}
+
+// NormalizeRLE drops zero-count pairs (the UDP program emits one for the
+// stream head) so CPU and UDP RLE outputs compare equal.
+func NormalizeRLE(rle []byte) []byte {
+	out := make([]byte, 0, len(rle))
+	for i := 0; i+4 <= len(rle); i += 4 {
+		if rle[i+2] == 0 && rle[i+3] == 0 {
+			continue
+		}
+		out = append(out, rle[i:i+4]...)
+	}
+	return out
+}
+
+// BuildProgram compiles the dictionary into a UDP trie program. With rle
+// false it emits one code per value; with rle true it emits (code, count)
+// pairs via flagged run tracking, and the caller must flush the final run
+// with FinalRun.
+func (d *Dictionary) BuildProgram(rle bool) *core.Program {
+	name := "dict"
+	if name != "" && rle {
+		name = "dictrle"
+	}
+	p := core.NewProgram(name, 8)
+	root := p.AddState("root", core.ModeStream)
+	skip := p.AddState("skip", core.ModeStream)
+
+	// Trie construction: nodes keyed by prefix.
+	nodes := map[string]*core.State{"": root}
+	var mk func(prefix string) *core.State
+	mk = func(prefix string) *core.State {
+		if s, ok := nodes[prefix]; ok {
+			return s
+		}
+		s := p.AddState(fmt.Sprintf("n_%x", prefix), core.ModeStream)
+		nodes[prefix] = s
+		return s
+	}
+
+	var runchk *core.State
+	if rle {
+		runchk = p.AddState("runchk", core.ModeFlagged)
+		runchk.SymbolBits = 1
+		// Same code as the open run: extend it.
+		runchk.On(0, root, core.AAddi(core.R2, core.R2, 1))
+		// Different code: flush (a zero-count head pair is emitted
+		// once and filtered by NormalizeRLE), then open a new run.
+		runchk.On(1, root,
+			core.Action{Op: core.OpOut16, Src: core.R1},
+			core.Action{Op: core.OpOut16, Src: core.R2},
+			core.AMov(core.R1, core.R3),
+			core.AMovi(core.R2, 1),
+		)
+	}
+
+	emitActions := func(code uint16) []core.Action {
+		if !rle {
+			return []core.Action{
+				core.AMovi(core.R3, int32(code)),
+				core.Action{Op: core.OpOut16, Src: core.R3},
+			}
+		}
+		return []core.Action{
+			core.AMovi(core.R3, int32(code)),
+			core.Action{Op: core.OpSne, Dst: core.R0, Ref: core.R3, Src: core.R1},
+		}
+	}
+	emitTarget := func() *core.State {
+		if rle {
+			return runchk
+		}
+		return root
+	}
+
+	for code, v := range d.Values {
+		cur := ""
+		for i := 0; i < len(v); i++ {
+			node := nodes[cur]
+			next := cur + string(v[i])
+			if _, ok := nodes[next]; !ok {
+				node.On(uint32(v[i]), mk(next))
+			}
+			cur = next
+		}
+		nodes[cur].On(Sep, emitTarget(), emitActions(uint16(code))...)
+	}
+
+	// Any mismatch anywhere falls to the skip state without consuming,
+	// which swallows until the separator and emits Unknown.
+	for prefix, s := range nodes {
+		_ = prefix
+		if s.Fallback == nil {
+			s.Default(skip)
+		}
+	}
+	skip.On(Sep, emitTarget(), emitActions(Unknown)...)
+	skip.Majority(skip)
+
+	if rle {
+		p.InitRegs[core.R1] = uint32(Unknown + 1) // impossible code: first value always flushes
+		p.InitRegs[core.R2] = 0
+	}
+	return p
+}
+
+// FinalRun returns the trailing (code, count) pair an RLE lane holds in its
+// registers at stream end, or nil when the stream was empty.
+func FinalRun(r1, r2 uint32) []byte {
+	if r2 == 0 {
+		return nil
+	}
+	return []byte{byte(r1), byte(r1 >> 8), byte(r2), byte(r2 >> 8)}
+}

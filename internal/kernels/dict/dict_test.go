@@ -1,0 +1,151 @@
+package dict
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/machine"
+	"udp/internal/workload"
+)
+
+func TestDictionaryBasics(t *testing.T) {
+	d, err := NewDictionary([]string{"beta", "alpha", "beta", "gamma"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Values, []string{"alpha", "beta", "gamma"}) {
+		t.Fatalf("values %v", d.Values)
+	}
+	if _, err := NewDictionary([]string{"has\nsep"}); err == nil {
+		t.Fatal("separator in value must error")
+	}
+	if _, err := NewDictionary([]string{""}); err == nil {
+		t.Fatal("empty value must error")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d, _ := NewDictionary(workload.LocationDomain)
+	col := workload.DictColumn(500, workload.LocationDomain, 5)
+	codes := d.Encode(Join(col))
+	back, err := d.Decode(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, col) {
+		t.Fatal("decode mismatch")
+	}
+}
+
+func TestEncodeUnknown(t *testing.T) {
+	d, _ := NewDictionary([]string{"aa", "bb"})
+	codes := d.Encode(Join([]string{"aa", "zz", "bb"}))
+	if codes[2] != 0xFF || codes[3] != 0xFF {
+		t.Fatalf("unknown code bytes %v", codes[2:4])
+	}
+}
+
+func TestRLEBaseline(t *testing.T) {
+	d, _ := NewDictionary([]string{"x", "y"})
+	rle := d.EncodeRLE(Join([]string{"x", "x", "x", "y", "x", "x"}))
+	want := []byte{0, 0, 3, 0, 1, 0, 1, 0, 0, 0, 2, 0}
+	if !bytes.Equal(rle, want) {
+		t.Fatalf("rle %v, want %v", rle, want)
+	}
+}
+
+func runUDP(t *testing.T, d *Dictionary, stream []byte, rle bool) []byte {
+	t.Helper()
+	im, err := effclip.Layout(d.BuildProgram(rle), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]byte(nil), lane.Output()...)
+	if rle {
+		out = append(out, FinalRun(lane.Reg(core.R1), lane.Reg(core.R2))...)
+		out = NormalizeRLE(out)
+	}
+	return out
+}
+
+func TestUDPDictMatchesBaseline(t *testing.T) {
+	for _, domain := range [][]string{
+		workload.ArrestDomain, workload.DistrictDomain, workload.LocationDomain,
+	} {
+		d, err := NewDictionary(domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := workload.DictColumn(800, domain, 6)
+		stream := Join(col)
+		want := d.Encode(stream)
+		got := runUDP(t, d, stream, false)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("domain %d values: UDP dict differs (%d vs %d bytes)",
+				len(domain), len(got), len(want))
+		}
+	}
+}
+
+func TestUDPDictUnknownValues(t *testing.T) {
+	d, _ := NewDictionary([]string{"alpha", "beta"})
+	stream := Join([]string{"alpha", "nope", "beta", "alphax", "al"})
+	want := d.Encode(stream)
+	got := runUDP(t, d, stream, false)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("UDP %v, CPU %v", got, want)
+	}
+}
+
+func TestUDPRLEMatchesBaseline(t *testing.T) {
+	d, _ := NewDictionary(workload.DistrictDomain)
+	col := workload.DictColumn(1200, workload.DistrictDomain, 7)
+	stream := Join(col)
+	want := NormalizeRLE(d.EncodeRLE(stream))
+	got := runUDP(t, d, stream, true)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("UDP RLE differs: %d vs %d bytes", len(got), len(want))
+	}
+}
+
+func TestUDPRLESingleRun(t *testing.T) {
+	d, _ := NewDictionary([]string{"only"})
+	stream := Join([]string{"only", "only", "only"})
+	want := NormalizeRLE(d.EncodeRLE(stream))
+	got := runUDP(t, d, stream, true)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("UDP %v, want %v", got, want)
+	}
+}
+
+func TestFinalRunEmpty(t *testing.T) {
+	if FinalRun(5, 0) != nil {
+		t.Fatal("empty stream must flush nothing")
+	}
+}
+
+// TestCyclesPerByte pins the trie walk cost (labeled hits are single-cycle).
+func TestCyclesPerByte(t *testing.T) {
+	d, _ := NewDictionary(workload.LocationDomain)
+	col := workload.DictColumn(2000, workload.LocationDomain, 8)
+	stream := Join(col)
+	im, err := effclip.Layout(d.BuildProgram(false), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpb := float64(lane.Stats().Cycles) / float64(len(stream))
+	if cpb < 1.0 || cpb > 2.5 {
+		t.Fatalf("cycles/byte = %.2f, outside [1.0,2.5]", cpb)
+	}
+}

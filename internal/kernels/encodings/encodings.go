@@ -1,0 +1,204 @@
+// Package encodings implements the remaining Table 1 encoding algorithms —
+// byte run-length encoding (the Oracle DAX-RLE comparison point) and
+// bit-packing (DAX-Pack) — as CPU baselines and UDP programs. Bit-packing
+// in particular showcases the variable-size-symbol support: the unpacker is
+// a single majority transition dispatching n-bit symbols.
+package encodings
+
+import (
+	"fmt"
+
+	"udp/internal/core"
+)
+
+// --- Run-length encoding ---
+
+// RLEEncode is the CPU baseline: (value, count) byte pairs, runs capped at
+// 255.
+func RLEEncode(data []byte) []byte {
+	out := make([]byte, 0, len(data)/2+4)
+	i := 0
+	for i < len(data) {
+		v := data[i]
+		n := 1
+		for i+n < len(data) && data[i+n] == v && n < 255 {
+			n++
+		}
+		out = append(out, v, byte(n))
+		i += n
+	}
+	return out
+}
+
+// RLEDecode expands (value, count) pairs.
+func RLEDecode(rle []byte) ([]byte, error) {
+	if len(rle)%2 != 0 {
+		return nil, fmt.Errorf("encodings: odd RLE stream")
+	}
+	var out []byte
+	for i := 0; i < len(rle); i += 2 {
+		if rle[i+1] == 0 {
+			continue // zero-count pairs are padding (UDP stream head)
+		}
+		for k := 0; k < int(rle[i+1]); k++ {
+			out = append(out, rle[i])
+		}
+	}
+	return out, nil
+}
+
+// runSentinel is an impossible "previous byte" so the first input byte
+// always opens a fresh run.
+const runSentinel = 0x1FF
+
+// BuildRLEEncoder constructs the UDP run-length encoder: stream dispatch
+// feeds a flagged comparison against the open run (paper Section 3.2.3's
+// control-flow-driven state transfer). The stream head emits one
+// (sentinel, 0) pair that RLEDecode skips; the caller appends FinalRun.
+func BuildRLEEncoder() *core.Program {
+	p := core.NewProgram("rle-enc", 8)
+	p.InitRegs[core.R1] = runSentinel
+	scan := p.AddState("scan", core.ModeStream)
+	cmp := p.AddState("cmp", core.ModeFlagged)
+	cmp.SymbolBits = 1
+	cap := p.AddState("cap", core.ModeFlagged)
+	cap.SymbolBits = 1
+
+	A := func(op core.Opcode, dst, ref, src core.Reg, imm int32) core.Action {
+		return core.Action{Op: op, Dst: dst, Ref: ref, Src: src, Imm: imm}
+	}
+	scan.Majority(cmp,
+		A(core.OpMov, core.R3, 0, core.RSym, 0),
+		A(core.OpSne, core.R0, core.R3, core.R1, 0),
+	)
+	// Same byte: extend; cap the run at 255.
+	cmp.On(0, cap,
+		A(core.OpAddi, core.R2, 0, core.R2, 1),
+		A(core.OpSlti, core.R4, 0, core.R2, 255),
+		A(core.OpXori, core.R0, 0, core.R4, 1),
+	)
+	// Different byte: flush the open run, start a new one.
+	cmp.On(1, scan,
+		core.AOut8(core.R1),
+		core.AOut8(core.R2),
+		core.AMov(core.R1, core.R3),
+		core.AMovi(core.R2, 1),
+	)
+	cap.On(0, scan)
+	cap.On(1, scan,
+		core.AOut8(core.R1),
+		core.AOut8(core.R2),
+		core.AMovi(core.R2, 0),
+	)
+	return p
+}
+
+// RLEFinalRun returns the trailing pair held in the lane registers at
+// stream end (nil for an empty stream).
+func RLEFinalRun(r1, r2 uint32) []byte {
+	if r2 == 0 || r1 > 255 {
+		return nil
+	}
+	return []byte{byte(r1), byte(r2)}
+}
+
+// BuildRLEDecoder constructs the UDP expander: read a value byte, then a
+// count byte, then a flagged emit loop.
+func BuildRLEDecoder() *core.Program {
+	p := core.NewProgram("rle-dec", 8)
+	val := p.AddState("val", core.ModeStream)
+	cnt := p.AddState("cnt", core.ModeStream)
+	emit := p.AddState("emit", core.ModeFlagged)
+	emit.SymbolBits = 1
+
+	A := func(op core.Opcode, dst, ref, src core.Reg, imm int32) core.Action {
+		return core.Action{Op: op, Dst: dst, Ref: ref, Src: src, Imm: imm}
+	}
+	val.Majority(cnt, core.AMov(core.R1, core.RSym))
+	cnt.Majority(emit,
+		A(core.OpMov, core.R2, 0, core.RSym, 0),
+		A(core.OpSeqi, core.R0, 0, core.R2, 0),
+	)
+	emit.On(0, emit,
+		core.AOut8(core.R1),
+		A(core.OpSubi, core.R2, 0, core.R2, 1),
+		A(core.OpSeqi, core.R0, 0, core.R2, 0),
+	)
+	emit.On(1, val)
+	return p
+}
+
+// --- Bit packing ---
+
+// BitPack packs values (each < 2^width) MSB-first (CPU baseline). Returns
+// the packed bytes; trailing bits are zero-padded.
+func BitPack(values []byte, width int) ([]byte, error) {
+	if width < 1 || width > 8 {
+		return nil, fmt.Errorf("encodings: width %d out of range", width)
+	}
+	var out []byte
+	var acc uint32
+	var n uint
+	for i, v := range values {
+		if int(v) >= 1<<width {
+			return nil, fmt.Errorf("encodings: value %d at %d exceeds %d bits", v, i, width)
+		}
+		acc = acc<<width | uint32(v)
+		n += uint(width)
+		for n >= 8 {
+			n -= 8
+			out = append(out, byte(acc>>n))
+		}
+	}
+	if n > 0 {
+		out = append(out, byte(acc<<(8-n)))
+	}
+	return out, nil
+}
+
+// BitUnpack expands count width-bit values (CPU baseline).
+func BitUnpack(packed []byte, width, count int) ([]byte, error) {
+	if width < 1 || width > 8 {
+		return nil, fmt.Errorf("encodings: width %d out of range", width)
+	}
+	out := make([]byte, 0, count)
+	pos := 0
+	for len(out) < count {
+		if (pos+width+7)/8 > len(packed) {
+			return nil, fmt.Errorf("encodings: packed stream exhausted at value %d", len(out))
+		}
+		var v uint32
+		for k := 0; k < width; k++ {
+			bit := packed[pos>>3] >> (7 - uint(pos&7)) & 1
+			v = v<<1 | uint32(bit)
+			pos++
+		}
+		out = append(out, byte(v))
+	}
+	return out, nil
+}
+
+// BuildBitPacker constructs the UDP packer: one state, one majority
+// transition, one EmitBits action per value.
+func BuildBitPacker(width int) (*core.Program, error) {
+	if width < 1 || width > 8 {
+		return nil, fmt.Errorf("encodings: width %d out of range", width)
+	}
+	p := core.NewProgram(fmt.Sprintf("bitpack%d", width), 8)
+	s := p.AddState("pack", core.ModeStream)
+	s.Majority(s, core.AEmitBits(core.RSym, int32(width)))
+	return p, nil
+}
+
+// BuildBitUnpacker constructs the UDP unpacker: the symbol-size register is
+// simply set to the field width and every symbol is emitted — variable-size
+// dispatch doing the whole job.
+func BuildBitUnpacker(width int) (*core.Program, error) {
+	if width < 1 || width > 8 {
+		return nil, fmt.Errorf("encodings: width %d out of range", width)
+	}
+	p := core.NewProgram(fmt.Sprintf("bitunpack%d", width), uint8(width))
+	s := p.AddState("unpack", core.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	return p, nil
+}

@@ -1,0 +1,198 @@
+package encodings
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/machine"
+	"udp/internal/workload"
+)
+
+func TestRLERoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		dec, err := RLEDecode(RLEEncode(data))
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLERunCap(t *testing.T) {
+	data := bytes.Repeat([]byte{'x'}, 600)
+	rle := RLEEncode(data)
+	want := []byte{'x', 255, 'x', 255, 'x', 90}
+	if !bytes.Equal(rle, want) {
+		t.Fatalf("rle %v", rle)
+	}
+}
+
+func udpRLEEncode(t *testing.T, data []byte) []byte {
+	t.Helper()
+	im, err := effclip.Layout(BuildRLEEncoder(), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]byte(nil), lane.Output()...)
+	return append(out, RLEFinalRun(lane.Reg(core.R1), lane.Reg(core.R2))...)
+}
+
+func TestUDPRLEEncodeMatchesBaseline(t *testing.T) {
+	for _, data := range [][]byte{
+		workload.Text(workload.TextRuns, 20000, 71),
+		workload.Text(workload.TextEnglish, 5000, 72),
+		bytes.Repeat([]byte{7}, 1000),
+		{},
+		{42},
+	} {
+		got, err := RLEDecode(udpRLEEncode(t, data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("UDP RLE corrupts %d-byte input", len(data))
+		}
+		// The UDP stream (minus the sentinel head pair) must match the
+		// baseline exactly.
+		udp := udpRLEEncode(t, data)
+		if len(udp) >= 2 && udp[1] == 0 {
+			udp = udp[2:]
+		}
+		if !bytes.Equal(udp, RLEEncode(data)) {
+			t.Fatalf("UDP RLE stream differs from baseline for %d bytes", len(data))
+		}
+	}
+}
+
+func TestUDPRLEDecodeMatchesBaseline(t *testing.T) {
+	data := workload.Text(workload.TextRuns, 20000, 73)
+	rle := RLEEncode(data)
+	im, err := effclip.Layout(BuildRLEDecoder(), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, rle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lane.Output(), data) {
+		t.Fatalf("UDP RLE decode differs (%d vs %d bytes)", len(lane.Output()), len(data))
+	}
+}
+
+func TestBitPackRoundTripAllWidths(t *testing.T) {
+	for width := 1; width <= 8; width++ {
+		values := make([]byte, 1000)
+		for i := range values {
+			values[i] = byte(i*7) & (1<<width - 1)
+		}
+		packed, err := BitPack(values, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen := (len(values)*width + 7) / 8
+		if len(packed) != wantLen {
+			t.Fatalf("width %d: packed %d bytes, want %d", width, len(packed), wantLen)
+		}
+		back, err := BitUnpack(packed, width, len(values))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, values) {
+			t.Fatalf("width %d: round trip failed", width)
+		}
+	}
+}
+
+func TestBitPackErrors(t *testing.T) {
+	if _, err := BitPack([]byte{8}, 3); err == nil {
+		t.Fatal("overflow value must error")
+	}
+	if _, err := BitPack(nil, 0); err == nil {
+		t.Fatal("width 0 must error")
+	}
+	if _, err := BitUnpack([]byte{0xFF}, 3, 100); err == nil {
+		t.Fatal("short stream must error")
+	}
+}
+
+func TestUDPBitPackMatchesBaseline(t *testing.T) {
+	for _, width := range []int{1, 3, 4, 7} {
+		values := make([]byte, 2000)
+		for i := range values {
+			values[i] = byte(i*13+5) & (1<<width - 1)
+		}
+		prog, err := BuildBitPacker(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := effclip.Layout(prog, effclip.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lane, err := machine.NewLane(im, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lane.SetInput(values)
+		if err := lane.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		lane.FlushBits()
+		want, _ := BitPack(values, width)
+		if !bytes.Equal(lane.Output(), want) {
+			t.Fatalf("width %d: UDP pack differs", width)
+		}
+
+		// Unpack on the UDP too.
+		uprog, err := BuildBitUnpacker(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uim, err := effclip.Layout(uprog, effclip.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ulane, err := machine.RunSingle(uim, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ulane.Output()
+		if len(out) < len(values) {
+			t.Fatalf("width %d: unpacked %d of %d", width, len(out), len(values))
+		}
+		if !bytes.Equal(out[:len(values)], values) {
+			t.Fatalf("width %d: UDP unpack differs", width)
+		}
+	}
+}
+
+// TestUnpackerCost pins the variable-size-symbol showcase: 2 cycles per
+// value regardless of width.
+func TestUnpackerCost(t *testing.T) {
+	values := make([]byte, 4000)
+	for i := range values {
+		values[i] = byte(i) & 7
+	}
+	packed, _ := BitPack(values, 3)
+	prog, _ := BuildBitUnpacker(3)
+	im, err := effclip.Layout(prog, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpv := float64(lane.Stats().Cycles) / float64(len(values))
+	if cpv < 2.9 || cpv > 3.1 {
+		t.Fatalf("cycles/value = %.2f, want ~3 (dispatch+fallback+emit)", cpv)
+	}
+}

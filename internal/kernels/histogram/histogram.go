@@ -1,0 +1,286 @@
+// Package histogram implements the histogram kernel of paper Section 5.5: a
+// GSL-style binary-search baseline over IEEE floating-point values, and a UDP
+// program that compiles the bin dividers into an automaton scanning the
+// value 4 bits at a time, with acceptance chains updating the bin via Incm
+// (the paper's construction verbatim).
+//
+// Values enter the UDP as order-preserving big-endian 64-bit keys (the
+// standard IEEE-754 total-order transform), so lexicographic nibble order
+// equals numeric order; the staging DLT engine performs this transform.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"udp/internal/core"
+)
+
+// OrderKey maps a float64 to a uint64 whose unsigned order matches the
+// float's numeric order.
+func OrderKey(f float64) uint64 {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		return ^u
+	}
+	return u | 1<<63
+}
+
+// KeyBytes serializes values as big-endian order keys, the UDP input stream.
+func KeyBytes(values []float64) []byte {
+	out := make([]byte, 0, len(values)*8)
+	for _, v := range values {
+		k := OrderKey(v)
+		out = append(out, byte(k>>56), byte(k>>48), byte(k>>40), byte(k>>32),
+			byte(k>>24), byte(k>>16), byte(k>>8), byte(k))
+	}
+	return out
+}
+
+// UniformEdges returns n+1 equal-width bin edges over [lo, hi].
+func UniformEdges(n int, lo, hi float64) []float64 {
+	edges := make([]float64, n+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	return edges
+}
+
+// PercentileEdges returns n+1 edges at sample quantiles (the paper's
+// percentile bins "with non-uniform size based on sampling").
+func PercentileEdges(n int, sample []float64) []float64 {
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	edges := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		idx := i * (len(s) - 1) / n
+		edges[i] = s[idx]
+	}
+	// Nudge duplicate edges apart so every bin exists.
+	for i := 1; i <= n; i++ {
+		if edges[i] <= edges[i-1] {
+			edges[i] = math.Nextafter(edges[i-1], math.Inf(1))
+		}
+	}
+	return edges
+}
+
+// Bin is the GSL-style baseline: binary search the edges (values outside
+// [edges[0], edges[n]) return -1).
+func Bin(edges []float64, v float64) int {
+	if v < edges[0] || v >= edges[len(edges)-1] {
+		return -1
+	}
+	lo, hi := 0, len(edges)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if v < edges[mid] {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// Histogram is the CPU baseline: GSL-style per-value binary search.
+func Histogram(edges []float64, values []float64) []uint32 {
+	counts := make([]uint32, len(edges)-1)
+	for _, v := range values {
+		if b := Bin(edges, v); b >= 0 {
+			counts[b]++
+		}
+	}
+	return counts
+}
+
+// BinsOffset is the lane-window byte offset of the bin counter array for the
+// 4-bit design; the wider 8-bit (SsF-style) automaton needs more code room.
+const (
+	BinsOffset      = 12288
+	binsOffsetStep8 = 131072 // bank 8; reached via a base register, not immediates
+)
+
+// BinsOffsetFor returns the counter-array offset for a step width.
+func BinsOffsetFor(stepBits int) int {
+	if stepBits == 8 {
+		return binsOffsetStep8
+	}
+	return BinsOffset
+}
+
+// BuildProgram compiles bin edges into the paper's 4-bit scanning automaton
+// (see BuildProgramStep).
+func BuildProgram(edges []float64) (*core.Program, error) {
+	return BuildProgramStep(edges, 4)
+}
+
+// BuildProgramStep compiles bin edges into a scanning automaton over
+// stepBits-wide symbols: a trie over boundary-key digits; once the bin is
+// resolved, per-bin skip chains consume the remaining digits and the final
+// transition increments the bin counter in local memory. stepBits = 4 is the
+// paper's design; stepBits = 8 models the fixed-byte (SsF) alternative of
+// Figure 8, whose states are 16x wider.
+func BuildProgramStep(edges []float64, stepBits int) (*core.Program, error) {
+	n := len(edges) - 1
+	if n < 1 {
+		return nil, fmt.Errorf("histogram: need at least one bin")
+	}
+	if stepBits != 4 && stepBits != 8 {
+		return nil, fmt.Errorf("histogram: stepBits must be 4 or 8")
+	}
+	steps := 64 / stepBits
+	radix := uint64(1) << stepBits
+	binsOff := BinsOffsetFor(stepBits)
+	if stepBits != 8 && binsOff+4*n > 65536 {
+		return nil, fmt.Errorf("histogram: too many bins")
+	}
+	bounds := make([]uint64, len(edges))
+	for i, e := range edges {
+		bounds[i] = OrderKey(e)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("histogram: edges must be strictly increasing")
+		}
+	}
+
+	p := core.NewProgram(fmt.Sprintf("histogram%d", stepBits), uint8(stepBits))
+	p.DataBase = binsOff
+	p.DataBytes = 4 * n
+
+	// binOf returns the bin of key restricted to knowledge that the key
+	// lies in [bounds[0], bounds[n]] context; -1 = below, n = above-top
+	// (discard).
+	binOf := func(key uint64) int {
+		i := sort.Search(len(bounds), func(i int) bool { return bounds[i] > key })
+		return i - 1 // -1 below range; n-? ; == n means key >= top edge
+	}
+
+	type stKey struct {
+		depth  int
+		lo, hi int
+	}
+	trie := map[stKey]*core.State{}
+	var mkTrie func(k stKey) *core.State
+
+	// Skip chains: skip[bin][k] consumes k more nibbles then increments
+	// bin (bin == -1 or n discards).
+	type skKey struct {
+		bin, k int
+	}
+	skips := map[skKey]*core.State{}
+	var root *core.State
+	var mkSkip func(bin, k int) (*core.State, []core.Action)
+
+	// mkSkip returns the state to enter with k nibbles left (nil = go to
+	// root) and the actions for the transition entering it when k == 0.
+	// The 4-bit design reaches its counters with immediates (R0 is always
+	// zero in this program); the wide design's counters sit past the
+	// 16-bit immediate range, so R13 carries the base.
+	finish := func(bin int) []core.Action {
+		if bin < 0 || bin >= n {
+			return nil
+		}
+		if stepBits == 8 {
+			return []core.Action{core.AIncm(core.R13, int32(4*bin))}
+		}
+		return []core.Action{core.AIncm(core.R0, int32(binsOff+4*bin))}
+	}
+	if stepBits == 8 {
+		p.InitRegs[core.R13] = uint32(binsOff)
+	}
+	mkSkip = func(bin, k int) (*core.State, []core.Action) {
+		if k == 0 {
+			return nil, finish(bin)
+		}
+		key := skKey{bin, k}
+		if s, ok := skips[key]; ok {
+			return s, nil
+		}
+		s := p.AddState(fmt.Sprintf("skip_b%d_k%d", bin, k), core.ModeCommon)
+		skips[key] = s
+		nxt, acts := mkSkip(bin, k-1)
+		if nxt == nil {
+			s.Common(root, acts...)
+		} else {
+			s.Common(nxt)
+		}
+		return s, nil
+	}
+
+	mkTrie = func(k stKey) *core.State {
+		if s, ok := trie[k]; ok {
+			return s
+		}
+		s := p.AddState(fmt.Sprintf("t%d_%d_%d", k.depth, k.lo, k.hi), core.ModeStream)
+		trie[k] = s
+		if root == nil {
+			root = s // first trie state is the dispatch root
+		}
+		for v := uint64(0); v < radix; v++ {
+			shift := uint(64 - stepBits*(k.depth+1))
+			// The prefix is irrelevant to the state's behavior (all
+			// candidate boundaries share it); reconstruct bins with
+			// representative min/max keys by extending any boundary
+			// in range. Use bounds[lo+1] when available else
+			// bounds[hi] to recover the shared prefix.
+			var prefix uint64
+			switch {
+			case k.lo+1 <= k.hi:
+				keep := shift + uint(stepBits)
+				prefix = bounds[k.lo+1] >> keep << keep
+			default:
+				prefix = 0
+			}
+			vmin := prefix | v<<shift
+			vmax := vmin
+			if shift < 64 {
+				vmax = vmin | (uint64(1)<<shift - 1)
+			}
+			bmin := clamp(binOf(vmin), k.lo, k.hi)
+			bmax := clamp(binOf(vmax), k.lo, k.hi)
+			remaining := steps - (k.depth + 1)
+			if bmin == bmax || k.depth == steps-1 {
+				tgt, acts := mkSkip(bmin, remaining)
+				if tgt == nil {
+					s.On(uint32(v), root, acts...)
+				} else {
+					s.On(uint32(v), tgt)
+				}
+				continue
+			}
+			s.On(uint32(v), mkTrie(stKey{k.depth + 1, bmin, bmax}))
+		}
+		return s
+	}
+
+	root = mkTrie(stKey{0, -1, n})
+	p.Entry = root
+	return p, nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ReadCounts extracts bin counters from a lane memory window (4-bit design).
+func ReadCounts(mem []byte, n int) []uint32 { return ReadCountsAt(mem, BinsOffset, n) }
+
+// ReadCountsAt extracts bin counters at an explicit offset.
+func ReadCountsAt(mem []byte, binsOff, n int) []uint32 {
+	counts := make([]uint32, n)
+	for i := range counts {
+		off := binsOff + 4*i
+		counts[i] = uint32(mem[off]) | uint32(mem[off+1])<<8 |
+			uint32(mem[off+2])<<16 | uint32(mem[off+3])<<24
+	}
+	return counts
+}

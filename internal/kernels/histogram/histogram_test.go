@@ -1,0 +1,160 @@
+package histogram
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"udp/internal/effclip"
+	"udp/internal/machine"
+	"udp/internal/workload"
+)
+
+func TestOrderKeyMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a < b {
+			return OrderKey(a) < OrderKey(b)
+		}
+		if a > b {
+			return OrderKey(a) > OrderKey(b)
+		}
+		return OrderKey(a) == OrderKey(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if OrderKey(-1.5) >= OrderKey(-0.5) || OrderKey(-0.5) >= OrderKey(0.5) {
+		t.Fatal("sign handling broken")
+	}
+}
+
+func TestBinBinarySearch(t *testing.T) {
+	edges := []float64{0, 1, 2, 5, 10}
+	cases := map[float64]int{-1: -1, 0: 0, 0.5: 0, 1: 1, 4.9: 2, 5: 3, 9.99: 3, 10: -1}
+	for v, want := range cases {
+		if got := Bin(edges, v); got != want {
+			t.Errorf("Bin(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func runUDP(t *testing.T, edges, values []float64) []uint32 {
+	t.Helper()
+	prog, err := BuildProgram(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := effclip.Layout(prog, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, KeyBytes(values))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ReadCounts(lane.Mem(), len(edges)-1)
+}
+
+func TestUDPMatchesBaselineUniform(t *testing.T) {
+	values := workload.FloatColumn(5000, workload.DistUniform, 41.6, 42.0, 9)
+	edges := UniformEdges(10, 41.6, 42.0)
+	want := Histogram(edges, values)
+	got := runUDP(t, edges, values)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d: UDP %d, CPU %d", i, got[i], want[i])
+		}
+	}
+	total := uint32(0)
+	for _, c := range got {
+		total += c
+	}
+	if total != uint32(len(values)) {
+		t.Fatalf("counted %d of %d values", total, len(values))
+	}
+}
+
+func TestUDPMatchesBaselinePercentile(t *testing.T) {
+	values := workload.FloatColumn(4000, workload.DistExp, 2.5, 80, 10)
+	edges := PercentileEdges(4, values[:512])
+	want := Histogram(edges, values)
+	got := runUDP(t, edges, values)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d: UDP %d, CPU %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUDPNegativeValues(t *testing.T) {
+	values := workload.FloatColumn(3000, workload.DistNormal, -87.9, -87.5, 11)
+	edges := UniformEdges(10, -87.9, -87.5)
+	want := Histogram(edges, values)
+	got := runUDP(t, edges, values)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d: UDP %d, CPU %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUDPOutOfRangeDiscarded(t *testing.T) {
+	edges := UniformEdges(4, 0, 1)
+	values := []float64{-5, 0.1, 0.5, 2.5, 0.9, 7}
+	got := runUDP(t, edges, values)
+	want := Histogram(edges, values)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d: UDP %d, CPU %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPercentileEdgesMonotone(t *testing.T) {
+	sample := workload.FloatColumn(1000, workload.DistExp, 0, 10, 12)
+	edges := PercentileEdges(10, sample)
+	if !sort.Float64sAreSorted(edges) {
+		t.Fatal("edges not sorted")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Fatal("duplicate edges")
+		}
+	}
+}
+
+// TestCyclesPerValue pins the 4-bit scanning cost: roughly 16 dispatches plus
+// one increment per 8-byte value.
+func TestCyclesPerValue(t *testing.T) {
+	values := workload.FloatColumn(2000, workload.DistUniform, 0, 1, 13)
+	edges := UniformEdges(10, 0, 1)
+	prog, err := BuildProgram(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := effclip.Layout(prog, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, KeyBytes(values))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpv := float64(lane.Stats().Cycles) / float64(len(values))
+	if cpv < 16 || cpv > 22 {
+		t.Fatalf("cycles/value = %.1f, outside [16,22]", cpv)
+	}
+}
+
+func TestBuildProgramErrors(t *testing.T) {
+	if _, err := BuildProgram([]float64{1}); err == nil {
+		t.Fatal("single edge must error")
+	}
+	if _, err := BuildProgram([]float64{1, 1}); err == nil {
+		t.Fatal("duplicate edges must error")
+	}
+}

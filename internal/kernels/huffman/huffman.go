@@ -1,0 +1,279 @@
+// Package huffman implements the Huffman coding kernel of paper Sections 5.2
+// and 3.2.2: canonical, length-limited Huffman codes with a libhuffman-style
+// CPU baseline (bit-at-a-time tree walk for decode, table lookup for encode)
+// and UDP programs for encoding plus all four variable-size-symbol decoder
+// designs of Figure 7/8 (SsF, SsT, SsReg, SsRef).
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// MaxCodeLen caps code lengths so codes pack into the UDP encoder's
+// [len(4)|code(12)] table format.
+const MaxCodeLen = 12
+
+// Code is one canonical codeword.
+type Code struct {
+	// Len is the codeword length in bits (0 = symbol absent).
+	Len uint8
+	// Bits holds the codeword in the low Len bits, MSB first.
+	Bits uint16
+}
+
+// Table holds the canonical code for every byte symbol.
+type Table struct {
+	Codes [256]Code
+}
+
+// Build computes a canonical, length-limited Huffman table for data.
+// Symbols absent from data get no code. A degenerate single-symbol input
+// gets a 1-bit code.
+func Build(data []byte) *Table {
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	return BuildFromFreq(freq)
+}
+
+type hnode struct {
+	weight      int
+	symbol      int // -1 for internal
+	left, right *hnode
+}
+
+type hheap []*hnode
+
+func (h hheap) Len() int { return len(h) }
+func (h hheap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].symbol < h[j].symbol
+}
+func (h hheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hheap) Push(x interface{}) { *h = append(*h, x.(*hnode)) }
+func (h *hheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BuildFromFreq computes the table from explicit symbol frequencies.
+func BuildFromFreq(freq [256]int) *Table {
+	var h hheap
+	for s, f := range freq {
+		if f > 0 {
+			h = append(h, &hnode{weight: f, symbol: s})
+		}
+	}
+	t := &Table{}
+	switch len(h) {
+	case 0:
+		return t
+	case 1:
+		t.Codes[h[0].symbol] = Code{Len: 1, Bits: 0}
+		return t
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hnode)
+		b := heap.Pop(&h).(*hnode)
+		heap.Push(&h, &hnode{weight: a.weight + b.weight, symbol: -1, left: a, right: b})
+	}
+	root := h[0]
+	var lens [256]uint8
+	var walk func(n *hnode, d uint8)
+	walk = func(n *hnode, d uint8) {
+		if n.symbol >= 0 {
+			if d == 0 {
+				d = 1
+			}
+			lens[n.symbol] = d
+			return
+		}
+		walk(n.left, d+1)
+		walk(n.right, d+1)
+	}
+	walk(root, 0)
+	limitLengths(&lens, &freq)
+	assignCanonical(t, &lens)
+	return t
+}
+
+// limitLengths enforces MaxCodeLen while keeping the Kraft sum feasible
+// (clamping then lengthening the cheapest shallower codes).
+func limitLengths(lens *[256]uint8, freq *[256]int) {
+	over := false
+	for _, l := range lens {
+		if l > MaxCodeLen {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return
+	}
+	kraftUnit := 1 << MaxCodeLen
+	total := 0
+	for s, l := range lens {
+		if l == 0 {
+			continue
+		}
+		if l > MaxCodeLen {
+			lens[s] = MaxCodeLen
+		}
+		total += kraftUnit >> lens[s]
+	}
+	for total > kraftUnit {
+		// Lengthen the lowest-frequency symbol shallower than the cap.
+		best := -1
+		for s, l := range lens {
+			if l == 0 || l >= MaxCodeLen {
+				continue
+			}
+			if best == -1 || freq[s] < freq[best] || freq[s] == freq[best] && lens[s] > lens[best] {
+				best = s
+			}
+		}
+		if best == -1 {
+			panic("huffman: cannot satisfy length limit")
+		}
+		total -= kraftUnit >> lens[best]
+		lens[best]++
+		total += kraftUnit >> lens[best]
+	}
+}
+
+func assignCanonical(t *Table, lens *[256]uint8) {
+	type ls struct {
+		sym int
+		len uint8
+	}
+	var order []ls
+	for s, l := range lens {
+		if l > 0 {
+			order = append(order, ls{s, l})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].len != order[j].len {
+			return order[i].len < order[j].len
+		}
+		return order[i].sym < order[j].sym
+	})
+	code := uint16(0)
+	prev := uint8(0)
+	for _, e := range order {
+		code <<= e.len - prev
+		prev = e.len
+		t.Codes[e.sym] = Code{Len: e.len, Bits: code}
+		code++
+	}
+}
+
+// Encode compresses data with the table (CPU baseline, libhuffman-style
+// table lookup with MSB-first bit packing). It returns the packed bytes and
+// the exact bit count.
+func (t *Table) Encode(data []byte) ([]byte, int) {
+	out := make([]byte, 0, len(data)/2+8)
+	var acc uint32
+	var n uint
+	bits := 0
+	for _, b := range data {
+		c := t.Codes[b]
+		if c.Len == 0 {
+			panic(fmt.Sprintf("huffman: symbol %d has no code", b))
+		}
+		acc = acc<<c.Len | uint32(c.Bits)
+		n += uint(c.Len)
+		bits += int(c.Len)
+		for n >= 8 {
+			n -= 8
+			out = append(out, byte(acc>>n))
+		}
+	}
+	if n > 0 {
+		out = append(out, byte(acc<<(8-n)))
+	}
+	return out, bits
+}
+
+// tree is the pointer-free decode tree: node 0 is the root; kids[i][b] is
+// the child index, or -(sym+2) for a leaf decoding byte sym, or -1 for an
+// undefined branch.
+type tree struct {
+	kids [][2]int32
+}
+
+func (t *Table) buildTree() *tree {
+	tr := &tree{kids: [][2]int32{{-1, -1}}}
+	for s := 0; s < 256; s++ {
+		c := t.Codes[s]
+		if c.Len == 0 {
+			continue
+		}
+		cur := int32(0)
+		for i := int(c.Len) - 1; i >= 0; i-- {
+			bit := c.Bits >> uint(i) & 1
+			if i == 0 {
+				tr.kids[cur][bit] = -int32(s) - 2
+				break
+			}
+			next := tr.kids[cur][bit]
+			if next < 0 {
+				next = int32(len(tr.kids))
+				tr.kids = append(tr.kids, [2]int32{-1, -1})
+				tr.kids[cur][bit] = next
+			}
+			cur = next
+		}
+	}
+	return tr
+}
+
+// Decode is the CPU baseline decoder: a bit-at-a-time tree walk (the
+// branch-per-bit structure that makes Huffman decode mispredict-bound on
+// CPUs, Table 2). It decodes outLen symbols from the packed stream.
+func (t *Table) Decode(comp []byte, outLen int) ([]byte, error) {
+	tr := t.buildTree()
+	out := make([]byte, 0, outLen)
+	cur := int32(0)
+	for pos := 0; pos < len(comp)*8 && len(out) < outLen; pos++ {
+		bit := comp[pos>>3] >> (7 - uint(pos&7)) & 1
+		next := tr.kids[cur][bit]
+		switch {
+		case next <= -2:
+			out = append(out, byte(-next-2))
+			cur = 0
+		case next == -1:
+			return nil, fmt.Errorf("huffman: invalid code path at bit %d", pos)
+		default:
+			cur = next
+		}
+	}
+	if len(out) < outLen {
+		return nil, fmt.Errorf("huffman: stream exhausted after %d of %d symbols", len(out), outLen)
+	}
+	return out, nil
+}
+
+// Entropy-ish summary used by reports.
+func (t *Table) AvgCodeLen(freq [256]int) float64 {
+	totalBits, total := 0, 0
+	for s, f := range freq {
+		if f > 0 && t.Codes[s].Len > 0 {
+			totalBits += f * int(t.Codes[s].Len)
+			total += f
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(totalBits) / float64(total)
+}

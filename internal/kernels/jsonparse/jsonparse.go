@@ -1,0 +1,159 @@
+// Package jsonparse implements a JSON tokenizer as a UDP program plus a CPU
+// baseline — the paper's Table 1 claims parsing coverage "as diverse as CSV,
+// JSON and XML with general-purpose primitives"; this kernel substantiates
+// the JSON column with the same FSM style as the CSV kernel.
+//
+// Both tokenizers emit the same stream: structural bytes ({ } [ ] : ,)
+// verbatim; strings as StrOpen <raw contents, escapes preserved> StrClose
+// (escape-aware, so structural bytes inside strings are content); numbers
+// and literals (true/false/null) as their bytes followed by LitEnd;
+// whitespace outside strings dropped.
+package jsonparse
+
+import "udp/internal/core"
+
+// Token-stream markers (chosen outside JSON's printable structural range).
+const (
+	StrOpen  = 0x01
+	StrClose = 0x02
+	LitEnd   = 0x1F
+)
+
+func structural(c byte) bool {
+	switch c {
+	case '{', '}', '[', ']', ':', ',':
+		return true
+	}
+	return false
+}
+
+func whitespace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r':
+		return true
+	}
+	return false
+}
+
+// Tokenize is the CPU baseline FSM.
+func Tokenize(data []byte) []byte {
+	out := make([]byte, 0, len(data))
+	const (
+		top = iota
+		str
+		esc
+		lit
+	)
+	st := top
+	for _, c := range data {
+		switch st {
+		case top:
+			switch {
+			case structural(c):
+				out = append(out, c)
+			case c == '"':
+				out = append(out, StrOpen)
+				st = str
+			case whitespace(c):
+			default:
+				out = append(out, c)
+				st = lit
+			}
+		case str:
+			switch c {
+			case '"':
+				out = append(out, StrClose)
+				st = top
+			case '\\':
+				out = append(out, c)
+				st = esc
+			default:
+				out = append(out, c)
+			}
+		case esc:
+			out = append(out, c)
+			st = str
+		case lit:
+			switch {
+			case structural(c):
+				out = append(out, LitEnd, c)
+				st = top
+			case whitespace(c):
+				out = append(out, LitEnd)
+				st = top
+			case c == '"':
+				out = append(out, LitEnd, StrOpen)
+				st = str
+			default:
+				out = append(out, c)
+			}
+		}
+	}
+	if st == lit {
+		out = append(out, LitEnd)
+	}
+	return out
+}
+
+// BuildProgram constructs the UDP tokenizer with the same state structure;
+// multi-way dispatch resolves the character class in one cycle.
+func BuildProgram() *core.Program {
+	p := core.NewProgram("jsonparse", 8)
+	top := p.AddState("top", core.ModeStream)
+	str := p.AddState("str", core.ModeStream)
+	esc := p.AddState("esc", core.ModeStream)
+	lit := p.AddState("lit", core.ModeStream)
+
+	emitSym := core.AOut8(core.RSym)
+	mark := func(m byte) []core.Action {
+		return []core.Action{core.AMovi(core.R1, int32(m)), core.AOut8(core.R1)}
+	}
+	markThenSym := func(m byte) []core.Action {
+		return append(mark(m), emitSym)
+	}
+
+	for _, c := range []byte("{}[]:,") {
+		top.On(uint32(c), top, emitSym)
+		lit.On(uint32(c), top, markThenSym(LitEnd)...)
+	}
+	for _, c := range []byte(" \t\n\r") {
+		top.On(uint32(c), top)
+		lit.On(uint32(c), top, mark(LitEnd)...)
+	}
+	top.On('"', str, mark(StrOpen)...)
+	top.Majority(lit, emitSym)
+
+	str.On('"', top, mark(StrClose)...)
+	str.On('\\', esc, emitSym)
+	str.Majority(str, emitSym)
+
+	esc.Majority(str, emitSym)
+
+	lit.On('"', str, append(mark(LitEnd), mark(StrOpen)...)...)
+	lit.Majority(lit, emitSym)
+
+	return p
+}
+
+// Stats summarizes a token stream (example/report helper).
+type Stats struct {
+	Strings, Literals, Objects, Arrays int
+}
+
+// Summarize counts token classes in a tokenized stream.
+func Summarize(tok []byte) Stats {
+	var s Stats
+	for _, c := range tok {
+		switch c {
+		case StrOpen:
+			s.Strings++
+		case LitEnd:
+			s.Literals++
+		case '{':
+			s.Objects++
+		case '[':
+			s.Arrays++
+		}
+	}
+	return s
+}

@@ -1,0 +1,216 @@
+// Package pattern implements the pattern-matching kernel of paper Section
+// 5.3 (network intrusion detection): multi-pattern matching with the ADFA
+// (D2FA-compressed DFA) model for string sets and the NFA model for complex
+// regular expressions, both as UDP programs. The CPU baseline interprets the
+// merged DFA with table lookups (the Boost.Regex-style combined-pattern
+// approach the paper measures). Pattern collections are partitioned across
+// UDP lanes, as in the paper.
+package pattern
+
+import (
+	"fmt"
+
+	"udp/internal/automata"
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/machine"
+)
+
+// Set is a compiled pattern collection.
+type Set struct {
+	// Patterns are the source expressions, id = index.
+	Patterns []string
+	// NFA is the merged epsilon-free automaton.
+	NFA *automata.NFA
+	// DFA is the determinized, minimized automaton.
+	DFA *automata.DFA
+
+	// alwaysStart: the NFA relies on the always-active-start convention
+	// (true when no pattern is ^-anchored).
+	alwaysStart bool
+}
+
+// Compile merges patterns into automata: the DFA carries explicit unanchored
+// self-loops (table scanning); the NFA is anchored and relies on the
+// always-active start convention (the UAP/UDP multi-active execution model).
+func Compile(patterns []string) (*Set, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("pattern: empty pattern set")
+	}
+	anyAnchored := false
+	for _, p := range patterns {
+		if len(p) > 0 && p[0] == '^' {
+			anyAnchored = true
+		}
+	}
+	var nfaParts, dfaParts []*automata.NFA
+	for i, p := range patterns {
+		// For the multi-active program: anchored rules stay anchored;
+		// unanchored rules get explicit self-loops only when the set
+		// mixes anchoring (otherwise the always-active-start convention
+		// covers them without the loop edges).
+		a, err := automata.CompileRegex(p, int32(i), anyAnchored)
+		if err != nil {
+			return nil, err
+		}
+		nfaParts = append(nfaParts, a)
+		u, err := automata.CompileRegex(p, int32(i), true)
+		if err != nil {
+			return nil, err
+		}
+		dfaParts = append(dfaParts, u)
+	}
+	nfa := automata.MergeNFAs(nfaParts).EpsFree()
+	dfa, err := automata.Determinize(automata.MergeNFAs(dfaParts).EpsFree(), 1<<15)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{Patterns: patterns, NFA: nfa, DFA: dfa.Minimize(),
+		alwaysStart: !anyAnchored}, nil
+}
+
+// BuildADFA compiles the set's DFA into a UDP program with default/majority
+// compression (the paper's ADFA model for string-matching sets).
+func (s *Set) BuildADFA() (*core.Program, error) {
+	return automata.CompileDFA(s.DFA, "pattern-adfa", automata.StyleADFA)
+}
+
+// BuildNFA compiles the set into a multi-active UDP program (the model the
+// paper prefers for complex regular expressions: small code, per-symbol cost
+// proportional to the frontier).
+func (s *Set) BuildNFA() (*core.Program, error) {
+	return automata.CompileNFA(s.NFA, "pattern-nfa", s.alwaysStart)
+}
+
+// MatchCPU is the CPU baseline: combined-DFA table interpretation.
+func (s *Set) MatchCPU(data []byte) []automata.MatchEvent {
+	return s.DFA.Match(data)
+}
+
+// MatchCPUNFA is the frontier-based CPU reference (slower, used for
+// verification of complex sets).
+func (s *Set) MatchCPUNFA(data []byte) []automata.MatchEvent {
+	if s.alwaysStart {
+		return s.NFA.MatchAlways(data)
+	}
+	return s.NFA.Match(data)
+}
+
+// RunUDP lays out and executes a compiled program over data, converting
+// accept events to MatchEvents (deduplicated per (id, position), the
+// reference matcher's convention).
+func RunUDP(p *core.Program, data []byte) ([]automata.MatchEvent, machine.Stats, error) {
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	lane, err := machine.RunSingle(im, data)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	return Dedup(lane.Matches()), lane.Stats(), nil
+}
+
+// Dedup converts lane matches to sorted, deduplicated events.
+func Dedup(ms []machine.Match) []automata.MatchEvent {
+	seen := map[[2]int64]bool{}
+	var out []automata.MatchEvent
+	for _, m := range ms {
+		key := [2]int64{int64(m.PatternID), m.BitPos / 8}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, automata.MatchEvent{ID: m.PatternID, End: int(m.BitPos / 8)})
+	}
+	sortEvents(out)
+	return out
+}
+
+// SortEvents orders events by (end, id) for comparison.
+func sortEvents(ev []automata.MatchEvent) {
+	for i := 1; i < len(ev); i++ {
+		for j := i; j > 0 && (ev[j].End < ev[j-1].End ||
+			ev[j].End == ev[j-1].End && ev[j].ID < ev[j-1].ID); j-- {
+			ev[j], ev[j-1] = ev[j-1], ev[j]
+		}
+	}
+}
+
+// SortEventsInPlace is the exported form used by tests and the harness.
+func SortEventsInPlace(ev []automata.MatchEvent) { sortEvents(ev) }
+
+// Partition splits a pattern collection across n lanes (paper: "The
+// collection of patterns are partitioned across UDP lanes"), round-robin for
+// balanced automata sizes.
+func Partition(patterns []string, n int) [][]string {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		var grp []string
+		for j := i; j < len(patterns); j += n {
+			grp = append(grp, patterns[j])
+		}
+		if len(grp) > 0 {
+			out = append(out, grp)
+		}
+	}
+	return out
+}
+
+// PartitionedResult is one lane group's contribution to a partitioned scan.
+type PartitionedResult struct {
+	// Lanes is the number of lane groups used.
+	Lanes int
+	// Events are the merged, globally-renumbered match events.
+	Events []automata.MatchEvent
+	// Cycles is the makespan (slowest lane group).
+	Cycles uint64
+	// CodeBytes is the largest per-lane program.
+	CodeBytes int
+}
+
+// RunPartitioned implements the paper's deployment for large rule sets:
+// the pattern collection is partitioned across lane groups, every group
+// scans the full input with its own (much smaller) automaton, and events
+// are merged with pattern ids mapped back to the original collection.
+func RunPartitioned(patterns []string, data []byte, groups int) (*PartitionedResult, error) {
+	parts := Partition(patterns, groups)
+	res := &PartitionedResult{Lanes: len(parts)}
+	for gi, grp := range parts {
+		set, err := Compile(grp)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := set.BuildADFA()
+		if err != nil {
+			return nil, err
+		}
+		im, err := effclip.Layout(prog, effclip.Options{})
+		if err != nil {
+			return nil, err
+		}
+		lane, err := machine.RunSingle(im, data)
+		if err != nil {
+			return nil, err
+		}
+		if c := lane.Stats().Cycles; c > res.Cycles {
+			res.Cycles = c
+		}
+		if b := im.CodeBytes(); b > res.CodeBytes {
+			res.CodeBytes = b
+		}
+		for _, ev := range Dedup(lane.Matches()) {
+			// Partition() deals round-robin: local id j in group gi
+			// came from global index gi + j*groups.
+			res.Events = append(res.Events, automata.MatchEvent{
+				ID:  int32(gi) + ev.ID*int32(groups),
+				End: ev.End,
+			})
+		}
+	}
+	SortEventsInPlace(res.Events)
+	return res, nil
+}

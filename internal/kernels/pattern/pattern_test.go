@@ -1,0 +1,235 @@
+package pattern
+
+import (
+	"reflect"
+	"testing"
+
+	"udp/internal/automata"
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/workload"
+)
+
+func effclipLayout(t *testing.T, p *core.Program) (*effclip.Image, error) {
+	t.Helper()
+	return effclip.Layout(p, effclip.Options{})
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(nil); err == nil {
+		t.Fatal("empty set must error")
+	}
+	if _, err := Compile([]string{"("}); err == nil {
+		t.Fatal("bad regex must error")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	ps := []string{"a", "b", "c", "d", "e"}
+	groups := Partition(ps, 2)
+	if len(groups) != 2 || len(groups[0]) != 3 || len(groups[1]) != 2 {
+		t.Fatalf("groups %v", groups)
+	}
+	total := 0
+	for _, g := range Partition(ps, 10) {
+		total += len(g)
+	}
+	if total != 5 {
+		t.Fatalf("partition lost patterns: %d", total)
+	}
+}
+
+func eventsEqual(a, b []automata.MatchEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUDPADFAMatchesCPUSimple(t *testing.T) {
+	patterns := workload.NIDSPatterns(12, false, 41)
+	set, err := Compile(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.NetworkTrace(40000, patterns, 0.1, 42)
+	want := set.MatchCPU(trace)
+	SortEventsInPlace(want)
+
+	prog, err := set.BuildADFA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := RunUDP(prog, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eventsEqual(got, want) {
+		t.Fatalf("ADFA: UDP %d events, CPU %d", len(got), len(want))
+	}
+	cpb := float64(st.Cycles) / float64(len(trace))
+	if cpb < 1.0 || cpb > 3.5 {
+		t.Fatalf("ADFA cycles/byte = %.2f, outside [1.0,3.5]", cpb)
+	}
+}
+
+func TestUDPNFAMatchesCPUComplex(t *testing.T) {
+	patterns := workload.NIDSPatterns(8, true, 43)
+	set, err := Compile(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.NetworkTrace(20000, patterns, 0.05, 44)
+	want := set.MatchCPUNFA(trace)
+	SortEventsInPlace(want)
+
+	prog, err := set.BuildNFA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := RunUDP(prog, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eventsEqual(got, want) {
+		t.Fatalf("NFA: UDP %d events, CPU %d", len(got), len(want))
+	}
+}
+
+// TestDFAAndNFAAgree cross-checks the two CPU baselines on planted hits.
+func TestDFAAndNFAAgree(t *testing.T) {
+	patterns := []string{"attack", "wget http", "passwd=[a-z0-9]{4,8}"}
+	set, err := Compile(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := []byte("xx attack yy wget http zz passwd=abc123 end attack")
+	a := set.MatchCPU(trace)
+	b := set.MatchCPUNFA(trace)
+	SortEventsInPlace(a)
+	SortEventsInPlace(b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("DFA %v vs NFA %v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("expected matches on planted input")
+	}
+}
+
+// TestNFASmallerThanADFA pins the size trade the paper exploits: for complex
+// sets the NFA program is much smaller than the determinized ADFA.
+func TestNFASmallerThanADFA(t *testing.T) {
+	patterns := workload.NIDSPatterns(10, true, 45)
+	set, err := Compile(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adfa, err := set.BuildADFA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa, err := set.BuildNFA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nfa.Stats().Transitions >= adfa.Stats().Transitions {
+		t.Fatalf("NFA %d transitions, ADFA %d: expected NFA smaller",
+			nfa.Stats().Transitions, adfa.Stats().Transitions)
+	}
+}
+
+// TestRunPartitionedMatchesMonolithic: partitioning rules across lane groups
+// must find exactly the hits of the single combined automaton, with smaller
+// per-lane programs.
+func TestRunPartitionedMatchesMonolithic(t *testing.T) {
+	patterns := workload.NIDSPatterns(16, false, 46)
+	trace := workload.NetworkTrace(60000, patterns, 0.08, 47)
+
+	mono, err := Compile(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mono.MatchCPU(trace)
+	SortEventsInPlace(want)
+
+	res, err := RunPartitioned(patterns, trace, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eventsEqual(res.Events, want) {
+		t.Fatalf("partitioned found %d events, monolithic %d", len(res.Events), len(want))
+	}
+
+	monoProg, err := mono.BuildADFA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoIm, err := effclipLayout(t, monoProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CodeBytes >= monoIm.CodeBytes() {
+		t.Fatalf("per-group program %d B should undercut monolithic %d B",
+			res.CodeBytes, monoIm.CodeBytes())
+	}
+}
+
+// TestAnchoredPatterns: a ^-anchored rule matches only at the stream start,
+// on the DFA, the CPU NFA and the UDP programs alike.
+func TestAnchoredPatterns(t *testing.T) {
+	set, err := Compile([]string{"^GET /", "attack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := []byte("GET /index attack GET /other")
+	miss := []byte("log: GET /index")
+
+	for name, match := range map[string]func([]byte) []automata.MatchEvent{
+		"dfa": set.MatchCPU,
+		"nfa": set.MatchCPUNFA,
+	} {
+		got := match(hit)
+		SortEventsInPlace(got)
+		ids := map[int32]int{}
+		for _, e := range got {
+			ids[e.ID]++
+		}
+		if ids[0] != 1 || ids[1] != 1 {
+			t.Fatalf("%s on hit: events %v", name, got)
+		}
+		for _, e := range match(miss) {
+			if e.ID == 0 {
+				t.Fatalf("%s: anchored rule matched mid-stream", name)
+			}
+		}
+	}
+
+	// UDP multi-active execution must agree.
+	prog, err := set.BuildNFA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := RunUDP(prog, hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := set.MatchCPUNFA(hit)
+	SortEventsInPlace(want)
+	if !eventsEqual(got, want) {
+		t.Fatalf("UDP anchored events %v, want %v", got, want)
+	}
+	gotMiss, _, err := RunUDP(prog, miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range gotMiss {
+		if e.ID == 0 {
+			t.Fatal("UDP: anchored rule matched mid-stream")
+		}
+	}
+}

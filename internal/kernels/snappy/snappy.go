@@ -1,0 +1,249 @@
+// Package snappy implements the Snappy block-compression kernel of paper
+// Sections 5.6 and 3.2.4 from scratch: the standard Snappy format (varint
+// length header; literal / 1-byte-offset / 2-byte-offset / 4-byte-offset
+// copy elements), a CPU baseline encoder with the incompressible-input skip
+// heuristic (which the paper's footnote notes the UDP version omits), a CPU
+// decoder, and UDP compressor/decompressor programs built on flagged
+// (scalar-register) dispatch, hash, loop-compare and loop-copy actions.
+//
+// Compression is blocked: copies never span block boundaries, and block size
+// trades compression ratio against lane memory footprint (Figure 11).
+package snappy
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+	tagCopy4   = 0x03
+
+	// DefaultBlockSize matches the reference implementation's 64 KB.
+	DefaultBlockSize = 64 * 1024
+	// hashBits sizes the encoder hash table (2^hashBits uint16 entries).
+	hashBits  = 12
+	hashMul   = 0x1e35a7bd
+	inputSkip = 5 // CPU skip heuristic shift (bytes>>inputSkip growth)
+)
+
+func hash(u uint32) uint32 { return u * hashMul >> (32 - hashBits) }
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// MaxEncodedLen bounds the encoded size of n source bytes.
+func MaxEncodedLen(n int) int { return 32 + n + n/6 }
+
+// Encode is the CPU baseline compressor: greedy hashing with the
+// incompressible-input skip heuristic, block-local matches. Output is a
+// standard Snappy stream.
+func Encode(src []byte) []byte {
+	out := make([]byte, 0, MaxEncodedLen(len(src)))
+	out = appendUvarint(out, uint64(len(src)))
+	for off := 0; off < len(src); off += DefaultBlockSize {
+		end := off + DefaultBlockSize
+		if end > len(src) {
+			end = len(src)
+		}
+		out = encodeBlock(out, src[off:end], true)
+	}
+	if len(src) == 0 {
+		return out
+	}
+	return out
+}
+
+// EncodeNoSkip compresses without the skip heuristic (the UDP-equivalent
+// policy, used to isolate the heuristic's effect on the rank-like corpus).
+func EncodeNoSkip(src []byte, blockSize int) []byte {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	out := appendUvarint(nil, uint64(len(src)))
+	for off := 0; off < len(src); off += blockSize {
+		end := off + blockSize
+		if end > len(src) {
+			end = len(src)
+		}
+		out = encodeBlock(out, src[off:end], false)
+	}
+	return out
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [10]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+// encodeBlock appends the element stream for one block.
+func encodeBlock(out, b []byte, skip bool) []byte {
+	var table [1 << hashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	lit := 0
+	s := 0
+	for s+4 <= len(b) {
+		h := hash(load32(b, s))
+		cand := table[h]
+		table[h] = int32(s)
+		if cand >= 0 && load32(b, int(cand)) == load32(b, s) && s-int(cand) <= 0xFFFF {
+			out = emitLiteral(out, b[lit:s])
+			length := 4
+			for s+length < len(b) && b[int(cand)+length] == b[s+length] {
+				length++
+			}
+			out = emitCopy(out, s-int(cand), length)
+			s += length
+			lit = s
+			continue
+		}
+		if skip {
+			s += 1 + (s-lit)>>inputSkip
+		} else {
+			s++
+		}
+	}
+	return emitLiteral(out, b[lit:])
+}
+
+func emitLiteral(out, lit []byte) []byte {
+	n := len(lit)
+	if n == 0 {
+		return out
+	}
+	switch {
+	case n <= 60:
+		out = append(out, byte(n-1)<<2|tagLiteral)
+	case n <= 1<<8:
+		out = append(out, 60<<2|tagLiteral, byte(n-1))
+	default:
+		out = append(out, 61<<2|tagLiteral, byte(n-1), byte((n-1)>>8))
+	}
+	return append(out, lit...)
+}
+
+func emitCopy(out []byte, offset, length int) []byte {
+	for length > 64 {
+		out = appendCopy2(out, offset, 60)
+		length -= 60
+	}
+	if length >= 4 && length <= 11 && offset < 2048 {
+		// 1-byte-offset form for short near copies.
+		out = append(out,
+			byte(offset>>8)<<5|byte(length-4)<<2|tagCopy1,
+			byte(offset))
+		return out
+	}
+	return appendCopy2(out, offset, length)
+}
+
+func appendCopy2(out []byte, offset, length int) []byte {
+	return append(out, byte(length-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+}
+
+// Decode is the CPU baseline decompressor for a standard Snappy stream.
+func Decode(comp []byte) ([]byte, error) {
+	rawLen, n := binary.Uvarint(comp)
+	if n <= 0 {
+		return nil, fmt.Errorf("snappy: bad length header")
+	}
+	out := make([]byte, 0, rawLen)
+	s := n
+	for s < len(comp) {
+		tag := comp[s]
+		s++
+		switch tag & 3 {
+		case tagLiteral:
+			code := int(tag >> 2)
+			var length int
+			switch {
+			case code < 60:
+				length = code + 1
+			case code == 60:
+				if s >= len(comp) {
+					return nil, fmt.Errorf("snappy: truncated literal length")
+				}
+				length = int(comp[s]) + 1
+				s++
+			case code == 61:
+				if s+2 > len(comp) {
+					return nil, fmt.Errorf("snappy: truncated literal length")
+				}
+				length = (int(comp[s]) | int(comp[s+1])<<8) + 1
+				s += 2
+			default:
+				return nil, fmt.Errorf("snappy: unsupported literal length code %d", code)
+			}
+			if s+length > len(comp) {
+				return nil, fmt.Errorf("snappy: literal overruns input")
+			}
+			out = append(out, comp[s:s+length]...)
+			s += length
+		case tagCopy1:
+			if s >= len(comp) {
+				return nil, fmt.Errorf("snappy: truncated copy1")
+			}
+			length := int(tag>>2&7) + 4
+			offset := int(tag>>5)<<8 | int(comp[s])
+			s++
+			var err error
+			out, err = appendRef(out, offset, length)
+			if err != nil {
+				return nil, err
+			}
+		case tagCopy2:
+			if s+2 > len(comp) {
+				return nil, fmt.Errorf("snappy: truncated copy2")
+			}
+			length := int(tag>>2) + 1
+			offset := int(comp[s]) | int(comp[s+1])<<8
+			s += 2
+			var err error
+			out, err = appendRef(out, offset, length)
+			if err != nil {
+				return nil, err
+			}
+		case tagCopy4:
+			if s+4 > len(comp) {
+				return nil, fmt.Errorf("snappy: truncated copy4")
+			}
+			length := int(tag>>2) + 1
+			offset := int(binary.LittleEndian.Uint32(comp[s:]))
+			s += 4
+			var err error
+			out, err = appendRef(out, offset, length)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if uint64(len(out)) != rawLen {
+		return nil, fmt.Errorf("snappy: decoded %d bytes, header says %d", len(out), rawLen)
+	}
+	return out, nil
+}
+
+func appendRef(out []byte, offset, length int) ([]byte, error) {
+	if offset <= 0 || offset > len(out) {
+		return nil, fmt.Errorf("snappy: copy offset %d beyond %d decoded bytes", offset, len(out))
+	}
+	pos := len(out) - offset
+	for i := 0; i < length; i++ { // byte order: overlapping copies replicate
+		out = append(out, out[pos+i])
+	}
+	return out, nil
+}
+
+// Ratio returns compressed/uncompressed size (lower is better).
+func Ratio(compLen, rawLen int) float64 {
+	if rawLen == 0 {
+		return 1
+	}
+	return float64(compLen) / float64(rawLen)
+}

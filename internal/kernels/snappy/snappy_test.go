@@ -1,0 +1,251 @@
+package snappy
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"udp/internal/workload"
+)
+
+func corpus(t *testing.T) map[string][]byte {
+	t.Helper()
+	return map[string][]byte{
+		"english": workload.Text(workload.TextEnglish, 50000, 61),
+		"html":    workload.Text(workload.TextHTML, 50000, 62),
+		"log":     workload.Text(workload.TextLog, 50000, 63),
+		"runs":    workload.Text(workload.TextRuns, 50000, 64),
+		"random":  workload.Text(workload.TextRandom, 30000, 65),
+		"tiny":    []byte("abc"),
+		"empty":   nil,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	for name, data := range corpus(t) {
+		comp := Encode(data)
+		dec, err := Decode(comp)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("%s: round trip failed", name)
+		}
+	}
+}
+
+func TestBaselineRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		dec, err := Decode(Encode(data))
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionRatios(t *testing.T) {
+	c := corpus(t)
+	runs := Encode(c["runs"])
+	english := Encode(c["english"])
+	random := Encode(c["random"])
+	if len(runs) > len(c["runs"])/4 {
+		t.Fatalf("runs compressed to %d of %d: expected >4x", len(runs), len(c["runs"]))
+	}
+	if len(english) >= len(c["english"]) {
+		t.Fatal("english text should compress")
+	}
+	if len(random) < len(c["random"]) {
+		t.Fatal("random data should not compress below input size")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, bad := range [][]byte{
+		{},
+		{0x10, 0xF0},             // literal overruns
+		{0x04, 0x01, 0x05, 0x00}, // copy offset beyond output
+		{0x04, 0x61, 0xF1},       // truncated copy2
+	} {
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("input %v: expected error", bad)
+		}
+	}
+}
+
+func TestUDPDecompressMatchesBaseline(t *testing.T) {
+	codec, err := NewCodec(16 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range corpus(t) {
+		blocks := EncodeBlocked(data, codec.BlockSize, true)
+		got, st, err := codec.DecompressUDP(blocks)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: UDP decompression differs", name)
+		}
+		if len(data) > 1000 && st.Cycles == 0 {
+			t.Fatalf("%s: no cycles recorded", name)
+		}
+	}
+}
+
+func TestUDPCompressDecodesWithBaseline(t *testing.T) {
+	codec, err := NewCodec(16 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range corpus(t) {
+		blocks, _, err := codec.CompressUDP(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		stream := BlocksToStream(blocks)
+		dec, err := Decode(stream)
+		if err != nil {
+			t.Fatalf("%s: baseline cannot decode UDP output: %v", name, err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("%s: UDP compression corrupted data", name)
+		}
+	}
+}
+
+// TestUDPCompressMatchesNoSkipRatio: the UDP compressor implements the same
+// greedy policy as the no-skip baseline, so ratios should be close.
+func TestUDPCompressMatchesNoSkipRatio(t *testing.T) {
+	data := workload.Text(workload.TextEnglish, 60000, 66)
+	codec, err := NewCodec(16 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, _, err := codec.CompressUDP(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpLen := len(BlocksToStream(blocks))
+	cpuLen := len(EncodeNoSkip(data, 16*1024))
+	ratio := float64(udpLen) / float64(cpuLen)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("UDP/CPU compressed size ratio %.3f, expected ~1", ratio)
+	}
+}
+
+// TestUDPRoundTrip compresses and decompresses entirely on the UDP.
+func TestUDPRoundTrip(t *testing.T) {
+	data := workload.Text(workload.TextHTML, 40000, 67)
+	codec, err := NewCodec(16 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, _, err := codec.CompressUDP(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := codec.DecompressUDP(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("UDP round trip failed")
+	}
+}
+
+// TestBlockSizeTradeoffs pins the Figure 11 shape: bigger blocks improve the
+// ratio but cost banks (reducing lane parallelism).
+func TestBlockSizeTradeoffs(t *testing.T) {
+	data := workload.Text(workload.TextHTML, 128*1024, 68)
+	type res struct {
+		ratio float64
+		lanes int
+	}
+	var results []res
+	for _, bs := range []int{16 * 1024, 64 * 1024} {
+		codec, err := NewCodec(bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks, _, err := codec.CompressUDP(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res{
+			ratio: Ratio(len(BlocksToStream(blocks)), len(data)),
+			lanes: codec.EncLanes(),
+		})
+	}
+	if results[1].ratio >= results[0].ratio {
+		t.Fatalf("64K ratio %.3f should beat 16K ratio %.3f", results[1].ratio, results[0].ratio)
+	}
+	if results[1].lanes >= results[0].lanes {
+		t.Fatalf("64K lanes %d should be fewer than 16K lanes %d", results[1].lanes, results[0].lanes)
+	}
+}
+
+// TestSkipHeuristicOnIncompressible reproduces the paper's rank footnote:
+// the CPU skip heuristic speeds up incompressible input (fewer probes) at
+// essentially no ratio cost.
+func TestSkipHeuristicOnIncompressible(t *testing.T) {
+	data := workload.Text(workload.TextRandom, 100000, 69)
+	skip := Encode(data)
+	noskip := EncodeNoSkip(data, DefaultBlockSize)
+	if float64(len(skip)) > 1.05*float64(len(noskip)) {
+		t.Fatalf("skip ratio %.3f much worse than noskip %.3f",
+			Ratio(len(skip), len(data)), Ratio(len(noskip), len(data)))
+	}
+}
+
+func TestNewCodecErrors(t *testing.T) {
+	if _, err := NewCodec(0); err == nil {
+		t.Fatal("zero block size must error")
+	}
+	if _, err := NewCodec(1 << 20); err == nil {
+		t.Fatal("oversized block must error")
+	}
+}
+
+// TestUDPCompressProperty: random inputs compressed on the UDP must always
+// decode to the original through the baseline decoder.
+func TestUDPCompressProperty(t *testing.T) {
+	codec, err := NewCodec(8 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte) bool {
+		if len(data) > 20000 {
+			data = data[:20000]
+		}
+		blocks, _, err := codec.CompressUDP(data)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(BlocksToStream(blocks))
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUDPDecompressProperty: random inputs compressed by the baseline must
+// decompress identically on the UDP.
+func TestUDPDecompressProperty(t *testing.T) {
+	codec, err := NewCodec(8 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte) bool {
+		if len(data) > 20000 {
+			data = data[:20000]
+		}
+		blocks := EncodeBlocked(data, codec.BlockSize, true)
+		dec, _, err := codec.DecompressUDP(blocks)
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package trigger implements the signal-triggering kernel of paper Section
+// 5.7: the waveform transition-localization finite-state machines p2..p13
+// (after Fang et al., I2MTC'16) that locate rising edges completing within k
+// samples between a low and a high threshold. The CPU baseline is the
+// lookup-table formulation the paper cites (classify samples, then drive an
+// unrolled LUT four symbols per step); the UDP program explicitly encodes
+// all 256 sample transitions per state so dispatch runs one cycle per
+// sample, giving the paper's constant rate across p2..p13.
+package trigger
+
+import (
+	"fmt"
+
+	"udp/internal/core"
+)
+
+// Thresholds quantize 8-bit samples into low / mid / high classes.
+type Thresholds struct {
+	// Low is the below-baseline bound (sample < Low is class low).
+	Low uint8
+	// High is the asserted bound (sample >= High is class high).
+	High uint8
+}
+
+// DefaultThresholds matches the synthetic waveform generator's pulse levels.
+var DefaultThresholds = Thresholds{Low: 64, High: 160}
+
+// class returns 0 (low), 1 (mid), 2 (high).
+func (t Thresholds) class(s uint8) int {
+	switch {
+	case s < t.Low:
+		return 0
+	case s >= t.High:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// FSM is the pK transition-localization automaton: it reports a trigger when
+// the waveform rises from low to high passing through at most K-1 mid
+// samples (a transition localized within K samples).
+type FSM struct {
+	K  int
+	Th Thresholds
+}
+
+// NewFSM builds pK (the paper evaluates K = 2..13).
+func NewFSM(k int, th Thresholds) (*FSM, error) {
+	if k < 2 || k > 13 {
+		return nil, fmt.Errorf("trigger: K must be in 2..13, got %d", k)
+	}
+	return &FSM{K: k, Th: th}, nil
+}
+
+// Triggers is the straightforward CPU reference: classify each sample and
+// walk the FSM, returning the sample indices (1-based end positions) of each
+// localized transition.
+func (f *FSM) Triggers(wave []byte) []int {
+	var out []int
+	// state: -1 = idle (waiting for low), 0 = saw low, 1..K-1 = mid run
+	st := -1
+	for i, s := range wave {
+		switch f.Th.class(s) {
+		case 0:
+			st = 0
+		case 1:
+			if st >= 0 {
+				if st < f.K-1 {
+					st++
+				} else {
+					st = -1 // transition too slow
+				}
+			}
+		case 2:
+			if st >= 0 {
+				out = append(out, i+1)
+			}
+			st = -1
+		}
+	}
+	return out
+}
+
+// lutEntry packs the CPU LUT formulation: next state plus up to 4 trigger
+// flags for the 4 consumed symbols.
+type lutEntry struct {
+	next  int8
+	fires uint8 // bit j set = trigger after consuming symbol j
+}
+
+// BuildLUT unrolls the FSM over 4 classified symbols per lookup (the
+// optimized CPU structure of [53]: one table access per 4 samples).
+func (f *FSM) BuildLUT() [][256]lutEntry {
+	states := f.K + 1 // -1 mapped to index 0; saw-low=1; mid_j = 1+j
+	lut := make([][256]lutEntry, states)
+	step := func(st int, class int) (int, bool) {
+		switch class {
+		case 0:
+			return 1, false
+		case 1:
+			if st >= 1 {
+				if st-1 < f.K-1 {
+					return st + 1, false
+				}
+				return 0, false
+			}
+			return 0, false
+		default:
+			if st >= 1 {
+				return 0, true
+			}
+			return 0, false
+		}
+	}
+	for st := 0; st < states; st++ {
+		for sym := 0; sym < 256; sym++ {
+			cur := st
+			var fires uint8
+			for j := 3; j >= 0; j-- {
+				class := sym >> uint(2*j) & 3
+				if class == 3 {
+					class = 2
+				}
+				var fire bool
+				cur, fire = step(cur, class)
+				if fire {
+					fires |= 1 << uint(3-j)
+				}
+			}
+			lut[st][sym] = lutEntry{int8(cur), fires}
+		}
+	}
+	return lut
+}
+
+// TriggersLUT runs the LUT formulation: classify samples to 2-bit codes,
+// pack 4 per byte, then one table lookup per packed byte.
+func (f *FSM) TriggersLUT(wave []byte) []int {
+	lut := f.BuildLUT()
+	var out []int
+	st := 0
+	i := 0
+	for ; i+4 <= len(wave); i += 4 {
+		sym := 0
+		for j := 0; j < 4; j++ {
+			sym = sym<<2 | f.Th.class(wave[i+j])
+		}
+		e := lut[st][sym]
+		for j := 0; j < 4; j++ {
+			if e.fires&(1<<uint(j)) != 0 {
+				out = append(out, i+j+1)
+			}
+		}
+		st = int(e.next)
+	}
+	// Tail samples with the plain FSM.
+	idle := st == 0
+	sl := st
+	for ; i < len(wave); i++ {
+		switch f.Th.class(wave[i]) {
+		case 0:
+			sl, idle = 1, false
+		case 1:
+			if !idle && sl >= 1 && sl-1 < f.K-1 {
+				sl++
+			} else {
+				idle = true
+			}
+		case 2:
+			if !idle && sl >= 1 {
+				out = append(out, i+1)
+			}
+			idle = true
+		}
+	}
+	return out
+}
+
+// BuildProgram constructs the UDP pK program: one state per FSM state, all
+// 256 byte transitions explicitly labeled (paper: explicit encoding keeps
+// dispatch at one cycle per sample, constant across p2..p13); trigger
+// transitions record an Accept event.
+func (f *FSM) BuildProgram() *core.Program {
+	p := core.NewProgram(fmt.Sprintf("trigger-p%d", f.K), 8)
+	idle := p.AddState("idle", core.ModeStream)
+	low := p.AddState("low", core.ModeStream)
+	mids := make([]*core.State, 0, f.K-1)
+	for j := 1; j < f.K; j++ {
+		mids = append(mids, p.AddState(fmt.Sprintf("mid%d", j), core.ModeStream))
+	}
+	armed := append([]*core.State{low}, mids...)
+
+	fill := func(s *core.State, onLow, onMid, onHigh *core.State, fire bool) {
+		for sym := 0; sym < 256; sym++ {
+			var tgt *core.State
+			var acts []core.Action
+			switch f.Th.class(uint8(sym)) {
+			case 0:
+				tgt = onLow
+			case 1:
+				tgt = onMid
+			default:
+				tgt = onHigh
+				if fire {
+					acts = append(acts, core.AAccept(int32(f.K)))
+				}
+			}
+			s.On(uint32(sym), tgt, acts...)
+		}
+	}
+	fill(idle, low, idle, idle, false)
+	for i, s := range armed {
+		next := idle // mid run exhausted
+		if i+1 < len(armed) {
+			next = armed[i+1]
+		}
+		fill(s, low, next, idle, true)
+	}
+	p.Entry = idle
+	return p
+}

@@ -1,0 +1,108 @@
+package trigger
+
+import (
+	"reflect"
+	"testing"
+
+	"udp/internal/effclip"
+	"udp/internal/machine"
+	"udp/internal/workload"
+)
+
+func TestFSMBounds(t *testing.T) {
+	if _, err := NewFSM(1, DefaultThresholds); err == nil {
+		t.Fatal("K=1 must error")
+	}
+	if _, err := NewFSM(14, DefaultThresholds); err == nil {
+		t.Fatal("K=14 must error")
+	}
+}
+
+func TestTriggersHandBuilt(t *testing.T) {
+	th := Thresholds{Low: 50, High: 200}
+	f, _ := NewFSM(3, th)
+	// low, mid, mid, high -> trigger at sample 4 (2 mids <= K-1).
+	wave := []byte{10, 100, 100, 220}
+	if got := f.Triggers(wave); !reflect.DeepEqual(got, []int{4}) {
+		t.Fatalf("triggers %v", got)
+	}
+	// Three mids exceed K-1=2: no trigger.
+	wave = []byte{10, 100, 100, 100, 220}
+	if got := f.Triggers(wave); got != nil {
+		t.Fatalf("slow edge must not trigger, got %v", got)
+	}
+	// Direct low->high fires.
+	wave = []byte{10, 220}
+	if got := f.Triggers(wave); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("sharp edge %v", got)
+	}
+	// High with no preceding low does not fire.
+	wave = []byte{100, 220, 220}
+	if got := f.Triggers(wave); got != nil {
+		t.Fatalf("unarmed high fired: %v", got)
+	}
+}
+
+func TestLUTMatchesReference(t *testing.T) {
+	wave := workload.Waveform(50000, 17)
+	for k := 2; k <= 13; k++ {
+		f, _ := NewFSM(k, DefaultThresholds)
+		want := f.Triggers(wave)
+		got := f.TriggersLUT(wave)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("p%d: LUT %d events, reference %d", k, len(got), len(want))
+		}
+	}
+}
+
+func TestUDPMatchesReference(t *testing.T) {
+	wave := workload.Waveform(20000, 18)
+	for _, k := range []int{2, 5, 13} {
+		f, _ := NewFSM(k, DefaultThresholds)
+		want := f.Triggers(wave)
+		im, err := effclip.Layout(f.BuildProgram(), effclip.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lane, err := machine.RunSingle(im, wave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []int
+		for _, m := range lane.Matches() {
+			got = append(got, int(m.BitPos/8))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("p%d: UDP %d events, reference %d", k, len(got), len(want))
+		}
+	}
+}
+
+// TestConstantRate pins the paper's Section 5.7 claim: one cycle per sample,
+// constant across p2..p13.
+func TestConstantRate(t *testing.T) {
+	wave := workload.Waveform(30000, 19)
+	var first uint64
+	for _, k := range []int{2, 7, 13} {
+		f, _ := NewFSM(k, DefaultThresholds)
+		im, err := effclip.Layout(f.BuildProgram(), effclip.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lane, err := machine.RunSingle(im, wave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles := lane.Stats().Cycles
+		if first == 0 {
+			first = cycles
+		}
+		// All-labeled encoding: cycles ~= samples + accept actions.
+		if float64(cycles) > 1.05*float64(len(wave)) {
+			t.Fatalf("p%d: %d cycles for %d samples (not ~1/sample)", k, cycles, len(wave))
+		}
+		if diff := float64(cycles) - float64(first); diff > 0.02*float64(first) || diff < -0.02*float64(first) {
+			t.Fatalf("p%d: rate not constant (%d vs %d cycles)", k, cycles, first)
+		}
+	}
+}

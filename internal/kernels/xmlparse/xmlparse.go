@@ -1,0 +1,124 @@
+// Package xmlparse implements an XML/HTML tokenizer as a UDP program plus a
+// CPU baseline, completing the paper's Table 1 parsing trio (CSV, JSON,
+// XML). The tokenizer is markup-level (the IBM PowerEN XML accelerator's
+// job): it separates tag markup from character data with attribute-quote
+// awareness, so '>' inside a quoted attribute value does not close the tag.
+//
+// Token stream: TagOpen <raw tag markup> TagClose brackets each tag
+// (including end-tags and declarations); character data passes through
+// verbatim.
+package xmlparse
+
+import "udp/internal/core"
+
+// Token markers (outside the markup byte range).
+const (
+	TagOpen  = 0x01
+	TagClose = 0x02
+)
+
+// Tokenize is the CPU baseline FSM.
+func Tokenize(data []byte) []byte {
+	out := make([]byte, 0, len(data))
+	const (
+		text = iota
+		tag
+		dq
+		sq
+	)
+	st := text
+	for _, c := range data {
+		switch st {
+		case text:
+			if c == '<' {
+				out = append(out, TagOpen)
+				st = tag
+			} else {
+				out = append(out, c)
+			}
+		case tag:
+			switch c {
+			case '>':
+				out = append(out, TagClose)
+				st = text
+			case '"':
+				out = append(out, c)
+				st = dq
+			case '\'':
+				out = append(out, c)
+				st = sq
+			default:
+				out = append(out, c)
+			}
+		case dq:
+			out = append(out, c)
+			if c == '"' {
+				st = tag
+			}
+		case sq:
+			out = append(out, c)
+			if c == '\'' {
+				st = tag
+			}
+		}
+	}
+	return out
+}
+
+// BuildProgram constructs the UDP tokenizer with the same four states.
+func BuildProgram() *core.Program {
+	p := core.NewProgram("xmlparse", 8)
+	text := p.AddState("text", core.ModeStream)
+	tag := p.AddState("tag", core.ModeStream)
+	dq := p.AddState("dq", core.ModeStream)
+	sq := p.AddState("sq", core.ModeStream)
+
+	emitSym := core.AOut8(core.RSym)
+	mark := func(m byte) []core.Action {
+		return []core.Action{core.AMovi(core.R1, int32(m)), core.AOut8(core.R1)}
+	}
+
+	text.On('<', tag, mark(TagOpen)...)
+	text.Majority(text, emitSym)
+
+	tag.On('>', text, mark(TagClose)...)
+	tag.On('"', dq, emitSym)
+	tag.On('\'', sq, emitSym)
+	tag.Majority(tag, emitSym)
+
+	dq.On('"', tag, emitSym)
+	dq.Majority(dq, emitSym)
+
+	sq.On('\'', tag, emitSym)
+	sq.Majority(sq, emitSym)
+
+	return p
+}
+
+// Tag summarizes one tag in a tokenized stream.
+type Tag struct {
+	// Name is the element name ("/p" for end tags).
+	Name string
+	// Pos is the byte offset of the tag in the token stream.
+	Pos int
+}
+
+// Tags extracts tag names from a tokenized stream (report/test helper).
+func Tags(tok []byte) []Tag {
+	var tags []Tag
+	for i := 0; i < len(tok); i++ {
+		if tok[i] != TagOpen {
+			continue
+		}
+		j := i + 1
+		for j < len(tok) && tok[j] != TagClose && tok[j] != ' ' && tok[j] != '\t' {
+			j++
+		}
+		tags = append(tags, Tag{Name: string(tok[i+1 : j]), Pos: i})
+		for j < len(tok) && tok[j] != TagClose {
+			j++
+		}
+		i = j
+	}
+	return tags
+}

@@ -1,0 +1,126 @@
+package xmlparse
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"udp/internal/effclip"
+	"udp/internal/machine"
+	"udp/internal/workload"
+)
+
+func udpTokenize(t *testing.T, data []byte) []byte {
+	t.Helper()
+	im, err := effclip.Layout(BuildProgram(), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lane.Output()
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	in := []byte(`<p class="x">hi</p>`)
+	tok := Tokenize(in)
+	want := "\x01p class=\"x\"\x02hi\x01/p\x02"
+	if string(tok) != want {
+		t.Fatalf("tok %q want %q", tok, want)
+	}
+}
+
+func TestQuotedGtInsideAttribute(t *testing.T) {
+	in := []byte(`<a href="x>y" title='a>b'>t</a>`)
+	tok := Tokenize(in)
+	tags := Tags(tok)
+	if len(tags) != 2 || tags[0].Name != "a" || tags[1].Name != "/a" {
+		t.Fatalf("tags %+v", tags)
+	}
+	if !bytes.Contains(tok, []byte(`x>y`)) || !bytes.Contains(tok, []byte(`a>b`)) {
+		t.Fatalf("attribute content mangled: %q", tok)
+	}
+}
+
+func TestUDPMatchesBaseline(t *testing.T) {
+	inputs := [][]byte{
+		workload.Text(workload.TextHTML, 40000, 81),
+		[]byte(`<root><child attr="v>alue"/>text &amp; more<empty/></root>`),
+		[]byte(`no markup at all`),
+	}
+	for i, in := range inputs {
+		cpu := Tokenize(in)
+		udp := udpTokenize(t, in)
+		if !bytes.Equal(cpu, udp) {
+			t.Fatalf("input %d: streams differ", i)
+		}
+	}
+}
+
+// TestTagBalanceAgainstEncodingXML cross-checks tag extraction against the
+// stdlib XML decoder on a well-formed document.
+func TestTagBalanceAgainstEncodingXML(t *testing.T) {
+	doc := []byte(`<doc><a x="1"><b>t1</b><b>t2</b></a><c/>tail</doc>`)
+	tok := Tokenize(doc)
+	tags := Tags(tok)
+
+	dec := xml.NewDecoder(bytes.NewReader(doc))
+	var want []string
+	for {
+		token, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch e := token.(type) {
+		case xml.StartElement:
+			want = append(want, e.Name.Local)
+		case xml.EndElement:
+			want = append(want, "/"+e.Name.Local)
+		}
+	}
+	var got []string
+	for _, tg := range tags {
+		got = append(got, strings.TrimSuffix(tg.Name, "/"))
+	}
+	// encoding/xml synthesizes an EndElement for <c/>; our tokenizer sees
+	// one tag. Compare the start-tag subsequence.
+	var wantStarts, gotStarts []string
+	for _, w := range want {
+		if !strings.HasPrefix(w, "/") {
+			wantStarts = append(wantStarts, w)
+		}
+	}
+	for _, g := range got {
+		if !strings.HasPrefix(g, "/") {
+			gotStarts = append(gotStarts, strings.TrimSuffix(g, "/"))
+		}
+	}
+	if strings.Join(wantStarts, ",") != strings.Join(gotStarts, ",") {
+		t.Fatalf("start tags %v want %v", gotStarts, wantStarts)
+	}
+}
+
+func TestRateOnHTMLCorpus(t *testing.T) {
+	data := workload.Text(workload.TextHTML, 100000, 82)
+	im, err := effclip.Layout(BuildProgram(), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpb := float64(lane.Stats().Cycles) / float64(len(data))
+	if cpb < 1.5 || cpb > 3.5 {
+		t.Fatalf("cycles/byte %.2f outside [1.5,3.5]", cpb)
+	}
+	// The paper's PowerEN comparison point: our markup tokenizer should
+	// exceed 1.5 GB/s aggregate easily.
+	rate := machine.RateMBps(len(data), lane.Stats().Cycles)
+	if float64(machine.MaxLanes(im))*rate < 1500 {
+		t.Fatalf("aggregate %f MB/s below the PowerEN XML point", float64(machine.MaxLanes(im))*rate)
+	}
+}

@@ -1,0 +1,328 @@
+package machine
+
+import (
+	"testing"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+)
+
+// execActions runs one flagged state whose single transition executes the
+// action chain, then halts; it returns the lane for register/memory/output
+// inspection.
+func execActions(t *testing.T, setup func(l *Lane), actions ...core.Action) *Lane {
+	t.Helper()
+	p := core.NewProgram("acts", 8)
+	p.DataBase = 4096
+	p.DataBytes = 1024
+	s := p.AddState("s", core.ModeFlagged)
+	s.SymbolBits = 1
+	s.On(0, s, append(actions, core.AHalt(0))...)
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := NewLane(im, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup != nil {
+		setup(lane)
+	}
+	if err := lane.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return lane
+}
+
+// TestALUSemantics pins every arithmetic/logic/compare opcode against its
+// Go-computed expectation.
+func TestALUSemantics(t *testing.T) {
+	A := func(op core.Opcode, dst, ref, src core.Reg, imm int32) core.Action {
+		return core.Action{Op: op, Dst: dst, Ref: ref, Src: src, Imm: imm}
+	}
+	var a, b = uint32(0xDEAD0123), uint32(0x77)
+	cases := []struct {
+		name string
+		act  core.Action
+		want uint32
+	}{
+		{"add", A(core.OpAdd, core.R3, core.R1, core.R2, 0), a + b},
+		{"addi", A(core.OpAddi, core.R3, 0, core.R1, 99), a + 99},
+		{"sub", A(core.OpSub, core.R3, core.R1, core.R2, 0), a - b},
+		{"subi", A(core.OpSubi, core.R3, 0, core.R1, -5), a + 5},
+		{"mul", A(core.OpMul, core.R3, core.R1, core.R2, 0), a * b},
+		{"muli", A(core.OpMuli, core.R3, 0, core.R1, 3), a * 3},
+		{"and", A(core.OpAnd, core.R3, core.R1, core.R2, 0), a & b},
+		{"andi", A(core.OpAndi, core.R3, 0, core.R1, 0xF0F0), a & 0xF0F0},
+		{"or", A(core.OpOr, core.R3, core.R1, core.R2, 0), a | b},
+		{"ori", A(core.OpOri, core.R3, 0, core.R1, 0x0F), a | 0x0F},
+		{"xor", A(core.OpXor, core.R3, core.R1, core.R2, 0), a ^ b},
+		{"xori", A(core.OpXori, core.R3, 0, core.R1, 0xFFFF), a ^ 0xFFFF},
+		{"not", A(core.OpNot, core.R3, 0, core.R1, 0), ^a},
+		{"shl", A(core.OpShl, core.R3, core.R1, core.R2, 0), a << (b & 31)},
+		{"shli", A(core.OpShli, core.R3, 0, core.R1, 4), a << 4},
+		{"shr", A(core.OpShr, core.R3, core.R1, core.R2, 0), a >> (b & 31)},
+		{"shri", A(core.OpShri, core.R3, 0, core.R1, 12), a >> 12},
+		{"mov", A(core.OpMov, core.R3, 0, core.R1, 0), a},
+		{"movi", A(core.OpMovi, core.R3, 0, 0, 0xBEEF), 0xBEEF},
+		{"lui", A(core.OpLui, core.R3, 0, core.R2, 0xAB), 0x77 | 0xAB<<16},
+		{"seq-false", A(core.OpSeq, core.R3, core.R1, core.R2, 0), 0},
+		{"seqi-true", A(core.OpSeqi, core.R3, 0, core.R2, 0x77), 1},
+		{"sne-true", A(core.OpSne, core.R3, core.R1, core.R2, 0), 1},
+		{"snei-false", A(core.OpSnei, core.R3, 0, core.R2, 0x77), 0},
+		{"slt", A(core.OpSlt, core.R3, core.R2, core.R1, 0), 1},
+		{"slti", A(core.OpSlti, core.R3, 0, core.R2, 0x78), 1},
+		{"sge", A(core.OpSge, core.R3, core.R1, core.R2, 0), 1},
+		{"min", A(core.OpMin, core.R3, core.R1, core.R2, 0), b},
+		{"max", A(core.OpMax, core.R3, core.R1, core.R2, 0), a},
+		{"hash", A(core.OpHash, core.R3, 0, core.R1, 12), a * 0x1e35a7bd >> 20},
+	}
+	for _, c := range cases {
+		lane := execActions(t, func(l *Lane) {
+			l.SetReg(core.R1, a)
+			l.SetReg(core.R2, b)
+		}, c.act)
+		if got := lane.Reg(core.R3); got != c.want {
+			t.Errorf("%s: got %#x want %#x", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMemorySemantics(t *testing.T) {
+	A := func(op core.Opcode, dst, ref, src core.Reg, imm int32) core.Action {
+		return core.Action{Op: op, Dst: dst, Ref: ref, Src: src, Imm: imm}
+	}
+	lane := execActions(t, func(l *Lane) {
+		l.SetReg(core.R1, 4096)
+		l.SetReg(core.R2, 0x11223344)
+	},
+		A(core.OpSt32, core.R1, 0, core.R2, 0),
+		A(core.OpSt16, core.R1, 0, core.R2, 8),
+		A(core.OpSt8, core.R1, 0, core.R2, 12),
+		A(core.OpLd32, core.R3, 0, core.R1, 0),
+		A(core.OpLd16, core.R4, 0, core.R1, 8),
+		A(core.OpLd8, core.R5, 0, core.R1, 12),
+		A(core.OpMovi, core.R6, 0, 0, 4),
+		A(core.OpLdx, core.R7, core.R1, core.R6, 0), // mem8[4096+4] = 0 (unwritten)
+		A(core.OpLdx32, core.R8, core.R1, core.R6, 0),
+		A(core.OpStx, core.R2, core.R1, core.R6, 0), // mem8[4100] = low byte of R2
+	)
+	if lane.Reg(core.R3) != 0x11223344 {
+		t.Errorf("ld32: %#x", lane.Reg(core.R3))
+	}
+	if lane.Reg(core.R4) != 0x3344 {
+		t.Errorf("ld16: %#x", lane.Reg(core.R4))
+	}
+	if lane.Reg(core.R5) != 0x44 {
+		t.Errorf("ld8: %#x", lane.Reg(core.R5))
+	}
+	if lane.Reg(core.R7) != 0 || lane.Reg(core.R8) != 0 {
+		t.Errorf("ldx/ldx32 from unwritten: %#x %#x", lane.Reg(core.R7), lane.Reg(core.R8))
+	}
+	if lane.Mem()[4100] != 0x44 {
+		t.Errorf("stx: %#x", lane.Mem()[4100])
+	}
+}
+
+func TestStreamActions(t *testing.T) {
+	A := func(op core.Opcode, dst, ref, src core.Reg, imm int32) core.Action {
+		return core.Action{Op: op, Dst: dst, Ref: ref, Src: src, Imm: imm}
+	}
+	p := core.NewProgram("stream", 8)
+	s := p.AddState("s", core.ModeFlagged)
+	s.SymbolBits = 1
+	s.On(0, s,
+		A(core.OpRead, core.R1, 0, 0, 8), // first byte
+		A(core.OpRead, core.R2, 0, 0, 4), // high nibble of second
+		A(core.OpPutBack, 0, 0, 0, 4),    // put it back
+		A(core.OpRead, core.R3, 0, 0, 8), // full second byte
+		A(core.OpMovi, core.R4, 0, 0, 4),
+		A(core.OpPutBackR, 0, 0, core.R4, 0), // put back 4 bits
+		A(core.OpRead, core.R5, 0, 0, 4),     // low nibble of second byte
+		core.AHalt(0),
+	)
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := NewLane(im, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane.SetInput([]byte{0xAB, 0xCD})
+	if err := lane.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if lane.Reg(core.R1) != 0xAB || lane.Reg(core.R2) != 0xC ||
+		lane.Reg(core.R3) != 0xCD || lane.Reg(core.R5) != 0xD {
+		t.Fatalf("regs %#x %#x %#x %#x", lane.Reg(core.R1), lane.Reg(core.R2),
+			lane.Reg(core.R3), lane.Reg(core.R5))
+	}
+}
+
+func TestOutputActions(t *testing.T) {
+	A := func(op core.Opcode, dst, ref, src core.Reg, imm int32) core.Action {
+		return core.Action{Op: op, Dst: dst, Ref: ref, Src: src, Imm: imm}
+	}
+	lane := execActions(t, func(l *Lane) {
+		l.SetReg(core.R1, 0x01020304)
+		l.WriteMem(4200, []byte("copyme"))
+		l.SetReg(core.R2, 4200)
+		l.SetReg(core.R3, 6)
+	},
+		A(core.OpOut8, 0, 0, core.R1, 0),
+		A(core.OpOut16, 0, 0, core.R1, 0),
+		A(core.OpOut32, 0, 0, core.R1, 0),
+		A(core.OpOutI, 0, 0, 0, 'Z'),
+		A(core.OpOutMem, 0, core.R2, core.R3, 0),
+	)
+	want := []byte{0x04, 0x04, 0x03, 0x04, 0x03, 0x02, 0x01, 'Z', 'c', 'o', 'p', 'y', 'm', 'e'}
+	if string(lane.Output()) != string(want) {
+		t.Fatalf("output % x want % x", lane.Output(), want)
+	}
+	if lane.Stats().OutBytes != uint64(len(want)) {
+		t.Fatalf("outbytes %d", lane.Stats().OutBytes)
+	}
+}
+
+func TestLoopCmpSemantics(t *testing.T) {
+	A := func(op core.Opcode, dst, ref, src core.Reg, imm int32) core.Action {
+		return core.Action{Op: op, Dst: dst, Ref: ref, Src: src, Imm: imm}
+	}
+	lane := execActions(t, func(l *Lane) {
+		l.WriteMem(4096, []byte("abcdefgh"))
+		l.WriteMem(4200, []byte("abcdeXgh"))
+		l.SetReg(core.R1, 4096)
+		l.SetReg(core.R2, 4200)
+	}, A(core.OpLoopCmp, core.R3, core.R1, core.R2, 0))
+	if lane.Reg(core.R3) != 5 {
+		t.Fatalf("loopcmp = %d, want 5", lane.Reg(core.R3))
+	}
+}
+
+func TestSetBaseWindowing(t *testing.T) {
+	A := func(op core.Opcode, dst, ref, src core.Reg, imm int32) core.Action {
+		return core.Action{Op: op, Dst: dst, Ref: ref, Src: src, Imm: imm}
+	}
+	lane := execActions(t, func(l *Lane) {
+		l.WriteMem(4096+128, []byte{0x5A})
+	},
+		A(core.OpSetBase, 0, 0, 0, 4096),
+		A(core.OpLd8, core.R1, 0, 0, 128), // reads base+128
+	)
+	if lane.Reg(core.R1) != 0x5A {
+		t.Fatalf("setbase read %#x", lane.Reg(core.R1))
+	}
+}
+
+func TestMemoryBoundsError(t *testing.T) {
+	p := core.NewProgram("oob", 8)
+	s := p.AddState("s", core.ModeFlagged)
+	s.SymbolBits = 1
+	s.On(0, s, core.ALd8(core.R1, core.R0, 0xFFFF), core.AHalt(0))
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := NewLane(im, 1) // one bank: 0xFFFF out of range
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lane.Run(0); err == nil {
+		t.Fatal("expected out-of-window error")
+	}
+}
+
+func TestResetRestoresState(t *testing.T) {
+	p := core.NewProgram("rst", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.Majority(s, core.AAddi(core.R1, core.R1, 1), core.AOut8(core.RSym))
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := NewLane(im, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane.SetInput([]byte("xyz"))
+	if err := lane.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	lane.Reset()
+	if lane.Reg(core.R1) != 0 || len(lane.Output()) != 0 || lane.Stats().Cycles != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	if err := lane.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if string(lane.Output()) != "xyz" {
+		t.Fatalf("re-run output %q", lane.Output())
+	}
+}
+
+// TestNewLaneErrors covers loader failure paths.
+func TestNewLaneErrors(t *testing.T) {
+	p := core.NewProgram("big", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.Majority(s)
+	p.DataBytes = 3 * core.BankBytes
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLane(im, 65); err == nil {
+		t.Fatal("bank overflow must error")
+	}
+	if _, err := NewLane(im, 1); err == nil {
+		t.Fatal("data init past a 1-bank window must error")
+	}
+	if lane, err := NewLane(im, 0); err != nil || len(lane.Mem()) != 4*core.BankBytes {
+		t.Fatalf("auto banks: %v, window %d", err, len(lane.Mem()))
+	}
+}
+
+// TestFlaggedOutOfRange: an R0 beyond the state's declared range must fail
+// loudly, not silently take a foreign word.
+func TestFlaggedOutOfRange(t *testing.T) {
+	p := core.NewProgram("oor", 8)
+	s := p.AddState("s", core.ModeFlagged)
+	s.SymbolBits = 1
+	s.On(0, s, core.AHalt(0))
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := NewLane(im, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane.SetReg(core.R0, 9999)
+	if err := lane.Run(0); err == nil {
+		t.Fatal("out-of-range flagged dispatch should error (probe misses or leaves the window)")
+	}
+}
+
+// TestWideAttachExecution drives the wide-attach (SsT/SsF-style) image path
+// directly: actions resolve through the side table.
+func TestWideAttachExecution(t *testing.T) {
+	p := core.NewProgram("wide", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.On('a', s, core.AAddi(core.R1, core.R1, 1))
+	s.Majority(s, core.AOut8(core.RSym))
+	im, err := effclip.Layout(p, effclip.Options{WideAttach: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.WideAttach == nil || im.TransWordBytes != 6 {
+		t.Fatal("wide-attach metadata missing")
+	}
+	lane, err := RunSingle(im, []byte("abca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lane.Reg(core.R1) != 2 || string(lane.Output()) != "bc" {
+		t.Fatalf("r1=%d out=%q", lane.Reg(core.R1), lane.Output())
+	}
+}

@@ -1,0 +1,652 @@
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/encode"
+)
+
+// DefaultMaxCycles bounds a single Run as a guard against non-terminating
+// programs (flagged-dispatch loops must end with an explicit Halt).
+const DefaultMaxCycles = 1 << 33
+
+// Lane is one UDP lane: a 32-bit execution engine with sixteen scalar
+// registers, a stream buffer, a symbol-size register and a window of the
+// multi-bank local memory, executing one EffCLiP image.
+type Lane struct {
+	img *effclip.Image
+	mem []byte
+
+	regs    [core.NumRegs]uint32
+	ss      uint8
+	cb      uint32
+	memBase uint32
+
+	base int
+	mode core.DispatchMode
+
+	stream *BitStream
+	out    []byte
+	bitAcc uint64
+	bitN   uint
+
+	matches []Match
+	stats   Stats
+
+	traceBanks bool
+	bankTrace  []uint64
+	trace      io.Writer
+
+	halted bool
+	exit   int32
+
+	frontier []frontierEntry
+}
+
+type frontierEntry struct {
+	base int
+	mode core.DispatchMode
+}
+
+// NewLane loads an image into a fresh lane with the given number of local
+// memory banks (the image's own Banks() if banks is 0).
+func NewLane(img *effclip.Image, banks int) (*Lane, error) {
+	if !img.Executable {
+		return nil, fmt.Errorf("machine: image %q is size-accounting only", img.Name)
+	}
+	if banks == 0 {
+		banks = img.Banks()
+	}
+	if banks > core.NumBanks {
+		return nil, fmt.Errorf("machine: %d banks exceed the %d-bank local memory", banks, core.NumBanks)
+	}
+	l := &Lane{img: img, mem: make([]byte, banks*core.BankBytes)}
+	if need := img.FootprintBytes(); need > len(l.mem) {
+		return nil, fmt.Errorf("machine: image %q footprint (%d B) exceeds %d-bank window",
+			img.Name, need, banks)
+	}
+	for i, w := range img.Words {
+		binary.LittleEndian.PutUint32(l.mem[i*core.WordBytes:], w)
+	}
+	for off, b := range img.DataInit {
+		if img.DataBase+off+len(b) > len(l.mem) {
+			return nil, fmt.Errorf("machine: image %q data init at %d overflows window", img.Name, img.DataBase+off)
+		}
+		copy(l.mem[img.DataBase+off:], b)
+	}
+	l.Reset()
+	return l, nil
+}
+
+// Reset returns the lane to its load-time state without reloading code or
+// data (registers, stream position, output, counters).
+func (l *Lane) Reset() {
+	l.regs = [core.NumRegs]uint32{}
+	for r, v := range l.img.InitRegs {
+		l.regs[r] = v
+	}
+	l.ss = l.img.EntrySymbolBits
+	l.cb = uint32(l.img.EntryBase / effclip.SegmentWords * effclip.SegmentWords)
+	l.memBase = 0
+	l.base = l.img.EntryBase
+	l.mode = l.img.EntryMode
+	l.out = l.out[:0]
+	l.bitAcc, l.bitN = 0, 0
+	l.matches = l.matches[:0]
+	l.stats = Stats{}
+	l.halted = false
+	l.exit = 0
+	l.frontier = l.frontier[:0]
+	if l.stream != nil {
+		l.stream.SeekBit(0)
+	}
+}
+
+// SetInput attaches the input stream.
+func (l *Lane) SetInput(data []byte) { l.stream = NewBitStream(data) }
+
+// SetReg presets a scalar register before Run.
+func (l *Lane) SetReg(r core.Reg, v uint32) { l.regs[r] = v }
+
+// Reg reads a scalar register.
+func (l *Lane) Reg(r core.Reg) uint32 { return l.getReg(r) }
+
+// WriteMem stages bytes into the lane window (e.g. an input block for
+// memory-based kernels).
+func (l *Lane) WriteMem(off int, b []byte) error {
+	if off < 0 || off+len(b) > len(l.mem) {
+		return fmt.Errorf("machine: WriteMem [%d,%d) outside window", off, off+len(b))
+	}
+	copy(l.mem[off:], b)
+	return nil
+}
+
+// Mem exposes the lane window (read-only use expected).
+func (l *Lane) Mem() []byte { return l.mem }
+
+// Output returns the bytes the program emitted.
+func (l *Lane) Output() []byte { return l.out }
+
+// FlushBits pads any pending bit-packed output to a byte boundary, modeling
+// the DLT engine's drain at end of stream.
+func (l *Lane) FlushBits() {
+	if l.bitN > 0 {
+		l.emitBits(0, 8-l.bitN%8)
+	}
+}
+
+// Matches returns the accept events recorded by the program.
+func (l *Lane) Matches() []Match { return l.matches }
+
+// Stats returns the accumulated counters.
+func (l *Lane) Stats() Stats { return l.stats }
+
+// Exit returns the Halt exit code (0 when the stream simply ended).
+func (l *Lane) Exit() int32 { return l.exit }
+
+// Run executes until the stream is exhausted, a Halt action executes, the
+// frontier empties (multi-active mode), or maxCycles elapse (DefaultMaxCycles
+// when 0). It returns the first execution error.
+func (l *Lane) Run(maxCycles uint64) error {
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
+	}
+	if l.stream == nil {
+		l.stream = NewBitStream(nil)
+	}
+	if l.img.MultiActive {
+		return l.runNFA(maxCycles)
+	}
+	return l.runSingle(maxCycles)
+}
+
+func (l *Lane) fetch(wordAddr int) (uint32, error) {
+	byteAddr := wordAddr * core.WordBytes
+	if wordAddr < 0 || byteAddr+4 > len(l.mem) {
+		return 0, fmt.Errorf("machine: dispatch probe at word %d outside window", wordAddr)
+	}
+	return binary.LittleEndian.Uint32(l.mem[byteAddr:]), nil
+}
+
+func (l *Lane) runSingle(maxCycles uint64) error {
+	for !l.halted {
+		if l.stats.Cycles >= maxCycles {
+			return fmt.Errorf("machine: program %q exceeded %d cycles", l.img.Name, maxCycles)
+		}
+		var sym uint32
+		switch l.mode {
+		case core.ModeStream, core.ModeCommon:
+			if !l.stream.Has(l.ss) {
+				return nil // input consumed
+			}
+			if l.ss == 8 {
+				sym = l.stream.TakeByteFast()
+			} else {
+				sym = l.stream.Take(l.ss)
+			}
+			l.stats.StreamBits += uint64(l.ss)
+		case core.ModeFlagged:
+			sym = l.regs[core.R0]
+		}
+		if err := l.dispatch(sym); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatch performs one multi-way dispatch (plus any default-retry hops) for
+// symbol sym at the current state.
+func (l *Lane) dispatch(sym uint32) error {
+	for hop := 0; ; hop++ {
+		if hop > 256 {
+			return fmt.Errorf("machine: default-transition loop at base %d", l.base)
+		}
+		slot := l.base + int(sym)
+		if l.mode == core.ModeCommon {
+			slot = l.base
+		}
+		l.stats.Cycles++
+		l.stats.Dispatches++
+		takenAt := slot
+		t, ok, err := l.probe(slot)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Signature miss: read the fallback word at base-1.
+			l.stats.Cycles++
+			l.stats.FallbackProbes++
+			takenAt = l.base - 1
+			t, ok, err = l.probe(l.base - 1)
+			if err != nil {
+				return err
+			}
+			if !ok || (t.Kind != core.KindMajority && t.Kind != core.KindDefault) {
+				return fmt.Errorf("machine: no transition at base %d for symbol %d (program %q)",
+					l.base, sym, l.img.Name)
+			}
+		}
+		l.regs[core.RSym] = sym
+		if l.trace != nil {
+			fmt.Fprintf(l.trace, "cyc=%d base=%d sym=%#x %s -> %d\n",
+				l.stats.Cycles, l.base, sym, t.Kind, int(l.cb)+int(t.Target))
+		}
+		if t.Kind == core.KindRefill {
+			pb := l.ss - (t.Attach&(1<<core.RefillLenBits-1) + 1)
+			if pb > 0 {
+				l.stream.PutBack(pb)
+				l.stats.StreamBits -= uint64(pb)
+			}
+		}
+		if err := l.execAttach(t, takenAt); err != nil {
+			return err
+		}
+		l.base = int(l.cb) + int(t.Target)
+		l.mode = t.NextMode
+		if t.Kind != core.KindDefault {
+			return nil
+		}
+		// Default: re-dispatch the same symbol at the target state.
+		l.stats.DefaultHops++
+		if l.mode != core.ModeStream {
+			return fmt.Errorf("machine: default transition into non-stream state at base %d", l.base)
+		}
+		if l.halted {
+			return nil
+		}
+	}
+}
+
+// probe fetches and validates the word at slot against the current base's
+// signature.
+func (l *Lane) probe(slot int) (encode.Transition, bool, error) {
+	w, err := l.fetch(slot)
+	if err != nil {
+		return encode.Transition{}, false, err
+	}
+	if encode.EmptySlot(w) {
+		return encode.Transition{}, false, nil
+	}
+	t := encode.GetTransition(w)
+	if t.Sig != effclip.Sig(l.base) {
+		return t, false, nil
+	}
+	return t, true, nil
+}
+
+// execAttach resolves a taken transition's action chain and executes it.
+// slot is the word address the transition was fetched from (wide-attach
+// images map it to the chain address directly).
+func (l *Lane) execAttach(t encode.Transition, slot int) error {
+	if l.img.WideAttach != nil {
+		if addr, ok := l.img.WideAttach[slot]; ok {
+			return l.execChain(addr)
+		}
+		return nil
+	}
+	var addr int
+	switch {
+	case t.Kind == core.KindRefill:
+		ref := int(t.Attach >> core.RefillLenBits)
+		if ref == 0 {
+			return nil
+		}
+		addr = l.img.ActionBase + ref*core.ScaledStride
+	case t.Attach == 0 && t.AttachMode == core.AttachDirect:
+		return nil
+	case t.AttachMode == core.AttachDirect:
+		addr = l.img.ActionBase + int(t.Attach)
+	default:
+		addr = l.img.ActionBase + int(t.Attach)*core.ScaledStride
+	}
+	return l.execChain(addr)
+}
+
+// execChain executes an encoded action chain starting at word addr.
+func (l *Lane) execChain(addr int) error {
+	for {
+		w, err := l.fetch(addr)
+		if err != nil {
+			return err
+		}
+		a, last := encode.GetAction(w)
+		if err := l.execAction(a); err != nil {
+			return err
+		}
+		if last || l.halted {
+			return nil
+		}
+		addr++
+	}
+}
+
+func (l *Lane) getReg(r core.Reg) uint32 {
+	if r == core.RIdx {
+		return uint32(l.stream.Pos())
+	}
+	return l.regs[r]
+}
+
+func (l *Lane) setReg(r core.Reg, v uint32) {
+	if r == core.RIdx {
+		l.stream.SeekBit(int64(v))
+		return
+	}
+	l.regs[r] = v
+}
+
+func (l *Lane) memAddr(a uint32, n int) (int, error) {
+	addr := int(l.memBase + a)
+	if addr < 0 || addr+n > len(l.mem) {
+		return 0, fmt.Errorf("machine: memory access [%d,%d) outside window (program %q)",
+			addr, addr+n, l.img.Name)
+	}
+	if l.traceBanks {
+		l.bankTrace = append(l.bankTrace, l.stats.Cycles<<8|uint64(addr/core.BankBytes))
+	}
+	return addr, nil
+}
+
+// SetTrace streams a one-line record of every taken transition to w
+// (debugging aid: cycle, state base, symbol, kind, target). Nil disables.
+func (l *Lane) SetTrace(w io.Writer) { l.trace = w }
+
+// EnableBankTrace records a (cycle, bank) event for every memory access,
+// feeding the global-addressing conflict study. One entry is recorded per
+// access (loop operations count once at their starting bank).
+func (l *Lane) EnableBankTrace() { l.traceBanks = true }
+
+// BankTrace returns the recorded events, packed cycle<<8|bank.
+func (l *Lane) BankTrace() []uint64 { return l.bankTrace }
+
+// beats is the cycle/reference cost of an n-byte loop operation on the
+// 4-byte loop datapath.
+func beats(n uint32) uint64 { return uint64(n+3) / 4 }
+
+// execAction interprets one action, charging its cycle and memory-reference
+// costs.
+func (l *Lane) execAction(a core.Action) error {
+	l.stats.Cycles++
+	l.stats.Actions++
+	src := l.getReg(a.Src)
+	ref := l.getReg(a.Ref)
+	imm := uint32(a.Imm)
+	switch a.Op {
+	case core.OpNop:
+	case core.OpAdd:
+		l.setReg(a.Dst, ref+src)
+	case core.OpAddi:
+		l.setReg(a.Dst, src+imm)
+	case core.OpSub:
+		l.setReg(a.Dst, ref-src)
+	case core.OpSubi:
+		l.setReg(a.Dst, src-imm)
+	case core.OpMul:
+		l.setReg(a.Dst, ref*src)
+	case core.OpMuli:
+		l.setReg(a.Dst, src*imm)
+	case core.OpAnd:
+		l.setReg(a.Dst, ref&src)
+	case core.OpAndi:
+		l.setReg(a.Dst, src&imm)
+	case core.OpOr:
+		l.setReg(a.Dst, ref|src)
+	case core.OpOri:
+		l.setReg(a.Dst, src|imm)
+	case core.OpXor:
+		l.setReg(a.Dst, ref^src)
+	case core.OpXori:
+		l.setReg(a.Dst, src^imm)
+	case core.OpNot:
+		l.setReg(a.Dst, ^src)
+	case core.OpShl:
+		l.setReg(a.Dst, ref<<(src&31))
+	case core.OpShli:
+		l.setReg(a.Dst, src<<(imm&31))
+	case core.OpShr:
+		l.setReg(a.Dst, ref>>(src&31))
+	case core.OpShri:
+		l.setReg(a.Dst, src>>(imm&31))
+	case core.OpMov:
+		l.setReg(a.Dst, src)
+	case core.OpMovi:
+		l.setReg(a.Dst, imm)
+	case core.OpLui:
+		l.setReg(a.Dst, src&0xFFFF|imm<<16)
+	case core.OpSeq:
+		l.setReg(a.Dst, b2u(ref == src))
+	case core.OpSeqi:
+		l.setReg(a.Dst, b2u(src == imm))
+	case core.OpSne:
+		l.setReg(a.Dst, b2u(ref != src))
+	case core.OpSnei:
+		l.setReg(a.Dst, b2u(src != imm))
+	case core.OpSlt:
+		l.setReg(a.Dst, b2u(ref < src))
+	case core.OpSlti:
+		l.setReg(a.Dst, b2u(src < imm))
+	case core.OpSge:
+		l.setReg(a.Dst, b2u(ref >= src))
+	case core.OpMin:
+		l.setReg(a.Dst, min(ref, src))
+	case core.OpMax:
+		l.setReg(a.Dst, max(ref, src))
+
+	case core.OpLd8:
+		addr, err := l.memAddr(src+imm, 1)
+		if err != nil {
+			return err
+		}
+		l.stats.MemRefs++
+		l.setReg(a.Dst, uint32(l.mem[addr]))
+	case core.OpLd16:
+		addr, err := l.memAddr(src+imm, 2)
+		if err != nil {
+			return err
+		}
+		l.stats.MemRefs++
+		l.setReg(a.Dst, uint32(binary.LittleEndian.Uint16(l.mem[addr:])))
+	case core.OpLd32:
+		addr, err := l.memAddr(src+imm, 4)
+		if err != nil {
+			return err
+		}
+		l.stats.MemRefs++
+		l.setReg(a.Dst, binary.LittleEndian.Uint32(l.mem[addr:]))
+	case core.OpSt8:
+		addr, err := l.memAddr(l.getReg(a.Dst)+imm, 1)
+		if err != nil {
+			return err
+		}
+		l.stats.MemRefs++
+		l.mem[addr] = byte(src)
+	case core.OpSt16:
+		addr, err := l.memAddr(l.getReg(a.Dst)+imm, 2)
+		if err != nil {
+			return err
+		}
+		l.stats.MemRefs++
+		binary.LittleEndian.PutUint16(l.mem[addr:], uint16(src))
+	case core.OpSt32:
+		addr, err := l.memAddr(l.getReg(a.Dst)+imm, 4)
+		if err != nil {
+			return err
+		}
+		l.stats.MemRefs++
+		binary.LittleEndian.PutUint32(l.mem[addr:], src)
+	case core.OpLdx:
+		addr, err := l.memAddr(ref+src, 1)
+		if err != nil {
+			return err
+		}
+		l.stats.MemRefs++
+		l.setReg(a.Dst, uint32(l.mem[addr]))
+	case core.OpLdx32:
+		addr, err := l.memAddr(ref+src, 4)
+		if err != nil {
+			return err
+		}
+		l.stats.MemRefs++
+		l.setReg(a.Dst, binary.LittleEndian.Uint32(l.mem[addr:]))
+	case core.OpStx:
+		addr, err := l.memAddr(ref+src, 1)
+		if err != nil {
+			return err
+		}
+		l.stats.MemRefs++
+		l.mem[addr] = byte(l.getReg(a.Dst))
+	case core.OpIncm:
+		addr, err := l.memAddr(src+imm, 4)
+		if err != nil {
+			return err
+		}
+		l.stats.MemRefs += 2
+		binary.LittleEndian.PutUint32(l.mem[addr:], binary.LittleEndian.Uint32(l.mem[addr:])+1)
+
+	case core.OpOut8:
+		l.out = append(l.out, byte(src))
+		l.stats.OutBytes++
+	case core.OpOut16:
+		l.out = append(l.out, byte(src), byte(src>>8))
+		l.stats.OutBytes += 2
+	case core.OpOut32:
+		l.out = append(l.out, byte(src), byte(src>>8), byte(src>>16), byte(src>>24))
+		l.stats.OutBytes += 4
+	case core.OpOutI:
+		l.out = append(l.out, byte(imm))
+		l.stats.OutBytes++
+	case core.OpEmitBits:
+		l.emitBits(src, uint(imm&31))
+	case core.OpEmitBitsR:
+		l.emitBits(src, uint(ref&31))
+	case core.OpFlushBits:
+		if l.bitN > 0 {
+			l.emitBits(0, 8-l.bitN%8)
+		}
+	case core.OpOutMem:
+		n := src
+		addr, err := l.memAddr(ref, int(n))
+		if err != nil {
+			return err
+		}
+		l.out = append(l.out, l.mem[addr:addr+int(n)]...)
+		l.stats.OutBytes += uint64(n)
+		l.stats.MemRefs += beats(n)
+		l.stats.Cycles += beats(n)
+
+	case core.OpSetSS:
+		if imm == 0 || imm > core.MaxSymbolBits {
+			return fmt.Errorf("machine: setss %d out of range", imm)
+		}
+		l.ss = uint8(imm)
+		l.stats.SetSSOps++
+	case core.OpSetSSR:
+		if src == 0 || src > core.MaxSymbolBits {
+			return fmt.Errorf("machine: setssr %d out of range", src)
+		}
+		l.ss = uint8(src)
+		l.stats.SetSSOps++
+	case core.OpPutBack:
+		l.stream.PutBack(uint8(imm))
+		l.stats.StreamBits -= uint64(imm)
+	case core.OpPutBackR:
+		l.stream.PutBack(uint8(src))
+		l.stats.StreamBits -= uint64(src)
+	case core.OpRead:
+		if imm > 32 {
+			return fmt.Errorf("machine: read %d bits out of range", imm)
+		}
+		l.setReg(a.Dst, l.stream.Take(uint8(imm)))
+		l.stats.StreamBits += uint64(imm)
+	case core.OpSetBase:
+		l.memBase = src + imm
+	case core.OpSetCB:
+		l.cb = imm
+
+	case core.OpHash:
+		shift := 32 - imm&31
+		l.setReg(a.Dst, src*0x1e35a7bd>>shift)
+	case core.OpLoopCmp:
+		n, err := l.loopCmp(ref, src)
+		if err != nil {
+			return err
+		}
+		l.setReg(a.Dst, n)
+		l.stats.Cycles += beats(n)
+		l.stats.MemRefs += 2 * beats(n)
+	case core.OpLoopCpy:
+		n := src
+		if err := l.loopCpy(a.Dst, a.Ref, n); err != nil {
+			return err
+		}
+		l.stats.Cycles += beats(n)
+		l.stats.MemRefs += 2 * beats(n)
+
+	case core.OpAccept:
+		l.matches = append(l.matches, Match{PatternID: int32(imm), BitPos: l.stream.Pos()})
+	case core.OpHalt:
+		l.halted = true
+		l.exit = a.Imm
+	default:
+		return fmt.Errorf("machine: unimplemented opcode %s", a.Op)
+	}
+	return nil
+}
+
+func (l *Lane) emitBits(v uint32, n uint) {
+	if n == 0 || n > 32 {
+		return
+	}
+	l.bitAcc = l.bitAcc<<n | uint64(v&(1<<n-1))
+	l.bitN += n
+	for l.bitN >= 8 {
+		l.bitN -= 8
+		l.out = append(l.out, byte(l.bitAcc>>l.bitN))
+		l.stats.OutBytes++
+	}
+}
+
+func (l *Lane) loopCmp(pa, pb uint32) (uint32, error) {
+	a, err := l.memAddr(pa, 1)
+	if err != nil {
+		return 0, err
+	}
+	b, err := l.memAddr(pb, 1)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for n < core.LoopCmpMax && a+n < len(l.mem) && b+n < len(l.mem) && l.mem[a+n] == l.mem[b+n] {
+		n++
+	}
+	return uint32(n), nil
+}
+
+func (l *Lane) loopCpy(dstReg, srcReg core.Reg, n uint32) error {
+	d, err := l.memAddr(l.getReg(dstReg), int(n))
+	if err != nil {
+		return err
+	}
+	s, err := l.memAddr(l.getReg(srcReg), int(n))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(n); i++ { // byte order: overlapping RLE copies replicate
+		l.mem[d+i] = l.mem[s+i]
+	}
+	l.setReg(dstReg, l.getReg(dstReg)+n)
+	l.setReg(srcReg, l.getReg(srcReg)+n)
+	return nil
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/encode"
+)
+
+// runNFA executes in multi-active mode: the lane keeps a frontier of active
+// states (multi-state activation via epsilon transitions, paper Section
+// 3.2.1); every active state dispatches on each symbol, a miss silently
+// deactivates that state, and fork chains can activate several targets. The
+// compiler resolves true epsilon closures statically, so every runtime step
+// consumes exactly one symbol.
+func (l *Lane) runNFA(maxCycles uint64) error {
+	if len(l.img.Segments) > 1 {
+		return fmt.Errorf("machine: multi-active program %q spans several segments (unsupported)", l.img.Name)
+	}
+	active := map[int]bool{l.base: true}
+	next := map[int]bool{}
+	order := make([]int, 0, 16)
+	for !l.halted {
+		if l.img.StartAlways {
+			active[l.img.EntryBase] = true
+		}
+		if l.stats.Cycles >= maxCycles {
+			return fmt.Errorf("machine: program %q exceeded %d cycles", l.img.Name, maxCycles)
+		}
+		if len(active) == 0 {
+			return nil
+		}
+		if !l.stream.Has(l.ss) {
+			return nil
+		}
+		sym := l.stream.Take(l.ss)
+		l.stats.StreamBits += uint64(l.ss)
+		l.regs[core.RSym] = sym
+
+		order = order[:0]
+		for b := range active {
+			order = append(order, b)
+		}
+		sort.Ints(order) // deterministic action side-effect order
+		for k := range next {
+			delete(next, k)
+		}
+		for _, b := range order {
+			if err := l.nfaProbe(b, sym, next, 0); err != nil {
+				return err
+			}
+			if l.halted {
+				break
+			}
+		}
+		active, next = next, active
+	}
+	return nil
+}
+
+// nfaProbe dispatches symbol sym at state base b, activating targets into
+// next. depth bounds default-transition retry hops.
+func (l *Lane) nfaProbe(b int, sym uint32, next map[int]bool, depth int) error {
+	if depth > 64 {
+		return fmt.Errorf("machine: default-transition loop at base %d", b)
+	}
+	l.stats.Cycles++
+	l.stats.Dispatches++
+	addr := b + int(sym)
+	w, err := l.fetch(addr)
+	if err != nil {
+		return err
+	}
+	if encode.EmptySlot(w) || encode.GetTransition(w).Sig != effclip.Sig(b) {
+		// Fallback probe.
+		l.stats.Cycles++
+		l.stats.FallbackProbes++
+		fw, err := l.fetch(b - 1)
+		if err != nil {
+			return err
+		}
+		if encode.EmptySlot(fw) {
+			return nil // deactivate silently
+		}
+		ft := encode.GetTransition(fw)
+		if ft.Sig != effclip.Sig(b) {
+			return nil
+		}
+		switch ft.Kind {
+		case core.KindMajority:
+			return l.nfaTake(ft, b-1, next)
+		case core.KindDefault:
+			l.stats.DefaultHops++
+			if err := l.execAttach(ft, b-1); err != nil {
+				return err
+			}
+			return l.nfaProbe(int(ft.Target), sym, next, depth+1)
+		default:
+			return nil
+		}
+	}
+	// Walk the fork chain rooted at this slot.
+	for {
+		t := encode.GetTransition(w)
+		if t.Sig != effclip.Sig(b) {
+			return fmt.Errorf("machine: corrupt fork chain at word %d", addr)
+		}
+		if t.Kind == core.KindEpsilon {
+			l.stats.Activations++
+			next[int(t.Target)] = true
+			if t.Attach == 0 && t.AttachMode == core.AttachDirect {
+				return nil
+			}
+			if t.AttachMode == core.AttachScaled {
+				// Spilled continuation in the action region.
+				addr = l.img.ActionBase + int(t.Attach)*core.ScaledStride
+			} else {
+				addr += int(t.Attach)
+			}
+			l.stats.Cycles++
+			w, err = l.fetch(addr)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		return l.nfaTake(t, addr, next)
+	}
+}
+
+// nfaTake executes a terminal chain entry: run its actions and activate its
+// target. Activation is idempotent: a target already activated this step
+// skips re-execution (accept actions fire once per step per target).
+func (l *Lane) nfaTake(t encode.Transition, at int, next map[int]bool) error {
+	if next[int(t.Target)] {
+		return nil
+	}
+	if err := l.execAttach(t, at); err != nil {
+		return err
+	}
+	l.stats.Activations++
+	next[int(t.Target)] = true
+	return nil
+}

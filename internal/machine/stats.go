@@ -1,0 +1,73 @@
+package machine
+
+// Stats are the event counters one lane accumulates during execution. The
+// energy model converts them to joules; the experiment harness converts
+// cycles to rates using the ASIC clock.
+type Stats struct {
+	// Cycles is the total execution time in lane cycles.
+	Cycles uint64
+	// Dispatches counts multi-way dispatch operations (one per probe of a
+	// primary slot).
+	Dispatches uint64
+	// FallbackProbes counts signature misses that read the fallback word
+	// (each costs one extra cycle).
+	FallbackProbes uint64
+	// DefaultHops counts non-consuming default-transition retries (D2FA
+	// style delta hops).
+	DefaultHops uint64
+	// Actions counts executed action words.
+	Actions uint64
+	// MemRefs counts local-memory references issued by actions (loop
+	// operations count one reference per 8-byte beat).
+	MemRefs uint64
+	// StreamBits counts consumed stream bits (net of putbacks).
+	StreamBits uint64
+	// OutBytes counts bytes appended to the lane output.
+	OutBytes uint64
+	// Activations counts state activations in multi-active (NFA) mode.
+	Activations uint64
+	// SetSSOps counts symbol-size register writes (the SsReg overhead the
+	// SsT design point removes, paper Section 3.2.2).
+	SetSSOps uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Cycles += other.Cycles
+	s.Dispatches += other.Dispatches
+	s.FallbackProbes += other.FallbackProbes
+	s.DefaultHops += other.DefaultHops
+	s.Actions += other.Actions
+	s.MemRefs += other.MemRefs
+	s.StreamBits += other.StreamBits
+	s.OutBytes += other.OutBytes
+	s.Activations += other.Activations
+	s.SetSSOps += other.SetSSOps
+}
+
+// Match records an accept event (OpAccept): which pattern matched and where.
+type Match struct {
+	// PatternID is the accept action's immediate.
+	PatternID int32
+	// BitPos is the stream bit position when the accept executed.
+	BitPos int64
+}
+
+// Clock parameters from the ASIC implementation (paper Section 6: timing
+// closure at a 0.97 ns clock period).
+const (
+	// ClockPeriodNs is the lane clock period in nanoseconds.
+	ClockPeriodNs = 0.97
+	// ClockHz is the lane clock rate.
+	ClockHz = 1e9 / ClockPeriodNs
+)
+
+// RateMBps converts bytes processed in cycles to a processing rate in
+// megabytes per second (MB = 1e6 bytes, as in the paper's figures).
+func RateMBps(bytes int, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) * ClockPeriodNs * 1e-9
+	return float64(bytes) / 1e6 / seconds
+}

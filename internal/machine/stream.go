@@ -1,0 +1,78 @@
+// Package machine is the cycle-level simulator of the UDP: it executes
+// EffCLiP-laid-out machine images word by word, modeling the paper's
+// micro-architecture (Figure 23): the Dispatch unit (multi-way dispatch with
+// signature validation and fallback), the Stream Buffer + Prefetch unit
+// (variable-size symbols, putback/refill), and the Action unit, together with
+// the lane-local window of the multi-bank memory. It maintains the cycle and
+// event counters the evaluation and energy models consume.
+package machine
+
+// BitStream is the lane stream buffer: an MSB-first bit cursor over an input
+// byte slice with putback support (paper Section 3.2.2). The prefetch unit is
+// modeled as zero-latency (stream reads are hidden behind dispatch).
+type BitStream struct {
+	data []byte
+	pos  int64 // bit position
+}
+
+// NewBitStream wraps data in a stream positioned at bit 0.
+func NewBitStream(data []byte) *BitStream { return &BitStream{data: data} }
+
+// Has reports whether n more bits are available.
+func (b *BitStream) Has(n uint8) bool { return b.pos+int64(n) <= int64(len(b.data))*8 }
+
+// Len returns the total stream length in bits.
+func (b *BitStream) Len() int64 { return int64(len(b.data)) * 8 }
+
+// Pos returns the current bit position.
+func (b *BitStream) Pos() int64 { return b.pos }
+
+// SeekBit sets the bit position (clamped to the stream bounds).
+func (b *BitStream) SeekBit(pos int64) {
+	if pos < 0 {
+		pos = 0
+	}
+	if max := b.Len(); pos > max {
+		pos = max
+	}
+	b.pos = pos
+}
+
+// Take consumes the next n bits (n <= 32) MSB first and returns them in the
+// low bits of the result. The caller must check Has first; Take returns what
+// remains zero-padded otherwise.
+func (b *BitStream) Take(n uint8) uint32 {
+	var v uint32
+	for i := uint8(0); i < n; i++ {
+		byteIdx := b.pos >> 3
+		if byteIdx >= int64(len(b.data)) {
+			v <<= 1
+		} else {
+			bit := b.data[byteIdx] >> (7 - uint(b.pos&7)) & 1
+			v = v<<1 | uint32(bit)
+		}
+		b.pos++
+	}
+	return v
+}
+
+// TakeByteFast consumes one aligned byte when possible, else falls back to
+// Take(8). It is the common case for 8-bit symbol programs.
+func (b *BitStream) TakeByteFast() uint32 {
+	if b.pos&7 == 0 {
+		i := b.pos >> 3
+		if i < int64(len(b.data)) {
+			b.pos += 8
+			return uint32(b.data[i])
+		}
+	}
+	return b.Take(8)
+}
+
+// PutBack returns n bits to the stream (refill).
+func (b *BitStream) PutBack(n uint8) {
+	b.pos -= int64(n)
+	if b.pos < 0 {
+		b.pos = 0
+	}
+}

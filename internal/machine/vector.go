@@ -1,0 +1,110 @@
+package machine
+
+import "fmt"
+
+// Vector register file constants (paper Section 3.1: a shared 64 x 2048-bit
+// vector register file feeds the lanes' stream buffers).
+const (
+	// VectorRegs is the number of vector registers.
+	VectorRegs = 64
+	// VectorRegBytes is one register's capacity (2048 bits).
+	VectorRegBytes = 256
+)
+
+// VectorFile models the shared vector register file: the DLT engine (or
+// host) loads columns into registers, and each lane's stream buffer is
+// constructed from a private or shared register sequence (paper Section
+// 3.2.3, "Stream Buffer constructs streams from vector registers").
+type VectorFile struct {
+	regs  [VectorRegs][VectorRegBytes]byte
+	used  [VectorRegs]int
+	reads uint64
+}
+
+// Load stages data into consecutive registers starting at reg, returning the
+// register indices consumed.
+func (vf *VectorFile) Load(reg int, data []byte) ([]int, error) {
+	need := (len(data) + VectorRegBytes - 1) / VectorRegBytes
+	if need == 0 {
+		need = 1
+	}
+	if reg < 0 || reg+need > VectorRegs {
+		return nil, fmt.Errorf("machine: %d bytes need registers [%d,%d), file has %d",
+			len(data), reg, reg+need, VectorRegs)
+	}
+	var regs []int
+	for i := 0; i < need; i++ {
+		chunk := data[i*VectorRegBytes:]
+		if len(chunk) > VectorRegBytes {
+			chunk = chunk[:VectorRegBytes]
+		}
+		copy(vf.regs[reg+i][:], chunk)
+		vf.used[reg+i] = len(chunk)
+		regs = append(regs, reg+i)
+	}
+	return regs, nil
+}
+
+// Stream concatenates a register sequence into a lane input stream. Shared
+// coupling is expressed by passing the same registers to several lanes;
+// private coupling by disjoint sequences.
+func (vf *VectorFile) Stream(regs []int) ([]byte, error) {
+	var out []byte
+	for _, r := range regs {
+		if r < 0 || r >= VectorRegs {
+			return nil, fmt.Errorf("machine: vector register %d out of range", r)
+		}
+		out = append(out, vf.regs[r][:vf.used[r]]...)
+		vf.reads++
+	}
+	return out, nil
+}
+
+// Reads counts register fetches (the stream prefetcher's traffic).
+func (vf *VectorFile) Reads() uint64 { return vf.reads }
+
+// StageLane loads a lane's input from a register sequence.
+func (vf *VectorFile) StageLane(l *Lane, regs []int) error {
+	data, err := vf.Stream(regs)
+	if err != nil {
+		return err
+	}
+	l.SetInput(data)
+	return nil
+}
+
+// Partition distributes data across the file for n lanes with private
+// coupling, returning each lane's register sequence. Data is split on
+// register-size boundaries as evenly as the file allows.
+func (vf *VectorFile) Partition(data []byte, n int) ([][]int, error) {
+	if n < 1 || n > VectorRegs {
+		return nil, fmt.Errorf("machine: cannot partition across %d lanes", n)
+	}
+	shards := SplitBytes(data, n)
+	if len(shards) > 0 {
+		// Verify capacity before loading anything.
+		total := 0
+		for _, s := range shards {
+			per := (len(s) + VectorRegBytes - 1) / VectorRegBytes
+			if per == 0 {
+				per = 1
+			}
+			total += per
+		}
+		if total > VectorRegs {
+			return nil, fmt.Errorf("machine: %d bytes need %d vector registers, file has %d",
+				len(data), total, VectorRegs)
+		}
+	}
+	var out [][]int
+	next := 0
+	for _, s := range shards {
+		regs, err := vf.Load(next, s)
+		if err != nil {
+			return nil, err
+		}
+		next = regs[len(regs)-1] + 1
+		out = append(out, regs)
+	}
+	return out, nil
+}

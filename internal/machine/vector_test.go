@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+)
+
+func TestVectorFileLoadStream(t *testing.T) {
+	var vf VectorFile
+	data := bytes.Repeat([]byte("0123456789"), 60) // 600 B -> 3 registers
+	regs, err := vf.Load(0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 3 {
+		t.Fatalf("%d registers", len(regs))
+	}
+	back, err := vf.Stream(regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("stream reassembly failed")
+	}
+	if vf.Reads() != 3 {
+		t.Fatalf("reads %d", vf.Reads())
+	}
+}
+
+func TestVectorFileCapacity(t *testing.T) {
+	var vf VectorFile
+	if _, err := vf.Load(62, make([]byte, 3*VectorRegBytes)); err == nil {
+		t.Fatal("overflow must error")
+	}
+	if _, err := vf.Partition(make([]byte, VectorRegs*VectorRegBytes+1), 4); err == nil {
+		t.Fatal("oversized partition must error")
+	}
+}
+
+// TestVectorStagedLanes runs the identity program over lanes whose streams
+// come from private vector register sequences.
+func TestVectorStagedLanes(t *testing.T) {
+	p := core.NewProgram("copy", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("vector-file "), 300)
+	var vf VectorFile
+	parts, err := vf.Partition(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joined []byte
+	for _, regs := range parts {
+		lane, err := NewLane(im, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vf.StageLane(lane, regs); err != nil {
+			t.Fatal(err)
+		}
+		if err := lane.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		joined = append(joined, lane.Output()...)
+	}
+	if !bytes.Equal(joined, data) {
+		t.Fatal("vector-staged lanes lost data")
+	}
+}
+
+// TestVectorSharedCoupling: several lanes can read the same registers.
+func TestVectorSharedCoupling(t *testing.T) {
+	var vf VectorFile
+	regs, err := vf.Load(10, []byte("shared"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := vf.Stream(regs)
+	b, _ := vf.Stream(regs)
+	if !bytes.Equal(a, b) || string(a) != "shared" {
+		t.Fatal("shared coupling broken")
+	}
+}

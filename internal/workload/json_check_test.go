@@ -1,0 +1,27 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestJSONRecordsValid(t *testing.T) {
+	data := JSONRecords(200, 1)
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	if len(lines) != 200 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	escapes := 0
+	for i, line := range lines {
+		if !json.Valid(line) {
+			t.Fatalf("line %d invalid JSON: %s", i, line)
+		}
+		if bytes.Contains(line, []byte(`\"`)) || bytes.Contains(line, []byte(`\\`)) {
+			escapes++
+		}
+	}
+	if escapes == 0 {
+		t.Fatal("generator should produce string escapes")
+	}
+}

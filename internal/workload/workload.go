@@ -1,0 +1,458 @@
+// Package workload synthesizes the datasets of the paper's evaluation
+// (Section 4.1) from seeded generators, substituting for the proprietary or
+// unavailable originals while preserving the statistical properties the
+// kernels are sensitive to: schema shape and quoting for the CSV corpora,
+// entropy profile for the compression corpora, pattern-class mix for the NIDS
+// rules, and pulse shape for the oscilloscope trace. Every generator is
+// deterministic given its seed.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// CSVSpec describes a synthetic CSV dataset.
+type CSVSpec struct {
+	// Name labels the dataset in reports ("crimes", "taxi", "food").
+	Name string
+	// Rows is the record count.
+	Rows int
+	// Seed fixes the generator.
+	Seed int64
+}
+
+var crimeTypes = []string{
+	"THEFT", "BATTERY", "CRIMINAL DAMAGE", "NARCOTICS", "ASSAULT",
+	"BURGLARY", "ROBBERY", "DECEPTIVE PRACTICE", "MOTOR VEHICLE THEFT",
+	"WEAPONS VIOLATION", "PUBLIC PEACE VIOLATION", "OFFENSE INVOLVING CHILDREN",
+}
+
+var crimeDescs = []string{
+	"SIMPLE", "DOMESTIC BATTERY SIMPLE", "TO VEHICLE", "POSS: CANNABIS 30GMS OR LESS",
+	"OVER $500", "$500 AND UNDER", "TO PROPERTY", "FORCIBLE ENTRY",
+	"RETAIL THEFT", "AGGRAVATED: HANDGUN", "UNLAWFUL POSS OF HANDGUN",
+}
+
+var locations = []string{
+	"STREET", "RESIDENCE", "APARTMENT", "SIDEWALK", "OTHER", "PARKING LOT",
+	"ALLEY", "SCHOOL, PUBLIC, BUILDING", "RESTAURANT", "SMALL RETAIL STORE",
+	"VEHICLE NON-COMMERCIAL", "DEPARTMENT STORE",
+}
+
+// CrimesCSV synthesizes a Chicago-crimes-like CSV: mixed categorical,
+// boolean, integer and floating-point attributes (the paper's Crimes
+// dataset [16]).
+func CrimesCSV(spec CSVSpec) []byte {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var b bytes.Buffer
+	b.WriteString("ID,CaseNumber,Date,Block,PrimaryType,Description,LocationDescription,Arrest,Domestic,District,Latitude,Longitude\n")
+	for i := 0; i < spec.Rows; i++ {
+		fmt.Fprintf(&b, "%d,HZ%06d,%02d/%02d/2016 %02d:%02d,%03dXX %s %s,%s,%s,%s,%t,%t,%d,%.9f,%.9f\n",
+			10000000+i,
+			rng.Intn(1000000),
+			1+rng.Intn(12), 1+rng.Intn(28), rng.Intn(24), rng.Intn(60),
+			rng.Intn(100),
+			dir(rng), streetName(rng),
+			crimeTypes[zipf(rng, len(crimeTypes))],
+			crimeDescs[zipf(rng, len(crimeDescs))],
+			locations[zipf(rng, len(locations))],
+			rng.Intn(4) == 0,
+			rng.Intn(5) == 0,
+			1+rng.Intn(25),
+			41.6+rng.Float64()*0.4,
+			-87.9+rng.Float64()*0.4,
+		)
+	}
+	return b.Bytes()
+}
+
+// TaxiCSV synthesizes a NYC-taxi-trip-like CSV (the paper's Trip
+// dataset [23]): ids, timestamps and fare/distance floats.
+func TaxiCSV(spec CSVSpec) []byte {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var b bytes.Buffer
+	b.WriteString("medallion,hack_license,pickup_datetime,passenger_count,trip_time_in_secs,trip_distance,fare_amount,tip_amount,total_amount\n")
+	for i := 0; i < spec.Rows; i++ {
+		fare := 2.5 + rng.ExpFloat64()*9
+		tip := fare * rng.Float64() * 0.3
+		fmt.Fprintf(&b, "%016X,%012X,2013-%02d-%02d %02d:%02d:%02d,%d,%d,%.2f,%.2f,%.2f,%.2f\n",
+			rng.Uint64(), rng.Uint64()&0xFFFFFFFFFFFF,
+			1+rng.Intn(12), 1+rng.Intn(28), rng.Intn(24), rng.Intn(60), rng.Intn(60),
+			1+rng.Intn(5),
+			120+rng.Intn(2400),
+			0.3+rng.ExpFloat64()*3,
+			fare, tip, fare+tip+0.5,
+		)
+	}
+	return b.Bytes()
+}
+
+// FoodCSV synthesizes a food-inspection-like CSV with quoted fields
+// containing commas, escaped quotes and long comments (the paper notes Food
+// Inspection stresses escape handling).
+func FoodCSV(spec CSVSpec) []byte {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var b bytes.Buffer
+	b.WriteString("InspectionID,DBAName,FacilityType,Risk,Address,Results,Violations,Location\n")
+	results := []string{"Pass", "Fail", "Pass w/ Conditions", "Out of Business"}
+	for i := 0; i < spec.Rows; i++ {
+		fmt.Fprintf(&b, "%d,\"%s, %s\",Restaurant,Risk %d (High),%d W %s ST,%s,\"%s\",\"(%.9f, %.9f)\"\n",
+			2000000+i,
+			restaurantName(rng), suffix(rng),
+			1+rng.Intn(3),
+			100+rng.Intn(9900), streetName(rng),
+			results[rng.Intn(len(results))],
+			violationComment(rng),
+			41.6+rng.Float64()*0.4, -87.9+rng.Float64()*0.4,
+		)
+	}
+	return b.Bytes()
+}
+
+func dir(rng *rand.Rand) string { return []string{"N", "S", "E", "W"}[rng.Intn(4)] }
+
+var streets = []string{
+	"STATE", "MICHIGAN", "HALSTED", "WESTERN", "PULASKI", "CICERO", "ASHLAND",
+	"KEDZIE", "DAMEN", "CLARK", "BROADWAY", "ARCHER", "MADISON", "ROOSEVELT",
+}
+
+func streetName(rng *rand.Rand) string { return streets[rng.Intn(len(streets))] }
+
+var foodNames = []string{
+	"SUBWAY", "TACO BELL", "GOLDEN NUGGET", "LA CASA", "THE GRILL",
+	"HAPPY WOK", "PIZZA PALACE", "CORNER BAKERY", "BLUE PLATE",
+}
+
+func restaurantName(rng *rand.Rand) string { return foodNames[rng.Intn(len(foodNames))] }
+
+func suffix(rng *rand.Rand) string {
+	return []string{"INC", "LLC", "CORP", "LTD"}[rng.Intn(4)]
+}
+
+var violationPhrases = []string{
+	"INSTRUCTED TO CLEAN AND SANITIZE ALL FOOD CONTACT SURFACES",
+	"OBSERVED NO HOT WATER AT HAND SINK \"\"FRONT PREP AREA\"\"",
+	"MUST PROVIDE THERMOMETERS IN ALL COOLERS, SERIOUS CITATION ISSUED",
+	"FLOORS IN POOR REPAIR; GROUT MISSING BETWEEN TILES ALONG COOK LINE",
+	"NOTED EVIDENCE OF PESTS, RECOMMEND LICENSED EXTERMINATOR SERVICE",
+}
+
+func violationComment(rng *rand.Rand) string {
+	var b bytes.Buffer
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%d. %s", 30+rng.Intn(40), violationPhrases[rng.Intn(len(violationPhrases))])
+	}
+	return b.String()
+}
+
+// zipf returns an index in [0,n) with a skewed (rank-biased) distribution,
+// mimicking real categorical column frequencies.
+func zipf(rng *rand.Rand, n int) int {
+	for i := 0; i < n-1; i++ {
+		if rng.Intn(3) != 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// JSONRecords synthesizes newline-delimited JSON documents shaped like an
+// event feed (nested objects, arrays, strings with escapes, numbers,
+// booleans, null), the input of the JSON-parsing kernel.
+func JSONRecords(rows int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b bytes.Buffer
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, `{"id":%d,"type":"%s","arrest":%t,"coords":[%.6f,%.6f],`,
+			100000+i, crimeTypes[zipf(rng, len(crimeTypes))], rng.Intn(4) == 0,
+			41.6+rng.Float64()*0.4, -87.9+rng.Float64()*0.4)
+		fmt.Fprintf(&b, `"note":"%s","extra":null,"score":%d}`,
+			jsonNote(rng), rng.Intn(100))
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+func jsonNote(rng *rand.Rand) string {
+	// The phrase bank carries CSV-style "" escapes; JSON wants \".
+	base := strings.ReplaceAll(violationPhrases[rng.Intn(len(violationPhrases))], `"`, `\"`)
+	switch rng.Intn(3) {
+	case 0:
+		return base
+	case 1:
+		return `said \"` + base[:10] + `\" loudly`
+	default:
+		return base[:8] + `\\path\\to\\file`
+	}
+}
+
+// TextKind selects one of the Canterbury/BDBench-like corpus profiles.
+type TextKind int
+
+const (
+	// TextEnglish is word-structured prose (alice29.txt-like).
+	TextEnglish TextKind = iota
+	// TextHTML is markup-heavy crawl text (BDBench crawl-like).
+	TextHTML
+	// TextLog is record-structured rank/user-like text.
+	TextLog
+	// TextRuns is highly compressible repeated runs (pic-like).
+	TextRuns
+	// TextRandom is incompressible uniform bytes (kennedy-like binary).
+	TextRandom
+)
+
+var englishWords = []string{
+	"the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he",
+	"was", "for", "on", "are", "as", "with", "his", "they", "at", "be",
+	"this", "have", "from", "or", "one", "had", "by", "word", "but", "not",
+	"what", "all", "were", "we", "when", "your", "can", "said", "there",
+	"use", "an", "each", "which", "she", "do", "how", "their", "if",
+	"alice", "rabbit", "queen", "turtle", "gryphon", "hatter", "dormouse",
+}
+
+// Text generates n bytes of the requested profile.
+func Text(kind TextKind, n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b bytes.Buffer
+	b.Grow(n + 64)
+	switch kind {
+	case TextEnglish:
+		col := 0
+		for b.Len() < n {
+			w := englishWords[zipf(rng, len(englishWords))]
+			if col+len(w) > 70 {
+				b.WriteByte('\n')
+				col = 0
+			} else if col > 0 {
+				b.WriteByte(' ')
+				col++
+			}
+			b.WriteString(w)
+			col += len(w)
+			if rng.Intn(12) == 0 {
+				b.WriteByte('.')
+				col++
+			}
+		}
+	case TextHTML:
+		tags := []string{"p", "div", "span", "a", "li", "td", "h2", "em"}
+		for b.Len() < n {
+			tag := tags[rng.Intn(len(tags))]
+			fmt.Fprintf(&b, "<%s class=\"c%d\">", tag, rng.Intn(20))
+			for i, stop := 0, rng.Intn(8); i < stop; i++ {
+				b.WriteString(englishWords[zipf(rng, len(englishWords))])
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "</%s>\n", tag)
+		}
+	case TextLog:
+		for b.Len() < n {
+			fmt.Fprintf(&b, "http://site%d.example.com/page%d\t%d\t%d\n",
+				rng.Intn(500), rng.Intn(10000), rng.Intn(100), rng.Intn(1000000))
+		}
+	case TextRuns:
+		for b.Len() < n {
+			c := byte(' ' + rng.Intn(4))
+			run := 4 + rng.Intn(60)
+			for i := 0; i < run && b.Len() < n; i++ {
+				b.WriteByte(c)
+			}
+		}
+	case TextRandom:
+		buf := make([]byte, n)
+		rng.Read(buf)
+		return buf
+	}
+	return b.Bytes()[:n]
+}
+
+// CorpusFile names one entry of the synthetic compression corpus.
+type CorpusFile struct {
+	Name string
+	Kind TextKind
+	Size int
+}
+
+// Corpus returns the Canterbury/BDBench-like file suite used by the Huffman
+// and Snappy experiments, spanning the paper's compressibility range.
+func Corpus(scale int) []CorpusFile {
+	if scale < 1 {
+		scale = 1
+	}
+	k := scale * 1024
+	return []CorpusFile{
+		{"alice", TextEnglish, 64 * k},
+		{"html", TextHTML, 64 * k},
+		{"crawl", TextHTML, 128 * k},
+		{"rank", TextLog, 96 * k},
+		{"user", TextLog, 64 * k},
+		{"pic", TextRuns, 96 * k},
+		{"kennedy", TextRandom, 64 * k},
+	}
+}
+
+// Data materializes a corpus file.
+func (f CorpusFile) Data() []byte {
+	return Text(f.Kind, f.Size, int64(len(f.Name))*7919+int64(f.Size))
+}
+
+// NIDSPatterns returns n synthetic network-intrusion patterns: literal
+// strings when complex is false (string matching, ADFA-friendly), regexes
+// with classes and repetition when true (NFA-friendly), echoing the PowerEN
+// pattern-set split of Figure 16.
+func NIDSPatterns(n int, complex bool, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{
+		"attack", "exploit", "payload", "overflow", "shell", "admin",
+		"passwd", "select", "union", "script", "eval", "base64", "cmd",
+		"root", "login", "drop", "table", "wget", "curl",
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		w1 := words[rng.Intn(len(words))]
+		w2 := words[rng.Intn(len(words))]
+		if !complex {
+			out = append(out, fmt.Sprintf("%s_%s%d", w1, w2, rng.Intn(100)))
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0:
+			out = append(out, fmt.Sprintf(`%s=[a-z0-9]{4,8}`, w1))
+		case 1:
+			out = append(out, fmt.Sprintf(`%s(%s|%s)`, w1, w2, words[rng.Intn(len(words))]))
+		case 2:
+			out = append(out, fmt.Sprintf(`%s\.%s\d+`, w1, w2))
+		default:
+			out = append(out, fmt.Sprintf(`%s *= *"%s"`, w1, w2))
+		}
+	}
+	return out
+}
+
+// NetworkTrace generates payload-like traffic with occasional planted
+// pattern hits so matchers have non-trivial work.
+func NetworkTrace(n int, patterns []string, hitRate float64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b bytes.Buffer
+	b.Grow(n)
+	for b.Len() < n {
+		if rng.Float64() < hitRate && len(patterns) > 0 {
+			p := patterns[rng.Intn(len(patterns))]
+			// Plant only literal fragments of the pattern.
+			lit := literalPrefix(p)
+			b.WriteString(lit)
+		}
+		for i, stop := 0, 20+rng.Intn(60); i < stop && b.Len() < n; i++ {
+			b.WriteByte(byte(' ' + rng.Intn(95)))
+		}
+	}
+	return b.Bytes()[:n]
+}
+
+func literalPrefix(p string) string {
+	for i := 0; i < len(p); i++ {
+		switch p[i] {
+		case '[', '(', '\\', '*', '+', '?', '{', '.', '|', '=', '"', ' ':
+			return p[:i]
+		}
+	}
+	return p
+}
+
+// Waveform synthesizes an 8-bit quantized pulsed waveform (the paper's
+// Keysight scope trace substitute): a noisy baseline with rising/falling
+// pulse edges of varied width.
+func Waveform(samples int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, samples)
+	level := 30.0
+	target := 30.0
+	for i := range out {
+		if rng.Intn(200) == 0 { // start or end a pulse
+			if target < 128 {
+				target = 200 + rng.Float64()*30
+			} else {
+				target = 25 + rng.Float64()*15
+			}
+		}
+		level += (target - level) * 0.35
+		v := level + rng.NormFloat64()*2.5
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		out[i] = byte(v)
+	}
+	return out
+}
+
+// FloatDist selects a distribution for FloatColumn.
+type FloatDist int
+
+const (
+	// DistUniform draws uniformly over [lo,hi).
+	DistUniform FloatDist = iota
+	// DistNormal draws a clipped normal centered in [lo,hi).
+	DistNormal
+	// DistExp draws an exponential decay from lo.
+	DistExp
+)
+
+// FloatColumn generates n float64 values in [lo,hi), the histogram kernel's
+// input (Crimes.Latitude / Longitude / Taxi.Fare substitutes).
+func FloatColumn(n int, dist FloatDist, lo, hi float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		switch dist {
+		case DistNormal:
+			v := (rng.NormFloat64()*0.15+0.5)*(hi-lo) + lo
+			out[i] = math.Min(math.Max(v, lo), math.Nextafter(hi, lo))
+		case DistExp:
+			v := lo + rng.ExpFloat64()*(hi-lo)/6
+			out[i] = math.Min(v, math.Nextafter(hi, lo))
+		default:
+			out[i] = lo + rng.Float64()*(hi-lo)
+		}
+	}
+	return out
+}
+
+// DictColumn extracts a categorical column workload: values drawn
+// Zipf-skewed from a fixed domain (the Crimes Arrest/District/Location
+// attributes of the dictionary experiments).
+func DictColumn(n int, domain []string, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = domain[zipf(rng, len(domain))]
+	}
+	return out
+}
+
+// Domains used by the dictionary experiments.
+var (
+	// ArrestDomain is boolean-like.
+	ArrestDomain = []string{"true", "false"}
+	// DistrictDomain has moderate cardinality.
+	DistrictDomain = func() []string {
+		d := make([]string, 25)
+		for i := range d {
+			d[i] = fmt.Sprintf("%03d", i+1)
+		}
+		return d
+	}()
+	// LocationDomain reuses the location descriptions.
+	LocationDomain = locations
+)

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestCSVGeneratorsDeterministicAndParseable(t *testing.T) {
+	gens := map[string]func(CSVSpec) []byte{
+		"crimes": CrimesCSV, "taxi": TaxiCSV, "food": FoodCSV,
+	}
+	for name, gen := range gens {
+		spec := CSVSpec{Name: name, Rows: 50, Seed: 7}
+		a := gen(spec)
+		b := gen(spec)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: not deterministic", name)
+		}
+		r := csv.NewReader(strings.NewReader(string(a)))
+		r.FieldsPerRecord = -1
+		rows, err := r.ReadAll()
+		if err != nil {
+			t.Fatalf("%s: not parseable: %v", name, err)
+		}
+		if len(rows) != 51 { // header + 50
+			t.Errorf("%s: %d rows", name, len(rows))
+		}
+		ncols := len(rows[0])
+		for i, row := range rows {
+			if len(row) != ncols {
+				t.Errorf("%s: row %d has %d cols, header %d", name, i, len(row), ncols)
+			}
+		}
+	}
+}
+
+func TestFoodCSVHasQuotedEscapes(t *testing.T) {
+	data := string(FoodCSV(CSVSpec{Name: "food", Rows: 200, Seed: 3}))
+	if !strings.Contains(data, `""`) {
+		t.Fatal("food CSV should contain escaped quotes")
+	}
+	if !strings.Contains(data, `, `) {
+		t.Fatal("food CSV should contain commas inside quoted fields")
+	}
+}
+
+// TestTextEntropyOrdering: the corpus kinds must span the compressibility
+// range the paper's corpora cover (gzip as the entropy yardstick).
+func TestTextEntropyOrdering(t *testing.T) {
+	size := 1 << 16
+	gz := func(k TextKind) float64 {
+		data := Text(k, size, 5)
+		var b bytes.Buffer
+		w := gzip.NewWriter(&b)
+		w.Write(data)
+		w.Close()
+		return float64(b.Len()) / float64(size)
+	}
+	runs := gz(TextRuns)
+	english := gz(TextEnglish)
+	random := gz(TextRandom)
+	if !(runs < english && english < random) {
+		t.Fatalf("entropy ordering broken: runs %.2f, english %.2f, random %.2f",
+			runs, english, random)
+	}
+	if random < 0.99 {
+		t.Fatalf("random text compressed to %.2f: not incompressible", random)
+	}
+	if runs > 0.2 {
+		t.Fatalf("runs compressed only to %.2f", runs)
+	}
+}
+
+func TestTextExactLength(t *testing.T) {
+	for _, k := range []TextKind{TextEnglish, TextHTML, TextLog, TextRuns, TextRandom} {
+		if got := len(Text(k, 12345, 9)); got != 12345 {
+			t.Errorf("kind %d: length %d", k, got)
+		}
+	}
+}
+
+func TestCorpusMaterializes(t *testing.T) {
+	for _, f := range Corpus(1) {
+		data := f.Data()
+		if len(data) != f.Size {
+			t.Errorf("%s: %d bytes, want %d", f.Name, len(data), f.Size)
+		}
+	}
+}
+
+func TestNIDSPatternsClasses(t *testing.T) {
+	simple := NIDSPatterns(20, false, 1)
+	for _, p := range simple {
+		if strings.ContainsAny(p, `[]{}()\`) {
+			t.Errorf("simple pattern %q contains regex syntax", p)
+		}
+	}
+	complexSet := NIDSPatterns(20, true, 1)
+	meta := 0
+	for _, p := range complexSet {
+		if strings.ContainsAny(p, `[]{}()\|`) {
+			meta++
+		}
+	}
+	if meta < 10 {
+		t.Fatalf("only %d of 20 complex patterns use regex syntax", meta)
+	}
+}
+
+func TestNetworkTracePlantsHits(t *testing.T) {
+	pats := []string{"attackvector", "exploitkit"}
+	trace := string(NetworkTrace(100000, pats, 0.2, 2))
+	if !strings.Contains(trace, "attackvector") && !strings.Contains(trace, "exploitkit") {
+		t.Fatal("no planted hits found")
+	}
+}
+
+func TestWaveformShape(t *testing.T) {
+	w := Waveform(200000, 3)
+	lo, hi := 0, 0
+	for _, s := range w {
+		if s < 64 {
+			lo++
+		}
+		if s >= 160 {
+			hi++
+		}
+	}
+	if lo == 0 || hi == 0 {
+		t.Fatal("waveform must visit both levels")
+	}
+	if lo < hi {
+		t.Fatal("baseline should dominate pulse time")
+	}
+}
+
+func TestFloatColumnBounds(t *testing.T) {
+	for _, d := range []FloatDist{DistUniform, DistNormal, DistExp} {
+		vals := FloatColumn(5000, d, 2.5, 80, 4)
+		for i, v := range vals {
+			if v < 2.5 || v >= 80 {
+				t.Fatalf("dist %d: value %d = %f out of [2.5,80)", d, i, v)
+			}
+		}
+	}
+}
+
+func TestDictColumnSkewed(t *testing.T) {
+	col := DictColumn(10000, LocationDomain, 5)
+	counts := map[string]int{}
+	for _, v := range col {
+		counts[v]++
+	}
+	if counts[LocationDomain[0]] <= counts[LocationDomain[len(LocationDomain)-1]] {
+		t.Fatal("column should be rank-skewed")
+	}
+}

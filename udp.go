@@ -1,0 +1,131 @@
+// Package udp is the public API of the UDP (Unstructured Data Processor)
+// reproduction — "UDP: A Programmable Accelerator for Extract-Transform-Load
+// Workloads and More" (MICRO-50, 2017) — implemented entirely in Go.
+//
+// The flow mirrors the paper's software stack (Figure 12):
+//
+//  1. Build a Program with the builder API (states, the seven multi-way
+//     dispatch transition kinds, action chains), or compile one from a
+//     domain front end (regular expressions, Huffman tables, histogram
+//     edges, dictionaries, CSV, Snappy, waveform FSMs).
+//  2. Compile lays the program out with the EffCLiP coupled-linear packing
+//     algorithm into an executable machine image (32-bit transition and
+//     action words, Figure 6 formats).
+//  3. Run it on the cycle-level machine: one Lane, or RunParallel across up
+//     to 64 lanes with the local-memory footprint limiting parallelism.
+//
+// Everything the paper's evaluation needs sits underneath: the kernels in
+// internal/kernels, CPU baselines, workload synthesizers, the branch-model
+// CPU (Figure 5), the energy model (Table 3), and the experiment harness
+// that regenerates every table and figure (internal/experiments, driven by
+// cmd/udpbench).
+package udp
+
+import (
+	"udp/internal/asm"
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/machine"
+)
+
+// Core program-construction types (see internal/core for full docs).
+type (
+	// Program is a UDP lane program: states, transitions, actions.
+	Program = core.Program
+	// State is one multi-way dispatch point.
+	State = core.State
+	// Transition is one dispatch arc.
+	Transition = core.Transition
+	// Action is one executable action word.
+	Action = core.Action
+	// Reg names a scalar register (R0..R13, RSym, RIdx).
+	Reg = core.Reg
+	// Opcode is an action opcode.
+	Opcode = core.Opcode
+	// DispatchMode selects stream, common or flagged dispatch.
+	DispatchMode = core.DispatchMode
+)
+
+// Machine-level types.
+type (
+	// Image is an EffCLiP-laid-out executable program.
+	Image = effclip.Image
+	// Lane is one UDP lane (cycle-level).
+	Lane = machine.Lane
+	// Stats are a lane's event counters.
+	Stats = machine.Stats
+	// Match is an accept event.
+	Match = machine.Match
+	// RunResult aggregates a parallel run.
+	RunResult = machine.RunResult
+)
+
+// Dispatch modes.
+const (
+	ModeStream  = core.ModeStream
+	ModeCommon  = core.ModeCommon
+	ModeFlagged = core.ModeFlagged
+)
+
+// Architectural constants.
+const (
+	// NumLanes is the UDP's lane count.
+	NumLanes = core.NumLanes
+	// BankBytes is one local-memory bank.
+	BankBytes = core.BankBytes
+	// LocalMemBytes is the total local memory (1 MB).
+	LocalMemBytes = core.LocalMemBytes
+	// ClockHz is the ASIC clock (1/0.97 ns).
+	ClockHz = machine.ClockHz
+)
+
+// NewProgram starts an empty program with the given initial symbol size in
+// bits (1..8, 16, 32).
+func NewProgram(name string, symbolBits uint8) *Program {
+	return core.NewProgram(name, symbolBits)
+}
+
+// Compile validates the program and runs EffCLiP layout, producing an
+// executable image.
+func Compile(p *Program) (*Image, error) {
+	return effclip.Layout(p, effclip.Options{})
+}
+
+// NewLane loads an image into a fresh lane (banks = 0 uses the image's own
+// footprint).
+func NewLane(im *Image, banks int) (*Lane, error) {
+	return machine.NewLane(im, banks)
+}
+
+// Run compiles nothing: it executes an image over input on one lane and
+// returns the lane for inspection (output, matches, stats, memory).
+func Run(im *Image, input []byte) (*Lane, error) {
+	return machine.RunSingle(im, input)
+}
+
+// RunParallel shards work across lanes (at most MaxLanes) and aggregates.
+func RunParallel(im *Image, shards [][]byte, setup machine.LaneSetup) (*RunResult, error) {
+	return machine.RunParallel(im, shards, setup)
+}
+
+// MaxLanes is the lane-parallelism limit for an image's memory footprint
+// (code size competes with parallelism, paper Section 3.2.2).
+func MaxLanes(im *Image) int { return machine.MaxLanes(im) }
+
+// SplitBytes and SplitRecords shard inputs for RunParallel.
+func SplitBytes(data []byte, n int) [][]byte { return machine.SplitBytes(data, n) }
+
+// SplitRecords shards on record boundaries (e.g. '\n').
+func SplitRecords(data []byte, n int, sep byte) [][]byte {
+	return machine.SplitRecords(data, n, sep)
+}
+
+// RateMBps converts bytes over cycles to MB/s at the ASIC clock.
+func RateMBps(bytes int, cycles uint64) float64 { return machine.RateMBps(bytes, cycles) }
+
+// ParseAssembly assembles UDP assembly text (the Figure 12 software stack's
+// textual form; grammar documented in internal/asm) into a Program.
+func ParseAssembly(src string) (*Program, error) { return asm.Parse(src) }
+
+// FormatAssembly renders a program back to canonical assembly text.
+func FormatAssembly(p *Program) string { return asm.Format(p) }

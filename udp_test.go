@@ -1,0 +1,105 @@
+package udp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"udp"
+	"udp/internal/core"
+)
+
+// TestFacadeEndToEnd exercises the documented public flow: build, compile,
+// run single-lane and parallel.
+func TestFacadeEndToEnd(t *testing.T) {
+	p := udp.NewProgram("echo", 8)
+	s := p.AddState("s", udp.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	im, err := udp.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if udp.MaxLanes(im) != udp.NumLanes {
+		t.Fatalf("tiny program should fit all %d lanes", udp.NumLanes)
+	}
+	lane, err := udp.Run(im, []byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(lane.Output()) != "abc" {
+		t.Fatalf("output %q", lane.Output())
+	}
+	if udp.RateMBps(3, lane.Stats().Cycles) <= 0 {
+		t.Fatal("rate must be positive")
+	}
+
+	data := bytes.Repeat([]byte("xyz"), 1000)
+	res, err := udp.RunParallel(im, udp.SplitBytes(data, 16), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joined []byte
+	for _, o := range res.Outputs {
+		joined = append(joined, o...)
+	}
+	if !bytes.Equal(joined, data) {
+		t.Fatal("parallel run lost data")
+	}
+}
+
+func TestSplitRecordsFacade(t *testing.T) {
+	data := []byte("aa\nbb\ncc\ndd\n")
+	shards := udp.SplitRecords(data, 2, '\n')
+	if len(shards) != 2 {
+		t.Fatalf("%d shards", len(shards))
+	}
+}
+
+func TestFacadeAssembly(t *testing.T) {
+	p, err := udp.ParseAssembly("program t symbol 8\nstate s stream\n  majority -> s { out8 rsym }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := udp.FormatAssembly(p)
+	if text == "" {
+		t.Fatal("empty formatting")
+	}
+	im, err := udp.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := udp.Run(im, []byte("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(lane.Output()) != "ok" {
+		t.Fatalf("output %q", lane.Output())
+	}
+}
+
+// TestMachineDeterminism: identical inputs produce identical cycle counts
+// and outputs across runs (the resume/replay property real tooling needs).
+func TestMachineDeterminism(t *testing.T) {
+	p := udp.NewProgram("det", 8)
+	s := p.AddState("s", udp.ModeStream)
+	s.On('x', s, core.AAddi(core.R1, core.R1, 1))
+	s.Majority(s, core.AOut8(core.RSym))
+	im, err := udp.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte("xyzzy"), 500)
+	a, err := udp.Run(im, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := udp.Run(im, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if !bytes.Equal(a.Output(), b.Output()) {
+		t.Fatal("outputs differ")
+	}
+}
