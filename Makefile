@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench race examples reproduce reproduce-paper clean
+.PHONY: all build test bench race check examples reproduce reproduce-paper clean
 
 all: build test
 
@@ -14,7 +14,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/machine ./internal/kernels/... .
+	$(GO) test -race ./internal/machine ./internal/sched ./internal/kernels/... .
+
+# The CI gate: tier-1 (build + test) plus vet and the race detector over
+# the whole module.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,12 +1,15 @@
 // csvload: the paper's motivating ETL scenario end to end on the UDP —
-// parse a crimes-like CSV across parallel lanes, then dictionary-encode a
-// categorical column, comparing against the CPU baselines.
+// stream a crimes-like CSV through the lane-pool executor (many more
+// record-aligned shards than lanes, live per-shard throughput), then
+// dictionary-encode a categorical column, comparing against the CPU
+// baselines.
 //
 //	go run ./examples/csvload
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -28,25 +31,34 @@ func main() {
 	cpuTime := time.Since(t0)
 	fmt.Printf("CPU parse: %.1f MB/s\n", float64(len(data))/1e6/cpuTime.Seconds())
 
-	// UDP: 64 lanes over record-aligned shards.
+	// UDP: stream record-aligned shards through the lane pool — the input
+	// is chunked far finer than the lane count and time-multiplexed, with
+	// the stats hook reporting live progress every 64 shards.
 	im, err := udp.Compile(csvparse.BuildProgram())
 	if err != nil {
 		log.Fatal(err)
 	}
-	shards := udp.SplitRecords(data, udp.MaxLanes(im), '\n')
-	res, err := udp.RunParallel(im, shards, nil)
+	var shardsDone, bytesDone int
+	res, err := udp.Exec(context.Background(), im, bytes.NewReader(data),
+		udp.WithChunker('\n'),
+		udp.WithChunkBytes(8<<10),
+		udp.WithStatsHook(func(e udp.ShardEvent) {
+			shardsDone++
+			bytesDone += e.Bytes
+			if shardsDone%64 == 0 {
+				fmt.Printf("  ... %d shards, %.1f MB in, queue depth %d, shard rate %.0f MB/s\n",
+					shardsDone, float64(bytesDone)/1e6, e.QueueDepth, e.Rate())
+			}
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var udpTok []byte
-	for _, o := range res.Outputs {
-		udpTok = append(udpTok, o...)
-	}
-	if !bytes.Equal(udpTok, cpuTok) {
+	if !bytes.Equal(res.Output(), cpuTok) {
 		log.Fatal("UDP and CPU tokenizations differ")
 	}
-	fmt.Printf("UDP parse: %d lanes, %.0f MB/s aggregate (verified identical output)\n",
-		res.Lanes, res.Rate())
+	fmt.Printf("UDP parse: %d shards over %d lanes, %.0f MB/s aggregate (verified identical output)\n",
+		res.Shards, res.Lanes, res.Rate())
 
 	// Extract the LocationDescription column (index 6) and
 	// dictionary-encode it on the UDP.

@@ -2,8 +2,11 @@ package etl
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
+
+	"udp/internal/sched"
 )
 
 func TestLineitemShape(t *testing.T) {
@@ -69,5 +72,56 @@ func TestLoadRejectsMalformed(t *testing.T) {
 	bad = bytes.Replace(bad, []byte("|1|"), []byte("|x|"), 1)
 	if _, _, err := Load(GzipBytes(bad)); err == nil {
 		t.Fatal("non-numeric field must error")
+	}
+}
+
+// TestLoadPreservesCommasInFields is the regression for the old
+// normalization bug: '|'->',' rewriting corrupted any field containing a
+// comma. The FSM now takes the pipe separator directly.
+func TestLoadPreservesCommasInFields(t *testing.T) {
+	row := "1|2|3|4|5|6.00|0.05|0.01|N|O|1995-03-14|DELIVER, IN PERSON|TRUCK\n"
+	cols, _, err := Load(GzipBytes([]byte(row)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.Rows != 1 {
+		t.Fatalf("%d rows", cols.Rows)
+	}
+	if got := cols.Instruct[0]; got != "DELIVER, IN PERSON" {
+		t.Fatalf("instruct field corrupted: %q", got)
+	}
+}
+
+// TestLoadUDPMatchesCPU streams the gzip payload through the lane-pool
+// executor and checks the typed columns agree with the CPU pipeline.
+func TestLoadUDPMatchesCPU(t *testing.T) {
+	data := LineitemCSV(300, 9)
+	gz := GzipBytes(data)
+	cpu, _, err := Load(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	udp, ph, res, err := LoadUDP(context.Background(), gz, func(e sched.Event) { events++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if udp.Rows != cpu.Rows {
+		t.Fatalf("UDP loaded %d rows, CPU %d", udp.Rows, cpu.Rows)
+	}
+	for i := range cpu.OrderKey {
+		if udp.OrderKey[i] != cpu.OrderKey[i] || udp.Price[i] != cpu.Price[i] ||
+			udp.Instruct[i] != cpu.Instruct[i] || !udp.ShipDate[i].Equal(cpu.ShipDate[i]) {
+			t.Fatalf("row %d differs between UDP and CPU load", i)
+		}
+	}
+	if ph.RawBytes != len(data) {
+		t.Fatalf("streamed %d raw bytes, want %d", ph.RawBytes, len(data))
+	}
+	if res.Shards < 1 || events != res.Shards {
+		t.Fatalf("%d events for %d shards", events, res.Shards)
+	}
+	if res.Rate() <= 0 {
+		t.Fatal("simulated parse rate must be positive")
 	}
 }

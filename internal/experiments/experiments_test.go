@@ -273,3 +273,23 @@ func TestOffloadWins(t *testing.T) {
 		t.Fatalf("parse+deserialize offload (%.2f) should beat parse-only (%.2f)", full, parseOnly)
 	}
 }
+
+// TestETLStream pins the streaming executor experiment: every pool size
+// parses all rows and the shard count far exceeds the smallest pool.
+func TestETLStream(t *testing.T) {
+	tbl := run(t, "etlstream")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		if rows := cell(t, tbl, i, 6); rows != 20000 {
+			t.Fatalf("row %d parsed %v rows, want 20000", i, rows)
+		}
+		if rate := cell(t, tbl, i, 4); rate <= 0 {
+			t.Fatalf("row %d rate %v", i, rate)
+		}
+	}
+	if shards := cell(t, tbl, 0, 1); shards < 16 {
+		t.Fatalf("only %v shards; the stream should be cut far finer than the pool", shards)
+	}
+}

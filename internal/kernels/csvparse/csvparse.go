@@ -19,9 +19,14 @@ const (
 )
 
 // Parse is the CPU reference parser (libcsv FSM, branch-offset style): it
-// tokenizes CSV input into the FieldSep/RecordSep stream, resolving quotes
-// and escaped quotes. It returns the tokenized bytes.
-func Parse(data []byte) []byte {
+// tokenizes comma-separated input into the FieldSep/RecordSep stream,
+// resolving quotes and escaped quotes. It returns the tokenized bytes.
+func Parse(data []byte) []byte { return ParseSep(data, ',') }
+
+// ParseSep is Parse with a configurable field separator, so pipe- or
+// tab-delimited tables tokenize directly — no copy, and no corruption of
+// fields that happen to contain commas.
+func ParseSep(data []byte, sep byte) []byte {
 	out := make([]byte, 0, len(data))
 	const (
 		stField = iota // at field start
@@ -36,7 +41,7 @@ func Parse(data []byte) []byte {
 			switch c {
 			case '"':
 				st = stQuote
-			case ',':
+			case sep:
 				out = append(out, FieldSep)
 			case '\n':
 				out = append(out, RecordSep)
@@ -47,7 +52,7 @@ func Parse(data []byte) []byte {
 			}
 		case stPlain:
 			switch c {
-			case ',':
+			case sep:
 				out = append(out, FieldSep)
 				st = stField
 			case '\n':
@@ -68,7 +73,7 @@ func Parse(data []byte) []byte {
 			case '"':
 				out = append(out, '"')
 				st = stQuote
-			case ',':
+			case sep:
 				out = append(out, FieldSep)
 				st = stField
 			case '\n':
@@ -112,11 +117,17 @@ func Rows(tok []byte) [][]string {
 	return rows
 }
 
-// BuildProgram constructs the UDP CSV parser. The finite-state machine is
-// the same as Parse's; multi-way dispatch selects the delimiter handling in
-// one cycle per input character (paper: "multi-way dispatch enables fast
-// parsing tree traversal and delimiter matching").
-func BuildProgram() *core.Program {
+// BuildProgram constructs the UDP CSV parser for comma-separated input. The
+// finite-state machine is the same as Parse's; multi-way dispatch selects
+// the delimiter handling in one cycle per input character (paper:
+// "multi-way dispatch enables fast parsing tree traversal and delimiter
+// matching").
+func BuildProgram() *core.Program { return BuildProgramSep(',') }
+
+// BuildProgramSep is BuildProgram with a configurable field separator — the
+// UDP twin of ParseSep. sep must not collide with the structural bytes
+// ('"', '\n', '\r').
+func BuildProgramSep(sep byte) *core.Program {
 	p := core.NewProgram("csvparse", 8)
 	field := p.AddState("field", core.ModeStream)
 	plain := p.AddState("plain", core.ModeStream)
@@ -129,12 +140,12 @@ func BuildProgram() *core.Program {
 	emitQuote := []core.Action{core.AMovi(core.R1, '"'), core.AOut8(core.R1)}
 
 	field.On('"', quote)
-	field.On(',', field, emitSep...)
+	field.On(uint32(sep), field, emitSep...)
 	field.On('\n', field, emitRec...)
 	field.On('\r', field)
 	field.Majority(plain, emitSym)
 
-	plain.On(',', field, emitSep...)
+	plain.On(uint32(sep), field, emitSep...)
 	plain.On('\n', field, emitRec...)
 	plain.On('\r', plain)
 	plain.Majority(plain, emitSym)
@@ -143,7 +154,7 @@ func BuildProgram() *core.Program {
 	quote.Majority(quote, emitSym)
 
 	qq.On('"', quote, emitQuote...)
-	qq.On(',', field, emitSep...)
+	qq.On(uint32(sep), field, emitSep...)
 	qq.On('\n', field, emitRec...)
 	qq.On('\r', plain)
 	qq.Majority(plain, emitSym)

@@ -137,3 +137,33 @@ func TestCyclesPerByte(t *testing.T) {
 		t.Fatalf("cycles/byte = %.2f, outside [1.5,4.0]", cpb)
 	}
 }
+
+// TestParseSepPipe pins the configurable separator: pipe-delimited input
+// tokenizes without corrupting fields that contain commas, and the UDP
+// program built with the same separator produces identical output.
+func TestParseSepPipe(t *testing.T) {
+	data := []byte("a|b,c|d\n1|\"x|y\"|2\n")
+	tok := ParseSep(data, '|')
+	rows := Rows(tok)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0][1] != "b,c" {
+		t.Fatalf("comma-bearing field corrupted: %q", rows[0][1])
+	}
+	if rows[1][1] != "x|y" {
+		t.Fatalf("quoted separator not preserved: %q", rows[1][1])
+	}
+
+	im, err := effclip.Layout(BuildProgramSep('|'), effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lane.Output(), tok) {
+		t.Fatalf("UDP tokenization %q differs from CPU %q", lane.Output(), tok)
+	}
+}

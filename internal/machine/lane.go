@@ -18,8 +18,9 @@ const DefaultMaxCycles = 1 << 33
 // registers, a stream buffer, a symbol-size register and a window of the
 // multi-bank local memory, executing one EffCLiP image.
 type Lane struct {
-	img *effclip.Image
-	mem []byte
+	img     *effclip.Image
+	mem     []byte
+	memInit []byte // load-time snapshot of mem, restored by Reset
 
 	regs    [core.NumRegs]uint32
 	ss      uint8
@@ -78,13 +79,20 @@ func NewLane(img *effclip.Image, banks int) (*Lane, error) {
 		}
 		copy(l.mem[img.DataBase+off:], b)
 	}
+	l.memInit = append([]byte(nil), l.mem...)
 	l.Reset()
 	return l, nil
 }
 
-// Reset returns the lane to its load-time state without reloading code or
-// data (registers, stream position, output, counters).
+// Reset returns the lane to its load-time state: registers, stream position,
+// output, counters, and the lane memory window (code, data init and scratch
+// are restored from the load-time snapshot), so a lane can be reused across
+// shards with no state leaking from the prior run. The executor in
+// internal/sched relies on this to time-multiplex shards over a lane pool.
 func (l *Lane) Reset() {
+	if l.memInit != nil {
+		copy(l.mem, l.memInit)
+	}
 	l.regs = [core.NumRegs]uint32{}
 	for r, v := range l.img.InitRegs {
 		l.regs[r] = v

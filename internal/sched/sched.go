@@ -1,0 +1,318 @@
+// Package sched is the streaming lane-pool executor: it time-multiplexes an
+// unbounded stream of input shards over a fixed pool of reusable UDP lanes,
+// in the spirit of the paper's ETL serving scenario (Section 5.3) — the
+// machine keeps at most MaxLanes(img) lanes resident and streams work
+// through them, instead of requiring one lane per shard and the whole input
+// in memory the way machine.RunParallel does.
+//
+// The executor pulls shards from a Source through a bounded queue (the
+// backpressure point: a slow lane pool stalls the producer instead of
+// buffering the world), resets and reuses each lane between shards
+// (machine.Lane.Reset restores the load-time memory image), honors
+// context.Context cancellation at shard granularity, supports fail-fast and
+// collect-and-continue error policies, and reports per-shard events to an
+// observability hook so callers can surface live throughput.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"udp/internal/effclip"
+	"udp/internal/machine"
+)
+
+// ErrorPolicy selects how per-shard execution errors end (or don't end) a
+// run.
+type ErrorPolicy int
+
+const (
+	// FailFast cancels the run on the first shard error; Run returns that
+	// error.
+	FailFast ErrorPolicy = iota
+	// CollectErrors records each failing shard in Result.Errors (its
+	// output slot stays nil) and keeps going.
+	CollectErrors
+)
+
+// ShardError ties an execution error to the shard it occurred on.
+type ShardError struct {
+	// Shard is the shard index in stream order.
+	Shard int
+	// Err is the underlying lane or setup error.
+	Err error
+}
+
+func (e ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e ShardError) Unwrap() error { return e.Err }
+
+// Event is one observability record, emitted after a shard finishes
+// (successfully or not). Events are delivered serially — the hook needs no
+// locking — but not necessarily in shard order.
+type Event struct {
+	// Shard is the shard index in stream order.
+	Shard int
+	// Lane is the pool lane (0..Lanes-1) that ran the shard.
+	Lane int
+	// Bytes is the shard's input size.
+	Bytes int
+	// Cycles is the lane cycle count for this shard.
+	Cycles uint64
+	// Wall is the host wall-clock time the shard took (Reset through Run).
+	Wall time.Duration
+	// QueueDepth is the number of shards waiting in the queue at the
+	// moment this shard was dequeued (backpressure signal).
+	QueueDepth int
+	// Err is the shard's error, nil on success.
+	Err error
+}
+
+// Rate is the shard's simulated throughput in MB/s at the ASIC clock.
+func (e Event) Rate() float64 { return machine.RateMBps(e.Bytes, e.Cycles) }
+
+// Config tunes a run. The zero value is usable: MaxLanes(img) lanes, a
+// 2×lanes queue, fail-fast errors, no setup, no hook.
+type Config struct {
+	// Lanes caps the pool size; 0 or anything above MaxLanes(img) means
+	// MaxLanes(img).
+	Lanes int
+	// QueueDepth bounds the shard queue (backpressure); 0 means 2×lanes.
+	QueueDepth int
+	// Setup, when non-nil, customizes a lane before each shard runs
+	// (stage memory, preset registers). It runs after Reset and SetInput,
+	// with the shard's stream-order index.
+	Setup machine.LaneSetup
+	// Policy is the error policy (default FailFast).
+	Policy ErrorPolicy
+	// Hook, when non-nil, receives one Event per finished shard.
+	Hook func(Event)
+}
+
+// Result aggregates a streaming run. It embeds machine.RunResult so
+// existing consumers (Rate, LaneLogicJoules, Outputs, Matches) carry over;
+// Cycles is the pool makespan — the largest per-lane sum of shard cycles —
+// so Rate() reflects the time-multiplexed schedule.
+type Result struct {
+	machine.RunResult
+	// Shards is the number of shards pulled from the source.
+	Shards int
+	// Errors holds per-shard failures under CollectErrors (empty under
+	// FailFast, which returns the error instead).
+	Errors []ShardError
+	// QueueHighWater is the deepest the shard queue got (≤ QueueDepth).
+	QueueHighWater int
+	// Wall is the host wall-clock duration of the whole run.
+	Wall time.Duration
+}
+
+// Output concatenates the per-shard outputs in shard order.
+func (r *Result) Output() []byte {
+	var n int
+	for _, o := range r.Outputs {
+		n += len(o)
+	}
+	out := make([]byte, 0, n)
+	for _, o := range r.Outputs {
+		out = append(out, o...)
+	}
+	return out
+}
+
+type workItem struct {
+	idx  int
+	data []byte
+}
+
+// Run streams shards from src through a pool of reusable lanes executing
+// img, and aggregates outputs, matches and counters in shard order. It
+// returns when the source is drained, ctx is cancelled (the context error
+// is returned; cancellation is observed at shard boundaries), or — under
+// FailFast — a shard fails.
+func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Result, error) {
+	limit := machine.MaxLanes(img)
+	if limit == 0 {
+		return nil, fmt.Errorf("sched: image %q does not fit local memory", img.Name)
+	}
+	lanes := cfg.Lanes
+	if lanes <= 0 || lanes > limit {
+		lanes = limit
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 2 * lanes
+	}
+
+	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	res := &Result{}
+	res.RunResult.Lanes = lanes
+	res.RunResult.BanksPerLane = img.Banks()
+
+	queue := make(chan workItem, depth)
+	var (
+		mu         sync.Mutex // guards everything below, and serializes Hook
+		outputs    [][]byte
+		matches    [][]machine.Match
+		shardBytes []int
+		total      machine.Stats
+		shardErrs  []ShardError
+		runErr     error // first fatal error (FailFast shard error or source error)
+		highWater  int
+	)
+	laneCycles := make([]uint64, lanes)
+
+	setSlot := func(idx int, out []byte, m []machine.Match, bytes int) {
+		for len(outputs) <= idx {
+			outputs = append(outputs, nil)
+			matches = append(matches, nil)
+			shardBytes = append(shardBytes, 0)
+		}
+		outputs[idx] = out
+		matches[idx] = m
+		shardBytes[idx] = bytes
+	}
+
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+		cancel()
+	}
+
+	// Producer: pull shards from the source into the bounded queue.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(queue)
+		for idx := 0; ; idx++ {
+			shard, err := src.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				mu.Lock()
+				fail(fmt.Errorf("sched: source: %w", err))
+				mu.Unlock()
+				return
+			}
+			select {
+			case queue <- workItem{idx: idx, data: shard}:
+				mu.Lock()
+				res.Shards = idx + 1
+				if d := len(queue); d > highWater {
+					highWater = d
+				}
+				mu.Unlock()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Lane pool: each worker owns one lane for the whole run and resets it
+	// between shards.
+	for w := 0; w < lanes; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lane, err := machine.NewLane(img, 0)
+			if err != nil {
+				mu.Lock()
+				fail(err)
+				mu.Unlock()
+				return
+			}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case it, ok := <-queue:
+					if !ok {
+						return
+					}
+					// A cancelled run drops still-queued shards so the
+					// cancel is observed within one shard boundary.
+					if ctx.Err() != nil {
+						return
+					}
+					qd := len(queue)
+					t0 := time.Now()
+					out, m, st, err := runShard(lane, it, cfg.Setup)
+					ev := Event{
+						Shard: it.idx, Lane: w, Bytes: len(it.data),
+						Cycles: st.Cycles, Wall: time.Since(t0),
+						QueueDepth: qd, Err: err,
+					}
+					mu.Lock()
+					if err != nil {
+						if cfg.Policy == CollectErrors {
+							shardErrs = append(shardErrs, ShardError{Shard: it.idx, Err: err})
+							setSlot(it.idx, nil, nil, len(it.data))
+						} else {
+							fail(ShardError{Shard: it.idx, Err: err})
+						}
+					} else {
+						setSlot(it.idx, out, m, len(it.data))
+						total.Add(st)
+						laneCycles[w] += st.Cycles
+					}
+					if cfg.Hook != nil {
+						cfg.Hook(ev)
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res.Outputs = outputs
+	res.Matches = matches
+	res.Total = total
+	for _, b := range shardBytes {
+		res.InputBytes += b
+	}
+	for _, c := range laneCycles {
+		if c > res.Cycles {
+			res.Cycles = c
+		}
+	}
+	res.Errors = shardErrs
+	res.QueueHighWater = highWater
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// runShard executes one shard on a reused lane: reset, attach input, apply
+// setup, run, and copy out the results (the lane's buffers are recycled on
+// the next Reset).
+func runShard(lane *machine.Lane, it workItem, setup machine.LaneSetup) ([]byte, []machine.Match, machine.Stats, error) {
+	lane.Reset()
+	lane.SetInput(it.data)
+	if setup != nil {
+		if err := setup(lane, it.idx); err != nil {
+			return nil, nil, machine.Stats{}, err
+		}
+	}
+	if err := lane.Run(0); err != nil {
+		return nil, nil, lane.Stats(), err
+	}
+	out := append([]byte(nil), lane.Output()...)
+	m := append([]machine.Match(nil), lane.Matches()...)
+	return out, m, lane.Stats(), nil
+}

@@ -1,0 +1,383 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/machine"
+)
+
+// echoImage compiles a one-state program that copies every symbol through.
+func echoImage(t *testing.T) *effclip.Image {
+	t.Helper()
+	p := core.NewProgram("echo", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// countImage compiles a stateful program: for every symbol it increments a
+// counter held in lane scratch memory and emits the running count — so any
+// memory leaking across a lane reuse shows up in the output.
+func countImage(t *testing.T) *effclip.Image {
+	t.Helper()
+	const ctr = 4096
+	p := core.NewProgram("count", 8)
+	p.DataBase = ctr
+	p.DataBytes = 16
+	s := p.AddState("s", core.ModeStream)
+	s.Majority(s,
+		core.ALd8(core.R2, core.R0, ctr),
+		core.AAddi(core.R2, core.R2, 1),
+		core.ASt8(core.R0, core.R2, ctr),
+		core.AOut8(core.R2),
+	)
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// strictImage compiles a program that only accepts 'a' symbols, so any other
+// byte raises a dispatch error — the per-shard failure injector.
+func strictImage(t *testing.T) *effclip.Image {
+	t.Helper()
+	p := core.NewProgram("strict", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.On('a', s, core.AOut8(core.RSym))
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestStreamsManyMoreShardsThanLanes(t *testing.T) {
+	im := echoImage(t)
+	limit := machine.MaxLanes(im)
+	if limit < 2 {
+		t.Fatalf("echo image should fit many lanes, got %d", limit)
+	}
+	// 8×MaxLanes records of 41 bytes with a 32-byte chunk target: the
+	// chunker cuts exactly one record per shard, so the run streams
+	// 8×MaxLanes shards over a MaxLanes-sized pool.
+	rec := strings.Repeat("x", 40) + "\n"
+	data := []byte(strings.Repeat(rec, 8*limit))
+
+	res, err := Run(context.Background(), im, Records(bytes.NewReader(data), 32, '\n'), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards < 4*limit {
+		t.Fatalf("want >= %d shards streamed over %d lanes, got %d", 4*limit, limit, res.Shards)
+	}
+	if res.RunResult.Lanes != limit {
+		t.Fatalf("pool size %d, want MaxLanes %d", res.RunResult.Lanes, limit)
+	}
+	if got := res.Output(); !bytes.Equal(got, data) {
+		t.Fatalf("reassembled output differs from input: %d vs %d bytes", len(got), len(data))
+	}
+	if res.InputBytes != len(data) {
+		t.Fatalf("InputBytes %d, want %d", res.InputBytes, len(data))
+	}
+	if res.Cycles == 0 || res.Rate() <= 0 {
+		t.Fatal("makespan cycles and rate must be positive")
+	}
+	if res.QueueHighWater > 2*limit {
+		t.Fatalf("queue high water %d exceeds default depth %d", res.QueueHighWater, 2*limit)
+	}
+}
+
+func TestLaneReuseLeaksNoState(t *testing.T) {
+	im := countImage(t)
+	shard := []byte("aaaa")
+	shards := make([][]byte, 64)
+	for i := range shards {
+		shards[i] = shard
+	}
+	// A 2-lane pool forces each lane to run ~32 shards back to back.
+	res, err := Run(context.Background(), im, Slice(shards), Config{Lanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 4} // running count restarts at 1 every shard
+	for i, out := range res.Outputs {
+		if !bytes.Equal(out, want) {
+			t.Fatalf("shard %d output %v, want %v (state leaked across lane reuse)", i, out, want)
+		}
+	}
+	if res.Shards != 64 || len(res.Outputs) != 64 {
+		t.Fatalf("shards %d outputs %d, want 64", res.Shards, len(res.Outputs))
+	}
+}
+
+func TestContextCancellationStopsAtShardBoundary(t *testing.T) {
+	im := echoImage(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	const lanes = 2
+	done := 0
+	cfg := Config{
+		Lanes: lanes,
+		Hook: func(e Event) {
+			done++
+			if done == 3 {
+				cancel()
+			}
+		},
+	}
+	// An endless source: cancellation is the only way the run ends.
+	src := sourceFunc(func() ([]byte, error) { return []byte("abcdefgh"), nil })
+	_, err := Run(ctx, im, src, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers observe the cancel at a shard boundary: beyond the three
+	// hooked shards, only shards already dequeued or in flight may finish.
+	if done > 3+2*lanes {
+		t.Fatalf("%d shards completed after cancel, want <= %d", done, 3+2*lanes)
+	}
+}
+
+type sourceFunc func() ([]byte, error)
+
+func (f sourceFunc) Next() ([]byte, error) { return f() }
+
+func TestFailFastStopsTheRun(t *testing.T) {
+	im := strictImage(t)
+	shards := [][]byte{[]byte("aaa"), []byte("aba"), []byte("aaa")}
+	_, err := Run(context.Background(), im, Slice(shards), Config{Lanes: 1})
+	var se ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want a ShardError", err)
+	}
+	if se.Shard != 1 {
+		t.Fatalf("failed shard %d, want 1", se.Shard)
+	}
+}
+
+func TestCollectErrorsKeepsGoing(t *testing.T) {
+	im := strictImage(t)
+	shards := [][]byte{[]byte("aaa"), []byte("aba"), []byte("aa"), []byte("b")}
+	res, err := Run(context.Background(), im, Slice(shards), Config{Lanes: 1, Policy: CollectErrors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 2 {
+		t.Fatalf("%d shard errors, want 2: %v", len(res.Errors), res.Errors)
+	}
+	if res.Errors[0].Shard != 1 || res.Errors[1].Shard != 3 {
+		t.Fatalf("failed shards %d,%d, want 1,3", res.Errors[0].Shard, res.Errors[1].Shard)
+	}
+	if string(res.Outputs[0]) != "aaa" || string(res.Outputs[2]) != "aa" {
+		t.Fatal("successful shard outputs missing")
+	}
+	if res.Outputs[1] != nil || res.Outputs[3] != nil {
+		t.Fatal("failed shards must leave nil output slots")
+	}
+}
+
+func TestLaneSetupRunsPerShard(t *testing.T) {
+	// The echo program ignores registers, so use setup to stage a marker
+	// in scratch memory... simplest observable: count setup invocations
+	// and check the shard indices seen.
+	im := echoImage(t)
+	shards := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	seen := make([]bool, len(shards))
+	var muSeen = make(chan struct{}, 1)
+	muSeen <- struct{}{}
+	setup := func(l *machine.Lane, shard int) error {
+		<-muSeen
+		seen[shard] = true
+		muSeen <- struct{}{}
+		return nil
+	}
+	if _, err := Run(context.Background(), im, Slice(shards), Config{Setup: setup}); err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("setup never ran for shard %d", i)
+		}
+	}
+}
+
+func TestSetupErrorHonorsPolicy(t *testing.T) {
+	im := echoImage(t)
+	shards := [][]byte{[]byte("a"), []byte("b")}
+	boom := fmt.Errorf("boom")
+	setup := func(l *machine.Lane, shard int) error {
+		if shard == 1 {
+			return boom
+		}
+		return nil
+	}
+	_, err := Run(context.Background(), im, Slice(shards), Config{Lanes: 1, Setup: setup})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestHookReportsThroughput(t *testing.T) {
+	im := echoImage(t)
+	var events []Event
+	cfg := Config{Hook: func(e Event) { events = append(events, e) }}
+	shards := [][]byte{[]byte("hello"), []byte("world")}
+	if _, err := Run(context.Background(), im, Slice(shards), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	for _, e := range events {
+		if e.Bytes != 5 || e.Cycles == 0 || e.Rate() <= 0 {
+			t.Fatalf("bad event %+v", e)
+		}
+		if e.Lane < 0 || e.Err != nil {
+			t.Fatalf("bad event %+v", e)
+		}
+	}
+}
+
+func TestRecordsChunkerAlignsOnSeparators(t *testing.T) {
+	var b bytes.Buffer
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&b, "row-%d,%d\n", i, i*i)
+	}
+	data := append([]byte(nil), b.Bytes()...)
+	src := Records(bytes.NewReader(data), 64, '\n')
+	var shards [][]byte
+	for {
+		s, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, s)
+	}
+	if len(shards) < 4 {
+		t.Fatalf("only %d shards from %d bytes at 64 B chunks", len(shards), len(data))
+	}
+	var joined []byte
+	for i, s := range shards {
+		if i < len(shards)-1 {
+			if len(s) < 64 {
+				t.Fatalf("shard %d is %d B, want >= chunk size", i, len(s))
+			}
+			if s[len(s)-1] != '\n' {
+				t.Fatalf("shard %d does not end on a record boundary", i)
+			}
+		}
+		joined = append(joined, s...)
+	}
+	if !bytes.Equal(joined, data) {
+		t.Fatal("chunker lost or duplicated bytes")
+	}
+}
+
+func TestRecordsChunkerGrowsForOversizedRecords(t *testing.T) {
+	// One 1000-byte record with a 64-byte chunk target must arrive whole.
+	rec := append(bytes.Repeat([]byte("x"), 1000), '\n')
+	data := append(append([]byte(nil), rec...), []byte("tail\n")...)
+	src := Records(bytes.NewReader(data), 64, '\n')
+	first, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, rec) {
+		t.Fatalf("oversized record split: got %d B, want %d B", len(first), len(rec))
+	}
+}
+
+func TestChunksFixedSize(t *testing.T) {
+	data := bytes.Repeat([]byte("z"), 130)
+	src := Chunks(bytes.NewReader(data), 50)
+	var sizes []int
+	for {
+		s, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(s))
+	}
+	want := []int{50, 50, 30}
+	if len(sizes) != len(want) {
+		t.Fatalf("sizes %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestEmptySourceYieldsEmptyResult(t *testing.T) {
+	im := echoImage(t)
+	res, err := Run(context.Background(), im, Slice(nil), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 0 || res.InputBytes != 0 || len(res.Output()) != 0 {
+		t.Fatalf("empty source produced %+v", res)
+	}
+}
+
+func TestSourceErrorAbortsRun(t *testing.T) {
+	im := echoImage(t)
+	bad := fmt.Errorf("disk on fire")
+	n := 0
+	src := sourceFunc(func() ([]byte, error) {
+		n++
+		if n > 3 {
+			return nil, bad
+		}
+		return []byte("ok"), nil
+	})
+	_, err := Run(context.Background(), im, src, cfgNoHook())
+	if !errors.Is(err, bad) {
+		t.Fatalf("err = %v, want wrapped source error", err)
+	}
+}
+
+func cfgNoHook() Config { return Config{} }
+
+// TestMatchesAndStatsAggregate pins that matches land in shard order and
+// counters accumulate across the pool.
+func TestMatchesAndStatsAggregate(t *testing.T) {
+	p := core.NewProgram("accept-a", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.On('a', s, core.AAccept(7))
+	s.Majority(s)
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{[]byte("xax"), []byte("aa"), []byte("xxx")}
+	res, err := Run(context.Background(), im, Slice(shards), Config{Lanes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches[0]) != 1 || len(res.Matches[1]) != 2 || len(res.Matches[2]) != 0 {
+		t.Fatalf("match counts %d,%d,%d want 1,2,0",
+			len(res.Matches[0]), len(res.Matches[1]), len(res.Matches[2]))
+	}
+	if res.Total.Dispatches == 0 || res.Total.Cycles == 0 {
+		t.Fatal("aggregate stats empty")
+	}
+}

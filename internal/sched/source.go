@@ -1,0 +1,130 @@
+// Shard sources for the executor: a Source yields the shards a run
+// streams through the lane pool. Slice adapts pre-sharded inputs (the
+// RunParallel compatibility path); Records and Chunks generalize the
+// one-shot SplitRecords/SplitBytes helpers to unbounded io.Reader inputs,
+// in the style of streaming chunked execution — the whole input never has
+// to be resident, and a shard is cut so no record straddles two lanes.
+package sched
+
+import (
+	"bytes"
+	"io"
+)
+
+// DefaultChunkBytes is the shard size Records and Chunks aim for when the
+// caller passes 0. It is a compromise between per-shard dispatch overhead
+// and keeping many lanes busy on moderate inputs.
+const DefaultChunkBytes = 64 << 10
+
+// Source yields successive input shards. Next returns io.EOF after the last
+// shard; any other error aborts the run. Implementations need not be
+// safe for concurrent use: the executor calls Next from one goroutine.
+type Source interface {
+	Next() ([]byte, error)
+}
+
+// Slice adapts an in-memory shard list to a Source.
+func Slice(shards [][]byte) Source { return &sliceSource{shards: shards} }
+
+type sliceSource struct {
+	shards [][]byte
+	i      int
+}
+
+func (s *sliceSource) Next() ([]byte, error) {
+	if s.i >= len(s.shards) {
+		return nil, io.EOF
+	}
+	sh := s.shards[s.i]
+	s.i++
+	return sh, nil
+}
+
+// Chunks streams r as fixed-size shards of chunkBytes (DefaultChunkBytes
+// when 0). The final shard may be shorter.
+func Chunks(r io.Reader, chunkBytes int) Source {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	return &chunkSource{r: r, chunk: chunkBytes}
+}
+
+type chunkSource struct {
+	r     io.Reader
+	chunk int
+	done  bool
+}
+
+func (c *chunkSource) Next() ([]byte, error) {
+	if c.done {
+		return nil, io.EOF
+	}
+	buf := make([]byte, c.chunk)
+	n, err := io.ReadFull(c.r, buf)
+	if err == io.EOF {
+		c.done = true
+		return nil, io.EOF
+	}
+	if err == io.ErrUnexpectedEOF {
+		c.done = true
+		return buf[:n], nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Records streams r as record-aligned shards: each shard is at least
+// chunkBytes long (DefaultChunkBytes when 0) and is cut just after the next
+// separator byte, so no record straddles two shards — the streaming
+// generalization of SplitRecords. A record longer than chunkBytes extends
+// its shard rather than being split. Trailing bytes without a final
+// separator form the last shard.
+func Records(r io.Reader, chunkBytes int, sep byte) Source {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	return &recordSource{r: r, chunk: chunkBytes, sep: sep}
+}
+
+type recordSource struct {
+	r     io.Reader
+	chunk int
+	sep   byte
+	rest  []byte // carry-over past the last emitted separator
+	done  bool
+}
+
+func (s *recordSource) Next() ([]byte, error) {
+	for {
+		// Emit if the carried bytes already hold a separator at or past
+		// the chunk target.
+		if len(s.rest) >= s.chunk {
+			if i := bytes.IndexByte(s.rest[s.chunk-1:], s.sep); i >= 0 {
+				cut := s.chunk + i
+				shard := s.rest[:cut]
+				s.rest = append([]byte(nil), s.rest[cut:]...)
+				return shard, nil
+			}
+		}
+		if s.done {
+			if len(s.rest) == 0 {
+				return nil, io.EOF
+			}
+			shard := s.rest
+			s.rest = nil
+			return shard, nil
+		}
+		buf := make([]byte, s.chunk)
+		n, err := s.r.Read(buf)
+		s.rest = append(s.rest, buf[:n]...)
+		if err == io.EOF {
+			s.done = true
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}

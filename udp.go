@@ -11,8 +11,11 @@
 //  2. Compile lays the program out with the EffCLiP coupled-linear packing
 //     algorithm into an executable machine image (32-bit transition and
 //     action words, Figure 6 formats).
-//  3. Run it on the cycle-level machine: one Lane, or RunParallel across up
-//     to 64 lanes with the local-memory footprint limiting parallelism.
+//  3. Run it on the cycle-level machine: Exec streams any amount of input
+//     through a pool of reusable lanes (at most MaxLanes, the local-memory
+//     footprint limiting parallelism); Run executes one lane for
+//     inspection. The legacy one-shot RunParallel remains as a deprecated
+//     wrapper over the same executor.
 //
 // Everything the paper's evaluation needs sits underneath: the kernels in
 // internal/kernels, CPU baselines, workload synthesizers, the branch-model
@@ -22,10 +25,15 @@
 package udp
 
 import (
+	"context"
+	"fmt"
+	"io"
+
 	"udp/internal/asm"
 	"udp/internal/core"
 	"udp/internal/effclip"
 	"udp/internal/machine"
+	"udp/internal/sched"
 )
 
 // Core program-construction types (see internal/core for full docs).
@@ -58,6 +66,33 @@ type (
 	Match = machine.Match
 	// RunResult aggregates a parallel run.
 	RunResult = machine.RunResult
+	// LaneSetup customizes a lane before it runs a shard.
+	LaneSetup = machine.LaneSetup
+)
+
+// Executor types (see internal/sched for full docs).
+type (
+	// ExecResult aggregates a streaming Exec run; it embeds RunResult and
+	// adds shard count, collected shard errors and queue telemetry.
+	ExecResult = sched.Result
+	// ShardEvent is one per-shard observability record delivered to the
+	// WithStatsHook callback.
+	ShardEvent = sched.Event
+	// ShardError ties an execution error to the shard it occurred on.
+	ShardError = sched.ShardError
+	// ShardSource yields successive input shards for ExecSource.
+	ShardSource = sched.Source
+	// ErrorPolicy selects how per-shard errors end (or don't end) a run.
+	ErrorPolicy = sched.ErrorPolicy
+)
+
+// Error policies for WithErrorPolicy.
+const (
+	// FailFast cancels the run on the first shard error.
+	FailFast = sched.FailFast
+	// CollectErrors records failing shards in ExecResult.Errors and keeps
+	// going.
+	CollectErrors = sched.CollectErrors
 )
 
 // Dispatch modes.
@@ -85,10 +120,48 @@ func NewProgram(name string, symbolBits uint8) *Program {
 	return core.NewProgram(name, symbolBits)
 }
 
+// AttachPolicy selects the action-addressing architecture Compile lays out
+// (the paper's design versus the UAP baseline of Figure 5c).
+type AttachPolicy = effclip.AttachPolicy
+
+// Attach policies for WithAttachPolicy.
+const (
+	// PolicyUDP is the UDP's direct + scaled-offset attach with global
+	// chain sharing (the default).
+	PolicyUDP = effclip.PolicyUDP
+	// PolicyUAPOffset models the UAP's transition-relative offset attach.
+	PolicyUAPOffset = effclip.PolicyUAPOffset
+)
+
+// CompileOption customizes EffCLiP layout.
+type CompileOption func(*effclip.Options)
+
+// WithAttachPolicy selects the action-addressing policy (default PolicyUDP).
+func WithAttachPolicy(p AttachPolicy) CompileOption {
+	return func(o *effclip.Options) { o.Policy = p }
+}
+
+// WithMaxWords caps the image size in words (0 = the lane window limit
+// implied by the program's declared DataBase, or the full local memory).
+func WithMaxWords(n int) CompileOption {
+	return func(o *effclip.Options) { o.MaxWords = n }
+}
+
+// WithWideAttach lays the image out with full-width action pointers per
+// transition instead of the 8-bit attach field.
+func WithWideAttach() CompileOption {
+	return func(o *effclip.Options) { o.WideAttach = true }
+}
+
 // Compile validates the program and runs EffCLiP layout, producing an
-// executable image.
-func Compile(p *Program) (*Image, error) {
-	return effclip.Layout(p, effclip.Options{})
+// executable image. Options tune the layout; the zero configuration is the
+// paper's design point.
+func Compile(p *Program, opts ...CompileOption) (*Image, error) {
+	var o effclip.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return effclip.Layout(p, o)
 }
 
 // NewLane loads an image into a fresh lane (banks = 0 uses the image's own
@@ -97,15 +170,142 @@ func NewLane(im *Image, banks int) (*Lane, error) {
 	return machine.NewLane(im, banks)
 }
 
-// Run compiles nothing: it executes an image over input on one lane and
-// returns the lane for inspection (output, matches, stats, memory).
+// ExecOption customizes a streaming Exec run (functional options over the
+// internal/sched executor configuration).
+type ExecOption func(*execOpts)
+
+type execOpts struct {
+	cfg        sched.Config
+	chunkBytes int
+	sep        byte
+	recordSep  bool
+}
+
+// WithMaxLanes caps the lane pool (0 or anything above MaxLanes(img) means
+// MaxLanes(img)).
+func WithMaxLanes(n int) ExecOption {
+	return func(o *execOpts) { o.cfg.Lanes = n }
+}
+
+// WithQueueDepth bounds the shard queue feeding the pool — the run's
+// backpressure point (default 2× the pool size).
+func WithQueueDepth(n int) ExecOption {
+	return func(o *execOpts) { o.cfg.QueueDepth = n }
+}
+
+// WithLaneSetup installs a per-shard lane customization hook; it runs after
+// the lane is reset and the shard's input attached, with the shard's
+// stream-order index.
+func WithLaneSetup(setup LaneSetup) ExecOption {
+	return func(o *execOpts) { o.cfg.Setup = setup }
+}
+
+// WithErrorPolicy selects FailFast (default) or CollectErrors.
+func WithErrorPolicy(p ErrorPolicy) ExecOption {
+	return func(o *execOpts) { o.cfg.Policy = p }
+}
+
+// WithChunker cuts the input into record-aligned shards: each shard ends
+// just after sep (e.g. '\n'), so no record straddles two lanes. Without it,
+// Exec cuts fixed-size shards.
+func WithChunker(sep byte) ExecOption {
+	return func(o *execOpts) { o.sep, o.recordSep = sep, true }
+}
+
+// WithChunkBytes sets the shard size target for Exec's chunkers (default
+// sched.DefaultChunkBytes, 64 KiB).
+func WithChunkBytes(n int) ExecOption {
+	return func(o *execOpts) { o.chunkBytes = n }
+}
+
+// WithStatsHook installs an observability callback receiving one ShardEvent
+// per finished shard (per-shard cycles, wall time, queue depth, MB/s).
+// Events are delivered serially; the hook needs no locking.
+func WithStatsHook(hook func(ShardEvent)) ExecOption {
+	return func(o *execOpts) { o.cfg.Hook = hook }
+}
+
+// Exec streams source through a pool of reusable lanes executing im — the
+// context-aware entry point for inputs of any size. Shards are cut by a
+// fixed-size chunker, or a record-aligned one under WithChunker; at most
+// MaxLanes(im) lanes run concurrently and an unbounded number of shards is
+// time-multiplexed over them. Cancelling ctx stops the run at the next
+// shard boundary.
+func Exec(ctx context.Context, im *Image, source io.Reader, opts ...ExecOption) (*ExecResult, error) {
+	o := applyExecOpts(opts)
+	var src sched.Source
+	if o.recordSep {
+		src = sched.Records(source, o.chunkBytes, o.sep)
+	} else {
+		src = sched.Chunks(source, o.chunkBytes)
+	}
+	return sched.Run(ctx, im, src, o.cfg)
+}
+
+// ExecShards is Exec over a pre-sharded in-memory input (chunker options are
+// ignored).
+func ExecShards(ctx context.Context, im *Image, shards [][]byte, opts ...ExecOption) (*ExecResult, error) {
+	o := applyExecOpts(opts)
+	return sched.Run(ctx, im, sched.Slice(shards), o.cfg)
+}
+
+// ExecSource is Exec over a caller-supplied shard source (custom chunking,
+// network feeds, generated workloads).
+func ExecSource(ctx context.Context, im *Image, src ShardSource, opts ...ExecOption) (*ExecResult, error) {
+	o := applyExecOpts(opts)
+	return sched.Run(ctx, im, src, o.cfg)
+}
+
+func applyExecOpts(opts []ExecOption) execOpts {
+	var o execOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Run executes an image over input on one lane and returns the lane for
+// inspection (output, matches, stats, memory).
+//
+// Deprecated: Use Exec for streaming or parallel workloads; Run remains for
+// single-lane inspection and compatibility.
 func Run(im *Image, input []byte) (*Lane, error) {
 	return machine.RunSingle(im, input)
 }
 
-// RunParallel shards work across lanes (at most MaxLanes) and aggregates.
-func RunParallel(im *Image, shards [][]byte, setup machine.LaneSetup) (*RunResult, error) {
-	return machine.RunParallel(im, shards, setup)
+// RunParallel runs one lane per shard and aggregates, erroring when
+// len(shards) exceeds MaxLanes(im). It is a thin wrapper over the streaming
+// executor with a pool of len(shards) lanes, kept so existing callers
+// compile unchanged; RunResult.Cycles remains the one-lane-per-shard
+// makespan (the maximum per-shard cycle count).
+//
+// Deprecated: Use Exec (or ExecShards) — it accepts any number of shards,
+// supports cancellation, error policies and observability.
+func RunParallel(im *Image, shards [][]byte, setup LaneSetup) (*RunResult, error) {
+	limit := MaxLanes(im)
+	if limit == 0 {
+		return nil, fmt.Errorf("machine: image %q does not fit local memory", im.Name)
+	}
+	if len(shards) > limit {
+		return nil, fmt.Errorf("machine: %d shards exceed the %d-lane limit of image %q",
+			len(shards), limit, im.Name)
+	}
+	var maxShard uint64
+	res, err := ExecShards(context.Background(), im, shards,
+		WithMaxLanes(len(shards)),
+		WithLaneSetup(setup),
+		WithStatsHook(func(e ShardEvent) {
+			if e.Cycles > maxShard {
+				maxShard = e.Cycles
+			}
+		}))
+	if err != nil {
+		return nil, err
+	}
+	rr := res.RunResult
+	rr.Lanes = len(shards)
+	rr.Cycles = maxShard
+	return &rr, nil
 }
 
 // MaxLanes is the lane-parallelism limit for an image's memory footprint

@@ -2,6 +2,8 @@ package udp_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 
 	"udp"
@@ -101,5 +103,160 @@ func TestMachineDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(a.Output(), b.Output()) {
 		t.Fatal("outputs differ")
+	}
+}
+
+// TestExecStreamsBeyondMaxLanes pins the headline of the redesigned API: an
+// input cut into far more shards than the lane limit streams through the
+// pool, where RunParallel would refuse it outright.
+func TestExecStreamsBeyondMaxLanes(t *testing.T) {
+	p := udp.NewProgram("echo", 8)
+	s := p.AddState("s", udp.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	im, err := udp.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := udp.MaxLanes(im)
+
+	var in bytes.Buffer
+	for i := 0; i < 8*limit; i++ {
+		in.WriteString("record-of-forty-bytes-padding-xxxxxxxxx\n")
+	}
+	data := append([]byte(nil), in.Bytes()...)
+
+	// The one-shot API refuses more shards than lanes.
+	tooMany := udp.SplitRecords(data, 2*limit, '\n')
+	if len(tooMany) > limit {
+		if _, err := udp.RunParallel(im, tooMany, nil); err == nil {
+			t.Fatal("RunParallel must refuse more shards than lanes")
+		}
+	}
+
+	// Exec streams them.
+	var events int
+	res, err := udp.Exec(context.Background(), im, bytes.NewReader(data),
+		udp.WithChunker('\n'),
+		udp.WithChunkBytes(32),
+		udp.WithStatsHook(func(e udp.ShardEvent) { events++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards < 4*limit {
+		t.Fatalf("streamed %d shards, want >= %d", res.Shards, 4*limit)
+	}
+	if events != res.Shards {
+		t.Fatalf("%d hook events for %d shards", events, res.Shards)
+	}
+	if !bytes.Equal(res.Output(), data) {
+		t.Fatal("streamed output differs from input")
+	}
+	if res.Rate() <= 0 {
+		t.Fatal("aggregate rate must be positive")
+	}
+}
+
+func TestExecCancellation(t *testing.T) {
+	p := udp.NewProgram("echo2", 8)
+	s := p.AddState("s", udp.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	im, err := udp.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: no shard may run
+	_, err = udp.Exec(ctx, im, bytes.NewReader(bytes.Repeat([]byte("a\n"), 1000)),
+		udp.WithChunker('\n'), udp.WithChunkBytes(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExecErrorPolicies(t *testing.T) {
+	p := udp.NewProgram("strict", 8)
+	s := p.AddState("s", udp.ModeStream)
+	s.On('a', s, core.AOut8(core.RSym))
+	im, err := udp.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{[]byte("aaa"), []byte("ab"), []byte("aa")}
+
+	if _, err := udp.ExecShards(context.Background(), im, shards, udp.WithMaxLanes(1)); err == nil {
+		t.Fatal("fail-fast run must surface the shard error")
+	}
+
+	res, err := udp.ExecShards(context.Background(), im, shards,
+		udp.WithMaxLanes(1), udp.WithErrorPolicy(udp.CollectErrors))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 1 || res.Errors[0].Shard != 1 {
+		t.Fatalf("errors %v, want shard 1 only", res.Errors)
+	}
+	if string(res.Outputs[0]) != "aaa" || string(res.Outputs[2]) != "aa" {
+		t.Fatal("successful shards must keep their outputs")
+	}
+}
+
+// TestCompileOptions threads layout options through the public Compile.
+func TestCompileOptions(t *testing.T) {
+	p := udp.NewProgram("opt", 8)
+	s := p.AddState("s", udp.ModeStream)
+	s.On('a', s, core.AOut8(core.RSym), core.AAddi(core.R1, core.R1, 1))
+	s.Majority(s, core.AOut8(core.RSym))
+
+	plain, err := udp.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uap, err := udp.Compile(p, udp.WithAttachPolicy(udp.PolicyUAPOffset))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CodeBytes() == 0 || uap.CodeBytes() == 0 {
+		t.Fatal("both layouts must produce code")
+	}
+	wide, err := udp.Compile(p, udp.WithWideAttach())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.WideAttach == nil {
+		t.Fatal("WithWideAttach must produce a wide-attach image")
+	}
+	if _, err := udp.Compile(p, udp.WithMaxWords(1)); err == nil {
+		t.Fatal("a 1-word cap must fail layout")
+	}
+}
+
+// TestRunParallelCompat pins the deprecated wrapper's contract: same
+// shard-count error, one lane per shard, per-shard-max makespan.
+func TestRunParallelCompat(t *testing.T) {
+	p := udp.NewProgram("compat", 8)
+	s := p.AddState("s", udp.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	im, err := udp.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{[]byte("aaaa"), []byte("bb"), []byte("c")}
+	res, err := udp.RunParallel(im, shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lanes != 3 {
+		t.Fatalf("Lanes %d, want 3", res.Lanes)
+	}
+	single, err := udp.Run(im, shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != single.Stats().Cycles {
+		t.Fatalf("makespan %d, want the longest shard's %d", res.Cycles, single.Stats().Cycles)
+	}
+	if string(res.Outputs[0]) != "aaaa" || string(res.Outputs[2]) != "c" {
+		t.Fatal("shard-order outputs broken")
 	}
 }
