@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench race check examples reproduce reproduce-paper clean
+.PHONY: all build test bench bench-json fmt-check smoke race check examples reproduce reproduce-paper clean
 
 all: build test
 
@@ -13,19 +13,36 @@ build:
 test:
 	$(GO) test ./...
 
-race:
-	$(GO) test -race ./internal/machine ./internal/sched ./internal/kernels/... .
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
-# The CI gate: tier-1 (build + test) plus vet and the race detector over
-# the whole module.
-check:
+# End-to-end server check: build udpserved, serve a random port, stream a
+# gzip'd CSV through POST /v1/transform/csvparse, verify output + metrics,
+# then drain with SIGTERM.
+smoke:
+	$(GO) run ./scripts/smoke
+
+race:
+	$(GO) test -race ./internal/machine ./internal/sched ./internal/server ./internal/kernels/... .
+
+# The CI gate: tier-1 (build + test) plus gofmt, vet, the race detector
+# over the whole module, and the udpserved smoke test.
+check: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./...
+	$(GO) run ./scripts/smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable throughput/latency reports for the bench trajectory.
+bench-json:
+	$(GO) run ./cmd/udpbench -bench exec,server
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,4 +1,5 @@
-// Command udpbench regenerates the paper's tables and figures.
+// Command udpbench regenerates the paper's tables and figures, and runs the
+// machine-readable throughput/latency benchmarks.
 //
 // Usage:
 //
@@ -6,6 +7,8 @@
 //	udpbench -exp fig21,fig22     # several
 //	udpbench -exp all -scale 4    # everything, larger datasets
 //	udpbench -list                 # show experiment ids
+//	udpbench -bench exec,server    # write BENCH_exec.json / BENCH_server.json
+//	udpbench -bench server -concurrency 8 -passes 16 -benchdir docs
 package main
 
 import (
@@ -13,8 +16,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"udp/internal/bench"
 	"udp/internal/experiments"
 )
 
@@ -24,7 +29,19 @@ func main() {
 	seed := flag.Int64("seed", 20170101, "generator seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outPath := flag.String("o", "", "also write the tables to this file")
+	benchSel := flag.String("bench", "", "benchmark(s) to run instead of experiments: exec, server, or exec,server")
+	benchDir := flag.String("benchdir", ".", "directory for BENCH_<name>.json reports")
+	concurrency := flag.Int("concurrency", 4, "server bench: concurrent load clients")
+	passes := flag.Int("passes", 8, "server bench: requests per client")
 	flag.Parse()
+
+	if *benchSel != "" {
+		if err := runBenches(*benchSel, *benchDir, *scale, *concurrency, *passes, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "udpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
@@ -62,4 +79,33 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runBenches executes the selected benchmarks and writes one
+// BENCH_<name>.json per selection into dir.
+func runBenches(sel, dir string, scale, concurrency, passes int, seed int64) error {
+	for _, name := range strings.Split(sel, ",") {
+		var (
+			r   *bench.Report
+			err error
+		)
+		switch strings.TrimSpace(name) {
+		case "exec":
+			r, err = bench.Exec(scale, seed)
+		case "server":
+			r, err = bench.Server(scale, concurrency, passes, seed)
+		default:
+			return fmt.Errorf("unknown bench %q (want exec or server)", name)
+		}
+		if err != nil {
+			return fmt.Errorf("%s bench: %w", name, err)
+		}
+		path := filepath.Join(dir, "BENCH_"+r.Name+".json")
+		if err := bench.WriteJSON(path, r); err != nil {
+			return err
+		}
+		fmt.Println(r.Summary())
+		fmt.Println("wrote", path)
+	}
+	return nil
 }

@@ -1,0 +1,80 @@
+// Command udpserved runs the UDP streaming transform service: an HTTP node
+// that compiles, caches, and executes UDP programs over streamed request
+// bodies (see docs/SERVER.md).
+//
+// Usage:
+//
+//	udpserved                          # serve :8080 with defaults
+//	udpserved -addr 127.0.0.1:0        # random port (printed on stdout)
+//	udpserved -max-inflight 16 -timeout 5m -cache 128
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// transforms (bounded by -drain).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"udp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks one)")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes (pre-decompression)")
+	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-transform deadline")
+	inflight := flag.Int("max-inflight", server.DefaultMaxInflight, "concurrent transforms before 429")
+	cache := flag.Int("cache", server.DefaultCachePrograms, "posted-program LRU capacity")
+	lanes := flag.Int("lanes", 0, "lane-pool cap per transform (0 = image limit)")
+	chunk := flag.Int("chunk", 0, "shard size target in bytes (0 = executor default)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		MaxInflight:    *inflight,
+		CachePrograms:  *cache,
+		MaxLanes:       *lanes,
+		ChunkBytes:     *chunk,
+	})
+
+	ready := make(chan net.Addr, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr, ready) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "udpserved:", err)
+		os.Exit(1)
+	case a := <-ready:
+		// The parseable line scripts/smoke and operators key off.
+		fmt.Printf("udpserved: listening on %s\n", a)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "udpserved:", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Printf("udpserved: %s, draining in-flight transforms (up to %s)\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "udpserved: shutdown:", err)
+			os.Exit(1)
+		}
+		<-serveErr
+		fmt.Println("udpserved: drained, bye")
+	}
+}

@@ -1,0 +1,213 @@
+// Package bench produces machine-readable benchmark reports for the bench
+// trajectory: an in-process executor benchmark (BENCH_exec.json) and an
+// HTTP load benchmark against an in-process udpserved (BENCH_server.json).
+// Both stream TPC-H lineitem-like CSV through the pipe-separated CSV
+// kernel — the paper's Figure 1 ETL workload — and report host throughput
+// plus latency percentiles.
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"udp"
+	"udp/internal/client"
+	"udp/internal/etl"
+	"udp/internal/kernels/csvparse"
+	"udp/internal/server"
+)
+
+// RowsPerScale is the lineitem row count at scale 1.
+const RowsPerScale = 20000
+
+// Report is one benchmark result, serialized to BENCH_<name>.json.
+type Report struct {
+	// Name is "exec" or "server".
+	Name string `json:"name"`
+	// Scale is the workload multiplier (RowsPerScale rows each).
+	Scale int `json:"scale"`
+	// Rows is the generated lineitem row count.
+	Rows int `json:"rows"`
+	// InputBytes is the uncompressed CSV size per pass.
+	InputBytes int `json:"input_bytes"`
+	// Passes is how many times the input was streamed (server: requests).
+	Passes int `json:"passes"`
+	// Concurrency is the number of load-generating clients (server only).
+	Concurrency int `json:"concurrency,omitempty"`
+	// Errors counts failed passes.
+	Errors int `json:"errors"`
+	// WallSeconds is the host wall-clock for the whole run.
+	WallSeconds float64 `json:"wall_seconds"`
+	// ThroughputMBps is host-side input MB/s (1e6 bytes) over the run.
+	ThroughputMBps float64 `json:"throughput_mbps"`
+	// SimulatedMBps is the lane-pool rate at the ASIC clock (exec only).
+	SimulatedMBps float64 `json:"simulated_mbps,omitempty"`
+	// P50/P90/P99/Max are latency percentiles in milliseconds: per shard
+	// for exec, per request for server.
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// Samples is the latency sample count behind the percentiles.
+	Samples int `json:"samples"`
+	// GoVersion and Timestamp pin the environment.
+	GoVersion string `json:"go_version"`
+	Timestamp string `json:"timestamp"`
+}
+
+func newReport(name string, scale int) *Report {
+	return &Report{
+		Name:      name,
+		Scale:     scale,
+		GoVersion: runtime.Version(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// percentile reads the p-quantile (0..1) from sorted samples.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+func fillLatencies(r *Report, samples []time.Duration) {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	r.Samples = len(samples)
+	r.P50Ms = percentile(samples, 0.50)
+	r.P90Ms = percentile(samples, 0.90)
+	r.P99Ms = percentile(samples, 0.99)
+	if n := len(samples); n > 0 {
+		r.MaxMs = float64(samples[n-1]) / float64(time.Millisecond)
+	}
+}
+
+// Exec benchmarks the in-process streaming executor: lineitem CSV through
+// the pipe-CSV kernel with record-aligned shards. Latency samples are
+// per-shard wall times from the stats hook.
+func Exec(scale int, seed int64) (*Report, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	r := newReport("exec", scale)
+	r.Rows = RowsPerScale * scale
+	data := etl.LineitemCSV(r.Rows, seed)
+	r.InputBytes = len(data)
+
+	im, err := udp.Compile(csvparse.BuildProgramSep('|'))
+	if err != nil {
+		return nil, err
+	}
+	var samples []time.Duration
+	t0 := time.Now()
+	res, err := udp.Exec(context.Background(), im, bytes.NewReader(data),
+		udp.WithChunker('\n'),
+		udp.WithStatsHook(func(e udp.ShardEvent) { samples = append(samples, e.Wall) }),
+	)
+	if err != nil {
+		return nil, err
+	}
+	r.WallSeconds = time.Since(t0).Seconds()
+	r.Passes = 1
+	r.ThroughputMBps = float64(r.InputBytes) / 1e6 / r.WallSeconds
+	r.SimulatedMBps = res.Rate()
+	fillLatencies(r, samples)
+	return r, nil
+}
+
+// Server benchmarks the network path: an in-process udpserved on a loopback
+// listener, with concurrency clients each streaming the CSV body passes
+// times through POST /v1/transform/csvpipe. Latency samples are per-request
+// wall times.
+func Server(scale, concurrency, passes int, seed int64) (*Report, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	if concurrency < 1 {
+		concurrency = 4
+	}
+	if passes < 1 {
+		passes = 8
+	}
+	r := newReport("server", scale)
+	r.Rows = RowsPerScale * scale
+	r.Concurrency = concurrency
+	data := etl.LineitemCSV(r.Rows, seed)
+	r.InputBytes = len(data)
+
+	srv := server.New(server.Options{MaxInflight: concurrency})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	c := client.New("http://"+l.Addr().String(), nil)
+	var (
+		mu      sync.Mutex
+		samples []time.Duration
+		errs    int
+	)
+	want := csvparse.ParseSep(data, '|')
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := 0; p < passes; p++ {
+				q0 := time.Now()
+				out, err := c.TransformBytes(context.Background(), "csvpipe", data)
+				d := time.Since(q0)
+				mu.Lock()
+				if err != nil || !bytes.Equal(out, want) {
+					errs++
+				} else {
+					samples = append(samples, d)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	r.WallSeconds = time.Since(t0).Seconds()
+	r.Passes = concurrency * passes
+	r.Errors = errs
+	r.ThroughputMBps = float64(r.InputBytes) * float64(len(samples)) / 1e6 / r.WallSeconds
+	fillLatencies(r, samples)
+	return r, nil
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func WriteJSON(path string, r *Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Summary is the one-line human rendering of a report.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%s: scale %d (%d rows, %.1f MB) x %d passes: %.1f MB/s, p50 %.2f ms, p99 %.2f ms, %d errors",
+		r.Name, r.Scale, r.Rows, float64(r.InputBytes)/1e6, r.Passes,
+		r.ThroughputMBps, r.P50Ms, r.P99Ms, r.Errors)
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExecReportShape(t *testing.T) {
+	r, err := Exec(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "exec" || r.Rows != RowsPerScale || r.InputBytes == 0 {
+		t.Fatalf("bad report %+v", r)
+	}
+	if r.ThroughputMBps <= 0 || r.SimulatedMBps <= 0 {
+		t.Fatalf("throughput missing: %+v", r)
+	}
+	if r.Samples == 0 || r.P50Ms < 0 || r.P99Ms < r.P50Ms {
+		t.Fatalf("latency percentiles inconsistent: %+v", r)
+	}
+}
+
+func TestServerReportShapeAndJSON(t *testing.T) {
+	// Tiny load: 2 clients x 2 passes over scale-1/4 data keeps this fast.
+	r, err := Server(1, 2, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("%d failed requests", r.Errors)
+	}
+	if r.Passes != 4 || r.Samples != 4 || r.ThroughputMBps <= 0 {
+		t.Fatalf("bad report %+v", r)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_server.json")
+	if err := WriteJSON(path, r); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "server" || back.P99Ms < back.P50Ms {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

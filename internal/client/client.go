@@ -1,0 +1,228 @@
+// Package client is the Go client for udpserved (internal/server): it
+// streams transform bodies to POST /v1/transform/{program} and consumes the
+// chunked response, registers assembly programs, and reads the operational
+// endpoints. cmd/udpbench uses it as the load generator; scripts/smoke uses
+// it as the end-to-end check.
+package client
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// APIError is a non-2xx server reply, decoded from the JSON error body.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error string.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("udpserved: %d: %s", e.StatusCode, e.Message)
+}
+
+// ProgramInfo mirrors the server's registry entry JSON.
+type ProgramInfo struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Builtin  bool   `json:"builtin"`
+	MaxLanes int    `json:"max_lanes,omitempty"`
+}
+
+// RegisterResult is the reply to Register.
+type RegisterResult struct {
+	ProgramInfo
+	Cached bool `json:"cached"`
+}
+
+// Client talks to one udpserved instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New builds a client for baseURL (e.g. "http://127.0.0.1:8080"). httpc nil
+// means http.DefaultClient.
+func New(baseURL string, httpc *http.Client) *Client {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpc}
+}
+
+type reqOpts struct {
+	gzipped bool
+	chunk   int
+}
+
+// TransformOption tunes one Transform call.
+type TransformOption func(*reqOpts)
+
+// WithGzippedBody declares the body already gzip-compressed; the server
+// decompresses before transforming.
+func WithGzippedBody() TransformOption {
+	return func(o *reqOpts) { o.gzipped = true }
+}
+
+// WithChunkBytes asks the server for a specific shard-size target.
+func WithChunkBytes(n int) TransformOption {
+	return func(o *reqOpts) { o.chunk = n }
+}
+
+// Transform streams body through the named program and returns the
+// transformed stream. The caller must Close the reader; reading it drives
+// the transfer, so backpressure reaches the server's lane pool.
+func (c *Client) Transform(ctx context.Context, program string, body io.Reader, opts ...TransformOption) (io.ReadCloser, error) {
+	var o reqOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	u := c.base + "/v1/transform/" + url.PathEscape(program)
+	if o.chunk > 0 {
+		u += "?chunk=" + strconv.Itoa(o.chunk)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, body)
+	if err != nil {
+		return nil, err
+	}
+	if o.gzipped {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeErr(resp)
+	}
+	return resp.Body, nil
+}
+
+// TransformBytes is Transform over an in-memory input, fully drained.
+func (c *Client) TransformBytes(ctx context.Context, program string, data []byte, opts ...TransformOption) ([]byte, error) {
+	rc, err := c.Transform(ctx, program, bytes.NewReader(data), opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return io.ReadAll(rc)
+}
+
+// TransformGzipBytes gzips data client-side before sending — the wire shape
+// of the paper's Figure 1 load pipeline (compressed CSV into the engine).
+func (c *Client) TransformGzipBytes(ctx context.Context, program string, data []byte, opts ...TransformOption) ([]byte, error) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(data); err != nil {
+		return nil, err
+	}
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+	opts = append(opts, WithGzippedBody())
+	return c.TransformBytes(ctx, program, buf.Bytes(), opts...)
+}
+
+// Register compiles UDP assembly on the server and returns its cache entry.
+// sep configures record chunking: "" for newline, "none" for fixed-size
+// shards, a single byte otherwise.
+func (c *Client) Register(ctx context.Context, name, asmText, sep string) (*RegisterResult, error) {
+	u := c.base + "/v1/programs"
+	q := url.Values{}
+	if name != "" {
+		q.Set("name", name)
+	}
+	if sep != "" {
+		q.Set("sep", sep)
+	}
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(asmText))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, decodeErr(resp)
+	}
+	var out RegisterResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Programs lists the registry.
+func (c *Client) Programs(ctx context.Context) ([]ProgramInfo, error) {
+	var out []ProgramInfo
+	if err := c.getJSON(ctx, "/v1/programs", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var out map[string]string
+	return c.getJSON(ctx, "/healthz", &out)
+}
+
+// Metrics fetches the raw Prometheus exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeErr(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeErr(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func decodeErr(resp *http.Response) error {
+	var ae struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if json.Unmarshal(body, &ae) != nil || ae.Error == "" {
+		ae.Error = strings.TrimSpace(string(body))
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
+}

@@ -116,6 +116,20 @@ func BuildProgram(edges []float64) (*core.Program, error) {
 	return BuildProgramStep(edges, 4)
 }
 
+// BuildProgramEmit compiles bin edges into the 4-bit automaton in a
+// streaming variant: instead of incrementing counters in lane-local memory
+// (which a streaming executor never reads back), each classified value
+// emits its bin index as one output byte — so the histogram becomes an
+// ordinary byte-in/byte-out transform that can run behind udp.Exec's sink
+// or the network service. Out-of-range values emit nothing, matching Bin's
+// -1. Needs len(edges)-1 <= 256 bins.
+func BuildProgramEmit(edges []float64) (*core.Program, error) {
+	if len(edges)-1 > 256 {
+		return nil, fmt.Errorf("histogram: emit variant limited to 256 bins")
+	}
+	return buildProgramStep(edges, 4, true)
+}
+
 // BuildProgramStep compiles bin edges into a scanning automaton over
 // stepBits-wide symbols: a trie over boundary-key digits; once the bin is
 // resolved, per-bin skip chains consume the remaining digits and the final
@@ -123,6 +137,10 @@ func BuildProgram(edges []float64) (*core.Program, error) {
 // paper's design; stepBits = 8 models the fixed-byte (SsF) alternative of
 // Figure 8, whose states are 16x wider.
 func BuildProgramStep(edges []float64, stepBits int) (*core.Program, error) {
+	return buildProgramStep(edges, stepBits, false)
+}
+
+func buildProgramStep(edges []float64, stepBits int, emit bool) (*core.Program, error) {
 	n := len(edges) - 1
 	if n < 1 {
 		return nil, fmt.Errorf("histogram: need at least one bin")
@@ -146,9 +164,15 @@ func BuildProgramStep(edges []float64, stepBits int) (*core.Program, error) {
 		}
 	}
 
-	p := core.NewProgram(fmt.Sprintf("histogram%d", stepBits), uint8(stepBits))
-	p.DataBase = binsOff
-	p.DataBytes = 4 * n
+	name := fmt.Sprintf("histogram%d", stepBits)
+	if emit {
+		name += "e"
+	}
+	p := core.NewProgram(name, uint8(stepBits))
+	if !emit {
+		p.DataBase = binsOff
+		p.DataBytes = 4 * n
+	}
 
 	// binOf returns the bin of key restricted to knowledge that the key
 	// lies in [bounds[0], bounds[n]] context; -1 = below, n = above-top
@@ -182,6 +206,9 @@ func BuildProgramStep(edges []float64, stepBits int) (*core.Program, error) {
 	finish := func(bin int) []core.Action {
 		if bin < 0 || bin >= n {
 			return nil
+		}
+		if emit {
+			return []core.Action{core.AMovi(core.R1, int32(bin)), core.AOut8(core.R1)}
 		}
 		if stepBits == 8 {
 			return []core.Action{core.AIncm(core.R13, int32(4*bin))}

@@ -150,6 +150,55 @@ func TestCyclesPerValue(t *testing.T) {
 	}
 }
 
+// TestEmitVariantMatchesBaseline pins the streaming variant: the emitted
+// bin-index bytes, aggregated on the host, equal the counter-based design
+// and the CPU baseline (out-of-range values emit nothing).
+func TestEmitVariantMatchesBaseline(t *testing.T) {
+	edges := UniformEdges(8, 0, 1)
+	values := []float64{-5, 0.01, 0.5, 2.5, 0.93, 7, 0.125, 0.126, 0.874, 0}
+	prog, err := BuildProgramEmit(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := effclip.Layout(prog, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := machine.RunSingle(im, KeyBytes(values))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Histogram(edges, values)
+	got := make([]uint32, len(edges)-1)
+	inRange := 0
+	for _, v := range values {
+		if Bin(edges, v) >= 0 {
+			inRange++
+		}
+	}
+	out := lane.Output()
+	if len(out) != inRange {
+		t.Fatalf("emitted %d bytes, want one per in-range value (%d)", len(out), inRange)
+	}
+	for _, b := range out {
+		if int(b) >= len(got) {
+			t.Fatalf("bin index %d out of range", b)
+		}
+		got[b]++
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d: emit %d, CPU %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEmitVariantTooManyBins(t *testing.T) {
+	if _, err := BuildProgramEmit(UniformEdges(300, 0, 1)); err == nil {
+		t.Fatal("300-bin emit variant must error")
+	}
+}
+
 func TestBuildProgramErrors(t *testing.T) {
 	if _, err := BuildProgram([]float64{1}); err == nil {
 		t.Fatal("single edge must error")

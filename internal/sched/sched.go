@@ -16,13 +16,25 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"udp/internal/effclip"
 	"udp/internal/machine"
+)
+
+// Typed argument errors, so callers can distinguish a misuse from an
+// execution failure with errors.Is instead of recovering a panic raised deep
+// in the machine.
+var (
+	// ErrNilImage is returned when a run is started with a nil image.
+	ErrNilImage = errors.New("sched: nil image")
+	// ErrNilSource is returned when a run is started with a nil source.
+	ErrNilSource = errors.New("sched: nil shard source")
 )
 
 // ErrorPolicy selects how per-shard execution errors end (or don't end) a
@@ -68,6 +80,9 @@ type Event struct {
 	// QueueDepth is the number of shards waiting in the queue at the
 	// moment this shard was dequeued (backpressure signal).
 	QueueDepth int
+	// Busy is the number of pool lanes executing a shard at the moment
+	// this shard was dequeued, this one included (utilization signal).
+	Busy int
 	// Err is the shard's error, nil on success.
 	Err error
 }
@@ -91,6 +106,16 @@ type Config struct {
 	Policy ErrorPolicy
 	// Hook, when non-nil, receives one Event per finished shard.
 	Hook func(Event)
+	// Sink, when non-nil, receives each successful shard's output in
+	// shard order as soon as it and all its predecessors have finished.
+	// Outputs handed to the sink are NOT accumulated in Result.Outputs,
+	// so a run over an unbounded input holds only the reorder window in
+	// memory. Deliveries are serial (no locking needed in the sink) and a
+	// slow sink backpressures the whole pool, which in turn stalls the
+	// producer through the bounded queue — backpressure end to end. A
+	// sink error fails the run regardless of Policy; under CollectErrors
+	// a failed shard is skipped and the cursor advances past it.
+	Sink func(shard int, out []byte) error
 }
 
 // Result aggregates a streaming run. It embeds machine.RunResult so
@@ -134,6 +159,12 @@ type workItem struct {
 // is returned; cancellation is observed at shard boundaries), or — under
 // FailFast — a shard fails.
 func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Result, error) {
+	if img == nil {
+		return nil, ErrNilImage
+	}
+	if src == nil {
+		return nil, ErrNilSource
+	}
 	limit := machine.MaxLanes(img)
 	if limit == 0 {
 		return nil, fmt.Errorf("sched: image %q does not fit local memory", img.Name)
@@ -157,7 +188,7 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 
 	queue := make(chan workItem, depth)
 	var (
-		mu         sync.Mutex // guards everything below, and serializes Hook
+		mu         sync.Mutex // guards everything below, and serializes Hook and Sink
 		outputs    [][]byte
 		matches    [][]machine.Match
 		shardBytes []int
@@ -167,6 +198,18 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 		highWater  int
 	)
 	laneCycles := make([]uint64, lanes)
+	var busy atomic.Int32
+
+	// Reorder window for Config.Sink: finished outputs park here (nil for a
+	// shard skipped under CollectErrors) until every predecessor has been
+	// delivered, so the sink sees outputs in shard order.
+	var (
+		pending  map[int][]byte
+		sinkNext int
+	)
+	if cfg.Sink != nil {
+		pending = make(map[int][]byte)
+	}
 
 	setSlot := func(idx int, out []byte, m []machine.Match, bytes int) {
 		for len(outputs) <= idx {
@@ -184,6 +227,26 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 			runErr = err
 		}
 		cancel()
+	}
+
+	// drainSink runs with mu held; it delivers every ready output in shard
+	// order and parks the rest in the reorder window.
+	drainSink := func() {
+		for {
+			out, ok := pending[sinkNext]
+			if !ok {
+				return
+			}
+			delete(pending, sinkNext)
+			sinkNext++
+			if out == nil { // failed shard under CollectErrors
+				continue
+			}
+			if err := cfg.Sink(sinkNext-1, out); err != nil {
+				fail(fmt.Errorf("sched: sink: %w", err))
+				return
+			}
+		}
 	}
 
 	// Producer: pull shards from the source into the bounded queue.
@@ -244,23 +307,35 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 						return
 					}
 					qd := len(queue)
+					nb := int(busy.Add(1))
 					t0 := time.Now()
 					out, m, st, err := runShard(lane, it, cfg.Setup)
+					busy.Add(-1)
 					ev := Event{
 						Shard: it.idx, Lane: w, Bytes: len(it.data),
 						Cycles: st.Cycles, Wall: time.Since(t0),
-						QueueDepth: qd, Err: err,
+						QueueDepth: qd, Busy: nb, Err: err,
 					}
 					mu.Lock()
 					if err != nil {
 						if cfg.Policy == CollectErrors {
 							shardErrs = append(shardErrs, ShardError{Shard: it.idx, Err: err})
 							setSlot(it.idx, nil, nil, len(it.data))
+							if cfg.Sink != nil {
+								pending[it.idx] = nil
+								drainSink()
+							}
 						} else {
 							fail(ShardError{Shard: it.idx, Err: err})
 						}
 					} else {
-						setSlot(it.idx, out, m, len(it.data))
+						if cfg.Sink != nil {
+							setSlot(it.idx, nil, m, len(it.data))
+							pending[it.idx] = out
+							drainSink()
+						} else {
+							setSlot(it.idx, out, m, len(it.data))
+						}
 						total.Add(st)
 						laneCycles[w] += st.Cycles
 					}

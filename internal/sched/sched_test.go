@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"testing"
+	"testing/iotest"
+	"time"
 
 	"udp/internal/core"
 	"udp/internal/effclip"
@@ -356,6 +359,211 @@ func TestSourceErrorAbortsRun(t *testing.T) {
 }
 
 func cfgNoHook() Config { return Config{} }
+
+func TestNilImageAndNilSourceAreTypedErrors(t *testing.T) {
+	im := echoImage(t)
+	if _, err := Run(context.Background(), nil, Slice(nil), Config{}); !errors.Is(err, ErrNilImage) {
+		t.Fatalf("nil image err = %v, want ErrNilImage", err)
+	}
+	if _, err := Run(context.Background(), im, nil, Config{}); !errors.Is(err, ErrNilSource) {
+		t.Fatalf("nil source err = %v, want ErrNilSource", err)
+	}
+}
+
+func TestRecordsEmptyInput(t *testing.T) {
+	src := Records(bytes.NewReader(nil), 8, '\n')
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("empty input: err = %v, want io.EOF", err)
+	}
+	// EOF must be sticky.
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("second Next: err = %v, want io.EOF", err)
+	}
+}
+
+func TestRecordsInputWithoutTrailingSeparator(t *testing.T) {
+	src := Records(strings.NewReader("abc\ndef"), 4, '\n')
+	first, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != "abc\n" {
+		t.Fatalf("first shard %q, want %q", first, "abc\n")
+	}
+	second, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(second) != "def" {
+		t.Fatalf("trailing bytes without separator must form the last shard, got %q", second)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+// TestRecordsSingleRecordSpanningManyChunks pins the growth path: one record
+// many times larger than the chunk target, delivered by a reader that
+// returns one byte at a time, must arrive as a single shard.
+func TestRecordsSingleRecordSpanningManyChunks(t *testing.T) {
+	rec := append(bytes.Repeat([]byte("y"), 10*64+3), '\n')
+	data := append(append([]byte(nil), rec...), []byte("z\n")...)
+	src := Records(iotest.OneByteReader(bytes.NewReader(data)), 64, '\n')
+	first, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, rec) {
+		t.Fatalf("oversized record: got %d bytes, want %d", len(first), len(rec))
+	}
+	second, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(second) != "z\n" {
+		t.Fatalf("following record %q, want %q", second, "z\n")
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+// countingSource wraps a Source and records how far the producer ran ahead
+// of shard completions — the backpressure invariant.
+type countingSource struct {
+	inner     Source
+	mu        sync.Mutex
+	pulled    int
+	completed int
+	maxAhead  int
+}
+
+func (c *countingSource) Next() ([]byte, error) {
+	c.mu.Lock()
+	c.pulled++
+	if ahead := c.pulled - c.completed; ahead > c.maxAhead {
+		c.maxAhead = ahead
+	}
+	c.mu.Unlock()
+	return c.inner.Next()
+}
+
+func (c *countingSource) complete() {
+	c.mu.Lock()
+	c.completed++
+	c.mu.Unlock()
+}
+
+// TestQueueBackpressureWithSlowConsumer pins that a slow lane pool stalls
+// the producer at the bounded queue instead of buffering the whole input:
+// the source is never more than queue depth + pool size + 1 shards ahead of
+// the completions.
+func TestQueueBackpressureWithSlowConsumer(t *testing.T) {
+	im := echoImage(t)
+	const shards, lanes, depth = 48, 1, 2
+	in := make([][]byte, shards)
+	for i := range in {
+		in[i] = []byte("abcdefgh")
+	}
+	src := &countingSource{inner: Slice(in)}
+	cfg := Config{
+		Lanes:      lanes,
+		QueueDepth: depth,
+		Setup: func(l *machine.Lane, shard int) error {
+			time.Sleep(500 * time.Microsecond) // the slow consumer
+			return nil
+		},
+		Hook: func(e Event) { src.complete() },
+	}
+	res, err := Run(context.Background(), im, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != shards {
+		t.Fatalf("ran %d shards, want %d", res.Shards, shards)
+	}
+	if res.QueueHighWater > depth {
+		t.Fatalf("queue high water %d exceeds depth %d", res.QueueHighWater, depth)
+	}
+	// depth queued + lanes in flight + 1 blocked in the send.
+	if limit := depth + lanes + 1; src.maxAhead > limit {
+		t.Fatalf("producer ran %d shards ahead of completions, want <= %d (no backpressure)",
+			src.maxAhead, limit)
+	}
+}
+
+func TestSinkStreamsOutputsInOrder(t *testing.T) {
+	im := echoImage(t)
+	rec := strings.Repeat("r", 40) + "\n"
+	data := []byte(strings.Repeat(rec, 64))
+	var (
+		got  []byte
+		last = -1
+	)
+	cfg := Config{
+		Sink: func(shard int, out []byte) error {
+			if shard <= last {
+				t.Errorf("sink saw shard %d after %d", shard, last)
+			}
+			last = shard
+			got = append(got, out...)
+			return nil
+		},
+	}
+	res, err := Run(context.Background(), im, Records(bytes.NewReader(data), 32, '\n'), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("sink stream differs from input: %d vs %d bytes", len(got), len(data))
+	}
+	// Outputs are not retained when a sink consumes them.
+	if out := res.Output(); len(out) != 0 {
+		t.Fatalf("Result retained %d output bytes despite sink", len(out))
+	}
+	if res.Shards < 4 {
+		t.Fatalf("want a multi-shard run, got %d", res.Shards)
+	}
+}
+
+func TestSinkErrorFailsRun(t *testing.T) {
+	im := echoImage(t)
+	boom := fmt.Errorf("client went away")
+	cfg := Config{
+		Sink: func(shard int, out []byte) error {
+			if shard == 1 {
+				return boom
+			}
+			return nil
+		},
+	}
+	shards := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	_, err := Run(context.Background(), im, Slice(shards), cfg)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped sink error", err)
+	}
+}
+
+func TestSinkSkipsFailedShardsUnderCollectErrors(t *testing.T) {
+	im := strictImage(t)
+	shards := [][]byte{[]byte("aaa"), []byte("ab"), []byte("aa")}
+	var got []byte
+	cfg := Config{
+		Lanes:  1,
+		Policy: CollectErrors,
+		Sink:   func(shard int, out []byte) error { got = append(got, out...); return nil },
+	}
+	res, err := Run(context.Background(), im, Slice(shards), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aaaaa" {
+		t.Fatalf("sink got %q, want the two successful shards %q", got, "aaaaa")
+	}
+	if len(res.Errors) != 1 || res.Errors[0].Shard != 1 {
+		t.Fatalf("errors %v, want shard 1", res.Errors)
+	}
+}
 
 // TestMatchesAndStatsAggregate pins that matches land in shard order and
 // counters accumulate across the pool.

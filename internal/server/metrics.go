@@ -1,0 +1,217 @@
+// Hand-rolled Prometheus text-format metrics (the module is stdlib-only).
+// The executor's WithStatsHook shard events feed the per-program byte,
+// cycle, shard and queue/lane gauges; the HTTP layer feeds request
+// counters and a latency histogram.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"udp"
+)
+
+// latencyBuckets are the request-latency histogram bounds in seconds.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+type latencyHist struct {
+	counts []uint64 // one per bucket, non-cumulative
+	sum    float64
+	count  uint64
+}
+
+func (h *latencyHist) observe(seconds float64) {
+	for i, le := range latencyBuckets {
+		if seconds <= le {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
+
+type reqKey struct {
+	program string
+	code    int
+}
+
+// Metrics aggregates the operations surface. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	mu         sync.Mutex
+	start      time.Time
+	requests   map[reqKey]uint64
+	latency    map[string]*latencyHist
+	bytesIn    map[string]uint64
+	bytesOut   map[string]uint64
+	shards     map[string]uint64
+	shardErrs  map[string]uint64
+	cycles     map[string]uint64
+	queueDepth map[string]int // last observed per program
+	lanesBusy  map[string]int // last observed per program
+	inflight   int
+}
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:      time.Now(),
+		requests:   make(map[reqKey]uint64),
+		latency:    make(map[string]*latencyHist),
+		bytesIn:    make(map[string]uint64),
+		bytesOut:   make(map[string]uint64),
+		shards:     make(map[string]uint64),
+		shardErrs:  make(map[string]uint64),
+		cycles:     make(map[string]uint64),
+		queueDepth: make(map[string]int),
+		lanesBusy:  make(map[string]int),
+	}
+}
+
+// RequestDone records one finished transform request.
+func (m *Metrics) RequestDone(program string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{program, code}]++
+	h := m.latency[program]
+	if h == nil {
+		h = &latencyHist{counts: make([]uint64, len(latencyBuckets))}
+		m.latency[program] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// ShardEvent folds one executor shard event into the per-program counters.
+func (m *Metrics) ShardEvent(program string, e udp.ShardEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shards[program]++
+	m.bytesIn[program] += uint64(e.Bytes)
+	m.cycles[program] += e.Cycles
+	m.queueDepth[program] = e.QueueDepth
+	m.lanesBusy[program] = e.Busy
+	if e.Err != nil {
+		m.shardErrs[program]++
+	}
+}
+
+// AddBytesOut records transformed bytes streamed back to a client.
+func (m *Metrics) AddBytesOut(program string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bytesOut[program] += uint64(n)
+}
+
+// IncInflight/DecInflight track concurrently executing transforms.
+func (m *Metrics) IncInflight() {
+	m.mu.Lock()
+	m.inflight++
+	m.mu.Unlock()
+}
+
+// DecInflight is the release half of IncInflight.
+func (m *Metrics) DecInflight() {
+	m.mu.Lock()
+	m.inflight--
+	m.mu.Unlock()
+}
+
+// Inflight reads the gauge (test hook).
+func (m *Metrics) Inflight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inflight
+}
+
+func sortedKeys[V any](mm map[string]V) []string {
+	keys := make([]string, 0, len(mm))
+	for k := range mm {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Render writes the Prometheus text exposition. Lines are sorted so the
+// output is deterministic.
+func (m *Metrics) Render(w io.Writer, reg *Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP udpserved_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE udpserved_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "udpserved_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP udpserved_inflight_transforms Transform requests currently executing.\n")
+	fmt.Fprintf(w, "# TYPE udpserved_inflight_transforms gauge\n")
+	fmt.Fprintf(w, "udpserved_inflight_transforms %d\n", m.inflight)
+
+	fmt.Fprintf(w, "# HELP udpserved_requests_total Finished HTTP transform requests by program and status code.\n")
+	fmt.Fprintf(w, "# TYPE udpserved_requests_total counter\n")
+	rk := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		rk = append(rk, k)
+	}
+	sort.Slice(rk, func(i, j int) bool {
+		if rk[i].program != rk[j].program {
+			return rk[i].program < rk[j].program
+		}
+		return rk[i].code < rk[j].code
+	})
+	for _, k := range rk {
+		fmt.Fprintf(w, "udpserved_requests_total{program=%q,code=\"%d\"} %d\n",
+			k.program, k.code, m.requests[k])
+	}
+
+	counter := func(name, help string, mm map[string]uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, p := range sortedKeys(mm) {
+			fmt.Fprintf(w, "%s{program=%q} %d\n", name, p, mm[p])
+		}
+	}
+	counter("udpserved_input_bytes_total", "Input bytes streamed through the lane pools (post-decompression).", m.bytesIn)
+	counter("udpserved_output_bytes_total", "Transformed bytes streamed back to clients.", m.bytesOut)
+	counter("udpserved_shards_total", "Input shards executed on a lane.", m.shards)
+	counter("udpserved_shard_errors_total", "Shards that failed lane execution.", m.shardErrs)
+	counter("udpserved_lane_cycles_total", "Simulated lane cycles consumed.", m.cycles)
+
+	gauge := func(name, help string, mm map[string]int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, p := range sortedKeys(mm) {
+			fmt.Fprintf(w, "%s{program=%q} %d\n", name, p, mm[p])
+		}
+	}
+	gauge("udpserved_queue_depth", "Shard-queue depth at the last dequeue (backpressure signal).", m.queueDepth)
+	gauge("udpserved_lanes_busy", "Pool lanes executing at the last dequeue.", m.lanesBusy)
+
+	fmt.Fprintf(w, "# HELP udpserved_request_seconds Transform request latency.\n")
+	fmt.Fprintf(w, "# TYPE udpserved_request_seconds histogram\n")
+	for _, p := range sortedKeys(m.latency) {
+		h := m.latency[p]
+		var cum uint64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "udpserved_request_seconds_bucket{program=%q,le=\"%g\"} %d\n", p, le, cum)
+		}
+		fmt.Fprintf(w, "udpserved_request_seconds_bucket{program=%q,le=\"+Inf\"} %d\n", p, h.count)
+		fmt.Fprintf(w, "udpserved_request_seconds_sum{program=%q} %.6f\n", p, h.sum)
+		fmt.Fprintf(w, "udpserved_request_seconds_count{program=%q} %d\n", p, h.count)
+	}
+
+	if reg != nil {
+		builtins, posted, evictions := reg.Counts()
+		fmt.Fprintf(w, "# HELP udpserved_programs_cached Programs resident in the registry.\n")
+		fmt.Fprintf(w, "# TYPE udpserved_programs_cached gauge\n")
+		fmt.Fprintf(w, "udpserved_programs_cached{kind=\"builtin\"} %d\n", builtins)
+		fmt.Fprintf(w, "udpserved_programs_cached{kind=\"posted\"} %d\n", posted)
+		fmt.Fprintf(w, "# HELP udpserved_program_evictions_total Posted programs evicted from the LRU cache.\n")
+		fmt.Fprintf(w, "# TYPE udpserved_program_evictions_total counter\n")
+		fmt.Fprintf(w, "udpserved_program_evictions_total %d\n", evictions)
+	}
+}

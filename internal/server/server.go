@@ -1,0 +1,403 @@
+// Package server is udpserved's HTTP core: a data-local streaming transform
+// service over the udp.Exec lane-pool executor, in the spirit of AIStore's
+// ETL targets — the transformer runs beside the data and request bodies
+// stream through it with backpressure end to end.
+//
+// Endpoints:
+//
+//	POST /v1/transform/{program}  stream a request body through a program
+//	POST /v1/programs             compile + cache UDP assembly (content hash)
+//	GET  /v1/programs             list built-ins and cached programs
+//	GET  /healthz                 liveness
+//	GET  /metrics                 Prometheus text format
+//
+// The transform path pipes the (optionally gzip-compressed) request body
+// through the record-aware chunker into a pool of reusable lanes, and
+// streams per-shard outputs back in shard order with chunked transfer
+// encoding: a slow client backpressures the lane pool, which backpressures
+// the body reader. Per-request limits (max body bytes, a deadline, and a
+// concurrent-transform semaphore answering 429 when saturated) keep one
+// client from starving the node; Shutdown drains in-flight transforms.
+package server
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"udp"
+)
+
+// Option defaults.
+const (
+	DefaultMaxBodyBytes   = int64(1) << 30
+	DefaultRequestTimeout = 2 * time.Minute
+	DefaultMaxInflight    = 8
+)
+
+// StatusClientClosedRequest is the nginx-convention status recorded when
+// the client goes away mid-transform (never seen on the wire).
+const StatusClientClosedRequest = 499
+
+// Options tunes a Server. The zero value gets sane defaults.
+type Options struct {
+	// MaxBodyBytes caps one request body (pre-decompression); beyond it
+	// the transform fails with 413. Default 1 GiB.
+	MaxBodyBytes int64
+	// RequestTimeout bounds one transform end to end. Default 2 minutes.
+	RequestTimeout time.Duration
+	// MaxInflight caps concurrent transforms; excess requests get 429
+	// with Retry-After. Default 8.
+	MaxInflight int
+	// CachePrograms bounds the POSTed-program LRU. Default 64.
+	CachePrograms int
+	// MaxLanes caps the lane pool per transform (0 = the image's limit).
+	MaxLanes int
+	// ChunkBytes is the shard-size target (0 = the executor default).
+	ChunkBytes int
+}
+
+// Server is the udpserved HTTP core. Create with New, mount Handler, or use
+// Serve/ListenAndServe + Shutdown for a managed listener.
+type Server struct {
+	opts Options
+	reg  *Registry
+	met  *Metrics
+	mux  *http.ServeMux
+	sem  chan struct{}
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+}
+
+// New builds a Server with the built-in kernels registered.
+func New(opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = DefaultMaxInflight
+	}
+	s := &Server{
+		opts: opts,
+		reg:  NewRegistry(opts.CachePrograms),
+		met:  NewMetrics(),
+		mux:  http.NewServeMux(),
+		sem:  make(chan struct{}, opts.MaxInflight),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/programs", s.handlePrograms)
+	s.mux.HandleFunc("POST /v1/programs", s.handleRegister)
+	s.mux.HandleFunc("POST /v1/transform/{program}", s.handleTransform)
+	return s
+}
+
+// Handler exposes the route table (httptest-friendly).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the program registry (for pre-registering programs).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the metrics sink (test hook).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.mu.Unlock()
+	err := srv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr and serves; the bound address is reported
+// through ready (buffered; may be nil) before accepting, so callers can
+// bind port 0.
+func (s *Server) ListenAndServe(addr string, ready chan<- net.Addr) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- l.Addr()
+	}
+	return s.Serve(l)
+}
+
+// Shutdown stops accepting connections and waits for in-flight transforms
+// to drain (bounded by ctx).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.Render(w, s.reg)
+}
+
+func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+// RegisterResponse is the JSON reply to POST /v1/programs.
+type RegisterResponse struct {
+	Info
+	Cached bool `json:"cached"`
+}
+
+// chunkSpecFromQuery parses ?sep= (single byte, decimal byte value, or
+// "none") and ?align= into a ChunkSpec. The default is newline-separated
+// records.
+func chunkSpecFromQuery(q map[string][]string) (ChunkSpec, error) {
+	spec := ChunkSpec{Sep: '\n', HasSep: true}
+	if vs := q["sep"]; len(vs) > 0 {
+		v := vs[0]
+		switch {
+		case v == "none":
+			spec = ChunkSpec{}
+		case len(v) == 1:
+			spec = ChunkSpec{Sep: v[0], HasSep: true}
+		default:
+			n, err := strconv.ParseUint(v, 10, 8)
+			if err != nil {
+				return spec, fmt.Errorf("sep must be one byte, a decimal byte value, or \"none\"")
+			}
+			spec = ChunkSpec{Sep: byte(n), HasSep: true}
+		}
+	}
+	if vs := q["align"]; len(vs) > 0 {
+		n, err := strconv.Atoi(vs[0])
+		if err != nil || n < 0 {
+			return spec, fmt.Errorf("align must be a non-negative integer")
+		}
+		spec.Align = n
+	}
+	return spec, nil
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		writeErr(w, statusFor(err), "reading assembly: %v", err)
+		return
+	}
+	if len(body) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty assembly body")
+		return
+	}
+	spec, err := chunkSpecFromQuery(r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, cached, err := s.reg.Register(body, r.URL.Query().Get("name"), spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, RegisterResponse{Info: infoOf(p), Cached: cached})
+}
+
+// statusFor maps a transform failure to an HTTP status (only meaningful
+// before the first output byte is written).
+func statusFor(err error) int {
+	var mbe *http.MaxBytesError
+	var se udp.ShardError
+	switch {
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.As(err, &se):
+		// The program rejected the data (dispatch error): client problem.
+		return http.StatusUnprocessableEntity
+	case strings.Contains(err.Error(), "sched: source:"):
+		// Reading/decompressing the request body failed mid-stream.
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	id := r.PathValue("program")
+	prog, ok := s.reg.Lookup(id)
+	if !ok {
+		// One shared label keeps arbitrary ids out of the metric space.
+		s.met.RequestDone("_unknown", http.StatusNotFound, time.Since(t0))
+		writeErr(w, http.StatusNotFound, "unknown program %q (GET /v1/programs lists them)", id)
+		return
+	}
+
+	// Saturation gate: answer 429 immediately instead of queueing — the
+	// caller's load balancer can retry on a less busy node.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		s.met.RequestDone(prog.ID, http.StatusTooManyRequests, time.Since(t0))
+		writeErr(w, http.StatusTooManyRequests, "transform capacity saturated (%d in flight)", s.opts.MaxInflight)
+		return
+	}
+	s.met.IncInflight()
+	defer s.met.DecInflight()
+
+	code, err := s.runTransform(w, r, prog)
+	d := time.Since(t0)
+	s.met.RequestDone(prog.ID, code, d)
+	if err != nil && code == http.StatusInternalServerError {
+		// Surface genuinely unexpected failures in the server log.
+		log.Printf("udpserved: transform %s: %v", prog.ID, err)
+	}
+}
+
+// runTransform streams one request body through prog. It returns the status
+// code recorded for metrics; when output has already been streamed a
+// mid-transform failure aborts the connection (the client sees a truncated
+// chunked body) since the 200 header is long gone.
+func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Program) (int, error) {
+	img, err := prog.Image()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "compiling %s: %v", prog.ID, err)
+		return http.StatusInternalServerError, err
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+
+	var body io.Reader = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if strings.Contains(r.Header.Get("Content-Encoding"), "gzip") {
+		gz, err := gzip.NewReader(body)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "gzip body: %v", err)
+			return http.StatusBadRequest, nil
+		}
+		defer gz.Close()
+		body = gz
+	}
+
+	chunk := s.opts.ChunkBytes
+	if v := r.URL.Query().Get("chunk"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 512 || n > 16<<20 {
+			writeErr(w, http.StatusBadRequest, "chunk must be in [512, %d]", 16<<20)
+			return http.StatusBadRequest, nil
+		}
+		chunk = n
+	}
+	if a := prog.Chunk.Align; a > 0 {
+		if chunk <= 0 {
+			chunk = udp.DefaultChunkBytes
+		}
+		if chunk < a {
+			chunk = a
+		}
+		chunk -= chunk % a
+	}
+
+	flusher, _ := w.(http.Flusher)
+	var wrote int64
+	commit := func() {
+		// Commit the 200 and the stream headers; stats arrive as HTTP
+		// trailers once the run finishes (chunked encoding carries them).
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Udp-Program", prog.ID)
+		w.Header().Set("Trailer", "X-Udp-Shards, X-Udp-Input-Bytes, X-Udp-Cycles")
+		w.WriteHeader(http.StatusOK)
+	}
+	sink := func(shard int, out []byte) error {
+		if wrote == 0 {
+			commit()
+		}
+		n, err := w.Write(out)
+		wrote += int64(n)
+		s.met.AddBytesOut(prog.ID, n)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return err
+	}
+
+	opts := []udp.ExecOption{
+		udp.WithSink(sink),
+		udp.WithStatsHook(func(e udp.ShardEvent) { s.met.ShardEvent(prog.ID, e) }),
+	}
+	if s.opts.MaxLanes > 0 {
+		opts = append(opts, udp.WithMaxLanes(s.opts.MaxLanes))
+	}
+	if chunk > 0 {
+		opts = append(opts, udp.WithChunkBytes(chunk))
+	}
+	if prog.Chunk.HasSep {
+		opts = append(opts, udp.WithChunker(prog.Chunk.Sep))
+	}
+
+	res, err := udp.Exec(ctx, img, body, opts...)
+	if err != nil {
+		if wrote > 0 {
+			// Mid-stream failure: the only honest signal left is killing
+			// the connection so the client sees a truncated chunked body.
+			panic(http.ErrAbortHandler)
+		}
+		code := statusFor(err)
+		writeErr(w, code, "transform failed: %v", err)
+		return code, err
+	}
+
+	if wrote == 0 {
+		// Valid empty result (e.g. all input out of histogram range).
+		commit()
+	}
+	w.Header().Set("X-Udp-Shards", strconv.Itoa(res.Shards))
+	w.Header().Set("X-Udp-Input-Bytes", strconv.Itoa(res.InputBytes))
+	w.Header().Set("X-Udp-Cycles", strconv.FormatUint(res.Cycles, 10))
+	return http.StatusOK, nil
+}

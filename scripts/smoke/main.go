@@ -1,0 +1,123 @@
+// Command smoke is the CI end-to-end check for udpserved: it builds the
+// real binary, starts it on a random port, streams a gzip'd CSV body
+// through POST /v1/transform/csvparse, verifies the tokenized output and
+// the metrics surface, then shuts the server down gracefully with SIGTERM
+// and checks the exit status. Run via `make smoke`.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"udp/internal/client"
+	"udp/internal/kernels/csvparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke: OK")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "udpserved-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "udpserved")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/udpserved")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building udpserved: %w", err)
+	}
+
+	srv := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("starting udpserved: %w", err)
+	}
+	defer srv.Process.Kill() // no-op when the graceful path already reaped it
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println(line)
+			if rest, ok := strings.CutPrefix(line, "udpserved: listening on "); ok {
+				addrCh <- strings.TrimSpace(rest)
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("server never announced its address")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := client.New("http://"+addr, nil)
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	var csv bytes.Buffer
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&csv, "row-%d,\"field, quoted %d\",tail\n", i, i)
+	}
+	got, err := c.TransformGzipBytes(ctx, "csvparse", csv.Bytes())
+	if err != nil {
+		return fmt.Errorf("transform: %w", err)
+	}
+	want := csvparse.Parse(csv.Bytes())
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("transform output mismatch: got %d bytes, want %d", len(got), len(want))
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, needle := range []string{
+		`udpserved_requests_total{program="csvparse",code="200"} 1`,
+		`udpserved_shards_total{program="csvparse"}`,
+	} {
+		if !strings.Contains(metrics, needle) {
+			return fmt.Errorf("metrics missing %q", needle)
+		}
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("udpserved exit: %w", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("udpserved did not exit after SIGTERM")
+	}
+	return nil
+}

@@ -95,6 +95,16 @@ const (
 	CollectErrors = sched.CollectErrors
 )
 
+// Typed argument errors. Exec, ExecShards, ExecSource, Run and RunParallel
+// return these (test with errors.Is) instead of panicking deep in the
+// machine when handed a nil image or source.
+var (
+	// ErrNilImage reports a nil *Image argument.
+	ErrNilImage = sched.ErrNilImage
+	// ErrNilSource reports a nil input source.
+	ErrNilSource = sched.ErrNilSource
+)
+
 // Dispatch modes.
 const (
 	ModeStream  = core.ModeStream
@@ -212,8 +222,12 @@ func WithChunker(sep byte) ExecOption {
 	return func(o *execOpts) { o.sep, o.recordSep = sep, true }
 }
 
+// DefaultChunkBytes is the shard size Exec's chunkers aim for when
+// WithChunkBytes is not given (64 KiB).
+const DefaultChunkBytes = sched.DefaultChunkBytes
+
 // WithChunkBytes sets the shard size target for Exec's chunkers (default
-// sched.DefaultChunkBytes, 64 KiB).
+// DefaultChunkBytes, 64 KiB).
 func WithChunkBytes(n int) ExecOption {
 	return func(o *execOpts) { o.chunkBytes = n }
 }
@@ -225,6 +239,17 @@ func WithStatsHook(hook func(ShardEvent)) ExecOption {
 	return func(o *execOpts) { o.cfg.Hook = hook }
 }
 
+// WithSink streams each shard's output, in shard order, to sink as soon as
+// it (and every earlier shard) finishes, instead of accumulating outputs in
+// ExecResult.Outputs — so a run over an unbounded input holds only a small
+// reorder window in memory. Deliveries are serial; a slow sink
+// backpressures the lane pool and, through the bounded shard queue, the
+// input reader. A sink error fails the run. This is the building block for
+// streaming transforms (see internal/server).
+func WithSink(sink func(shard int, out []byte) error) ExecOption {
+	return func(o *execOpts) { o.cfg.Sink = sink }
+}
+
 // Exec streams source through a pool of reusable lanes executing im — the
 // context-aware entry point for inputs of any size. Shards are cut by a
 // fixed-size chunker, or a record-aligned one under WithChunker; at most
@@ -232,6 +257,9 @@ func WithStatsHook(hook func(ShardEvent)) ExecOption {
 // time-multiplexed over them. Cancelling ctx stops the run at the next
 // shard boundary.
 func Exec(ctx context.Context, im *Image, source io.Reader, opts ...ExecOption) (*ExecResult, error) {
+	if source == nil {
+		return nil, ErrNilSource
+	}
 	o := applyExecOpts(opts)
 	var src sched.Source
 	if o.recordSep {
@@ -270,6 +298,9 @@ func applyExecOpts(opts []ExecOption) execOpts {
 // Deprecated: Use Exec for streaming or parallel workloads; Run remains for
 // single-lane inspection and compatibility.
 func Run(im *Image, input []byte) (*Lane, error) {
+	if im == nil {
+		return nil, ErrNilImage
+	}
 	return machine.RunSingle(im, input)
 }
 
@@ -282,6 +313,9 @@ func Run(im *Image, input []byte) (*Lane, error) {
 // Deprecated: Use Exec (or ExecShards) — it accepts any number of shards,
 // supports cancellation, error policies and observability.
 func RunParallel(im *Image, shards [][]byte, setup LaneSetup) (*RunResult, error) {
+	if im == nil {
+		return nil, ErrNilImage
+	}
 	limit := MaxLanes(im)
 	if limit == 0 {
 		return nil, fmt.Errorf("machine: image %q does not fit local memory", im.Name)

@@ -8,6 +8,7 @@ import (
 
 	"udp"
 	"udp/internal/core"
+	"udp/internal/sched"
 )
 
 // TestFacadeEndToEnd exercises the documented public flow: build, compile,
@@ -258,5 +259,41 @@ func TestRunParallelCompat(t *testing.T) {
 	}
 	if string(res.Outputs[0]) != "aaaa" || string(res.Outputs[2]) != "c" {
 		t.Fatal("shard-order outputs broken")
+	}
+}
+
+// TestNilArgumentsReturnTypedErrors pins the typed-error contract: every
+// entry point rejects a nil image or nil source with a sentinel the caller
+// can match via errors.Is, instead of panicking mid-run.
+func TestNilArgumentsReturnTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	p := udp.NewProgram("echo", 8)
+	s := p.AddState("s", udp.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	im, err := udp.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := udp.Exec(ctx, nil, bytes.NewReader([]byte("x"))); !errors.Is(err, udp.ErrNilImage) {
+		t.Fatalf("Exec nil image: err = %v, want ErrNilImage", err)
+	}
+	if _, err := udp.Exec(ctx, im, nil); !errors.Is(err, udp.ErrNilSource) {
+		t.Fatalf("Exec nil source: err = %v, want ErrNilSource", err)
+	}
+	if _, err := udp.ExecShards(ctx, nil, [][]byte{[]byte("x")}); !errors.Is(err, udp.ErrNilImage) {
+		t.Fatalf("ExecShards nil image: err = %v, want ErrNilImage", err)
+	}
+	if _, err := udp.ExecSource(ctx, nil, sched.Slice([][]byte{[]byte("x")})); !errors.Is(err, udp.ErrNilImage) {
+		t.Fatalf("ExecSource nil image: err = %v, want ErrNilImage", err)
+	}
+	if _, err := udp.ExecSource(ctx, im, nil); !errors.Is(err, udp.ErrNilSource) {
+		t.Fatalf("ExecSource nil source: err = %v, want ErrNilSource", err)
+	}
+	if _, err := udp.Run(nil, []byte("x")); !errors.Is(err, udp.ErrNilImage) {
+		t.Fatalf("Run nil image: err = %v, want ErrNilImage", err)
+	}
+	if _, err := udp.RunParallel(nil, [][]byte{[]byte("x")}, nil); !errors.Is(err, udp.ErrNilImage) {
+		t.Fatalf("RunParallel nil image: err = %v, want ErrNilImage", err)
 	}
 }
