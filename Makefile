@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json fmt-check smoke race check examples reproduce reproduce-paper clean
+.PHONY: all build test bench bench-json fmt-check smoke fuzz-smoke race check examples reproduce reproduce-paper clean
 
 all: build test
 
@@ -28,13 +28,20 @@ smoke:
 race:
 	$(GO) test -race ./internal/machine ./internal/sched ./internal/server ./internal/kernels/... .
 
+# Short fuzz passes over the hostile-input surfaces: the fault-injection
+# spec parser and the record chunker.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzParseInjectSpec -fuzztime=10s ./internal/fault
+	$(GO) test -run=NONE -fuzz=FuzzRecords -fuzztime=10s ./internal/sched
+
 # The CI gate: tier-1 (build + test) plus gofmt, vet, the race detector
-# over the whole module, and the udpserved smoke test.
+# over the whole module, the fuzz smoke, and the udpserved smoke test.
 check: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
 	$(GO) run ./scripts/smoke
 
 bench:

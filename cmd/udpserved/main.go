@@ -10,6 +10,12 @@
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // transforms (bounded by -drain).
+//
+// Fault handling (see docs/FAULTS.md): the per-shard cycle budget, shard
+// retry policy and per-program circuit breaker are tunable with
+// -cycles-per-byte, -retries/-retry-backoff and -breaker-*/; the
+// UDP_FAULT_INJECT environment variable (or -fault-inject) enables
+// deterministic chaos injection, e.g. UDP_FAULT_INJECT="seed=42,panic=0.1".
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"udp"
 	"udp/internal/server"
 )
 
@@ -34,15 +41,39 @@ func main() {
 	lanes := flag.Int("lanes", 0, "lane-pool cap per transform (0 = image limit)")
 	chunk := flag.Int("chunk", 0, "shard size target in bytes (0 = executor default)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	cyclesPerByte := flag.Int64("cycles-per-byte", server.DefaultCyclesPerByte,
+		"per-shard cycle budget multiplier (negative = unbounded)")
+	retries := flag.Int("retries", 2, "shard retry attempts for retryable traps (0 = no retries)")
+	retryBackoff := flag.Duration("retry-backoff", time.Millisecond, "base retry backoff (decorrelated jitter)")
+	breakerN := flag.Int("breaker-threshold", server.DefaultBreakerThreshold,
+		"consecutive fault-failed transforms that open a program's circuit breaker (negative = disabled)")
+	breakerCool := flag.Duration("breaker-cooldown", server.DefaultBreakerCooldown,
+		"open-breaker rejection window before a probe request")
+	injectSpec := flag.String("fault-inject", os.Getenv("UDP_FAULT_INJECT"),
+		`deterministic fault-injection spec, e.g. "seed=42,panic=0.1" or "all=0.05" (default $UDP_FAULT_INJECT)`)
 	flag.Parse()
 
+	inject, err := udp.ParseInjectSpec(*injectSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "udpserved:", err)
+		os.Exit(2)
+	}
+	if inject != nil {
+		fmt.Printf("udpserved: fault injection active: %s\n", inject)
+	}
+
 	srv := server.New(server.Options{
-		MaxBodyBytes:   *maxBody,
-		RequestTimeout: *timeout,
-		MaxInflight:    *inflight,
-		CachePrograms:  *cache,
-		MaxLanes:       *lanes,
-		ChunkBytes:     *chunk,
+		MaxBodyBytes:     *maxBody,
+		RequestTimeout:   *timeout,
+		MaxInflight:      *inflight,
+		CachePrograms:    *cache,
+		MaxLanes:         *lanes,
+		ChunkBytes:       *chunk,
+		CyclesPerByte:    *cyclesPerByte,
+		Retry:            udp.RetryPolicy{Max: *retries, Backoff: *retryBackoff},
+		Inject:           inject,
+		BreakerThreshold: *breakerN,
+		BreakerCooldown:  *breakerCool,
 	})
 
 	ready := make(chan net.Addr, 1)

@@ -10,12 +10,14 @@ import (
 	"compress/gzip"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // APIError is a non-2xx server reply, decoded from the JSON error body.
@@ -24,6 +26,9 @@ type APIError struct {
 	StatusCode int
 	// Message is the server's error string.
 	Message string
+	// RetryAfter is the server's Retry-After hint (429 saturation, 503
+	// circuit breaker); zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -62,6 +67,7 @@ func New(baseURL string, httpc *http.Client) *Client {
 type reqOpts struct {
 	gzipped bool
 	chunk   int
+	retries int
 }
 
 // TransformOption tunes one Transform call.
@@ -78,6 +84,15 @@ func WithChunkBytes(n int) TransformOption {
 	return func(o *reqOpts) { o.chunk = n }
 }
 
+// WithRetry re-sends a transform rejected with 429 (capacity saturated) or
+// 503 (circuit breaker open) up to max more times, honoring the server's
+// Retry-After hint. The body must be replayable — an io.Seeker such as
+// bytes.Reader (TransformBytes qualifies) — or the first rejection is
+// returned as-is.
+func WithRetry(max int) TransformOption {
+	return func(o *reqOpts) { o.retries = max }
+}
+
 // Transform streams body through the named program and returns the
 // transformed stream. The caller must Close the reader; reading it drives
 // the transfer, so backpressure reaches the server's lane pool.
@@ -90,22 +105,45 @@ func (c *Client) Transform(ctx context.Context, program string, body io.Reader, 
 	if o.chunk > 0 {
 		u += "?chunk=" + strconv.Itoa(o.chunk)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, body)
-	if err != nil {
-		return nil, err
+	seeker, replayable := body.(io.Seeker)
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if _, err := seeker.Seek(0, io.SeekStart); err != nil {
+				return nil, err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, body)
+		if err != nil {
+			return nil, err
+		}
+		if o.gzipped {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			return resp.Body, nil
+		}
+		apiErr := decodeErr(resp)
+		resp.Body.Close()
+		var ae *APIError
+		if attempt < o.retries && replayable && errors.As(apiErr, &ae) &&
+			(ae.StatusCode == http.StatusTooManyRequests || ae.StatusCode == http.StatusServiceUnavailable) {
+			wait := ae.RetryAfter
+			if wait <= 0 {
+				wait = 100 * time.Millisecond
+			}
+			select {
+			case <-time.After(wait):
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return nil, apiErr
 	}
-	if o.gzipped {
-		req.Header.Set("Content-Encoding", "gzip")
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		defer resp.Body.Close()
-		return nil, decodeErr(resp)
-	}
-	return resp.Body, nil
 }
 
 // TransformBytes is Transform over an in-memory input, fully drained.
@@ -224,5 +262,11 @@ func decodeErr(resp *http.Response) error {
 	if json.Unmarshal(body, &ae) != nil || ae.Error == "" {
 		ae.Error = strings.TrimSpace(string(body))
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
+	out := &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			out.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return out
 }

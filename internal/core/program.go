@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"udp/internal/fault"
+)
 
 // Action is one executable UDP action in a transition's action chain.
 type Action struct {
@@ -195,22 +199,25 @@ func (p *Program) EffSymbolBits(s *State) uint8 {
 // transition has a target belonging to this program, symbol values fit the
 // dispatch width, refill lengths fit their field, at most one fallback per
 // state, common states have exactly one transition, and action immediates fit
-// their encoding. It returns the first violation found.
+// their encoding. It returns the first violation found, as a typed
+// fault.Trap (TrapBadSignature for structural violations, TrapBadSymbolSize
+// for symbol-width ones) so compile-time rejection and runtime faults share
+// one taxonomy.
 func (p *Program) Validate() error {
 	if p.Entry == nil {
-		return fmt.Errorf("program %q: no entry state", p.Name)
+		return fault.New(fault.TrapBadSignature, p.Name, "no entry state")
 	}
 	member := make(map[*State]bool, len(p.States))
 	names := make(map[string]bool, len(p.States))
 	for _, s := range p.States {
 		member[s] = true
 		if names[s.Name] {
-			return fmt.Errorf("program %q: duplicate state name %q", p.Name, s.Name)
+			return fault.New(fault.TrapBadSignature, p.Name, "duplicate state name %q", s.Name)
 		}
 		names[s.Name] = true
 	}
 	if !member[p.Entry] {
-		return fmt.Errorf("program %q: entry state not in program", p.Name)
+		return fault.New(fault.TrapBadSignature, p.Name, "entry state not in program")
 	}
 	for _, s := range p.States {
 		if err := p.validateState(s, member); err != nil {
@@ -223,80 +230,90 @@ func (p *Program) Validate() error {
 func (p *Program) validateState(s *State, member map[*State]bool) error {
 	bits := p.EffSymbolBits(s)
 	if bits == 0 || bits > MaxSymbolBits {
-		return fmt.Errorf("state %q: invalid symbol size %d", s.Name, bits)
+		return fault.New(fault.TrapBadSymbolSize, p.Name, "state %q: invalid symbol size %d", s.Name, bits)
 	}
 	if s.Mode == ModeCommon {
 		if len(s.Labeled) != 1 || s.Labeled[0].Kind != KindCommon {
-			return fmt.Errorf("state %q: common-mode state must have exactly one common transition", s.Name)
+			return fault.New(fault.TrapBadSignature, p.Name,
+				"state %q: common-mode state must have exactly one common transition", s.Name)
 		}
 	}
 	seen := map[uint32]TransKind{}
 	for _, t := range s.Labeled {
 		if t.Target == nil || !member[t.Target] {
-			return fmt.Errorf("state %q: transition to unknown state", s.Name)
+			return fault.New(fault.TrapBadSignature, p.Name, "state %q: transition to unknown state", s.Name)
 		}
 		if t.Kind == KindMajority || t.Kind == KindDefault {
-			return fmt.Errorf("state %q: %s transition must be the fallback", s.Name, t.Kind)
+			return fault.New(fault.TrapBadSignature, p.Name,
+				"state %q: %s transition must be the fallback", s.Name, t.Kind)
 		}
 		if t.Kind != KindCommon && bits < 31 && t.Symbol >= 1<<bits {
-			return fmt.Errorf("state %q: symbol %d exceeds %d-bit dispatch width", s.Name, t.Symbol, bits)
+			return fault.New(fault.TrapBadSymbolSize, p.Name,
+				"state %q: symbol %d exceeds %d-bit dispatch width", s.Name, t.Symbol, bits)
 		}
 		if prev, dup := seen[t.Symbol]; dup && t.Kind != KindEpsilon && prev != KindEpsilon {
-			return fmt.Errorf("state %q: duplicate transition on symbol %d", s.Name, t.Symbol)
+			return fault.New(fault.TrapBadSignature, p.Name,
+				"state %q: duplicate transition on symbol %d", s.Name, t.Symbol)
 		}
 		seen[t.Symbol] = t.Kind
 		if t.Kind == KindRefill {
 			if t.ConsumedBits == 0 || uint32(t.ConsumedBits) >= 1<<RefillLenBits+1 {
 				// consumed stored as consumed-1 in RefillLenBits bits
 				if t.ConsumedBits == 0 || t.ConsumedBits > 1<<RefillLenBits {
-					return fmt.Errorf("state %q: refill consumed bits %d out of range", s.Name, t.ConsumedBits)
+					return fault.New(fault.TrapBadSymbolSize, p.Name,
+						"state %q: refill consumed bits %d out of range", s.Name, t.ConsumedBits)
 				}
 			}
 		}
 		for _, a := range t.Actions {
-			if err := validateAction(a); err != nil {
-				return fmt.Errorf("state %q: %v", s.Name, err)
+			if err := validateAction(p.Name, s.Name, a); err != nil {
+				return err
 			}
 		}
 	}
 	if s.Fallback != nil {
 		f := s.Fallback
 		if f.Kind != KindMajority && f.Kind != KindDefault {
-			return fmt.Errorf("state %q: fallback must be majority or default, got %s", s.Name, f.Kind)
+			return fault.New(fault.TrapBadSignature, p.Name,
+				"state %q: fallback must be majority or default, got %s", s.Name, f.Kind)
 		}
 		if f.Target == nil || !member[f.Target] {
-			return fmt.Errorf("state %q: fallback to unknown state", s.Name)
+			return fault.New(fault.TrapBadSignature, p.Name, "state %q: fallback to unknown state", s.Name)
 		}
 		for _, a := range f.Actions {
-			if err := validateAction(a); err != nil {
-				return fmt.Errorf("state %q: %v", s.Name, err)
+			if err := validateAction(p.Name, s.Name, a); err != nil {
+				return err
 			}
 		}
 	}
 	return nil
 }
 
-func validateAction(a Action) error {
+func validateAction(program, state string, a Action) error {
+	bad := func(format string, args ...any) error {
+		return fault.New(fault.TrapBadSignature, program,
+			"state %q: %s", state, fmt.Sprintf(format, args...))
+	}
 	if a.Op >= NumOpcodes {
-		return fmt.Errorf("invalid opcode %d", a.Op)
+		return bad("invalid opcode %d", a.Op)
 	}
 	if a.Dst >= NumRegs || a.Src >= NumRegs || a.Ref >= NumRegs {
-		return fmt.Errorf("action %s: register out of range", a)
+		return bad("action %s: register out of range", a)
 	}
 	switch a.Op.Format() {
 	case FormatImm:
 		if a.Imm < -(1<<15) || a.Imm >= 1<<16 {
 			// Zero-extended users may pass up to 0xFFFF; sign users
 			// down to -32768.
-			return fmt.Errorf("action %s: imm %d does not fit 16 bits", a, a.Imm)
+			return bad("action %s: imm %d does not fit 16 bits", a, a.Imm)
 		}
 	case FormatImm2:
 		if a.Imm < 0 || a.Imm >= 1<<16 {
-			return fmt.Errorf("action %s: imm %d does not fit imm1:imm2", a, a.Imm)
+			return bad("action %s: imm %d does not fit imm1:imm2", a, a.Imm)
 		}
 	case FormatReg:
 		if a.Imm != 0 {
-			return fmt.Errorf("action %s: register-format action cannot carry an immediate", a)
+			return bad("action %s: register-format action cannot carry an immediate", a)
 		}
 	}
 	return nil

@@ -1,0 +1,184 @@
+// Package fault is the typed fault model of the UDP reproduction. The
+// paper's lanes are hardware automata: a bad program or an adversarial
+// symbol stream produces a bounded, recoverable trap — never host
+// corruption. This package gives the Go machine the same contract: every
+// failure mode a lane (or the scheduler around it) can hit is one of a
+// small closed set of Kinds, carried by a Trap that records where the lane
+// was (program, state base, cycle) and what it had just done (a bounded
+// tail of the dispatch trace), so callers can classify with errors.Is,
+// inspect with errors.As, and decide retry/degrade policy per kind.
+//
+// The package is stdlib-only and imported by internal/core,
+// internal/machine, internal/sched and internal/server; it must not import
+// any of them.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a trap. A Kind is itself an error, so
+// errors.Is(err, fault.TrapCycleBudget) matches any *Trap of that kind
+// without fishing the Trap out first.
+type Kind uint8
+
+const (
+	// TrapNone is the zero Kind: no fault.
+	TrapNone Kind = iota
+	// TrapCycleBudget: the program exceeded its cycle budget (runaway or
+	// simply too expensive for the per-shard allowance).
+	TrapCycleBudget
+	// TrapMemOutOfWindow: a memory access, dispatch probe, or image load
+	// fell outside the lane's local-memory window.
+	TrapMemOutOfWindow
+	// TrapBadSignature: dispatch found no valid transition (signature
+	// miss with no fallback), a corrupt fork chain, or a structurally
+	// invalid program/image.
+	TrapBadSignature
+	// TrapBadSymbolSize: a symbol-size register write or stream read used
+	// a width outside [1, MaxSymbolBits], or program validation found an
+	// invalid symbol size.
+	TrapBadSymbolSize
+	// TrapEpsilonLoop: the lane made no forward progress (no stream
+	// consumption, output, or memory traffic) across the livelock
+	// watermark window, or a default/epsilon chain looped — the cheap
+	// detector for dispatch livelock, far below the 2^33-cycle wall.
+	TrapEpsilonLoop
+	// TrapPanic: a lane goroutine panicked and was sandboxed; the
+	// scheduler quarantines and replaces the lane.
+	TrapPanic
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	TrapNone:           "none",
+	TrapCycleBudget:    "cycle-budget",
+	TrapMemOutOfWindow: "mem-out-of-window",
+	TrapBadSignature:   "bad-signature",
+	TrapBadSymbolSize:  "bad-symbol-size",
+	TrapEpsilonLoop:    "epsilon-loop",
+	TrapPanic:          "panic",
+}
+
+// Kinds lists every real trap kind (TrapNone excluded) in stable order —
+// the iteration order injectors and metrics use.
+func Kinds() []Kind {
+	return []Kind{
+		TrapCycleBudget, TrapMemOutOfWindow, TrapBadSignature,
+		TrapBadSymbolSize, TrapEpsilonLoop, TrapPanic,
+	}
+}
+
+// String returns the stable label used in metrics and injection specs.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Error makes a Kind usable as an errors.Is target.
+func (k Kind) Error() string { return "fault: " + k.String() }
+
+// KindFromString resolves a metrics/spec label back to its Kind.
+func KindFromString(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if Kind(k) != TrapNone && name == s {
+			return Kind(k), true
+		}
+	}
+	return TrapNone, false
+}
+
+// TraceEntry is one dispatch the lane took shortly before trapping.
+type TraceEntry struct {
+	// Cycle is the lane cycle count at the dispatch.
+	Cycle uint64
+	// Base is the state base word address dispatched from.
+	Base int
+	// Sym is the symbol dispatched on.
+	Sym uint32
+}
+
+func (e TraceEntry) String() string {
+	return fmt.Sprintf("cyc=%d base=%d sym=%#x", e.Cycle, e.Base, e.Sym)
+}
+
+// TraceTail bounds Trap.Trace: only the most recent dispatches are kept.
+const TraceTail = 8
+
+// Trap is one typed lane/scheduler fault. It satisfies error;
+// errors.Is(trap, kind) matches its Kind and errors.As recovers the full
+// record.
+type Trap struct {
+	// Kind classifies the fault.
+	Kind Kind
+	// Program names the image that was executing ("" when no program was
+	// resident, e.g. a panic outside lane execution).
+	Program string
+	// StateBase is the dispatch base word address the lane was at.
+	StateBase int
+	// Cycle is the lane cycle count when the trap fired.
+	Cycle uint64
+	// Injected marks traps synthesized by an Injector rather than raised
+	// by real execution.
+	Injected bool
+	// Detail is the human-readable specifics (what address, what width,
+	// what panicked).
+	Detail string
+	// Trace is a bounded tail of the dispatch trace leading to the trap,
+	// oldest first (at most TraceTail entries; empty when the faulting
+	// path had no dispatcher, e.g. image load).
+	Trace []TraceEntry
+}
+
+// Error renders the trap: kind, program, position, detail.
+func (t *Trap) Error() string {
+	var b strings.Builder
+	b.WriteString("fault: ")
+	b.WriteString(t.Kind.String())
+	if t.Program != "" {
+		fmt.Fprintf(&b, ": program %q", t.Program)
+	}
+	if t.Cycle != 0 || t.StateBase != 0 {
+		fmt.Fprintf(&b, " at base %d cycle %d", t.StateBase, t.Cycle)
+	}
+	if t.Injected {
+		b.WriteString(" [injected]")
+	}
+	if t.Detail != "" {
+		b.WriteString(": ")
+		b.WriteString(t.Detail)
+	}
+	return b.String()
+}
+
+// Is matches a Kind target (errors.Is(err, fault.TrapPanic)) or another
+// *Trap of the same kind.
+func (t *Trap) Is(target error) bool {
+	if k, ok := target.(Kind); ok {
+		return t.Kind == k
+	}
+	if o, ok := target.(*Trap); ok {
+		return t.Kind == o.Kind
+	}
+	return false
+}
+
+// New builds a trap with formatted detail — the constructor non-lane code
+// (validation, schedulers) uses; lane code fills position and trace too.
+func New(kind Kind, program string, format string, args ...any) *Trap {
+	return &Trap{Kind: kind, Program: program, Detail: fmt.Sprintf(format, args...)}
+}
+
+// AsTrap extracts the *Trap from an error chain (nil when there is none).
+func AsTrap(err error) *Trap {
+	var t *Trap
+	if errors.As(err, &t) {
+		return t
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		name := k.String()
+		if name == "" || strings.Contains(name, "kind(") {
+			t.Fatalf("kind %d has no label", k)
+		}
+		back, ok := KindFromString(name)
+		if !ok || back != k {
+			t.Fatalf("KindFromString(%q) = %v,%v, want %v", name, back, ok, k)
+		}
+	}
+	if _, ok := KindFromString("definitely-not-a-trap"); ok {
+		t.Fatal("unknown label resolved")
+	}
+}
+
+func TestTrapErrorsIsAndAs(t *testing.T) {
+	tr := New(TrapCycleBudget, "csv", "exceeded %d-cycle budget", 512)
+	wrapped := fmt.Errorf("shard 3: %w", tr)
+
+	if !errors.Is(wrapped, TrapCycleBudget) {
+		t.Fatal("errors.Is against the kind failed through wrapping")
+	}
+	if errors.Is(wrapped, TrapPanic) {
+		t.Fatal("errors.Is matched the wrong kind")
+	}
+	var got *Trap
+	if !errors.As(wrapped, &got) {
+		t.Fatal("errors.As failed through wrapping")
+	}
+	if got.Program != "csv" || got.Kind != TrapCycleBudget {
+		t.Fatalf("recovered trap %+v", got)
+	}
+	if !strings.Contains(got.Error(), "cycle-budget") || !strings.Contains(got.Error(), "csv") {
+		t.Fatalf("rendering %q misses kind or program", got.Error())
+	}
+	if AsTrap(wrapped) == nil || AsTrap(errors.New("plain")) != nil {
+		t.Fatal("AsTrap misclassified")
+	}
+}
+
+func TestTrapIsMatchesSameKindTrap(t *testing.T) {
+	a := New(TrapEpsilonLoop, "x", "loop")
+	b := New(TrapEpsilonLoop, "y", "other loop")
+	if !errors.Is(a, b) {
+		t.Fatal("two traps of the same kind must match errors.Is")
+	}
+	c := New(TrapPanic, "x", "boom")
+	if errors.Is(a, c) {
+		t.Fatal("different kinds must not match")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	in := &Injector{Seed: 42, Rates: map[Kind]float64{TrapPanic: 0.5, TrapCycleBudget: 0.25}}
+	first := make([]Kind, 64)
+	for i := range first {
+		first[i] = in.Draw(i, 0)
+	}
+	for i := range first {
+		if got := in.Draw(i, 0); got != first[i] {
+			t.Fatalf("draw %d not deterministic: %v then %v", i, first[i], got)
+		}
+	}
+	var hits int
+	for _, k := range first {
+		if k != TrapNone {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(first) {
+		t.Fatalf("rates 0.5/0.25 over 64 shards gave %d hits, want a mix", hits)
+	}
+}
+
+func TestInjectorOnceSparesRetries(t *testing.T) {
+	in := &Injector{Seed: 7, Once: true, Rates: map[Kind]float64{TrapPanic: 1}}
+	if in.Draw(3, 0) != TrapPanic {
+		t.Fatal("rate 1.0 must inject on attempt 0")
+	}
+	if in.Draw(3, 1) != TrapNone {
+		t.Fatal("Once must spare attempt 1")
+	}
+}
+
+func TestInjectorNilAndEmptyAreInert(t *testing.T) {
+	var nilIn *Injector
+	if nilIn.Draw(0, 0) != TrapNone {
+		t.Fatal("nil injector injected")
+	}
+	if (&Injector{}).Draw(0, 0) != TrapNone {
+		t.Fatal("empty injector injected")
+	}
+}
+
+func TestSynthesizeMarksInjected(t *testing.T) {
+	in := &Injector{Seed: 1}
+	tr := in.Synthesize(TrapMemOutOfWindow, "prog", 5, 2)
+	if !tr.Injected || tr.Kind != TrapMemOutOfWindow || tr.Program != "prog" {
+		t.Fatalf("synthesized trap %+v", tr)
+	}
+	if !strings.Contains(tr.Error(), "injected") {
+		t.Fatalf("rendering %q misses the injected marker", tr.Error())
+	}
+}
+
+func TestParseInjectSpec(t *testing.T) {
+	tests := []struct {
+		spec    string
+		wantNil bool
+		wantErr bool
+		check   func(t *testing.T, in *Injector)
+	}{
+		{spec: "", wantNil: true},
+		{spec: "   ", wantNil: true},
+		{spec: "seed=9", wantNil: true}, // no rates = disabled
+		{
+			spec: "seed=42,once=1,panic=0.5,cycle-budget=1",
+			check: func(t *testing.T, in *Injector) {
+				if in.Seed != 42 || !in.Once {
+					t.Fatalf("seed/once wrong: %+v", in)
+				}
+				if in.Rates[TrapPanic] != 0.5 || in.Rates[TrapCycleBudget] != 1 {
+					t.Fatalf("rates wrong: %v", in.Rates)
+				}
+			},
+		},
+		{
+			spec: "all=0.05",
+			check: func(t *testing.T, in *Injector) {
+				if len(in.Rates) != len(Kinds()) {
+					t.Fatalf("all= set %d kinds, want %d", len(in.Rates), len(Kinds()))
+				}
+			},
+		},
+		{spec: "panic", wantErr: true},
+		{spec: "panic=2", wantErr: true},
+		{spec: "panic=-0.5", wantErr: true},
+		{spec: "bogus-kind=0.5", wantErr: true},
+		{spec: "seed=notanumber", wantErr: true},
+		{spec: "once=maybe", wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.spec, func(t *testing.T) {
+			in, err := ParseInjectSpec(tc.spec)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("spec %q parsed to %+v, want error", tc.spec, in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantNil {
+				if in != nil {
+					t.Fatalf("spec %q gave %+v, want nil", tc.spec, in)
+				}
+				return
+			}
+			if in == nil {
+				t.Fatalf("spec %q gave nil injector", tc.spec)
+			}
+			if tc.check != nil {
+				tc.check(t, in)
+			}
+		})
+	}
+}
+
+func TestInjectorStringRoundTrip(t *testing.T) {
+	in := &Injector{Seed: 42, Once: true, Rates: map[Kind]float64{TrapPanic: 0.5}}
+	back, err := ParseInjectSpec(in.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != in.Seed || back.Once != in.Once || back.Rates[TrapPanic] != 0.5 {
+		t.Fatalf("round trip lost state: %q -> %+v", in.String(), back)
+	}
+}
+
+// FuzzParseInjectSpec pins that arbitrary specs never panic and that every
+// accepted spec re-parses from its canonical rendering.
+func FuzzParseInjectSpec(f *testing.F) {
+	f.Add("seed=42,once=1,panic=0.5")
+	f.Add("all=0.05")
+	f.Add("cycle-budget=1,mem-out-of-window=0")
+	f.Add("seed=,=,")
+	f.Add("panic=0.0000001")
+	f.Fuzz(func(t *testing.T, spec string) {
+		in, err := ParseInjectSpec(spec)
+		if err != nil || in == nil {
+			return
+		}
+		rendered := in.String()
+		back, err := ParseInjectSpec(rendered)
+		if err != nil {
+			t.Fatalf("canonical rendering %q of %q does not re-parse: %v", rendered, spec, err)
+		}
+		if back == nil || back.Seed != in.Seed || back.Once != in.Once || len(back.Rates) != len(in.Rates) {
+			t.Fatalf("round trip lost state: %q -> %q -> %+v", spec, rendered, back)
+		}
+		// Draws must be deterministic and in-taxonomy.
+		for i := 0; i < 8; i++ {
+			k := in.Draw(i, 0)
+			if k != in.Draw(i, 0) {
+				t.Fatal("non-deterministic draw")
+			}
+			if k != TrapNone {
+				if _, ok := KindFromString(k.String()); !ok {
+					t.Fatalf("draw returned out-of-taxonomy kind %d", k)
+				}
+			}
+		}
+	})
+}

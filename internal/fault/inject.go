@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Injector forces traps on demand: each (shard, attempt) draw rolls an
+// independent, seed-deterministic uniform per trap kind and returns the
+// first kind whose rate covers the roll. Determinism means a test (or a
+// chaos run replaying a seed) sees the same faults on the same shards
+// every time, and a retried attempt re-rolls — so a rate below 1.0 models
+// a transient fault that a retry can clear.
+//
+// The zero Injector (or nil) injects nothing.
+type Injector struct {
+	// Seed selects the deterministic fault pattern.
+	Seed uint64
+	// Rates maps each kind to its injection probability in [0, 1] per
+	// shard attempt. Kinds absent from the map are never injected.
+	Rates map[Kind]float64
+	// Once restricts injection to a shard's first attempt (attempt 0), so
+	// a retry deterministically succeeds — the knob chaos tests use to
+	// prove the retry path end to end.
+	Once bool
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// Draw rolls the injector for one shard attempt and returns the kind to
+// inject (TrapNone for a clean pass). Attempt 0 is the first execution.
+func (in *Injector) Draw(shard, attempt int) Kind {
+	if in == nil || len(in.Rates) == 0 {
+		return TrapNone
+	}
+	if in.Once && attempt > 0 {
+		return TrapNone
+	}
+	h := splitmix64(in.Seed ^ uint64(shard)<<20 ^ uint64(attempt))
+	for _, k := range Kinds() {
+		rate, ok := in.Rates[k]
+		if !ok || rate <= 0 {
+			continue
+		}
+		u := float64(splitmix64(h^uint64(k))>>11) / float64(1<<53)
+		if u < rate {
+			return k
+		}
+	}
+	return TrapNone
+}
+
+// Synthesize builds the trap an injected kind stands for.
+func (in *Injector) Synthesize(k Kind, program string, shard, attempt int) *Trap {
+	return &Trap{
+		Kind:     k,
+		Program:  program,
+		Injected: true,
+		Detail:   fmt.Sprintf("injected on shard %d attempt %d (seed %d)", shard, attempt, in.Seed),
+	}
+}
+
+// String renders the injector in ParseInjectSpec's format.
+func (in *Injector) String() string {
+	if in == nil || len(in.Rates) == 0 {
+		return ""
+	}
+	parts := []string{fmt.Sprintf("seed=%d", in.Seed)}
+	if in.Once {
+		parts = append(parts, "once=1")
+	}
+	keys := make([]Kind, 0, len(in.Rates))
+	for k := range in.Rates {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		// Kind implements error, which fmt prefers over Stringer — name the
+		// label explicitly so the spec stays parseable.
+		parts = append(parts, fmt.Sprintf("%s=%g", k.String(), in.Rates[k]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseInjectSpec parses the UDP_FAULT_INJECT format: comma-separated
+// key=value pairs where keys are trap kind labels (rates in [0,1]), "all"
+// (sets every kind), "seed" (uint64) and "once" (0/1). Examples:
+//
+//	panic=0.1
+//	seed=42,once=1,cycle-budget=1,panic=0.5
+//	all=0.05
+//
+// An empty spec returns (nil, nil): injection disabled.
+func ParseInjectSpec(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := &Injector{Rates: map[Kind]float64{}}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: inject spec %q: want key=value", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: inject seed %q: %v", val, err)
+			}
+			in.Seed = s
+		case "once":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: inject once %q: %v", val, err)
+			}
+			in.Once = b
+		case "all":
+			rate, err := parseRate(val)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range Kinds() {
+				in.Rates[k] = rate
+			}
+		default:
+			k, ok := KindFromString(key)
+			if !ok {
+				return nil, fmt.Errorf("fault: unknown trap kind %q (kinds: %s)", key, kindList())
+			}
+			rate, err := parseRate(val)
+			if err != nil {
+				return nil, err
+			}
+			in.Rates[k] = rate
+		}
+	}
+	if len(in.Rates) == 0 {
+		return nil, nil
+	}
+	return in, nil
+}
+
+func parseRate(val string) (float64, error) {
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil || r < 0 || r > 1 {
+		return 0, fmt.Errorf("fault: inject rate %q: want a number in [0,1]", val)
+	}
+	return r, nil
+}
+
+func kindList() string {
+	names := make([]string, 0, len(kindNames))
+	for _, k := range Kinds() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,261 @@
+package machine
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/fault"
+)
+
+// trapEcho compiles a one-state pass-through program.
+func trapEcho(t *testing.T, name string) *effclip.Image {
+	t.Helper()
+	p := core.NewProgram(name, 8)
+	s := p.AddState("s", core.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	return mustLayout(t, p)
+}
+
+// TestTrapTaxonomy drives every runtime trap kind through a real program and
+// checks the typed error contract: errors.Is on the kind, errors.As to the
+// full *fault.Trap, and a populated program/detail.
+func TestTrapTaxonomy(t *testing.T) {
+	tests := []struct {
+		name   string
+		image  func(t *testing.T) *effclip.Image
+		input  []byte
+		run    func(l *Lane) error
+		kind   fault.Kind
+		detail string
+	}{
+		{
+			name:   "cycle budget exceeded",
+			image:  func(t *testing.T) *effclip.Image { return trapEcho(t, "budget") },
+			input:  []byte("aaaaaaaaaaaaaaaa"),
+			run:    func(l *Lane) error { return l.Run(4) },
+			kind:   fault.TrapCycleBudget,
+			detail: "budget",
+		},
+		{
+			name: "no transition for symbol",
+			image: func(t *testing.T) *effclip.Image {
+				p := core.NewProgram("strict", 8)
+				s := p.AddState("s", core.ModeStream)
+				s.On('a', s, core.AOut8(core.RSym))
+				return mustLayout(t, p)
+			},
+			input:  []byte("ab"),
+			run:    func(l *Lane) error { return l.Run(0) },
+			kind:   fault.TrapBadSignature,
+			detail: "no transition",
+		},
+		{
+			name: "memory reference outside window",
+			image: func(t *testing.T) *effclip.Image {
+				// A register-sourced address: validation bounds ld8's
+				// immediate, so only indexed loads can wander at runtime.
+				p := core.NewProgram("wild-load", 8)
+				s := p.AddState("s", core.ModeStream)
+				s.Majority(s, core.ALdx(core.R2, core.R3, core.R0))
+				return mustLayout(t, p)
+			},
+			input: []byte("a"),
+			run: func(l *Lane) error {
+				l.SetReg(core.R3, 1<<22)
+				return l.Run(0)
+			},
+			kind:   fault.TrapMemOutOfWindow,
+			detail: "outside window",
+		},
+		{
+			name: "runtime symbol size from register",
+			image: func(t *testing.T) *effclip.Image {
+				// setss with a bad immediate is rejected at validation;
+				// only a register-sourced size can go wrong at runtime.
+				p := core.NewProgram("bad-ss", 8)
+				s := p.AddState("s", core.ModeStream)
+				s.Majority(s,
+					core.AMovi(core.R2, 40),
+					core.Action{Op: core.OpSetSSR, Src: core.R2},
+				)
+				return mustLayout(t, p)
+			},
+			input:  []byte("a"),
+			run:    func(l *Lane) error { return l.Run(0) },
+			kind:   fault.TrapBadSymbolSize,
+			detail: "setssr",
+		},
+		{
+			name: "putback livelock",
+			image: func(t *testing.T) *effclip.Image {
+				// Take a symbol, put all its bits back: the stream position
+				// oscillates forever without passing its high-water mark.
+				p := core.NewProgram("livelock", 8)
+				s := p.AddState("s", core.ModeStream)
+				s.Majority(s, core.Action{Op: core.OpPutBack, Imm: 8})
+				return mustLayout(t, p)
+			},
+			input: []byte("a"),
+			run: func(l *Lane) error {
+				l.SetLivelockWindow(256)
+				return l.Run(0)
+			},
+			kind:   fault.TrapEpsilonLoop,
+			detail: "no forward progress",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			im := tc.image(t)
+			l, err := NewLane(im, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.SetInput(tc.input)
+			err = tc.run(l)
+			if err == nil {
+				t.Fatal("run succeeded, want a trap")
+			}
+			if !errors.Is(err, tc.kind) {
+				t.Fatalf("errors.Is(err, %v) = false; err = %v", tc.kind, err)
+			}
+			var tr *fault.Trap
+			if !errors.As(err, &tr) {
+				t.Fatalf("errors.As to *fault.Trap failed; err = %v", err)
+			}
+			if tr.Kind != tc.kind {
+				t.Fatalf("trap kind %v, want %v", tr.Kind, tc.kind)
+			}
+			if tr.Program != im.Name {
+				t.Fatalf("trap program %q, want %q", tr.Program, im.Name)
+			}
+			if tc.detail != "" && !contains(tr.Detail, tc.detail) {
+				t.Fatalf("trap detail %q does not mention %q", tr.Detail, tc.detail)
+			}
+			// No fault kind satisfies errors.Is against a different kind.
+			for _, other := range fault.Kinds() {
+				if other != tc.kind && errors.Is(err, other) {
+					t.Fatalf("trap %v also matches %v", tc.kind, other)
+				}
+			}
+		})
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTrapCarriesDispatchTrace pins that a fault materializes the trailing
+// dispatch window, newest entry last.
+func TestTrapCarriesDispatchTrace(t *testing.T) {
+	p := core.NewProgram("strict", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.On('a', s)
+	im := mustLayout(t, p)
+	l, err := NewLane(im, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetInput([]byte("aaab"))
+	runErr := l.Run(0)
+	var tr *fault.Trap
+	if !errors.As(runErr, &tr) {
+		t.Fatalf("err = %v, want trap", runErr)
+	}
+	if len(tr.Trace) == 0 || len(tr.Trace) > fault.TraceTail {
+		t.Fatalf("trace tail has %d entries, want 1..%d", len(tr.Trace), fault.TraceTail)
+	}
+	last := tr.Trace[len(tr.Trace)-1]
+	if last.Sym != 'b' {
+		t.Fatalf("last trace symbol %#x, want 'b'", last.Sym)
+	}
+	for i := 1; i < len(tr.Trace); i++ {
+		if tr.Trace[i].Cycle < tr.Trace[i-1].Cycle {
+			t.Fatal("trace entries not in cycle order")
+		}
+	}
+}
+
+// TestBindStopInterruptsLongRun pins cooperative interruption: a pre-set
+// stop flag ends the run with ErrInterrupted (not a trap) well before the
+// input is consumed.
+func TestBindStopInterruptsLongRun(t *testing.T) {
+	im := trapEcho(t, "interrupt")
+	l, err := NewLane(im, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	stop.Store(true)
+	l.BindStop(&stop)
+	input := make([]byte, 64<<10)
+	l.SetInput(input)
+	runErr := l.Run(0)
+	if !errors.Is(runErr, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", runErr)
+	}
+	var tr *fault.Trap
+	if errors.As(runErr, &tr) {
+		t.Fatal("interruption must not be a trap")
+	}
+	if got := len(l.Output()); got >= len(input) {
+		t.Fatalf("lane consumed the whole input (%d B) despite the stop flag", got)
+	}
+}
+
+// TestLivelockWindowSparesHonestPrograms pins the watermark's false-positive
+// guard: an input far longer than the livelock window runs to completion
+// because every dispatch makes stream progress.
+func TestLivelockWindowSparesHonestPrograms(t *testing.T) {
+	im := trapEcho(t, "honest")
+	l, err := NewLane(im, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetLivelockWindow(64)
+	input := make([]byte, 4096)
+	for i := range input {
+		input[i] = byte('a' + i%26)
+	}
+	l.SetInput(input)
+	if err := l.Run(0); err != nil {
+		t.Fatalf("honest program tripped the livelock watermark: %v", err)
+	}
+	if got := l.Output(); len(got) != len(input) {
+		t.Fatalf("output %d B, want %d", len(got), len(input))
+	}
+}
+
+// TestNoUntypedFaultPaths pins the machine's error contract: every
+// execution failure surfaced by Run is a *fault.Trap (or the ErrInterrupted
+// sentinel), never a bare fmt.Errorf.
+func TestNoUntypedFaultPaths(t *testing.T) {
+	p := core.NewProgram("strict", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.On('a', s)
+	im := mustLayout(t, p)
+	for _, input := range [][]byte{[]byte("b"), []byte("ab"), []byte("aaab")} {
+		l, err := NewLane(im, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.SetInput(input)
+		runErr := l.Run(0)
+		if runErr == nil {
+			t.Fatalf("input %q: run succeeded, want trap", input)
+		}
+		var tr *fault.Trap
+		if !errors.As(runErr, &tr) {
+			t.Fatalf("input %q: error %v is not a *fault.Trap", input, runErr)
+		}
+	}
+}

@@ -2,17 +2,38 @@ package machine
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"udp/internal/core"
 	"udp/internal/effclip"
 	"udp/internal/encode"
+	"udp/internal/fault"
 )
 
 // DefaultMaxCycles bounds a single Run as a guard against non-terminating
 // programs (flagged-dispatch loops must end with an explicit Halt).
 const DefaultMaxCycles = 1 << 33
+
+// DefaultLivelockWindow is how many consecutive dispatches with zero
+// forward progress (no stream bits consumed, no output, no memory traffic)
+// the lane tolerates before raising TrapEpsilonLoop. A genuine
+// self-dispatch or putback/take livelock trips it in about a millisecond of
+// simulated time instead of grinding to the 2^33-cycle wall; real programs
+// always touch the stream, the output buffer, or memory well inside the
+// window.
+const DefaultLivelockWindow = 1 << 20
+
+// ErrInterrupted is returned by Run when the lane was stopped through
+// BindStop — a cooperative cancellation, not a fault. The executor maps it
+// back to its context error.
+var ErrInterrupted = errors.New("machine: lane interrupted")
+
+// interruptStride is how many dispatches pass between checks of the stop
+// flag (a power of two; the check is one atomic load every stride).
+const interruptStride = 4096
 
 // Lane is one UDP lane: a 32-bit execution engine with sixteen scalar
 // registers, a stream buffer, a symbol-size register and a window of the
@@ -46,6 +67,19 @@ type Lane struct {
 	exit   int32
 
 	frontier []frontierEntry
+
+	// Dispatch-trace ring: the last TraceTail dispatches, materialized
+	// into a Trap when the lane faults.
+	ring  [fault.TraceTail]fault.TraceEntry
+	ringN uint64
+
+	// Livelock watermark: dispatches since the last forward progress.
+	progressMark   uint64
+	stall          uint64
+	livelockWindow uint64
+
+	stop      *atomic.Bool
+	stopCheck uint64
 }
 
 type frontierEntry struct {
@@ -57,25 +91,27 @@ type frontierEntry struct {
 // memory banks (the image's own Banks() if banks is 0).
 func NewLane(img *effclip.Image, banks int) (*Lane, error) {
 	if !img.Executable {
-		return nil, fmt.Errorf("machine: image %q is size-accounting only", img.Name)
+		return nil, fault.New(fault.TrapBadSignature, img.Name, "image is size-accounting only")
 	}
 	if banks == 0 {
 		banks = img.Banks()
 	}
 	if banks > core.NumBanks {
-		return nil, fmt.Errorf("machine: %d banks exceed the %d-bank local memory", banks, core.NumBanks)
+		return nil, fault.New(fault.TrapMemOutOfWindow, img.Name,
+			"%d banks exceed the %d-bank local memory", banks, core.NumBanks)
 	}
 	l := &Lane{img: img, mem: make([]byte, banks*core.BankBytes)}
 	if need := img.FootprintBytes(); need > len(l.mem) {
-		return nil, fmt.Errorf("machine: image %q footprint (%d B) exceeds %d-bank window",
-			img.Name, need, banks)
+		return nil, fault.New(fault.TrapMemOutOfWindow, img.Name,
+			"footprint (%d B) exceeds %d-bank window", need, banks)
 	}
 	for i, w := range img.Words {
 		binary.LittleEndian.PutUint32(l.mem[i*core.WordBytes:], w)
 	}
 	for off, b := range img.DataInit {
 		if img.DataBase+off+len(b) > len(l.mem) {
-			return nil, fmt.Errorf("machine: image %q data init at %d overflows window", img.Name, img.DataBase+off)
+			return nil, fault.New(fault.TrapMemOutOfWindow, img.Name,
+				"data init at %d overflows window", img.DataBase+off)
 		}
 		copy(l.mem[img.DataBase+off:], b)
 	}
@@ -109,9 +145,93 @@ func (l *Lane) Reset() {
 	l.halted = false
 	l.exit = 0
 	l.frontier = l.frontier[:0]
+	l.ringN = 0
+	l.progressMark = 0
+	l.stall = 0
+	l.stopCheck = 0
 	if l.stream != nil {
 		l.stream.SeekBit(0)
 	}
+}
+
+// BindStop attaches a cooperative stop flag: when it reads true, Run
+// returns ErrInterrupted within interruptStride dispatches. The executor
+// binds one flag per run so cancelling the run's context drains every
+// in-flight lane promptly instead of waiting out the shard.
+func (l *Lane) BindStop(stop *atomic.Bool) { l.stop = stop }
+
+// SetLivelockWindow overrides the no-progress dispatch window for
+// TrapEpsilonLoop detection (0 restores DefaultLivelockWindow).
+func (l *Lane) SetLivelockWindow(n uint64) { l.livelockWindow = n }
+
+// trapf builds a Trap carrying the lane's position and the dispatch-trace
+// tail — every runtime fault in the machine goes through here.
+func (l *Lane) trapf(kind fault.Kind, format string, args ...any) *fault.Trap {
+	return &fault.Trap{
+		Kind:      kind,
+		Program:   l.img.Name,
+		StateBase: l.base,
+		Cycle:     l.stats.Cycles,
+		Detail:    fmt.Sprintf(format, args...),
+		Trace:     l.traceTail(),
+	}
+}
+
+// traceRecord pushes one dispatch into the trace ring.
+func (l *Lane) traceRecord(base int, sym uint32) {
+	l.ring[l.ringN%fault.TraceTail] = fault.TraceEntry{Cycle: l.stats.Cycles, Base: base, Sym: sym}
+	l.ringN++
+}
+
+// traceTail materializes the ring oldest-first.
+func (l *Lane) traceTail() []fault.TraceEntry {
+	n := l.ringN
+	if n == 0 {
+		return nil
+	}
+	k := uint64(fault.TraceTail)
+	if n < k {
+		k = n
+	}
+	out := make([]fault.TraceEntry, 0, k)
+	for i := n - k; i < n; i++ {
+		out = append(out, l.ring[i%fault.TraceTail])
+	}
+	return out
+}
+
+// checkProgress is the livelock watermark: called once per dispatch
+// iteration, it traps when the lane has gone a full window of dispatches
+// without advancing the stream past its high-water position, emitting
+// output, or touching memory. The high-water mark (not net bits consumed)
+// is what catches a take/put-back loop that re-reads the same symbol
+// forever.
+func (l *Lane) checkProgress() error {
+	p := uint64(l.stream.Pos()) + l.stats.OutBytes + l.stats.MemRefs
+	if p > l.progressMark {
+		l.progressMark = p
+		l.stall = 0
+		return nil
+	}
+	l.stall++
+	window := l.livelockWindow
+	if window == 0 {
+		window = DefaultLivelockWindow
+	}
+	if l.stall > window {
+		return l.trapf(fault.TrapEpsilonLoop,
+			"no forward progress across %d dispatches (self-dispatch or putback livelock)", window)
+	}
+	return nil
+}
+
+// interrupted polls the stop flag every interruptStride dispatches.
+func (l *Lane) interrupted() bool {
+	if l.stop == nil {
+		return false
+	}
+	l.stopCheck++
+	return l.stopCheck%interruptStride == 0 && l.stop.Load()
 }
 
 // SetInput attaches the input stream.
@@ -127,7 +247,8 @@ func (l *Lane) Reg(r core.Reg) uint32 { return l.getReg(r) }
 // memory-based kernels).
 func (l *Lane) WriteMem(off int, b []byte) error {
 	if off < 0 || off+len(b) > len(l.mem) {
-		return fmt.Errorf("machine: WriteMem [%d,%d) outside window", off, off+len(b))
+		return fault.New(fault.TrapMemOutOfWindow, l.img.Name,
+			"WriteMem [%d,%d) outside window", off, off+len(b))
 	}
 	copy(l.mem[off:], b)
 	return nil
@@ -175,7 +296,7 @@ func (l *Lane) Run(maxCycles uint64) error {
 func (l *Lane) fetch(wordAddr int) (uint32, error) {
 	byteAddr := wordAddr * core.WordBytes
 	if wordAddr < 0 || byteAddr+4 > len(l.mem) {
-		return 0, fmt.Errorf("machine: dispatch probe at word %d outside window", wordAddr)
+		return 0, l.trapf(fault.TrapMemOutOfWindow, "dispatch probe at word %d outside window", wordAddr)
 	}
 	return binary.LittleEndian.Uint32(l.mem[byteAddr:]), nil
 }
@@ -183,7 +304,13 @@ func (l *Lane) fetch(wordAddr int) (uint32, error) {
 func (l *Lane) runSingle(maxCycles uint64) error {
 	for !l.halted {
 		if l.stats.Cycles >= maxCycles {
-			return fmt.Errorf("machine: program %q exceeded %d cycles", l.img.Name, maxCycles)
+			return l.trapf(fault.TrapCycleBudget, "exceeded %d-cycle budget", maxCycles)
+		}
+		if err := l.checkProgress(); err != nil {
+			return err
+		}
+		if l.interrupted() {
+			return ErrInterrupted
 		}
 		var sym uint32
 		switch l.mode {
@@ -212,7 +339,7 @@ func (l *Lane) runSingle(maxCycles uint64) error {
 func (l *Lane) dispatch(sym uint32) error {
 	for hop := 0; ; hop++ {
 		if hop > 256 {
-			return fmt.Errorf("machine: default-transition loop at base %d", l.base)
+			return l.trapf(fault.TrapEpsilonLoop, "default-transition loop at base %d", l.base)
 		}
 		slot := l.base + int(sym)
 		if l.mode == core.ModeCommon {
@@ -220,6 +347,7 @@ func (l *Lane) dispatch(sym uint32) error {
 		}
 		l.stats.Cycles++
 		l.stats.Dispatches++
+		l.traceRecord(l.base, sym)
 		takenAt := slot
 		t, ok, err := l.probe(slot)
 		if err != nil {
@@ -235,8 +363,7 @@ func (l *Lane) dispatch(sym uint32) error {
 				return err
 			}
 			if !ok || (t.Kind != core.KindMajority && t.Kind != core.KindDefault) {
-				return fmt.Errorf("machine: no transition at base %d for symbol %d (program %q)",
-					l.base, sym, l.img.Name)
+				return l.trapf(fault.TrapBadSignature, "no transition at base %d for symbol %d", l.base, sym)
 			}
 		}
 		l.regs[core.RSym] = sym
@@ -262,7 +389,7 @@ func (l *Lane) dispatch(sym uint32) error {
 		// Default: re-dispatch the same symbol at the target state.
 		l.stats.DefaultHops++
 		if l.mode != core.ModeStream {
-			return fmt.Errorf("machine: default transition into non-stream state at base %d", l.base)
+			return l.trapf(fault.TrapBadSignature, "default transition into non-stream state at base %d", l.base)
 		}
 		if l.halted {
 			return nil
@@ -351,8 +478,7 @@ func (l *Lane) setReg(r core.Reg, v uint32) {
 func (l *Lane) memAddr(a uint32, n int) (int, error) {
 	addr := int(l.memBase + a)
 	if addr < 0 || addr+n > len(l.mem) {
-		return 0, fmt.Errorf("machine: memory access [%d,%d) outside window (program %q)",
-			addr, addr+n, l.img.Name)
+		return 0, l.trapf(fault.TrapMemOutOfWindow, "memory access [%d,%d) outside window", addr, addr+n)
 	}
 	if l.traceBanks {
 		l.bankTrace = append(l.bankTrace, l.stats.Cycles<<8|uint64(addr/core.BankBytes))
@@ -549,13 +675,13 @@ func (l *Lane) execAction(a core.Action) error {
 
 	case core.OpSetSS:
 		if imm == 0 || imm > core.MaxSymbolBits {
-			return fmt.Errorf("machine: setss %d out of range", imm)
+			return l.trapf(fault.TrapBadSymbolSize, "setss %d out of range", imm)
 		}
 		l.ss = uint8(imm)
 		l.stats.SetSSOps++
 	case core.OpSetSSR:
 		if src == 0 || src > core.MaxSymbolBits {
-			return fmt.Errorf("machine: setssr %d out of range", src)
+			return l.trapf(fault.TrapBadSymbolSize, "setssr %d out of range", src)
 		}
 		l.ss = uint8(src)
 		l.stats.SetSSOps++
@@ -567,7 +693,7 @@ func (l *Lane) execAction(a core.Action) error {
 		l.stats.StreamBits -= uint64(src)
 	case core.OpRead:
 		if imm > 32 {
-			return fmt.Errorf("machine: read %d bits out of range", imm)
+			return l.trapf(fault.TrapBadSymbolSize, "read %d bits out of range", imm)
 		}
 		l.setReg(a.Dst, l.stream.Take(uint8(imm)))
 		l.stats.StreamBits += uint64(imm)
@@ -601,7 +727,7 @@ func (l *Lane) execAction(a core.Action) error {
 		l.halted = true
 		l.exit = a.Imm
 	default:
-		return fmt.Errorf("machine: unimplemented opcode %s", a.Op)
+		return l.trapf(fault.TrapBadSignature, "unimplemented opcode %s", a.Op)
 	}
 	return nil
 }

@@ -1,13 +1,18 @@
 package machine
 
 import (
-	"fmt"
 	"sort"
 
 	"udp/internal/core"
 	"udp/internal/effclip"
 	"udp/internal/encode"
+	"udp/internal/fault"
 )
+
+// maxForkChain bounds one fork-chain walk: a well-formed chain visits each
+// continuation at most once, so a walk longer than this is a cycle in a
+// corrupt image.
+const maxForkChain = 1024
 
 // runNFA executes in multi-active mode: the lane keeps a frontier of active
 // states (multi-state activation via epsilon transitions, paper Section
@@ -17,7 +22,7 @@ import (
 // consumes exactly one symbol.
 func (l *Lane) runNFA(maxCycles uint64) error {
 	if len(l.img.Segments) > 1 {
-		return fmt.Errorf("machine: multi-active program %q spans several segments (unsupported)", l.img.Name)
+		return l.trapf(fault.TrapBadSignature, "multi-active program spans several segments (unsupported)")
 	}
 	active := map[int]bool{l.base: true}
 	next := map[int]bool{}
@@ -27,7 +32,10 @@ func (l *Lane) runNFA(maxCycles uint64) error {
 			active[l.img.EntryBase] = true
 		}
 		if l.stats.Cycles >= maxCycles {
-			return fmt.Errorf("machine: program %q exceeded %d cycles", l.img.Name, maxCycles)
+			return l.trapf(fault.TrapCycleBudget, "exceeded %d-cycle budget", maxCycles)
+		}
+		if l.interrupted() {
+			return ErrInterrupted
 		}
 		if len(active) == 0 {
 			return nil
@@ -64,10 +72,11 @@ func (l *Lane) runNFA(maxCycles uint64) error {
 // next. depth bounds default-transition retry hops.
 func (l *Lane) nfaProbe(b int, sym uint32, next map[int]bool, depth int) error {
 	if depth > 64 {
-		return fmt.Errorf("machine: default-transition loop at base %d", b)
+		return l.trapf(fault.TrapEpsilonLoop, "default-transition loop at base %d", b)
 	}
 	l.stats.Cycles++
 	l.stats.Dispatches++
+	l.traceRecord(b, sym)
 	addr := b + int(sym)
 	w, err := l.fetch(addr)
 	if err != nil {
@@ -102,10 +111,13 @@ func (l *Lane) nfaProbe(b int, sym uint32, next map[int]bool, depth int) error {
 		}
 	}
 	// Walk the fork chain rooted at this slot.
-	for {
+	for hops := 0; ; hops++ {
+		if hops > maxForkChain {
+			return l.trapf(fault.TrapEpsilonLoop, "fork chain at base %d exceeds %d hops (cycle)", b, maxForkChain)
+		}
 		t := encode.GetTransition(w)
 		if t.Sig != effclip.Sig(b) {
-			return fmt.Errorf("machine: corrupt fork chain at word %d", addr)
+			return l.trapf(fault.TrapBadSignature, "corrupt fork chain at word %d", addr)
 		}
 		if t.Kind == core.KindEpsilon {
 			l.stats.Activations++

@@ -2,11 +2,11 @@ package machine
 
 import (
 	"bytes"
-	"fmt"
 	"sync"
 
 	"udp/internal/core"
 	"udp/internal/effclip"
+	"udp/internal/fault"
 )
 
 // MaxLanes returns how many lanes can run an image concurrently: lane
@@ -62,11 +62,11 @@ type LaneSetup func(l *Lane, shard int) error
 func RunParallel(img *effclip.Image, shards [][]byte, setup LaneSetup) (*RunResult, error) {
 	limit := MaxLanes(img)
 	if limit == 0 {
-		return nil, fmt.Errorf("machine: image %q does not fit local memory", img.Name)
+		return nil, fault.New(fault.TrapMemOutOfWindow, img.Name, "image does not fit local memory")
 	}
 	if len(shards) > limit {
-		return nil, fmt.Errorf("machine: %d shards exceed the %d-lane limit of image %q",
-			len(shards), limit, img.Name)
+		return nil, fault.New(fault.TrapMemOutOfWindow, img.Name,
+			"%d shards exceed the %d-lane limit", len(shards), limit)
 	}
 	res := &RunResult{
 		Lanes:        len(shards),

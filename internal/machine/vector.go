@@ -1,6 +1,6 @@
 package machine
 
-import "fmt"
+import "udp/internal/fault"
 
 // Vector register file constants (paper Section 3.1: a shared 64 x 2048-bit
 // vector register file feeds the lanes' stream buffers).
@@ -29,8 +29,8 @@ func (vf *VectorFile) Load(reg int, data []byte) ([]int, error) {
 		need = 1
 	}
 	if reg < 0 || reg+need > VectorRegs {
-		return nil, fmt.Errorf("machine: %d bytes need registers [%d,%d), file has %d",
-			len(data), reg, reg+need, VectorRegs)
+		return nil, fault.New(fault.TrapMemOutOfWindow, "",
+			"%d bytes need vector registers [%d,%d), file has %d", len(data), reg, reg+need, VectorRegs)
 	}
 	var regs []int
 	for i := 0; i < need; i++ {
@@ -52,7 +52,7 @@ func (vf *VectorFile) Stream(regs []int) ([]byte, error) {
 	var out []byte
 	for _, r := range regs {
 		if r < 0 || r >= VectorRegs {
-			return nil, fmt.Errorf("machine: vector register %d out of range", r)
+			return nil, fault.New(fault.TrapMemOutOfWindow, "", "vector register %d out of range", r)
 		}
 		out = append(out, vf.regs[r][:vf.used[r]]...)
 		vf.reads++
@@ -78,7 +78,7 @@ func (vf *VectorFile) StageLane(l *Lane, regs []int) error {
 // register-size boundaries as evenly as the file allows.
 func (vf *VectorFile) Partition(data []byte, n int) ([][]int, error) {
 	if n < 1 || n > VectorRegs {
-		return nil, fmt.Errorf("machine: cannot partition across %d lanes", n)
+		return nil, fault.New(fault.TrapMemOutOfWindow, "", "cannot partition across %d lanes", n)
 	}
 	shards := SplitBytes(data, n)
 	if len(shards) > 0 {
@@ -92,8 +92,8 @@ func (vf *VectorFile) Partition(data []byte, n int) ([][]int, error) {
 			total += per
 		}
 		if total > VectorRegs {
-			return nil, fmt.Errorf("machine: %d bytes need %d vector registers, file has %d",
-				len(data), total, VectorRegs)
+			return nil, fault.New(fault.TrapMemOutOfWindow, "",
+				"%d bytes need %d vector registers, file has %d", len(data), total, VectorRegs)
 		}
 	}
 	var out [][]int

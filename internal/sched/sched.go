@@ -19,11 +19,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"udp/internal/effclip"
+	"udp/internal/fault"
 	"udp/internal/machine"
 )
 
@@ -63,9 +66,10 @@ func (e ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard,
 // Unwrap exposes the underlying error to errors.Is/As.
 func (e ShardError) Unwrap() error { return e.Err }
 
-// Event is one observability record, emitted after a shard finishes
-// (successfully or not). Events are delivered serially — the hook needs no
-// locking — but not necessarily in shard order.
+// Event is one observability record, emitted after a shard attempt
+// finishes (successfully or not). Events are delivered serially — the hook
+// needs no locking — but not necessarily in shard order. A shard that is
+// retried emits one Event per attempt.
 type Event struct {
 	// Shard is the shard index in stream order.
 	Shard int
@@ -83,12 +87,130 @@ type Event struct {
 	// Busy is the number of pool lanes executing a shard at the moment
 	// this shard was dequeued, this one included (utilization signal).
 	Busy int
+	// Attempt is which execution of the shard this was (0 = first).
+	Attempt int
+	// Trap is the typed fault behind Err, when there is one.
+	Trap *fault.Trap
+	// Retried reports that this failed attempt was re-enqueued per the
+	// retry policy (a later Event for the same Shard will follow).
+	Retried bool
 	// Err is the shard's error, nil on success.
 	Err error
 }
 
 // Rate is the shard's simulated throughput in MB/s at the ASIC clock.
 func (e Event) Rate() float64 { return machine.RateMBps(e.Bytes, e.Cycles) }
+
+// FaultRecord is one shard attempt that ended in a typed trap — the
+// per-shard fault log Result accumulates and the Event hook mirrors.
+type FaultRecord struct {
+	// Shard is the shard index in stream order.
+	Shard int
+	// Lane is the pool lane the faulting attempt ran on.
+	Lane int
+	// Attempt is which execution of the shard faulted (0 = first).
+	Attempt int
+	// Trap is the typed fault.
+	Trap *fault.Trap
+	// Retried reports the shard was re-enqueued after this fault.
+	Retried bool
+	// Backoff is the delay before the re-enqueue (zero when not retried).
+	Backoff time.Duration
+}
+
+// CycleBudget derives a per-shard cycle cap from the shard's input size,
+// so a runaway program faults in milliseconds of simulated time instead of
+// grinding to machine.DefaultMaxCycles (2^33). The zero value means
+// "no budget" (the machine default applies).
+type CycleBudget struct {
+	// PerByte is the allowed cycles per input byte. Honest kernels run at
+	// one-to-a-few cycles per byte, so even 64 is a generous margin.
+	PerByte uint64
+	// Floor is the minimum budget regardless of shard size (covers empty
+	// shards and fixed startup work such as table builds).
+	Floor uint64
+}
+
+// For returns the cycle cap for a shard of the given size (0 = unbounded
+// up to the machine default).
+func (b CycleBudget) For(bytes int) uint64 {
+	if b.PerByte == 0 && b.Floor == 0 {
+		return 0
+	}
+	c := b.PerByte * uint64(bytes)
+	if c < b.Floor {
+		c = b.Floor
+	}
+	return c
+}
+
+// RetryPolicy re-enqueues shards that fail with a retryable trap, with
+// decorrelated-jitter backoff, onto the pool (any idle lane picks the
+// retry up — by the time the backoff expires it is almost never the lane
+// that faulted, and a panicking lane has been quarantined and replaced
+// regardless). The zero value disables retries.
+type RetryPolicy struct {
+	// Max is the retry attempts per shard beyond the first execution
+	// (0 = no retries).
+	Max int
+	// Backoff is the base backoff (default 1ms when Max > 0). Successive
+	// retries follow decorrelated jitter: sleep = min(cap, base +
+	// rand*(3*prev - base)).
+	Backoff time.Duration
+	// MaxBackoff caps the backoff (default 32× Backoff).
+	MaxBackoff time.Duration
+	// RetryableTraps lists the trap kinds worth re-running. Nil means
+	// only fault.TrapPanic (the one kind that is plausibly transient
+	// without fault injection).
+	RetryableTraps []fault.Kind
+	// Rand overrides the jitter source (tests); nil uses math/rand.
+	Rand func() float64
+}
+
+// retryable reports whether a trap of kind k is worth re-running under p.
+func (p RetryPolicy) retryable(k fault.Kind) bool {
+	if p.Max <= 0 {
+		return false
+	}
+	if len(p.RetryableTraps) == 0 {
+		return k == fault.TrapPanic
+	}
+	for _, r := range p.RetryableTraps {
+		if r == k {
+			return true
+		}
+	}
+	return false
+}
+
+// next picks the decorrelated-jitter delay following prev (0 for the first
+// retry).
+func (p RetryPolicy) next(prev time.Duration) time.Duration {
+	base := p.Backoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	limit := p.MaxBackoff
+	if limit <= 0 {
+		limit = 32 * base
+	}
+	if prev <= 0 {
+		prev = base
+	}
+	r := p.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	span := 3*prev - base
+	if span < 0 {
+		span = 0
+	}
+	d := base + time.Duration(r()*float64(span))
+	if d > limit {
+		d = limit
+	}
+	return d
+}
 
 // Config tunes a run. The zero value is usable: MaxLanes(img) lanes, a
 // 2×lanes queue, fail-fast errors, no setup, no hook.
@@ -106,6 +228,18 @@ type Config struct {
 	Policy ErrorPolicy
 	// Hook, when non-nil, receives one Event per finished shard.
 	Hook func(Event)
+	// Budget caps each shard's lane cycles as a function of its input
+	// size; the zero value leaves the machine default (2^33) in place.
+	Budget CycleBudget
+	// Retry re-enqueues shards failing with retryable traps (see
+	// RetryPolicy); the zero value disables retries. Retries take
+	// precedence over Policy: only a shard whose retries are exhausted
+	// (or whose trap is not retryable) reaches FailFast/CollectErrors
+	// handling.
+	Retry RetryPolicy
+	// Inject, when non-nil, is the deterministic fault injector rolled
+	// once per shard attempt (chaos testing; see fault.Injector).
+	Inject *fault.Injector
 	// Sink, when non-nil, receives each successful shard's output in
 	// shard order as soon as it and all its predecessors have finished.
 	// Outputs handed to the sink are NOT accumulated in Result.Outputs,
@@ -129,6 +263,13 @@ type Result struct {
 	// Errors holds per-shard failures under CollectErrors (empty under
 	// FailFast, which returns the error instead).
 	Errors []ShardError
+	// Faults logs every shard attempt that ended in a typed trap,
+	// including attempts that were subsequently retried to success.
+	Faults []FaultRecord
+	// Retries counts shard re-enqueues performed by the retry policy.
+	Retries int
+	// LanesQuarantined counts lanes replaced after a panic trap.
+	LanesQuarantined int
 	// QueueHighWater is the deepest the shard queue got (≤ QueueDepth).
 	QueueHighWater int
 	// Wall is the host wall-clock duration of the whole run.
@@ -149,15 +290,23 @@ func (r *Result) Output() []byte {
 }
 
 type workItem struct {
-	idx  int
-	data []byte
+	idx     int
+	data    []byte
+	attempt int           // 0 = first execution
+	prev    time.Duration // last backoff (decorrelated jitter state)
 }
 
 // Run streams shards from src through a pool of reusable lanes executing
 // img, and aggregates outputs, matches and counters in shard order. It
 // returns when the source is drained, ctx is cancelled (the context error
-// is returned; cancellation is observed at shard boundaries), or — under
-// FailFast — a shard fails.
+// is returned), or — under FailFast — a shard fails with no retries left.
+//
+// Fault containment: every shard attempt runs sandboxed — a panic in lane
+// code becomes a fault.TrapPanic and the lane is quarantined and replaced,
+// never taking the pool down. Cancellation interrupts in-flight lanes
+// (machine.Lane.BindStop) and Run does not return until every lane
+// goroutine has exited, so no lane still holds its memory banks when the
+// caller moves on — Lane.Reset can never race a still-running lane.
 func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Result, error) {
 	if img == nil {
 		return nil, ErrNilImage
@@ -167,7 +316,7 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 	}
 	limit := machine.MaxLanes(img)
 	if limit == 0 {
-		return nil, fmt.Errorf("sched: image %q does not fit local memory", img.Name)
+		return nil, fault.New(fault.TrapMemOutOfWindow, img.Name, "image does not fit local memory")
 	}
 	lanes := cfg.Lanes
 	if lanes <= 0 || lanes > limit {
@@ -196,9 +345,32 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 		shardErrs  []ShardError
 		runErr     error // first fatal error (FailFast shard error or source error)
 		highWater  int
+		inflight   int  // shards enqueued but not finally resolved (retries keep it held)
+		prodDone   bool // producer has stopped enqueuing new shards
 	)
 	laneCycles := make([]uint64, lanes)
 	var busy atomic.Int32
+
+	// The cooperative stop flag interrupts lanes mid-shard on cancellation,
+	// so a fail-fast or cancelled run drains in dispatches, not in up to
+	// 2^33 cycles of leftover work per in-flight lane.
+	var stop atomic.Bool
+	go func() {
+		<-ctx.Done()
+		stop.Store(true)
+	}()
+
+	// The queue closes only when the producer is done AND no shard is still
+	// in flight: a retry re-enqueues through this same queue (possibly from
+	// a backoff timer firing after the producer exits), and holding inflight
+	// above zero until a shard's final resolution is what makes that send
+	// race-free against the close.
+	var closeOnce sync.Once
+	maybeClose := func() { // mu held
+		if prodDone && inflight == 0 {
+			closeOnce.Do(func() { close(queue) })
+		}
+	}
 
 	// Reorder window for Config.Sink: finished outputs park here (nil for a
 	// shard skipped under CollectErrors) until every predecessor has been
@@ -249,12 +421,19 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 		}
 	}
 
-	// Producer: pull shards from the source into the bounded queue.
+	// Producer: pull shards from the source into the bounded queue. Each
+	// shard raises inflight before the send so the queue cannot close
+	// underneath it; whoever finally resolves the shard lowers it.
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		defer close(queue)
+		defer func() {
+			mu.Lock()
+			prodDone = true
+			maybeClose()
+			mu.Unlock()
+		}()
 		for idx := 0; ; idx++ {
 			shard, err := src.Next()
 			if err == io.EOF {
@@ -266,33 +445,34 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 				mu.Unlock()
 				return
 			}
+			mu.Lock()
+			inflight++
+			res.Shards = idx + 1
+			mu.Unlock()
 			select {
 			case queue <- workItem{idx: idx, data: shard}:
 				mu.Lock()
-				res.Shards = idx + 1
 				if d := len(queue); d > highWater {
 					highWater = d
 				}
 				mu.Unlock()
 			case <-ctx.Done():
+				mu.Lock()
+				inflight--
+				mu.Unlock()
 				return
 			}
 		}
 	}()
 
-	// Lane pool: each worker owns one lane for the whole run and resets it
-	// between shards.
+	// Lane pool: each worker owns one lane and resets it between shards. The
+	// lane is created lazily so a panic quarantine (lane = nil) transparently
+	// replaces it on the next shard.
 	for w := 0; w < lanes; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			lane, err := machine.NewLane(img, 0)
-			if err != nil {
-				mu.Lock()
-				fail(err)
-				mu.Unlock()
-				return
-			}
+			var lane *machine.Lane
 			for {
 				select {
 				case <-ctx.Done():
@@ -306,27 +486,89 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 					if ctx.Err() != nil {
 						return
 					}
+					if lane == nil {
+						var err error
+						lane, err = machine.NewLane(img, 0)
+						if err != nil {
+							mu.Lock()
+							fail(err)
+							mu.Unlock()
+							return
+						}
+						lane.BindStop(&stop)
+					}
 					qd := len(queue)
 					nb := int(busy.Add(1))
 					t0 := time.Now()
-					out, m, st, err := runShard(lane, it, cfg.Setup)
+					out, m, st, err := runShard(lane, it, img, cfg)
 					busy.Add(-1)
+					if errors.Is(err, machine.ErrInterrupted) {
+						// Interruption only fires on cancellation: the shard
+						// is abandoned and Run reports the context error.
+						return
+					}
+					tr := fault.AsTrap(err)
+					quarantine := tr != nil && tr.Kind == fault.TrapPanic
+					if quarantine {
+						lane = nil // replaced lazily on the next shard
+					}
 					ev := Event{
 						Shard: it.idx, Lane: w, Bytes: len(it.data),
 						Cycles: st.Cycles, Wall: time.Since(t0),
-						QueueDepth: qd, Busy: nb, Err: err,
+						QueueDepth: qd, Busy: nb,
+						Attempt: it.attempt, Trap: tr, Err: err,
 					}
 					mu.Lock()
+					if quarantine {
+						res.LanesQuarantined++
+					}
 					if err != nil {
-						if cfg.Policy == CollectErrors {
-							shardErrs = append(shardErrs, ShardError{Shard: it.idx, Err: err})
-							setSlot(it.idx, nil, nil, len(it.data))
-							if cfg.Sink != nil {
-								pending[it.idx] = nil
-								drainSink()
+						retry := tr != nil && cfg.Retry.retryable(tr.Kind) &&
+							it.attempt < cfg.Retry.Max && runErr == nil && ctx.Err() == nil
+						ev.Retried = retry
+						if tr != nil {
+							rec := FaultRecord{
+								Shard: it.idx, Lane: w, Attempt: it.attempt,
+								Trap: tr, Retried: retry,
 							}
-						} else {
-							fail(ShardError{Shard: it.idx, Err: err})
+							if retry {
+								rec.Backoff = cfg.Retry.next(it.prev)
+							}
+							res.Faults = append(res.Faults, rec)
+							if retry {
+								res.Retries++
+								next := workItem{
+									idx: it.idx, data: it.data,
+									attempt: it.attempt + 1, prev: rec.Backoff,
+								}
+								// The shard's inflight hold carries over to
+								// the re-enqueue, so the queue stays open
+								// until the timer delivers or the run dies.
+								time.AfterFunc(rec.Backoff, func() {
+									select {
+									case queue <- next:
+									case <-ctx.Done():
+										mu.Lock()
+										inflight--
+										maybeClose()
+										mu.Unlock()
+									}
+								})
+							}
+						}
+						if !ev.Retried {
+							if cfg.Policy == CollectErrors {
+								shardErrs = append(shardErrs, ShardError{Shard: it.idx, Err: err})
+								setSlot(it.idx, nil, nil, len(it.data))
+								if cfg.Sink != nil {
+									pending[it.idx] = nil
+									drainSink()
+								}
+							} else {
+								fail(ShardError{Shard: it.idx, Err: err})
+							}
+							inflight--
+							maybeClose()
 						}
 					} else {
 						if cfg.Sink != nil {
@@ -338,6 +580,8 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 						}
 						total.Add(st)
 						laneCycles[w] += st.Cycles
+						inflight--
+						maybeClose()
 					}
 					if cfg.Hook != nil {
 						cfg.Hook(ev)
@@ -373,21 +617,48 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 	return res, nil
 }
 
-// runShard executes one shard on a reused lane: reset, attach input, apply
-// setup, run, and copy out the results (the lane's buffers are recycled on
-// the next Reset).
-func runShard(lane *machine.Lane, it workItem, setup machine.LaneSetup) ([]byte, []machine.Match, machine.Stats, error) {
+// runShard executes one shard attempt on a reused lane: reset, attach
+// input, apply setup, run under the cycle budget, and copy out the results
+// (the lane's buffers are recycled on the next Reset). The attempt is
+// sandboxed — a panic anywhere in lane or setup code becomes a
+// fault.TrapPanic instead of unwinding the pool — and a configured injector
+// may pre-empt the lane with a synthesized trap (or, for TrapPanic, a real
+// panic, so injection exercises the recover path itself).
+func runShard(lane *machine.Lane, it workItem, img *effclip.Image, cfg Config) (out []byte, m []machine.Match, st machine.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, m, st = nil, nil, machine.Stats{}
+			err = fault.New(fault.TrapPanic, img.Name, "shard %d attempt %d: %v\n%s",
+				it.idx, it.attempt, r, trimStack(debug.Stack()))
+		}
+	}()
+	if k := cfg.Inject.Draw(it.idx, it.attempt); k != fault.TrapNone {
+		if k == fault.TrapPanic {
+			panic(fmt.Sprintf("fault injection: shard %d attempt %d (seed %d)", it.idx, it.attempt, cfg.Inject.Seed))
+		}
+		return nil, nil, machine.Stats{}, cfg.Inject.Synthesize(k, img.Name, it.idx, it.attempt)
+	}
 	lane.Reset()
 	lane.SetInput(it.data)
-	if setup != nil {
-		if err := setup(lane, it.idx); err != nil {
+	if cfg.Setup != nil {
+		if err := cfg.Setup(lane, it.idx); err != nil {
 			return nil, nil, machine.Stats{}, err
 		}
 	}
-	if err := lane.Run(0); err != nil {
+	if err := lane.Run(cfg.Budget.For(len(it.data))); err != nil {
 		return nil, nil, lane.Stats(), err
 	}
-	out := append([]byte(nil), lane.Output()...)
-	m := append([]machine.Match(nil), lane.Matches()...)
+	out = append([]byte(nil), lane.Output()...)
+	m = append([]machine.Match(nil), lane.Matches()...)
 	return out, m, lane.Stats(), nil
+}
+
+// trimStack bounds a panic stack so Trap.Detail stays readable in logs and
+// error responses.
+func trimStack(s []byte) []byte {
+	const max = 2048
+	if len(s) > max {
+		return s[:max]
+	}
+	return s
 }

@@ -1,0 +1,91 @@
+// Per-program circuit breakers: a program whose transforms keep dying with
+// lane faults is degraded — requests for it are rejected with 503 before
+// they can occupy a slot of the inflight semaphore, so one poisoned program
+// cannot starve the healthy ones. After a cooldown one probe request is let
+// through; success closes the breaker, another fault reopens it.
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is one program's circuit breaker. The zero value (with threshold
+// and cooldown set) is closed.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive fault failures that open it
+	cooldown  time.Duration // open duration before a probe is allowed
+	consec    int           // consecutive fault failures so far
+	open      bool
+	probing   bool // a half-open probe request is in flight
+	openedAt  time.Time
+}
+
+// allow reports whether a request may proceed. When the breaker is open it
+// returns false and how long the caller should wait before retrying; once
+// the cooldown has elapsed it admits exactly one probe at a time.
+func (b *breaker) allow(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true, 0
+	}
+	if wait := b.openedAt.Add(b.cooldown).Sub(now); wait > 0 {
+		return false, wait
+	}
+	if b.probing {
+		return false, b.cooldown
+	}
+	b.probing = true
+	return true, 0
+}
+
+// success records a completed transform: the breaker closes and the failure
+// streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec, b.open, b.probing = 0, false, false
+}
+
+// failure records a fault-failed transform; crossing the threshold (or any
+// fault on a half-open probe) opens the breaker.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	if b.probing || b.consec >= b.threshold {
+		b.open, b.probing, b.openedAt = true, false, now
+	}
+}
+
+// release ends a half-open probe that resolved without a fault verdict
+// (e.g. the client went away): the breaker stays open and the next probe
+// may proceed.
+func (b *breaker) release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// isOpen reads the breaker state (metrics).
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// breakerFor returns program id's breaker, creating it on first use.
+// Disabled breakers (threshold < 0 in Options) are represented by a nil
+// *Server.breakers map and never reach here.
+func (s *Server) breakerFor(id string) *breaker {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	b, ok := s.breakers[id]
+	if !ok {
+		b = &breaker{threshold: s.opts.BreakerThreshold, cooldown: s.opts.BreakerCooldown}
+		s.breakers[id] = b
+	}
+	return b
+}

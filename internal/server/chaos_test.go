@@ -1,0 +1,231 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"udp"
+	"udp/internal/client"
+	"udp/internal/core"
+	"udp/internal/server"
+)
+
+// registerStrict posts a program that only accepts 'a' symbols, so any other
+// byte is a real (non-injected) TrapBadSignature — the fault generator for
+// the breaker tests.
+func registerStrict(t *testing.T, c *client.Client) string {
+	t.Helper()
+	p := core.NewProgram("strict", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.On('a', s, core.AOut8(core.RSym))
+	res, err := c.Register(context.Background(), "strict", udp.FormatAssembly(p), "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.ID
+}
+
+// TestChaosInjectedPanicRetriesToSuccess runs a transform under 100% panic
+// injection restricted to first attempts: every shard's lane panics once, is
+// quarantined, and the retry policy re-runs the shard to success — the
+// client sees a clean 200 and the fault surface shows up in /metrics.
+func TestChaosInjectedPanicRetriesToSuccess(t *testing.T) {
+	_, c := newTestServer(t, server.Options{
+		Inject: &udp.FaultInjector{Seed: 7, Once: true, Rates: map[udp.TrapKind]float64{udp.TrapPanic: 1}},
+		Retry:  udp.RetryPolicy{Max: 2, Backoff: time.Millisecond},
+	})
+	raw := []byte("chaos survives the panic")
+	got, err := c.TransformBytes(context.Background(), "echo", raw)
+	if err != nil {
+		t.Fatalf("transform under Once panic injection must succeed via retry: %v", err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatalf("echo output %q, want %q", got, raw)
+	}
+	text, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `udp_faults_total{trap="panic"}`) {
+		t.Error(`metrics missing udp_faults_total{trap="panic"}`)
+	}
+	if strings.Contains(text, "udp_retries_total 0\n") || !strings.Contains(text, "udp_retries_total") {
+		t.Error("metrics must report a non-zero udp_retries_total")
+	}
+	if !strings.Contains(text, `udpserved_requests_total{program="echo",code="200"} 1`) {
+		t.Error("the retried transform must still count as one 200")
+	}
+}
+
+// TestChaosNonRetryableInjectionMapsStatusAndOpensBreaker drives 100%
+// bad-signature injection with retries disabled: every transform fails with
+// the mapped 422 (never a hang or a 500), and after the threshold the
+// program's circuit breaker answers 503 with Retry-After before the request
+// can touch a lane.
+func TestChaosNonRetryableInjectionMapsStatusAndOpensBreaker(t *testing.T) {
+	_, c := newTestServer(t, server.Options{
+		Inject:           &udp.FaultInjector{Seed: 3, Rates: map[udp.TrapKind]float64{udp.TrapBadSignature: 1}},
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute, // stays open for the whole test
+	})
+	for i := 0; i < 2; i++ {
+		_, err := c.TransformBytes(context.Background(), "echo", []byte("x"))
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("request %d: err = %v, want 422", i, err)
+		}
+	}
+	_, err := c.TransformBytes(context.Background(), "echo", []byte("x"))
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 once the breaker is open", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Fatalf("503 must carry Retry-After, got %v", ae.RetryAfter)
+	}
+	text, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{
+		`udp_faults_total{trap="bad-signature"} 2`,
+		`udpserved_breaker_open{program="echo"} 1`,
+		`udpserved_requests_total{program="echo",code="422"} 2`,
+		`udpserved_requests_total{program="echo",code="503"} 1`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Breakers are per-program: another program is not rejected by echo's
+	// open breaker — it reaches its lanes and fails with its own injected
+	// 422, not echo's 503.
+	_, err = c.TransformBytes(context.Background(), "csvparse", []byte("a,b\n"))
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("other program err = %v, want its own 422, not the echo breaker's 503", err)
+	}
+}
+
+// TestBreakerHalfOpenRecovery exercises the full state machine on real
+// (non-injected) faults: bad input opens the breaker, the cooldown admits
+// one probe, and a successful probe closes it again.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	const cooldown = 50 * time.Millisecond
+	_, c := newTestServer(t, server.Options{
+		BreakerThreshold: 2,
+		BreakerCooldown:  cooldown,
+	})
+	id := registerStrict(t, c)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		_, err := c.TransformBytes(ctx, id, []byte("bb"))
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("bad input %d: err = %v, want 422", i, err)
+		}
+	}
+	if _, err := c.TransformBytes(ctx, id, []byte("aaaa")); err == nil {
+		t.Fatal("breaker must reject even good input while open")
+	}
+
+	time.Sleep(cooldown + 20*time.Millisecond)
+	got, err := c.TransformBytes(ctx, id, []byte("aaaa"))
+	if err != nil {
+		t.Fatalf("half-open probe with good input must pass: %v", err)
+	}
+	if string(got) != "aaaa" {
+		t.Fatalf("probe output %q", got)
+	}
+	// The successful probe closed the breaker: no cooldown needed now.
+	if _, err := c.TransformBytes(ctx, id, []byte("aa")); err != nil {
+		t.Fatalf("breaker must be closed after a successful probe: %v", err)
+	}
+}
+
+// TestBreakerReopensOnFailedProbe pins the other half-open edge: a probe
+// that faults reopens the breaker immediately, without needing a fresh
+// failure streak.
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	const cooldown = 50 * time.Millisecond
+	_, c := newTestServer(t, server.Options{
+		BreakerThreshold: 2,
+		BreakerCooldown:  cooldown,
+	})
+	id := registerStrict(t, c)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.TransformBytes(ctx, id, []byte("bb")); err == nil {
+			t.Fatal("bad input must fail")
+		}
+	}
+	time.Sleep(cooldown + 20*time.Millisecond)
+	// The probe itself faults: one failure reopens, no threshold streak.
+	var ae *client.APIError
+	if _, err := c.TransformBytes(ctx, id, []byte("bb")); !errors.As(err, &ae) || ae.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("probe err = %v, want 422", err)
+	}
+	if _, err := c.TransformBytes(ctx, id, []byte("aaaa")); !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("after a failed probe err = %v, want 503", err)
+	}
+}
+
+// TestClientRetryRidesOutOpenBreaker pins the client loop end to end: a 503
+// with Retry-After is retried after the hinted wait, and once the cooldown
+// has passed the retried request is the probe that closes the breaker.
+func TestClientRetryRidesOutOpenBreaker(t *testing.T) {
+	_, c := newTestServer(t, server.Options{
+		BreakerThreshold: 1,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	id := registerStrict(t, c)
+	ctx := context.Background()
+
+	if _, err := c.TransformBytes(ctx, id, []byte("b")); err == nil {
+		t.Fatal("bad input must fail")
+	}
+	var ae *client.APIError
+	if _, err := c.TransformBytes(ctx, id, []byte("aaa")); !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 (breaker open)", err)
+	}
+	// WithRetry sleeps out the Retry-After hint (rounded up to 1s by the
+	// server) and lands as the half-open probe.
+	got, err := c.TransformBytes(ctx, id, []byte("aaa"), client.WithRetry(2))
+	if err != nil {
+		t.Fatalf("client retry against the open breaker: %v", err)
+	}
+	if string(got) != "aaa" {
+		t.Fatalf("retried output %q", got)
+	}
+}
+
+// TestChaosInjectedPanicWithoutRetryIs500 pins the status mapping for the
+// one trap that is the server's own bug class: an unretried sandboxed panic
+// surfaces as 500, not as a hung connection or a dead pool.
+func TestChaosInjectedPanicWithoutRetryIs500(t *testing.T) {
+	_, c := newTestServer(t, server.Options{
+		Inject:           &udp.FaultInjector{Seed: 9, Rates: map[udp.TrapKind]float64{udp.TrapPanic: 1}},
+		BreakerThreshold: -1, // isolate the status mapping from the breaker
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		_, err := c.TransformBytes(ctx, "echo", []byte("x"))
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("request %d: err = %v, want 500", i, err)
+		}
+	}
+	// Two sandboxed panics, two clean 500s: the server never hung and the
+	// operational endpoints still answer.
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz after sandboxed panics: %v", err)
+	}
+}

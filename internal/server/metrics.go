@@ -53,8 +53,11 @@ type Metrics struct {
 	shards     map[string]uint64
 	shardErrs  map[string]uint64
 	cycles     map[string]uint64
-	queueDepth map[string]int // last observed per program
-	lanesBusy  map[string]int // last observed per program
+	faults     map[string]uint64 // typed lane faults by trap kind
+	retries    uint64            // shard re-enqueues by the retry policy
+	queueDepth map[string]int    // last observed per program
+	lanesBusy  map[string]int    // last observed per program
+	breakerOpn map[string]int    // circuit-breaker state per program (1 = open)
 	inflight   int
 }
 
@@ -69,8 +72,10 @@ func NewMetrics() *Metrics {
 		shards:     make(map[string]uint64),
 		shardErrs:  make(map[string]uint64),
 		cycles:     make(map[string]uint64),
+		faults:     make(map[string]uint64),
 		queueDepth: make(map[string]int),
 		lanesBusy:  make(map[string]int),
+		breakerOpn: make(map[string]int),
 	}
 }
 
@@ -99,6 +104,23 @@ func (m *Metrics) ShardEvent(program string, e udp.ShardEvent) {
 	if e.Err != nil {
 		m.shardErrs[program]++
 	}
+	if e.Trap != nil {
+		m.faults[e.Trap.Kind.String()]++
+	}
+	if e.Retried {
+		m.retries++
+	}
+}
+
+// SetBreakerOpen records a program's circuit-breaker state.
+func (m *Metrics) SetBreakerOpen(program string, open bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := 0
+	if open {
+		v = 1
+	}
+	m.breakerOpn[program] = v
 }
 
 // AddBytesOut records transformed bytes streamed back to a client.
@@ -181,6 +203,15 @@ func (m *Metrics) Render(w io.Writer, reg *Registry) {
 	counter("udpserved_shard_errors_total", "Shards that failed lane execution.", m.shardErrs)
 	counter("udpserved_lane_cycles_total", "Simulated lane cycles consumed.", m.cycles)
 
+	fmt.Fprintf(w, "# HELP udp_faults_total Typed lane faults observed by the executor, by trap kind.\n")
+	fmt.Fprintf(w, "# TYPE udp_faults_total counter\n")
+	for _, k := range sortedKeys(m.faults) {
+		fmt.Fprintf(w, "udp_faults_total{trap=%q} %d\n", k, m.faults[k])
+	}
+	fmt.Fprintf(w, "# HELP udp_retries_total Shard re-enqueues performed by the retry policy.\n")
+	fmt.Fprintf(w, "# TYPE udp_retries_total counter\n")
+	fmt.Fprintf(w, "udp_retries_total %d\n", m.retries)
+
 	gauge := func(name, help string, mm map[string]int) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
 		for _, p := range sortedKeys(mm) {
@@ -189,6 +220,7 @@ func (m *Metrics) Render(w io.Writer, reg *Registry) {
 	}
 	gauge("udpserved_queue_depth", "Shard-queue depth at the last dequeue (backpressure signal).", m.queueDepth)
 	gauge("udpserved_lanes_busy", "Pool lanes executing at the last dequeue.", m.lanesBusy)
+	gauge("udpserved_breaker_open", "Per-program circuit-breaker state (1 = open, rejecting with 503).", m.breakerOpn)
 
 	fmt.Fprintf(w, "# HELP udpserved_request_seconds Transform request latency.\n")
 	fmt.Fprintf(w, "# TYPE udpserved_request_seconds histogram\n")

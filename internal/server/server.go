@@ -43,6 +43,20 @@ const (
 	DefaultMaxBodyBytes   = int64(1) << 30
 	DefaultRequestTimeout = 2 * time.Minute
 	DefaultMaxInflight    = 8
+	// DefaultCyclesPerByte is the per-shard cycle budget multiplier: honest
+	// kernels run at one-to-a-few cycles per input byte, so 1024 is a
+	// generous margin that still faults a runaway program in milliseconds of
+	// simulated time instead of the machine's 2^33-cycle wall.
+	DefaultCyclesPerByte = 1024
+	// DefaultCycleFloor is the minimum per-shard budget (covers empty
+	// shards and fixed startup work).
+	DefaultCycleFloor = uint64(1) << 20
+	// DefaultBreakerThreshold is the consecutive fault-failed transforms of
+	// one program that open its circuit breaker.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is how long an open breaker rejects before
+	// letting a probe through.
+	DefaultBreakerCooldown = 10 * time.Second
 )
 
 // StatusClientClosedRequest is the nginx-convention status recorded when
@@ -65,6 +79,25 @@ type Options struct {
 	MaxLanes int
 	// ChunkBytes is the shard-size target (0 = the executor default).
 	ChunkBytes int
+	// CyclesPerByte is the per-shard cycle budget multiplier (0 =
+	// DefaultCyclesPerByte; negative = unbounded, the machine default).
+	CyclesPerByte int64
+	// CycleFloor is the minimum per-shard cycle budget (0 =
+	// DefaultCycleFloor).
+	CycleFloor uint64
+	// Retry re-enqueues shards that fail with retryable traps (the zero
+	// policy disables retries; see udp.RetryPolicy).
+	Retry udp.RetryPolicy
+	// Inject, when non-nil, injects deterministic faults per shard attempt
+	// (chaos testing; parse UDP_FAULT_INJECT with udp.ParseInjectSpec).
+	Inject *udp.FaultInjector
+	// BreakerThreshold is the consecutive fault-failed transforms that open
+	// a program's circuit breaker (0 = DefaultBreakerThreshold; negative
+	// disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before a probe
+	// (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
 }
 
 // Server is the udpserved HTTP core. Create with New, mount Handler, or use
@@ -75,6 +108,9 @@ type Server struct {
 	met  *Metrics
 	mux  *http.ServeMux
 	sem  chan struct{}
+
+	bmu      sync.Mutex
+	breakers map[string]*breaker // per-program; nil when the breaker is disabled
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -91,12 +127,27 @@ func New(opts Options) *Server {
 	if opts.MaxInflight <= 0 {
 		opts.MaxInflight = DefaultMaxInflight
 	}
+	if opts.CyclesPerByte == 0 {
+		opts.CyclesPerByte = DefaultCyclesPerByte
+	}
+	if opts.CycleFloor == 0 {
+		opts.CycleFloor = DefaultCycleFloor
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = DefaultBreakerCooldown
+	}
 	s := &Server{
 		opts: opts,
 		reg:  NewRegistry(opts.CachePrograms),
 		met:  NewMetrics(),
 		mux:  http.NewServeMux(),
 		sem:  make(chan struct{}, opts.MaxInflight),
+	}
+	if opts.BreakerThreshold > 0 {
+		s.breakers = make(map[string]*breaker)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -246,6 +297,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 // before the first output byte is written).
 func statusFor(err error) int {
 	var mbe *http.MaxBytesError
+	var tr *udp.Trap
 	var se udp.ShardError
 	switch {
 	case errors.As(err, &mbe):
@@ -254,6 +306,14 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return StatusClientClosedRequest
+	case errors.As(err, &tr):
+		// Typed lane fault. A sandboxed panic is our bug (500); every other
+		// trap means the program rejected or mangled the data — the
+		// client's problem (422).
+		if tr.Kind == udp.TrapPanic {
+			return http.StatusInternalServerError
+		}
+		return http.StatusUnprocessableEntity
 	case errors.As(err, &se):
 		// The program rejected the data (dispatch error): client problem.
 		return http.StatusUnprocessableEntity
@@ -276,12 +336,35 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Degraded-mode gate: a program whose breaker is open is rejected
+	// before it can take a semaphore slot, so a poisoned program cannot
+	// starve healthy ones of transform capacity.
+	var brk *breaker
+	if s.breakers != nil {
+		brk = s.breakerFor(prog.ID)
+		if ok, wait := brk.allow(time.Now()); !ok {
+			secs := int(wait.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			s.met.SetBreakerOpen(prog.ID, true)
+			s.met.RequestDone(prog.ID, http.StatusServiceUnavailable, time.Since(t0))
+			writeErr(w, http.StatusServiceUnavailable,
+				"program %s is degraded (circuit breaker open); retry in %ds", prog.ID, secs)
+			return
+		}
+	}
+
 	// Saturation gate: answer 429 immediately instead of queueing — the
 	// caller's load balancer can retry on a less busy node.
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	default:
+		if brk != nil {
+			brk.release()
+		}
 		w.Header().Set("Retry-After", "1")
 		s.met.RequestDone(prog.ID, http.StatusTooManyRequests, time.Since(t0))
 		writeErr(w, http.StatusTooManyRequests, "transform capacity saturated (%d in flight)", s.opts.MaxInflight)
@@ -290,7 +373,33 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	s.met.IncInflight()
 	defer s.met.DecInflight()
 
+	// A mid-stream failure aborts the handler with a panic (see
+	// runTransform); a half-open probe must not stay stuck in that case.
+	settled := false
+	if brk != nil {
+		defer func() {
+			if !settled {
+				brk.release()
+			}
+		}()
+	}
+
 	code, err := s.runTransform(w, r, prog)
+	if brk != nil {
+		settled = true
+		var tr *udp.Trap
+		switch {
+		case code == http.StatusOK:
+			brk.success()
+		case err != nil && errors.As(err, &tr):
+			brk.failure(time.Now())
+		default:
+			// Not a lane-fault verdict (client error, timeout, ...): a
+			// half-open probe ends without closing or reopening.
+			brk.release()
+		}
+		s.met.SetBreakerOpen(prog.ID, brk.isOpen())
+	}
 	d := time.Since(t0)
 	s.met.RequestDone(prog.ID, code, d)
 	if err != nil && code == http.StatusInternalServerError {
@@ -369,6 +478,13 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 	opts := []udp.ExecOption{
 		udp.WithSink(sink),
 		udp.WithStatsHook(func(e udp.ShardEvent) { s.met.ShardEvent(prog.ID, e) }),
+		udp.WithRetryPolicy(s.opts.Retry),
+	}
+	if s.opts.CyclesPerByte > 0 {
+		opts = append(opts, udp.WithCycleBudget(uint64(s.opts.CyclesPerByte), s.opts.CycleFloor))
+	}
+	if s.opts.Inject != nil {
+		opts = append(opts, udp.WithFaultInjection(s.opts.Inject))
 	}
 	if s.opts.MaxLanes > 0 {
 		opts = append(opts, udp.WithMaxLanes(s.opts.MaxLanes))

@@ -119,5 +119,84 @@ func run() error {
 	case <-time.After(15 * time.Second):
 		return fmt.Errorf("udpserved did not exit after SIGTERM")
 	}
+
+	return chaosLeg(bin)
+}
+
+// chaosLeg restarts the binary under 100% once-only panic injection
+// (UDP_FAULT_INJECT): every shard's first attempt panics, the lane is
+// quarantined, and the retry policy must still deliver a byte-exact 200 —
+// with the fault surface visible in /metrics.
+func chaosLeg(bin string) error {
+	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-retries", "2")
+	srv.Env = append(os.Environ(), "UDP_FAULT_INJECT=seed=1,once=1,panic=1")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("chaos: starting udpserved: %w", err)
+	}
+	defer srv.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println(line)
+			if rest, ok := strings.CutPrefix(line, "udpserved: listening on "); ok {
+				addrCh <- strings.TrimSpace(rest)
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("chaos: server never announced its address")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := client.New("http://"+addr, nil)
+	payload := []byte("chaos payload survives injected panics")
+	got, err := c.TransformBytes(ctx, "echo", payload)
+	if err != nil {
+		return fmt.Errorf("chaos: transform under panic injection: %w", err)
+	}
+	if !bytes.Equal(got, payload) {
+		return fmt.Errorf("chaos: echo output mismatch: got %d bytes, want %d", len(got), len(payload))
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("chaos: metrics: %w", err)
+	}
+	for _, needle := range []string{
+		`udp_faults_total{trap="panic"}`,
+		`udpserved_requests_total{program="echo",code="200"} 1`,
+	} {
+		if !strings.Contains(metrics, needle) {
+			return fmt.Errorf("chaos: metrics missing %q", needle)
+		}
+	}
+	if strings.Contains(metrics, "udp_retries_total 0\n") {
+		return fmt.Errorf("chaos: udp_retries_total is zero despite injected panics")
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("chaos: SIGTERM: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("chaos: udpserved exit: %w", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("chaos: udpserved did not exit after SIGTERM")
+	}
 	return nil
 }

@@ -32,6 +32,7 @@ import (
 	"udp/internal/asm"
 	"udp/internal/core"
 	"udp/internal/effclip"
+	"udp/internal/fault"
 	"udp/internal/machine"
 	"udp/internal/sched"
 )
@@ -85,6 +86,47 @@ type (
 	// ErrorPolicy selects how per-shard errors end (or don't end) a run.
 	ErrorPolicy = sched.ErrorPolicy
 )
+
+// Fault-model types (see internal/fault and internal/sched for full docs).
+type (
+	// Trap is a typed machine fault: kind, program, state base, cycle and a
+	// bounded dispatch-trace tail. Recover it from any execution error with
+	// errors.As, or test the kind with errors.Is(err, udp.TrapCycleBudget).
+	Trap = fault.Trap
+	// TrapKind enumerates the fault taxonomy.
+	TrapKind = fault.Kind
+	// FaultRecord is one shard attempt that ended in a trap (per-shard
+	// fault log in ExecResult.Faults).
+	FaultRecord = sched.FaultRecord
+	// CycleBudget derives a per-shard cycle cap from shard size.
+	CycleBudget = sched.CycleBudget
+	// RetryPolicy re-enqueues shards failing with retryable traps.
+	RetryPolicy = sched.RetryPolicy
+	// FaultInjector deterministically injects traps per shard attempt
+	// (chaos testing; see WithFaultInjection and fault.ParseInjectSpec).
+	FaultInjector = fault.Injector
+)
+
+// Trap kinds, mirroring a hardware UDP's fault-status register.
+const (
+	// TrapCycleBudget: the lane exceeded its cycle budget.
+	TrapCycleBudget = fault.TrapCycleBudget
+	// TrapMemOutOfWindow: a memory reference left the lane's window.
+	TrapMemOutOfWindow = fault.TrapMemOutOfWindow
+	// TrapBadSignature: a dispatch hit a word owned by another state.
+	TrapBadSignature = fault.TrapBadSignature
+	// TrapBadSymbolSize: an unsupported symbol size was selected.
+	TrapBadSymbolSize = fault.TrapBadSymbolSize
+	// TrapEpsilonLoop: a dispatch loop stopped consuming input (livelock).
+	TrapEpsilonLoop = fault.TrapEpsilonLoop
+	// TrapPanic: host-level panic sandboxed during lane execution.
+	TrapPanic = fault.TrapPanic
+)
+
+// ParseInjectSpec parses the UDP_FAULT_INJECT spec format (e.g.
+// "seed=42,once=1,panic=0.5" or "all=0.05") into a FaultInjector; an empty
+// spec yields (nil, nil) — injection disabled.
+func ParseInjectSpec(spec string) (*FaultInjector, error) { return fault.ParseInjectSpec(spec) }
 
 // Error policies for WithErrorPolicy.
 const (
@@ -237,6 +279,29 @@ func WithChunkBytes(n int) ExecOption {
 // Events are delivered serially; the hook needs no locking.
 func WithStatsHook(hook func(ShardEvent)) ExecOption {
 	return func(o *execOpts) { o.cfg.Hook = hook }
+}
+
+// WithCycleBudget caps each shard's lane cycles at perByte×len(shard), but
+// no lower than floor — so a runaway or adversarial program traps with
+// TrapCycleBudget in proportion to its input instead of grinding to the
+// machine's 2^33-cycle wall. Zero values leave the machine default in place.
+// Honest kernels run at one-to-a-few cycles per byte, so even a perByte of
+// 64 is a generous margin.
+func WithCycleBudget(perByte, floor uint64) ExecOption {
+	return func(o *execOpts) { o.cfg.Budget = sched.CycleBudget{PerByte: perByte, Floor: floor} }
+}
+
+// WithRetryPolicy re-enqueues shards that fail with a retryable trap onto a
+// different lane, with decorrelated-jitter backoff. See RetryPolicy for the
+// knobs; the zero policy disables retries.
+func WithRetryPolicy(p RetryPolicy) ExecOption {
+	return func(o *execOpts) { o.cfg.Retry = p }
+}
+
+// WithFaultInjection installs a deterministic fault injector rolled once
+// per shard attempt — the chaos-testing hook. nil disables injection.
+func WithFaultInjection(in *FaultInjector) ExecOption {
+	return func(o *execOpts) { o.cfg.Inject = in }
 }
 
 // WithSink streams each shard's output, in shard order, to sink as soon as
