@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json fmt-check smoke fuzz-smoke race check examples reproduce reproduce-paper clean
+.PHONY: all build test bench bench-json bench-compare fmt-check smoke fuzz-smoke race check examples reproduce reproduce-paper clean
 
 all: build test
 
@@ -50,6 +50,12 @@ bench:
 # Machine-readable throughput/latency reports for the bench trajectory.
 bench-json:
 	$(GO) run ./cmd/udpbench -bench exec,server
+
+# Per-kernel throughput deltas between two reports, e.g.
+#   make bench-compare OLD=BENCH_exec.json NEW=/tmp/BENCH_exec.json
+bench-compare:
+	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make bench-compare OLD=<report.json> NEW=<report.json>"; exit 2; }
+	$(GO) run ./cmd/udpbench -compare $(OLD) $(NEW)
 
 examples:
 	$(GO) run ./examples/quickstart

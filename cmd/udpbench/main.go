@@ -9,6 +9,7 @@
 //	udpbench -list                 # show experiment ids
 //	udpbench -bench exec,server    # write BENCH_exec.json / BENCH_server.json
 //	udpbench -bench server -concurrency 8 -passes 16 -benchdir docs
+//	udpbench -compare BENCH_exec.json BENCH_exec.new.json
 package main
 
 import (
@@ -33,7 +34,20 @@ func main() {
 	benchDir := flag.String("benchdir", ".", "directory for BENCH_<name>.json reports")
 	concurrency := flag.Int("concurrency", 4, "server bench: concurrent load clients")
 	passes := flag.Int("passes", 8, "server bench: requests per client")
+	compare := flag.Bool("compare", false, "diff two BENCH_*.json reports: udpbench -compare OLD NEW")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "udpbench: -compare wants exactly two report paths (old new)")
+			os.Exit(2)
+		}
+		if err := bench.Compare(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "udpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchSel != "" {
 		if err := runBenches(*benchSel, *benchDir, *scale, *concurrency, *passes, *seed); err != nil {

@@ -11,6 +11,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"runtime"
@@ -20,9 +21,14 @@ import (
 
 	"udp"
 	"udp/internal/client"
+	"udp/internal/core"
 	"udp/internal/etl"
 	"udp/internal/kernels/csvparse"
+	"udp/internal/kernels/histogram"
+	"udp/internal/kernels/jsonparse"
+	"udp/internal/kernels/xmlparse"
 	"udp/internal/server"
+	"udp/internal/workload"
 )
 
 // RowsPerScale is the lineitem row count at scale 1.
@@ -58,9 +64,30 @@ type Report struct {
 	MaxMs float64 `json:"max_ms"`
 	// Samples is the latency sample count behind the percentiles.
 	Samples int `json:"samples"`
+	// Kernels breaks the exec benchmark down per builtin kernel (the
+	// inputs `make bench-compare` diffs).
+	Kernels []KernelReport `json:"kernels,omitempty"`
 	// GoVersion and Timestamp pin the environment.
 	GoVersion string `json:"go_version"`
 	Timestamp string `json:"timestamp"`
+}
+
+// KernelReport is one builtin kernel's throughput sample within an exec
+// report.
+type KernelReport struct {
+	// Kernel is the builtin name (echo, csvparse, ...).
+	Kernel string `json:"kernel"`
+	// InputBytes is the input size streamed through the executor.
+	InputBytes int `json:"input_bytes"`
+	// WallSeconds is the host wall-clock for the kernel's pass.
+	WallSeconds float64 `json:"wall_seconds"`
+	// ThroughputMBps is host-side input MB/s (1e6 bytes).
+	ThroughputMBps float64 `json:"throughput_mbps"`
+	// SimulatedMBps is the lane-pool rate at the ASIC clock.
+	SimulatedMBps float64 `json:"simulated_mbps"`
+	// P50Ms / P99Ms are per-shard latency percentiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
 }
 
 func newReport(name string, scale int) *Report {
@@ -122,7 +149,81 @@ func Exec(scale int, seed int64) (*Report, error) {
 	r.ThroughputMBps = float64(r.InputBytes) / 1e6 / r.WallSeconds
 	r.SimulatedMBps = res.Rate()
 	fillLatencies(r, samples)
+	r.Kernels, err = kernelSuite(scale, seed)
+	if err != nil {
+		return nil, err
+	}
 	return r, nil
+}
+
+// kernelSuite streams a representative workload through each builtin server
+// kernel on the executor and samples its throughput, one KernelReport per
+// kernel. These rows are what `make bench-compare` diffs between two
+// BENCH_exec.json files.
+func kernelSuite(scale int, seed int64) ([]KernelReport, error) {
+	crimes := workload.CrimesCSV(workload.CSVSpec{Name: "crimes", Rows: 10000 * scale, Seed: seed})
+	edges := histogram.UniformEdges(16, 0, 1)
+	histProg, err := histogram.BuildProgramEmit(edges)
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		name   string
+		prog   *core.Program
+		input  []byte
+		sep    byte
+		hasSep bool
+	}{
+		{"echo", echoProgram(), workload.Text(workload.TextEnglish, scale<<20, seed), 0, false},
+		{"csvparse", csvparse.BuildProgram(), crimes, '\n', true},
+		{"csvpipe", csvparse.BuildProgramSep('|'),
+			bytes.ReplaceAll(crimes, []byte{','}, []byte{'|'}), '\n', true},
+		{"jsonparse", jsonparse.BuildProgram(), workload.JSONRecords(10000*scale, seed), '\n', true},
+		{"xmlparse", xmlparse.BuildProgram(),
+			bytes.Repeat([]byte(`<row a="1" b='x>y'><v>text &amp; more</v></row>`+"\n"), 10000*scale), '\n', true},
+		// The histogram's 8-byte keys need aligned shards; the default
+		// fixed-size chunk is a multiple of 8.
+		{"histogram16", histProg, histogram.KeyBytes(
+			workload.FloatColumn(200000*scale, workload.DistUniform, 0, 1, seed)), 0, false},
+	}
+	reports := make([]KernelReport, 0, len(cases))
+	for _, c := range cases {
+		im, err := udp.Compile(c.prog)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		var samples []time.Duration
+		opts := []udp.ExecOption{
+			udp.WithStatsHook(func(e udp.ShardEvent) { samples = append(samples, e.Wall) }),
+		}
+		if c.hasSep {
+			opts = append(opts, udp.WithChunker(c.sep))
+		}
+		t0 := time.Now()
+		res, err := udp.Exec(context.Background(), im, bytes.NewReader(c.input), opts...)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		wall := time.Since(t0).Seconds()
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		reports = append(reports, KernelReport{
+			Kernel:         c.name,
+			InputBytes:     len(c.input),
+			WallSeconds:    wall,
+			ThroughputMBps: float64(len(c.input)) / 1e6 / wall,
+			SimulatedMBps:  res.Rate(),
+			P50Ms:          percentile(samples, 0.50),
+			P99Ms:          percentile(samples, 0.99),
+		})
+	}
+	return reports, nil
+}
+
+func echoProgram() *core.Program {
+	p := core.NewProgram("echo", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	return p
 }
 
 // Server benchmarks the network path: an in-process udpserved on a loopback
@@ -210,4 +311,61 @@ func (r *Report) Summary() string {
 	return fmt.Sprintf("%s: scale %d (%d rows, %.1f MB) x %d passes: %.1f MB/s, p50 %.2f ms, p99 %.2f ms, %d errors",
 		r.Name, r.Scale, r.Rows, float64(r.InputBytes)/1e6, r.Passes,
 		r.ThroughputMBps, r.P50Ms, r.P99Ms, r.Errors)
+}
+
+// ReadJSON loads a report previously written by WriteJSON.
+func ReadJSON(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Compare renders the per-kernel throughput deltas between two reports
+// (typically a committed BENCH_exec.json and a fresh run). Kernels present
+// in only one report are shown with a dash; reports predating the kernel
+// suite still diff on the overall row.
+func Compare(oldPath, newPath string, w io.Writer) error {
+	oldR, err := ReadJSON(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := ReadJSON(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-14s %12s %12s %9s\n", "kernel", "old MB/s", "new MB/s", "delta")
+	row := func(name string, old, new float64) {
+		switch {
+		case old == 0 && new == 0:
+			return
+		case old == 0:
+			fmt.Fprintf(w, "%-14s %12s %12.1f %9s\n", name, "-", new, "-")
+		case new == 0:
+			fmt.Fprintf(w, "%-14s %12.1f %12s %9s\n", name, old, "-", "-")
+		default:
+			fmt.Fprintf(w, "%-14s %12.1f %12.1f %+8.1f%%\n", name, old, new, (new/old-1)*100)
+		}
+	}
+	row("overall", oldR.ThroughputMBps, newR.ThroughputMBps)
+	oldK := make(map[string]KernelReport, len(oldR.Kernels))
+	for _, k := range oldR.Kernels {
+		oldK[k.Kernel] = k
+	}
+	seen := make(map[string]bool, len(newR.Kernels))
+	for _, k := range newR.Kernels {
+		seen[k.Kernel] = true
+		row(k.Kernel, oldK[k.Kernel].ThroughputMBps, k.ThroughputMBps)
+	}
+	for _, k := range oldR.Kernels {
+		if !seen[k.Kernel] {
+			row(k.Kernel, k.ThroughputMBps, 0)
+		}
+	}
+	return nil
 }

@@ -22,6 +22,7 @@ package effclip
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"udp/internal/core"
 )
@@ -109,6 +110,11 @@ type Image struct {
 	// TransWordBytes is the encoded size of one transition word (4 for
 	// the UDP's 32-bit format; 6 for wide-attach variants).
 	TransWordBytes int
+
+	// decoded is the lazily-built predecoded code cache (see decode.go),
+	// shared read-only by every lane executing this image.
+	decodeOnce sync.Once
+	decoded    *Decoded
 }
 
 // CodeBytes returns the byte size of the encoded code image, accounting for

@@ -126,6 +126,26 @@ func GetAction(w uint32) (core.Action, bool) {
 	return a, last
 }
 
+// DecodeChain decodes the action chain starting at word addr by walking the
+// encoded words until one carries the last-of-chain flag. It reports ok=false
+// when the chain is not fully contained in words (a walk that would leave the
+// image and read whatever the lane's memory holds there) or exceeds max
+// words — callers fall back to the memory interpreter for such chains.
+func DecodeChain(words []uint32, addr, max int) ([]core.Action, bool) {
+	if addr < 0 || addr >= len(words) {
+		return nil, false
+	}
+	var chain []core.Action
+	for i := addr; i < len(words) && i-addr < max; i++ {
+		a, last := GetAction(words[i])
+		chain = append(chain, a)
+		if last {
+			return chain, true
+		}
+	}
+	return nil, false
+}
+
 // immZeroExtended lists FormatImm opcodes whose immediate is an address
 // offset, bit mask, count or constant and therefore decodes unsigned (OpMovi
 // included: window addresses exceed 32767; negative constants use OpSubi).

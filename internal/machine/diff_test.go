@@ -1,0 +1,433 @@
+// Differential harness for the predecoded code cache: every program runs
+// twice — once on the memory-word interpreter (SetDecoded(false), the
+// reference semantics) and once on the decoded fast path — and everything
+// observable must match bit for bit: output bytes, exit code, accept
+// matches, the full counter set, the final memory image, and any trap. The
+// suite covers the builtin server kernels (echo, csvparse, csvpipe,
+// jsonparse, xmlparse, histogram16), a memory-counter histogram, every
+// dispatch kind (labeled, majority, default, refill, common, flagged,
+// epsilon/NFA), and self-modifying programs that force cache invalidation.
+//
+// It lives in machine_test (not machine) because the pattern kernel imports
+// machine for its UDP runner.
+package machine_test
+
+import (
+	"bytes"
+	"testing"
+
+	"udp/internal/core"
+	"udp/internal/effclip"
+	"udp/internal/encode"
+	"udp/internal/kernels/csvparse"
+	"udp/internal/kernels/histogram"
+	"udp/internal/kernels/jsonparse"
+	"udp/internal/kernels/pattern"
+	"udp/internal/kernels/xmlparse"
+	"udp/internal/machine"
+	"udp/internal/workload"
+)
+
+func layout(t *testing.T, p *core.Program) *effclip.Image {
+	t.Helper()
+	im, err := effclip.Layout(p, effclip.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// runOut captures everything observable about one lane execution.
+type runOut struct {
+	out     []byte
+	exit    int32
+	stats   machine.Stats
+	matches []machine.Match
+	mem     []byte
+	err     error
+	// decoded reports whether the lane was still on the decoded path when
+	// the run ended (false after a store into the code window).
+	decoded bool
+}
+
+func runPath(t *testing.T, img *effclip.Image, input []byte, setup func(*machine.Lane), decoded bool) runOut {
+	t.Helper()
+	lane, err := machine.NewLane(img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane.SetDecoded(decoded)
+	lane.SetInput(input)
+	if setup != nil {
+		setup(lane)
+	}
+	runErr := lane.Run(0)
+	return runOut{
+		out:     append([]byte(nil), lane.Output()...),
+		exit:    lane.Exit(),
+		stats:   lane.Stats(),
+		matches: append([]machine.Match(nil), lane.Matches()...),
+		mem:     append([]byte(nil), lane.Mem()...),
+		err:     runErr,
+		decoded: lane.Decoding(),
+	}
+}
+
+// diffRun executes input on both paths and fails the test on any observable
+// divergence, returning both runs for case-specific assertions.
+func diffRun(t *testing.T, img *effclip.Image, input []byte, setup func(*machine.Lane)) (ref, dec runOut) {
+	t.Helper()
+	ref = runPath(t, img, input, setup, false)
+	dec = runPath(t, img, input, setup, true)
+	refErr, decErr := "", ""
+	if ref.err != nil {
+		refErr = ref.err.Error()
+	}
+	if dec.err != nil {
+		decErr = dec.err.Error()
+	}
+	if refErr != decErr {
+		t.Fatalf("error diverged:\n  memory:  %v\n  decoded: %v", ref.err, dec.err)
+	}
+	if !bytes.Equal(ref.out, dec.out) {
+		t.Fatalf("output diverged: memory %d bytes, decoded %d bytes\nmemory:  %.80q\ndecoded: %.80q",
+			len(ref.out), len(dec.out), ref.out, dec.out)
+	}
+	if ref.exit != dec.exit {
+		t.Fatalf("exit diverged: memory %d, decoded %d", ref.exit, dec.exit)
+	}
+	if ref.stats != dec.stats {
+		t.Fatalf("stats diverged:\n  memory:  %+v\n  decoded: %+v", ref.stats, dec.stats)
+	}
+	if len(ref.matches) != len(dec.matches) {
+		t.Fatalf("match count diverged: memory %d, decoded %d", len(ref.matches), len(dec.matches))
+	}
+	for i := range ref.matches {
+		if ref.matches[i] != dec.matches[i] {
+			t.Fatalf("match %d diverged: memory %+v, decoded %+v", i, ref.matches[i], dec.matches[i])
+		}
+	}
+	if !bytes.Equal(ref.mem, dec.mem) {
+		t.Fatalf("final memory image diverged")
+	}
+	return ref, dec
+}
+
+func echoProgram() *core.Program {
+	p := core.NewProgram("echo", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	return p
+}
+
+// TestDifferentialKernels runs every builtin kernel plus programs covering
+// the remaining dispatch kinds through both execution paths.
+func TestDifferentialKernels(t *testing.T) {
+	crimes := workload.CrimesCSV(workload.CSVSpec{Name: "crimes", Rows: 200, Seed: 2})
+	keys := histogram.KeyBytes(workload.FloatColumn(2048, workload.DistUniform, 0, 1, 4))
+	edges := histogram.UniformEdges(16, 0, 1)
+
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *core.Program
+		input []byte
+	}{
+		{"echo", func(t *testing.T) *core.Program { return echoProgram() },
+			workload.Text(workload.TextEnglish, 16<<10, 1)},
+		{"csvparse", func(t *testing.T) *core.Program { return csvparse.BuildProgram() }, crimes},
+		{"csvpipe", func(t *testing.T) *core.Program { return csvparse.BuildProgramSep('|') },
+			bytes.ReplaceAll(crimes, []byte{','}, []byte{'|'})},
+		{"jsonparse", func(t *testing.T) *core.Program { return jsonparse.BuildProgram() },
+			workload.JSONRecords(200, 3)},
+		{"xmlparse", func(t *testing.T) *core.Program { return xmlparse.BuildProgram() },
+			bytes.Repeat([]byte(`<row a="1" b='x>y'><v>text & more</v></row>`+"\n"), 200)},
+		{"histogram16", func(t *testing.T) *core.Program {
+			p, err := histogram.BuildProgramEmit(edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}, keys},
+		{"histogram-mem", func(t *testing.T) *core.Program {
+			p, err := histogram.BuildProgram(edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}, keys},
+		{"prefix-refill", func(t *testing.T) *core.Program {
+			p := core.NewProgram("prefix", 2)
+			root := p.AddState("root", core.ModeStream)
+			emit := func(c byte) []core.Action {
+				return []core.Action{core.AMovi(core.R1, int32(c)), core.AOut8(core.R1)}
+			}
+			root.OnRefill(0, 1, root, emit('x')...)
+			root.OnRefill(1, 1, root, emit('x')...)
+			root.On(2, root, emit('y')...)
+			root.On(3, root, emit('z')...)
+			return p
+		}, workload.Text(workload.TextLog, 4<<10, 7)},
+		{"default-d2fa", func(t *testing.T) *core.Program {
+			p := core.NewProgram("d2fa", 8)
+			a := p.AddState("a", core.ModeStream)
+			d := p.AddState("d", core.ModeStream)
+			a.On('a', a, core.AMovi(core.R2, 'A'), core.AOut8(core.R2))
+			a.Default(d)
+			d.Majority(a, core.AOut8(core.RSym))
+			return p
+		}, workload.Text(workload.TextEnglish, 4<<10, 9)},
+		{"common-mode", func(t *testing.T) *core.Program {
+			p := core.NewProgram("alt", 8)
+			s0 := p.AddState("s0", core.ModeCommon)
+			s1 := p.AddState("s1", core.ModeCommon)
+			s0.Common(s1)
+			s1.Common(s0, core.AOut8(core.RSym))
+			return p
+		}, workload.Text(workload.TextEnglish, 4<<10, 11)},
+		{"flagged", func(t *testing.T) *core.Program {
+			p := core.NewProgram("flag", 8)
+			p.SymbolBits = 8
+			st := p.AddState("st", core.ModeFlagged)
+			st.SymbolBits = 2
+			fin := p.AddState("fin", core.ModeFlagged)
+			fin.SymbolBits = 2
+			st.On(0, fin, core.AMovi(core.R1, 41), core.AMovi(core.R0, 3))
+			fin.On(3, fin, core.AAddi(core.R1, core.R1, 1), core.AHalt(9))
+			return p
+		}, nil},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := layout(t, tc.build(t))
+			_, dec := diffRun(t, img, tc.input, nil)
+			if !dec.decoded {
+				t.Fatalf("decoded run fell back to the memory path unexpectedly")
+			}
+		})
+	}
+}
+
+// TestDifferentialNFA covers multi-active (epsilon/fork-chain) execution
+// with a NIDS-like pattern set over a synthetic trace.
+func TestDifferentialNFA(t *testing.T) {
+	pats := workload.NIDSPatterns(6, true, 5)
+	set, err := pattern.Compile(pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := set.BuildNFA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := layout(t, prog)
+	trace := workload.NetworkTrace(4096, pats, 0.05, 6)
+	_, dec := diffRun(t, img, trace, nil)
+	if !dec.decoded {
+		t.Fatalf("decoded run fell back to the memory path unexpectedly")
+	}
+	if dec.stats.Activations == 0 {
+		t.Fatalf("NFA case never activated a state; not exercising fork chains")
+	}
+}
+
+// selfModImage builds a program whose 'w' transition stores R2 at byte
+// address R1, plus a majority echo of 'A'; it returns the image, the byte
+// address of the OutI('A') action word, and a replacement word encoding
+// OutI(repl).
+func selfModImage(t *testing.T, repl byte) (*effclip.Image, uint32, uint32) {
+	t.Helper()
+	p := core.NewProgram("selfmod", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.On('w', s, core.Action{Op: core.OpSt32, Dst: core.R1, Src: core.R2})
+	s.Majority(s, core.Action{Op: core.OpOutI, Imm: 'A'})
+	img := layout(t, p)
+	return img, findActionWord(t, img, core.Action{Op: core.OpOutI, Imm: 'A'}),
+		mustEncode(t, core.Action{Op: core.OpOutI, Imm: int32(repl)})
+}
+
+// findActionWord locates the encoded last-of-chain form of a in the image
+// words and returns its byte address.
+func findActionWord(t *testing.T, img *effclip.Image, a core.Action) uint32 {
+	t.Helper()
+	want := mustEncode(t, a)
+	for i, w := range img.Words {
+		if w == want {
+			return uint32(i * core.WordBytes)
+		}
+	}
+	t.Fatalf("action %v not found in image words", a)
+	return 0
+}
+
+func mustEncode(t *testing.T, a core.Action) uint32 {
+	t.Helper()
+	w, err := encode.PutAction(a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestDifferentialSelfModifying: a store into the code window rewrites the
+// majority action from OutI('A') to OutI('B') mid-run. The decoded path must
+// invalidate its cache and finish on the memory interpreter, matching the
+// reference bit for bit; a Reset must restore the pristine code and re-arm
+// the cache.
+func TestDifferentialSelfModifying(t *testing.T) {
+	img, addr, repl := selfModImage(t, 'B')
+	setup := func(l *machine.Lane) {
+		l.SetReg(core.R1, addr)
+		l.SetReg(core.R2, repl)
+	}
+	ref, dec := diffRun(t, img, []byte("xwx"), setup)
+	if got := string(ref.out); got != "AB" {
+		t.Fatalf("reference output %q, want \"AB\"", got)
+	}
+	if dec.decoded {
+		t.Fatalf("store into code window did not invalidate the decoded cache")
+	}
+
+	// Reuse: Reset must restore the rewritten code word from the snapshot
+	// and re-arm the decoded path, so a second run repeats the first.
+	lane, err := machine.NewLane(img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		lane.Reset()
+		if !lane.Decoding() {
+			t.Fatalf("round %d: Reset did not re-arm the decoded path", round)
+		}
+		lane.SetInput([]byte("xwx"))
+		setup(lane)
+		if err := lane.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if got := string(lane.Output()); got != "AB" {
+			t.Fatalf("round %d: output %q, want \"AB\"", round, got)
+		}
+	}
+}
+
+// TestDifferentialSelfModifyingMidChain: the store is the first action of a
+// chain whose *second* action it rewrites, so the decoded path must abandon
+// its memoized chain mid-execution and re-fetch the rewritten word.
+func TestDifferentialSelfModifyingMidChain(t *testing.T) {
+	p := core.NewProgram("selfmod2", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.On('m', s,
+		core.Action{Op: core.OpSt32, Dst: core.R1, Src: core.R2},
+		core.Action{Op: core.OpOutI, Imm: 'A'})
+	s.Majority(s)
+	img := layout(t, p)
+	addr := findActionWord(t, img, core.Action{Op: core.OpOutI, Imm: 'A'})
+	repl := mustEncode(t, core.Action{Op: core.OpOutI, Imm: 'Q'})
+	setup := func(l *machine.Lane) {
+		l.SetReg(core.R1, addr)
+		l.SetReg(core.R2, repl)
+	}
+	ref, dec := diffRun(t, img, []byte("m"), setup)
+	if got := string(ref.out); got != "Q" {
+		t.Fatalf("reference output %q, want \"Q\" (the rewritten action)", got)
+	}
+	if dec.decoded {
+		t.Fatalf("mid-chain store did not invalidate the decoded cache")
+	}
+}
+
+// TestLaneReuseDirtyReset: the dirty-range Reset must leave no state behind
+// across runs of a memory-writing program — every round must reproduce the
+// first exactly.
+func TestLaneReuseDirtyReset(t *testing.T) {
+	edges := histogram.UniformEdges(16, 0, 1)
+	prog, err := histogram.BuildProgram(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := layout(t, prog)
+	keys := histogram.KeyBytes(workload.FloatColumn(512, workload.DistNormal, 0, 1, 8))
+	lane, err := machine.NewLane(img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstMem []byte
+	var firstStats machine.Stats
+	for round := 0; round < 3; round++ {
+		lane.Reset()
+		lane.SetInput(keys)
+		if err := lane.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if round == 0 {
+			firstMem = append([]byte(nil), lane.Mem()...)
+			firstStats = lane.Stats()
+			continue
+		}
+		if !bytes.Equal(lane.Mem(), firstMem) {
+			t.Fatalf("round %d: memory image differs from round 0 (dirty-range Reset leaked state)", round)
+		}
+		if lane.Stats() != firstStats {
+			t.Fatalf("round %d: stats %+v differ from round 0 %+v", round, lane.Stats(), firstStats)
+		}
+	}
+}
+
+// TestDispatchZeroAlloc pins the acceptance criterion: the steady-state
+// dispatch loop (Reset, SetInput, Run over a reused lane) performs zero
+// allocations per run once output capacity is warm.
+func TestDispatchZeroAlloc(t *testing.T) {
+	img := layout(t, echoProgram())
+	lane, err := machine.NewLane(img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte("0123456789abcdef"), 512)
+	run := func() {
+		lane.Reset()
+		lane.SetInput(input)
+		if err := lane.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Fatalf("steady-state dispatch loop: %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// benchLane measures the per-lane interpreter over the csvparse kernel, the
+// most action-heavy builtin. Run with -benchmem: the steady state must
+// report 0 allocs/op on both paths.
+func benchLane(b *testing.B, decoded bool) {
+	prog := csvparse.BuildProgram()
+	img, err := effclip.Layout(prog, effclip.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := workload.CrimesCSV(workload.CSVSpec{Name: "crimes", Rows: 500, Seed: 3})
+	lane, err := machine.NewLane(img, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lane.SetDecoded(decoded)
+	// Warm the output buffer so b.N=1 runs do not report the one-time
+	// capacity growth.
+	lane.Reset()
+	lane.SetInput(input)
+	if err := lane.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lane.Reset()
+		lane.SetInput(input)
+		if err := lane.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLaneDecoded(b *testing.B) { benchLane(b, true) }
+func BenchmarkLaneMemory(b *testing.B)  { benchLane(b, false) }

@@ -43,6 +43,26 @@ type Lane struct {
 	mem     []byte
 	memInit []byte // load-time snapshot of mem, restored by Reset
 
+	// Predecoded code cache (shared read-only across every lane running
+	// the image). decOn is the user switch (SetDecoded); decOK is the live
+	// gate: it drops to false when a store touches the code window, so a
+	// self-modifying program falls back to the memory-word interpreter for
+	// the rest of the run and stays bit-identical. Reset re-arms it (the
+	// memory image is restored to the pristine code the cache was decoded
+	// from).
+	dec     *effclip.Decoded
+	decOn   bool
+	decOK   bool
+	codeEnd int // byte offset one past the code words; stores below dirty the cache
+
+	// baseSig caches effclip.Sig(base) so the per-dispatch signature check
+	// is a byte compare instead of a modulo.
+	baseSig uint8
+
+	// Dirty-range store tracking: Reset restores only [dirtyLo, dirtyHi)
+	// from the load-time snapshot instead of copying the whole bank window.
+	dirtyLo, dirtyHi int
+
 	regs    [core.NumRegs]uint32
 	ss      uint8
 	cb      uint32
@@ -116,8 +136,51 @@ func NewLane(img *effclip.Image, banks int) (*Lane, error) {
 		copy(l.mem[img.DataBase+off:], b)
 	}
 	l.memInit = append([]byte(nil), l.mem...)
+	l.dec = img.Decoded()
+	l.decOn = true
+	if l.dec != nil {
+		l.codeEnd = l.dec.CodeEnd
+	}
+	l.dirtyLo, l.dirtyHi = len(l.mem), 0
 	l.Reset()
 	return l, nil
+}
+
+// SetDecoded switches the predecoded fast path on or off (it is on by
+// default whenever the image has a decoded form). Disabling it forces the
+// memory-word interpreter — the reference semantics the decoded path must
+// match bit for bit; the differential tests rely on this switch. Call it
+// before Run (it takes full effect at the next Reset).
+func (l *Lane) SetDecoded(on bool) {
+	l.decOn = on
+	l.decOK = on && l.dec != nil
+}
+
+// Decoding reports whether the lane is currently executing from the
+// predecoded cache (false after a store into the code window invalidated it
+// for this run).
+func (l *Lane) Decoding() bool { return l.decOK }
+
+// setBase moves the lane to state base b, keeping the cached signature in
+// sync (every probe validates against it).
+func (l *Lane) setBase(b int) {
+	l.base = b
+	l.baseSig = effclip.Sig(b)
+}
+
+// noteStore records a memory write for the dirty-range Reset and drops the
+// decoded fast path when the write lands in the code window
+// (self-modifying code keeps its memory-interpreter semantics).
+func (l *Lane) noteStore(addr, n int) {
+	if addr < l.dirtyLo {
+		l.dirtyLo = addr
+	}
+	if addr+n > l.dirtyHi {
+		l.dirtyHi = addr + n
+	}
+	if addr < l.codeEnd {
+		l.decOK = false
+	}
 }
 
 // Reset returns the lane to its load-time state: registers, stream position,
@@ -126,9 +189,14 @@ func NewLane(img *effclip.Image, banks int) (*Lane, error) {
 // shards with no state leaking from the prior run. The executor in
 // internal/sched relies on this to time-multiplex shards over a lane pool.
 func (l *Lane) Reset() {
-	if l.memInit != nil {
-		copy(l.mem, l.memInit)
+	// Only the store-dirtied range differs from the snapshot: actions and
+	// WriteMem funnel through noteStore, so restoring [dirtyLo, dirtyHi)
+	// is exact and a read-only shard costs no copy at all.
+	if l.memInit != nil && l.dirtyHi > l.dirtyLo {
+		copy(l.mem[l.dirtyLo:l.dirtyHi], l.memInit[l.dirtyLo:l.dirtyHi])
 	}
+	l.dirtyLo, l.dirtyHi = len(l.mem), 0
+	l.decOK = l.decOn && l.dec != nil
 	l.regs = [core.NumRegs]uint32{}
 	for r, v := range l.img.InitRegs {
 		l.regs[r] = v
@@ -136,7 +204,7 @@ func (l *Lane) Reset() {
 	l.ss = l.img.EntrySymbolBits
 	l.cb = uint32(l.img.EntryBase / effclip.SegmentWords * effclip.SegmentWords)
 	l.memBase = 0
-	l.base = l.img.EntryBase
+	l.setBase(l.img.EntryBase)
 	l.mode = l.img.EntryMode
 	l.out = l.out[:0]
 	l.bitAcc, l.bitN = 0, 0
@@ -234,8 +302,15 @@ func (l *Lane) interrupted() bool {
 	return l.stopCheck%interruptStride == 0 && l.stop.Load()
 }
 
-// SetInput attaches the input stream.
-func (l *Lane) SetInput(data []byte) { l.stream = NewBitStream(data) }
+// SetInput attaches the input stream, reusing the lane's BitStream so the
+// per-shard steady state allocates nothing.
+func (l *Lane) SetInput(data []byte) {
+	if l.stream == nil {
+		l.stream = NewBitStream(data)
+		return
+	}
+	l.stream.Reset(data)
+}
 
 // SetReg presets a scalar register before Run.
 func (l *Lane) SetReg(r core.Reg, v uint32) { l.regs[r] = v }
@@ -249,6 +324,9 @@ func (l *Lane) WriteMem(off int, b []byte) error {
 	if off < 0 || off+len(b) > len(l.mem) {
 		return fault.New(fault.TrapMemOutOfWindow, l.img.Name,
 			"WriteMem [%d,%d) outside window", off, off+len(b))
+	}
+	if len(b) > 0 {
+		l.noteStore(off, len(b))
 	}
 	copy(l.mem[off:], b)
 	return nil
@@ -327,17 +405,26 @@ func (l *Lane) runSingle(maxCycles uint64) error {
 		case core.ModeFlagged:
 			sym = l.regs[core.R0]
 		}
-		if err := l.dispatch(sym); err != nil {
+		var err error
+		if l.decOK {
+			err = l.dispatchDecoded(sym)
+		} else {
+			err = l.dispatchMem(sym, 0)
+		}
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// dispatch performs one multi-way dispatch (plus any default-retry hops) for
-// symbol sym at the current state.
-func (l *Lane) dispatch(sym uint32) error {
-	for hop := 0; ; hop++ {
+// dispatchMem performs one multi-way dispatch (plus any default-retry hops)
+// for symbol sym at the current state, interpreting transition words straight
+// out of lane memory. This is the reference path: the decoded fast path must
+// match it bit for bit, and delegates to it (carrying the hop count) whenever
+// a probe leaves the decoded image or a store has invalidated the cache.
+func (l *Lane) dispatchMem(sym uint32, hop int) error {
+	for ; ; hop++ {
 		if hop > 256 {
 			return l.trapf(fault.TrapEpsilonLoop, "default-transition loop at base %d", l.base)
 		}
@@ -381,7 +468,7 @@ func (l *Lane) dispatch(sym uint32) error {
 		if err := l.execAttach(t, takenAt); err != nil {
 			return err
 		}
-		l.base = int(l.cb) + int(t.Target)
+		l.setBase(int(l.cb) + int(t.Target))
 		l.mode = t.NextMode
 		if t.Kind != core.KindDefault {
 			return nil
@@ -408,10 +495,115 @@ func (l *Lane) probe(slot int) (encode.Transition, bool, error) {
 		return encode.Transition{}, false, nil
 	}
 	t := encode.GetTransition(w)
-	if t.Sig != effclip.Sig(l.base) {
+	if t.Sig != l.baseSig {
 		return t, false, nil
 	}
 	return t, true, nil
+}
+
+// dispatchDecoded is dispatchMem on the predecoded cache: same hop loop, same
+// stats and trace effects, but transitions come from shared DecodedSlots and
+// action chains from memoized []core.Action slices — no lane-memory fetch, no
+// bit unpacking, no per-dispatch allocation. Any probe outside the decoded
+// image (flagged dispatch into the data region, runaway base) delegates to
+// dispatchMem mid-loop, before any stats are charged for that hop, so the two
+// paths stay bit-identical.
+func (l *Lane) dispatchDecoded(sym uint32) error {
+	d := l.dec
+	for hop := 0; ; hop++ {
+		if hop > 256 {
+			return l.trapf(fault.TrapEpsilonLoop, "default-transition loop at base %d", l.base)
+		}
+		slot := l.base + int(sym)
+		if l.mode == core.ModeCommon {
+			slot = l.base
+		}
+		if uint(slot) >= uint(len(d.Slots)) || !l.decOK {
+			// The probe leaves the decoded image (it may still be a legal
+			// read of the lane's data region) or a store just invalidated
+			// the cache: finish this dispatch on the memory path.
+			return l.dispatchMem(sym, hop)
+		}
+		l.stats.Cycles++
+		l.stats.Dispatches++
+		l.traceRecord(l.base, sym)
+		ds := &d.Slots[slot]
+		if ds.Sig != l.baseSig {
+			// Signature miss: read the fallback word at base-1 (in range on
+			// the high side since base ≤ slot < len; base 0 traps exactly
+			// like the memory path's out-of-window fetch of word -1).
+			l.stats.Cycles++
+			l.stats.FallbackProbes++
+			if l.base == 0 {
+				return l.trapf(fault.TrapMemOutOfWindow, "dispatch probe at word %d outside window", -1)
+			}
+			ds = &d.Slots[l.base-1]
+			if ds.Sig != l.baseSig || (ds.Kind != core.KindMajority && ds.Kind != core.KindDefault) {
+				return l.trapf(fault.TrapBadSignature, "no transition at base %d for symbol %d", l.base, sym)
+			}
+		}
+		l.regs[core.RSym] = sym
+		if l.trace != nil {
+			fmt.Fprintf(l.trace, "cyc=%d base=%d sym=%#x %s -> %d\n",
+				l.stats.Cycles, l.base, sym, ds.Kind, int(l.cb)+int(ds.Target))
+		}
+		if ds.Kind == core.KindRefill {
+			pb := l.ss - (ds.Attach&(1<<core.RefillLenBits-1) + 1)
+			if pb > 0 {
+				l.stream.PutBack(pb)
+				l.stats.StreamBits -= uint64(pb)
+			}
+		}
+		if err := l.execAttachDecoded(ds); err != nil {
+			return err
+		}
+		l.setBase(int(l.cb) + int(ds.Target))
+		l.mode = ds.NextMode
+		if ds.Kind != core.KindDefault {
+			return nil
+		}
+		// Default: re-dispatch the same symbol at the target state.
+		l.stats.DefaultHops++
+		if l.mode != core.ModeStream {
+			return l.trapf(fault.TrapBadSignature, "default transition into non-stream state at base %d", l.base)
+		}
+		if l.halted {
+			return nil
+		}
+	}
+}
+
+// execAttachDecoded runs a decoded slot's resolved action chain: the
+// memoized slice when one exists, the memory walk at ChainAddr when the
+// chain was not memoizable (it leaves the image words), nothing when the
+// transition carries no actions.
+func (l *Lane) execAttachDecoded(ds *effclip.DecodedSlot) error {
+	if ds.ChainAddr < 0 {
+		return nil
+	}
+	if ds.ChainIdx >= 0 {
+		return l.execChainDecoded(int(ds.ChainAddr), l.dec.Chains[ds.ChainIdx])
+	}
+	return l.execChain(int(ds.ChainAddr))
+}
+
+// execChainDecoded executes a memoized action chain. If an action stores into
+// the code window mid-chain (dropping decOK), the remaining actions are
+// re-fetched through the memory interpreter so a chain that rewrites its own
+// tail executes the rewritten words, exactly as the reference path would.
+func (l *Lane) execChainDecoded(addr int, chain []core.Action) error {
+	for i, n := 0, len(chain); i < n; i++ {
+		if err := l.execAction(chain[i]); err != nil {
+			return err
+		}
+		if l.halted || i == n-1 {
+			return nil
+		}
+		if !l.decOK {
+			return l.execChain(addr + i + 1)
+		}
+	}
+	return nil
 }
 
 // execAttach resolves a taken transition's action chain and executes it.
@@ -598,6 +790,7 @@ func (l *Lane) execAction(a core.Action) error {
 			return err
 		}
 		l.stats.MemRefs++
+		l.noteStore(addr, 1)
 		l.mem[addr] = byte(src)
 	case core.OpSt16:
 		addr, err := l.memAddr(l.getReg(a.Dst)+imm, 2)
@@ -605,6 +798,7 @@ func (l *Lane) execAction(a core.Action) error {
 			return err
 		}
 		l.stats.MemRefs++
+		l.noteStore(addr, 2)
 		binary.LittleEndian.PutUint16(l.mem[addr:], uint16(src))
 	case core.OpSt32:
 		addr, err := l.memAddr(l.getReg(a.Dst)+imm, 4)
@@ -612,6 +806,7 @@ func (l *Lane) execAction(a core.Action) error {
 			return err
 		}
 		l.stats.MemRefs++
+		l.noteStore(addr, 4)
 		binary.LittleEndian.PutUint32(l.mem[addr:], src)
 	case core.OpLdx:
 		addr, err := l.memAddr(ref+src, 1)
@@ -633,6 +828,7 @@ func (l *Lane) execAction(a core.Action) error {
 			return err
 		}
 		l.stats.MemRefs++
+		l.noteStore(addr, 1)
 		l.mem[addr] = byte(l.getReg(a.Dst))
 	case core.OpIncm:
 		addr, err := l.memAddr(src+imm, 4)
@@ -640,6 +836,7 @@ func (l *Lane) execAction(a core.Action) error {
 			return err
 		}
 		l.stats.MemRefs += 2
+		l.noteStore(addr, 4)
 		binary.LittleEndian.PutUint32(l.mem[addr:], binary.LittleEndian.Uint32(l.mem[addr:])+1)
 
 	case core.OpOut8:
@@ -770,6 +967,7 @@ func (l *Lane) loopCpy(dstReg, srcReg core.Reg, n uint32) error {
 	if err != nil {
 		return err
 	}
+	l.noteStore(d, int(n))
 	for i := 0; i < int(n); i++ { // byte order: overlapping RLE copies replicate
 		l.mem[d+i] = l.mem[s+i]
 	}

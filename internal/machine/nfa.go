@@ -56,7 +56,13 @@ func (l *Lane) runNFA(maxCycles uint64) error {
 			delete(next, k)
 		}
 		for _, b := range order {
-			if err := l.nfaProbe(b, sym, next, 0); err != nil {
+			var err error
+			if l.decOK {
+				err = l.nfaProbeDecoded(b, sym, next, 0)
+			} else {
+				err = l.nfaProbe(b, sym, next, 0)
+			}
+			if err != nil {
 				return err
 			}
 			if l.halted {
@@ -111,7 +117,15 @@ func (l *Lane) nfaProbe(b int, sym uint32, next map[int]bool, depth int) error {
 		}
 	}
 	// Walk the fork chain rooted at this slot.
-	for hops := 0; ; hops++ {
+	return l.nfaFork(b, addr, w, 0, next)
+}
+
+// nfaFork walks a fork chain from word addr (already fetched as w), hops
+// continuations deep, activating every epsilon target and executing the
+// terminal entry. The decoded walk delegates here when a continuation leaves
+// the decoded image.
+func (l *Lane) nfaFork(b, addr int, w uint32, hops int, next map[int]bool) error {
+	for ; ; hops++ {
 		if hops > maxForkChain {
 			return l.trapf(fault.TrapEpsilonLoop, "fork chain at base %d exceeds %d hops (cycle)", b, maxForkChain)
 		}
@@ -132,6 +146,7 @@ func (l *Lane) nfaProbe(b int, sym uint32, next map[int]bool, depth int) error {
 				addr += int(t.Attach)
 			}
 			l.stats.Cycles++
+			var err error
 			w, err = l.fetch(addr)
 			if err != nil {
 				return err
@@ -154,5 +169,99 @@ func (l *Lane) nfaTake(t encode.Transition, at int, next map[int]bool) error {
 	}
 	l.stats.Activations++
 	next[int(t.Target)] = true
+	return nil
+}
+
+// nfaProbeDecoded is nfaProbe on the predecoded cache — same stats, traps and
+// activation order, with transitions read from shared DecodedSlots. It
+// delegates to the memory path whenever a probe leaves the decoded image or a
+// store has invalidated the cache.
+func (l *Lane) nfaProbeDecoded(b int, sym uint32, next map[int]bool, depth int) error {
+	if depth > 64 {
+		return l.trapf(fault.TrapEpsilonLoop, "default-transition loop at base %d", b)
+	}
+	d := l.dec
+	addr := b + int(sym)
+	if !l.decOK || uint(addr) >= uint(len(d.Slots)) || b == 0 {
+		return l.nfaProbe(b, sym, next, depth)
+	}
+	l.stats.Cycles++
+	l.stats.Dispatches++
+	l.traceRecord(b, sym)
+	bs := effclip.Sig(b)
+	ds := &d.Slots[addr]
+	if ds.Sig != bs {
+		// Fallback probe (b ≥ 1 here, so b-1 is in range).
+		l.stats.Cycles++
+		l.stats.FallbackProbes++
+		fs := &d.Slots[b-1]
+		if fs.Sig != bs {
+			return nil // empty or foreign slot: deactivate silently
+		}
+		switch fs.Kind {
+		case core.KindMajority:
+			return l.nfaTakeDecoded(fs, next)
+		case core.KindDefault:
+			l.stats.DefaultHops++
+			if err := l.execAttachDecoded(fs); err != nil {
+				return err
+			}
+			if l.decOK {
+				return l.nfaProbeDecoded(int(fs.Target), sym, next, depth+1)
+			}
+			return l.nfaProbe(int(fs.Target), sym, next, depth+1)
+		default:
+			return nil
+		}
+	}
+	return l.nfaForkDecoded(b, addr, 0, next)
+}
+
+// nfaForkDecoded walks a fork chain through the decoded slots, handing the
+// walk to nfaFork when a continuation leaves the decoded image (the memory
+// path charges the same cycle, then fetches — possibly trapping — exactly as
+// this does).
+func (l *Lane) nfaForkDecoded(b, addr, hops int, next map[int]bool) error {
+	d := l.dec
+	bs := effclip.Sig(b)
+	for ; ; hops++ {
+		if hops > maxForkChain {
+			return l.trapf(fault.TrapEpsilonLoop, "fork chain at base %d exceeds %d hops (cycle)", b, maxForkChain)
+		}
+		ds := &d.Slots[addr]
+		if ds.Sig != bs {
+			return l.trapf(fault.TrapBadSignature, "corrupt fork chain at word %d", addr)
+		}
+		if ds.Kind == core.KindEpsilon {
+			l.stats.Activations++
+			next[int(ds.Target)] = true
+			if ds.Next < 0 {
+				return nil
+			}
+			addr = int(ds.Next)
+			l.stats.Cycles++
+			if uint(addr) >= uint(len(d.Slots)) {
+				w, err := l.fetch(addr)
+				if err != nil {
+					return err
+				}
+				return l.nfaFork(b, addr, w, hops+1, next)
+			}
+			continue
+		}
+		return l.nfaTakeDecoded(ds, next)
+	}
+}
+
+// nfaTakeDecoded is nfaTake for a decoded terminal entry.
+func (l *Lane) nfaTakeDecoded(ds *effclip.DecodedSlot, next map[int]bool) error {
+	if next[int(ds.Target)] {
+		return nil
+	}
+	if err := l.execAttachDecoded(ds); err != nil {
+		return err
+	}
+	l.stats.Activations++
+	next[int(ds.Target)] = true
 	return nil
 }

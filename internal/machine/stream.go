@@ -18,6 +18,13 @@ type BitStream struct {
 // NewBitStream wraps data in a stream positioned at bit 0.
 func NewBitStream(data []byte) *BitStream { return &BitStream{data: data} }
 
+// Reset rebinds the stream to data at bit 0, letting a lane reuse one
+// BitStream across shards instead of allocating per input.
+func (b *BitStream) Reset(data []byte) {
+	b.data = data
+	b.pos = 0
+}
+
 // Has reports whether n more bits are available.
 func (b *BitStream) Has(n uint8) bool { return b.pos+int64(n) <= int64(len(b.data))*8 }
 

@@ -49,11 +49,15 @@ func (vf *VectorFile) Load(reg int, data []byte) ([]int, error) {
 // coupling is expressed by passing the same registers to several lanes;
 // private coupling by disjoint sequences.
 func (vf *VectorFile) Stream(regs []int) ([]byte, error) {
-	var out []byte
+	total := 0
 	for _, r := range regs {
 		if r < 0 || r >= VectorRegs {
 			return nil, fault.New(fault.TrapMemOutOfWindow, "", "vector register %d out of range", r)
 		}
+		total += vf.used[r]
+	}
+	out := make([]byte, 0, total)
+	for _, r := range regs {
 		out = append(out, vf.regs[r][:vf.used[r]]...)
 		vf.reads++
 	}

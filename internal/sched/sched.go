@@ -249,6 +249,10 @@ type Config struct {
 	// producer through the bounded queue — backpressure end to end. A
 	// sink error fails the run regardless of Policy; under CollectErrors
 	// a failed shard is skipped and the cursor advances past it.
+	//
+	// The out slice is only valid for the duration of the call: the
+	// executor recycles the buffer for a later shard's output. A sink
+	// that needs the bytes past its return must copy them.
 	Sink func(shard int, out []byte) error
 }
 
@@ -294,6 +298,27 @@ type workItem struct {
 	data    []byte
 	attempt int           // 0 = first execution
 	prev    time.Duration // last backoff (decorrelated jitter state)
+}
+
+// outPool recycles per-shard output buffers on the sink path (the Sink
+// contract forbids retaining out past the call, so a delivered buffer's
+// array can back a later shard's output). Entries are *[]byte to keep
+// Put/Get free of slice-header boxing allocations.
+var outPool = sync.Pool{}
+
+func getOutBuf() []byte {
+	if b, ok := outPool.Get().(*[]byte); ok {
+		return (*b)[:0]
+	}
+	return nil
+}
+
+func putOutBuf(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	outPool.Put(&buf)
 }
 
 // Run streams shards from src through a pool of reusable lanes executing
@@ -372,6 +397,11 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 		}
 	}
 
+	// Shard buffers flow back to a recycling source once finally resolved
+	// (the lane pool only reads a shard between SetInput and the end of its
+	// Run, and outputs are copied, so resolution is the last touch).
+	recycle, _ := src.(Recycler)
+
 	// Reorder window for Config.Sink: finished outputs park here (nil for a
 	// shard skipped under CollectErrors) until every predecessor has been
 	// delivered, so the sink sees outputs in shard order.
@@ -418,6 +448,7 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 				fail(fmt.Errorf("sched: sink: %w", err))
 				return
 			}
+			putOutBuf(out)
 		}
 	}
 
@@ -548,6 +579,9 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 									select {
 									case queue <- next:
 									case <-ctx.Done():
+										if recycle != nil {
+											recycle.Recycle(next.data)
+										}
 										mu.Lock()
 										inflight--
 										maybeClose()
@@ -567,6 +601,9 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 							} else {
 								fail(ShardError{Shard: it.idx, Err: err})
 							}
+							if recycle != nil {
+								recycle.Recycle(it.data)
+							}
 							inflight--
 							maybeClose()
 						}
@@ -580,6 +617,9 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 						}
 						total.Add(st)
 						laneCycles[w] += st.Cycles
+						if recycle != nil {
+							recycle.Recycle(it.data)
+						}
 						inflight--
 						maybeClose()
 					}
@@ -648,7 +688,13 @@ func runShard(lane *machine.Lane, it workItem, img *effclip.Image, cfg Config) (
 	if err := lane.Run(cfg.Budget.For(len(it.data))); err != nil {
 		return nil, nil, lane.Stats(), err
 	}
-	out = append([]byte(nil), lane.Output()...)
+	if cfg.Sink != nil {
+		// Sink deliveries may not retain the slice, so the copy can come
+		// from (and return to) the output buffer pool.
+		out = append(getOutBuf(), lane.Output()...)
+	} else {
+		out = append([]byte(nil), lane.Output()...)
+	}
 	m = append([]machine.Match(nil), lane.Matches()...)
 	return out, m, lane.Stats(), nil
 }

@@ -9,6 +9,7 @@ package sched
 import (
 	"bytes"
 	"io"
+	"sync"
 )
 
 // DefaultChunkBytes is the shard size Records and Chunks aim for when the
@@ -21,6 +22,17 @@ const DefaultChunkBytes = 64 << 10
 // safe for concurrent use: the executor calls Next from one goroutine.
 type Source interface {
 	Next() ([]byte, error)
+}
+
+// Recycler is an optional Source extension: when a source implements it, the
+// executor hands each shard buffer back through Recycle once the shard is
+// finally resolved (delivered, failed with no retry left, or dropped on
+// cancellation), so a streaming source can reuse the array for a later shard
+// instead of allocating one per chunk. Unlike Next, Recycle must be safe for
+// concurrent use — pool workers return buffers as they finish. Slice
+// deliberately does not implement it: those shards belong to the caller.
+type Recycler interface {
+	Recycle(buf []byte)
 }
 
 // Slice adapts an in-memory shard list to a Source.
@@ -40,8 +52,30 @@ func (s *sliceSource) Next() ([]byte, error) {
 	return sh, nil
 }
 
+// bufPool recycles shard buffers for the streaming sources; entries are
+// *[]byte to keep Put/Get free of slice-header boxing allocations.
+type bufPool struct{ p sync.Pool }
+
+// get returns a zero-length buffer with at least min capacity.
+func (bp *bufPool) get(min int) []byte {
+	if b, ok := bp.p.Get().(*[]byte); ok && cap(*b) >= min {
+		return (*b)[:0]
+	}
+	return make([]byte, 0, min)
+}
+
+func (bp *bufPool) put(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	bp.p.Put(&buf)
+}
+
 // Chunks streams r as fixed-size shards of chunkBytes (DefaultChunkBytes
-// when 0). The final shard may be shorter.
+// when 0). The final shard may be shorter. The returned source implements
+// Recycler, so under the executor the steady state reuses a few pool-sized
+// buffers instead of allocating one per chunk.
 func Chunks(r io.Reader, chunkBytes int) Source {
 	if chunkBytes <= 0 {
 		chunkBytes = DefaultChunkBytes
@@ -53,16 +87,21 @@ type chunkSource struct {
 	r     io.Reader
 	chunk int
 	done  bool
+	pool  bufPool
 }
+
+// Recycle accepts a finished shard buffer back into the pool.
+func (c *chunkSource) Recycle(buf []byte) { c.pool.put(buf) }
 
 func (c *chunkSource) Next() ([]byte, error) {
 	if c.done {
 		return nil, io.EOF
 	}
-	buf := make([]byte, c.chunk)
+	buf := c.pool.get(c.chunk)[:c.chunk]
 	n, err := io.ReadFull(c.r, buf)
 	if err == io.EOF {
 		c.done = true
+		c.pool.put(buf)
 		return nil, io.EOF
 	}
 	if err == io.ErrUnexpectedEOF {
@@ -70,6 +109,7 @@ func (c *chunkSource) Next() ([]byte, error) {
 		return buf[:n], nil
 	}
 	if err != nil {
+		c.pool.put(buf)
 		return nil, err
 	}
 	return buf, nil
@@ -80,7 +120,8 @@ func (c *chunkSource) Next() ([]byte, error) {
 // separator byte, so no record straddles two shards — the streaming
 // generalization of SplitRecords. A record longer than chunkBytes extends
 // its shard rather than being split. Trailing bytes without a final
-// separator form the last shard.
+// separator form the last shard. The returned source implements Recycler
+// (see Chunks).
 func Records(r io.Reader, chunkBytes int, sep byte) Source {
 	if chunkBytes <= 0 {
 		chunkBytes = DefaultChunkBytes
@@ -89,12 +130,17 @@ func Records(r io.Reader, chunkBytes int, sep byte) Source {
 }
 
 type recordSource struct {
-	r     io.Reader
-	chunk int
-	sep   byte
-	rest  []byte // carry-over past the last emitted separator
-	done  bool
+	r       io.Reader
+	chunk   int
+	sep     byte
+	rest    []byte // carry-over past the last emitted separator
+	scratch []byte // reused read buffer (contents copied into rest)
+	done    bool
+	pool    bufPool
 }
+
+// Recycle accepts a finished shard buffer back into the pool.
+func (s *recordSource) Recycle(buf []byte) { s.pool.put(buf) }
 
 func (s *recordSource) Next() ([]byte, error) {
 	for {
@@ -104,7 +150,9 @@ func (s *recordSource) Next() ([]byte, error) {
 			if i := bytes.IndexByte(s.rest[s.chunk-1:], s.sep); i >= 0 {
 				cut := s.chunk + i
 				shard := s.rest[:cut]
-				s.rest = append([]byte(nil), s.rest[cut:]...)
+				// The shard owns its array until recycled, so the tail
+				// moves to a (pooled) fresh buffer.
+				s.rest = append(s.pool.get(s.chunk), s.rest[cut:]...)
 				return shard, nil
 			}
 		}
@@ -116,9 +164,14 @@ func (s *recordSource) Next() ([]byte, error) {
 			s.rest = nil
 			return shard, nil
 		}
-		buf := make([]byte, s.chunk)
-		n, err := s.r.Read(buf)
-		s.rest = append(s.rest, buf[:n]...)
+		if s.scratch == nil {
+			s.scratch = make([]byte, s.chunk)
+		}
+		n, err := s.r.Read(s.scratch)
+		if s.rest == nil {
+			s.rest = s.pool.get(s.chunk)
+		}
+		s.rest = append(s.rest, s.scratch[:n]...)
 		if err == io.EOF {
 			s.done = true
 			continue

@@ -309,8 +309,10 @@ func WithFaultInjection(in *FaultInjector) ExecOption {
 // ExecResult.Outputs — so a run over an unbounded input holds only a small
 // reorder window in memory. Deliveries are serial; a slow sink
 // backpressures the lane pool and, through the bounded shard queue, the
-// input reader. A sink error fails the run. This is the building block for
-// streaming transforms (see internal/server).
+// input reader. A sink error fails the run. The out slice is only valid for
+// the duration of the call (the executor recycles output buffers); copy it
+// to retain the bytes. This is the building block for streaming transforms
+// (see internal/server).
 func WithSink(sink func(shard int, out []byte) error) ExecOption {
 	return func(o *execOpts) { o.cfg.Sink = sink }
 }
