@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -25,6 +26,7 @@ import (
 	"udp/internal/kernels/jsonparse"
 	"udp/internal/kernels/trigger"
 	"udp/internal/kernels/xmlparse"
+	"udp/internal/obs"
 )
 
 // kernels exposes the built-in translators for inspection as assembly.
@@ -60,7 +62,14 @@ func kernelNames() string {
 func main() {
 	format := flag.Bool("fmt", false, "print the canonical assembly instead of assembling")
 	kernel := flag.String("kernel", "", "inspect a built-in kernel translator ("+kernelNames()+")")
+	logSpec := flag.String("log", "", obs.LogFlagUsage)
 	flag.Parse()
+
+	logger, lerr := obs.NewLogger(os.Stderr, *logSpec)
+	if lerr != nil {
+		fatal(lerr)
+	}
+	slog.SetDefault(logger)
 
 	var prog *core.Program
 	var err error

@@ -10,18 +10,21 @@
 //	udpbench -bench exec,server    # write BENCH_exec.json / BENCH_server.json
 //	udpbench -bench server -concurrency 8 -passes 16 -benchdir docs
 //	udpbench -compare BENCH_exec.json BENCH_exec.new.json
+//	udpbench -stateprofile         # automaton state profiles per kernel
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"udp/internal/bench"
 	"udp/internal/experiments"
+	"udp/internal/obs"
 )
 
 func main() {
@@ -35,7 +38,26 @@ func main() {
 	concurrency := flag.Int("concurrency", 4, "server bench: concurrent load clients")
 	passes := flag.Int("passes", 8, "server bench: requests per client")
 	compare := flag.Bool("compare", false, "diff two BENCH_*.json reports: udpbench -compare OLD NEW")
+	stateprofile := flag.Bool("stateprofile", false,
+		"run every builtin kernel with the automaton profiler and print each state flame profile")
+	top := flag.Int("top", 10, "stateprofile: hot-state and action rows per kernel")
+	logSpec := flag.String("log", "", obs.LogFlagUsage)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "udpbench:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
+	if *stateprofile {
+		if err := bench.StateProfile(*scale, *seed, *top, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "udpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {

@@ -7,27 +7,36 @@
 //	udprun program.udp input.bin            # one lane
 //	udprun -lanes 8 program.udp input.bin  # shard across lanes
 //	echo -n "text" | udprun program.udp -  # stdin input
+//	udprun -profile program.udp input.bin  # + automaton state profile
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
-	"udp/internal/asm"
-	"udp/internal/effclip"
-	"udp/internal/machine"
+	"udp"
+	"udp/internal/obs"
 )
 
 func main() {
 	lanes := flag.Int("lanes", 1, "number of lanes to shard across")
 	sep := flag.String("sep", "", "shard on this single-byte record separator (e.g. '\\n')")
+	profile := flag.Bool("profile", false, "print the automaton state profile (hot states, dispatch/action mixes) to stderr")
+	logSpec := flag.String("log", "", obs.LogFlagUsage)
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: udprun [-lanes N] [-sep C] file.udp input|-")
+		fmt.Fprintln(os.Stderr, "usage: udprun [-lanes N] [-sep C] [-profile] file.udp input|-")
 		os.Exit(2)
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logSpec)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -41,25 +50,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := asm.Parse(string(src))
+	prog, err := udp.ParseAssembly(string(src))
 	if err != nil {
 		fatal(err)
 	}
-	im, err := effclip.Layout(prog, effclip.Options{})
+	im, err := udp.Compile(prog)
 	if err != nil {
 		fatal(err)
 	}
+	slog.Debug("compiled", "program", im.Name, "max_lanes", udp.MaxLanes(im))
 
 	var shards [][]byte
 	switch {
 	case *lanes <= 1:
 		shards = [][]byte{input}
 	case *sep != "":
-		shards = machine.SplitRecords(input, *lanes, (*sep)[0])
+		shards = udp.SplitRecords(input, *lanes, (*sep)[0])
 	default:
-		shards = machine.SplitBytes(input, *lanes)
+		shards = udp.SplitBytes(input, *lanes)
 	}
-	res, err := machine.RunParallel(im, shards, nil)
+	opts := []udp.ExecOption{udp.WithMaxLanes(*lanes)}
+	var prof *udp.Profile
+	if *profile {
+		prof = udp.NewProfile("", im)
+		opts = append(opts, udp.WithProfile(prof))
+	}
+	res, err := udp.ExecShards(context.Background(), im, shards, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -73,6 +89,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "lanes=%d cycles=%d dispatches=%d actions=%d rate=%.1f MB/s\n",
 		res.Lanes, res.Cycles, res.Total.Dispatches, res.Total.Actions, res.Rate())
+	if prof != nil {
+		prof.Snapshot().Render(os.Stderr, 10)
+	}
 }
 
 func fatal(err error) {

@@ -16,6 +16,12 @@
 // -cycles-per-byte, -retries/-retry-backoff and -breaker-*/; the
 // UDP_FAULT_INJECT environment variable (or -fault-inject) enables
 // deterministic chaos injection, e.g. UDP_FAULT_INJECT="seed=42,panic=0.1".
+//
+// Observability (see docs/OBSERVABILITY.md): -log sets the structured-log
+// level and format; -trace-max sizes the /debug/traces span-tree ring
+// (negative disables tracing); -profile-sample enables the per-lane
+// automaton profiler behind /v1/profile/{program}; /debug/pprof/* serves Go
+// profiling and /metrics includes Go runtime health gauges.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"udp"
+	"udp/internal/obs"
 	"udp/internal/server"
 )
 
@@ -51,7 +58,18 @@ func main() {
 		"open-breaker rejection window before a probe request")
 	injectSpec := flag.String("fault-inject", os.Getenv("UDP_FAULT_INJECT"),
 		`deterministic fault-injection spec, e.g. "seed=42,panic=0.1" or "all=0.05" (default $UDP_FAULT_INJECT)`)
+	logSpec := flag.String("log", "", obs.LogFlagUsage)
+	traceMax := flag.Int("trace-max", obs.DefaultMaxTraces,
+		"request trace trees retained for /debug/traces (0 = default, negative = tracing off)")
+	profileSample := flag.Int("profile-sample", 0,
+		"profile one shard in every N into /v1/profile/{program} (0 = profiling off)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "udpserved:", err)
+		os.Exit(2)
+	}
 
 	inject, err := udp.ParseInjectSpec(*injectSpec)
 	if err != nil {
@@ -60,6 +78,11 @@ func main() {
 	}
 	if inject != nil {
 		fmt.Printf("udpserved: fault injection active: %s\n", inject)
+	}
+
+	var tracer *obs.Tracer
+	if *traceMax >= 0 {
+		tracer = obs.NewTracer(*traceMax)
 	}
 
 	srv := server.New(server.Options{
@@ -74,6 +97,9 @@ func main() {
 		Inject:           inject,
 		BreakerThreshold: *breakerN,
 		BreakerCooldown:  *breakerCool,
+		Logger:           logger,
+		Tracer:           tracer,
+		ProfileSample:    *profileSample,
 	})
 
 	ready := make(chan net.Addr, 1)

@@ -156,24 +156,25 @@ func Exec(scale int, seed int64) (*Report, error) {
 	return r, nil
 }
 
-// kernelSuite streams a representative workload through each builtin server
-// kernel on the executor and samples its throughput, one KernelReport per
-// kernel. These rows are what `make bench-compare` diffs between two
-// BENCH_exec.json files.
-func kernelSuite(scale int, seed int64) ([]KernelReport, error) {
+// kernelCase is one builtin kernel plus a representative workload — the
+// shared unit behind the kernelSuite throughput rows and StateProfile.
+type kernelCase struct {
+	name   string
+	prog   *core.Program
+	input  []byte
+	sep    byte
+	hasSep bool
+}
+
+// kernelCases builds the builtin-kernel workload suite at the given scale.
+func kernelCases(scale int, seed int64) ([]kernelCase, error) {
 	crimes := workload.CrimesCSV(workload.CSVSpec{Name: "crimes", Rows: 10000 * scale, Seed: seed})
 	edges := histogram.UniformEdges(16, 0, 1)
 	histProg, err := histogram.BuildProgramEmit(edges)
 	if err != nil {
 		return nil, err
 	}
-	cases := []struct {
-		name   string
-		prog   *core.Program
-		input  []byte
-		sep    byte
-		hasSep bool
-	}{
+	return []kernelCase{
 		{"echo", echoProgram(), workload.Text(workload.TextEnglish, scale<<20, seed), 0, false},
 		{"csvparse", csvparse.BuildProgram(), crimes, '\n', true},
 		{"csvpipe", csvparse.BuildProgramSep('|'),
@@ -185,6 +186,17 @@ func kernelSuite(scale int, seed int64) ([]KernelReport, error) {
 		// fixed-size chunk is a multiple of 8.
 		{"histogram16", histProg, histogram.KeyBytes(
 			workload.FloatColumn(200000*scale, workload.DistUniform, 0, 1, seed)), 0, false},
+	}, nil
+}
+
+// kernelSuite streams a representative workload through each builtin server
+// kernel on the executor and samples its throughput, one KernelReport per
+// kernel. These rows are what `make bench-compare` diffs between two
+// BENCH_exec.json files.
+func kernelSuite(scale int, seed int64) ([]KernelReport, error) {
+	cases, err := kernelCases(scale, seed)
+	if err != nil {
+		return nil, err
 	}
 	reports := make([]KernelReport, 0, len(cases))
 	for _, c := range cases {
@@ -217,6 +229,37 @@ func kernelSuite(scale int, seed int64) ([]KernelReport, error) {
 		})
 	}
 	return reports, nil
+}
+
+// StateProfile runs every builtin kernel once on the executor with the
+// automaton profiler attached and renders each kernel's state flame profile
+// — ranked hot states, dispatch and action mixes — to w. This is udpbench
+// -stateprofile; CI greps the per-kernel summary lines
+// ("kernel csvparse: states=N dispatches=M ...").
+func StateProfile(scale int, seed int64, top int, w io.Writer) error {
+	if scale < 1 {
+		scale = 1
+	}
+	cases, err := kernelCases(scale, seed)
+	if err != nil {
+		return err
+	}
+	for _, c := range cases {
+		im, err := udp.Compile(c.prog)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		prof := udp.NewProfile(c.name, im)
+		opts := []udp.ExecOption{udp.WithProfile(prof)}
+		if c.hasSep {
+			opts = append(opts, udp.WithChunker(c.sep))
+		}
+		if _, err := udp.Exec(context.Background(), im, bytes.NewReader(c.input), opts...); err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		prof.Snapshot().Render(w, top)
+	}
+	return nil
 }
 
 func echoProgram() *core.Program {

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestStateProfile runs the profiled kernel suite at scale 1 and checks each
+// kernel produced a non-empty flame profile — the same invariant CI greps
+// for on udpbench -stateprofile output.
+func TestStateProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := StateProfile(1, 7, 5, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, kernel := range []string{"echo", "csvparse", "csvpipe", "jsonparse", "xmlparse", "histogram16"} {
+		prefix := "kernel " + kernel + ": states="
+		i := strings.Index(out, prefix)
+		if i < 0 {
+			t.Fatalf("no summary line for %s:\n%s", kernel, out)
+		}
+		if rest := out[i+len(prefix):]; len(rest) == 0 || rest[0] == '0' {
+			t.Fatalf("kernel %s profiled zero states: %q", kernel, out[i:i+60])
+		}
+	}
+	if !strings.Contains(out, "hot states") || !strings.Contains(out, "dispatch mix:") {
+		t.Fatalf("profile rendering missing tables:\n%s", out)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"udp/internal/obs"
 )
 
 // APIError is a non-2xx server reply, decoded from the JSON error body.
@@ -68,6 +70,7 @@ type reqOpts struct {
 	gzipped bool
 	chunk   int
 	retries int
+	traceID *string
 }
 
 // TransformOption tunes one Transform call.
@@ -93,9 +96,21 @@ func WithRetry(max int) TransformOption {
 	return func(o *reqOpts) { o.retries = max }
 }
 
+// WithTraceID captures the server's X-Udp-Trace-Id response header into
+// *dst — the ID that finds the request's span tree in /debug/traces and its
+// records in the server log. It is set even on error replies ("" when the
+// server predates tracing).
+func WithTraceID(dst *string) TransformOption {
+	return func(o *reqOpts) { o.traceID = dst }
+}
+
 // Transform streams body through the named program and returns the
 // transformed stream. The caller must Close the reader; reading it drives
 // the transfer, so backpressure reaches the server's lane pool.
+//
+// When ctx carries a span (obs.ContextWithSpan), Transform propagates its
+// trace in a W3C traceparent header, so the server's span tree joins the
+// caller's trace.
 func (c *Client) Transform(ctx context.Context, program string, body io.Reader, opts ...TransformOption) (io.ReadCloser, error) {
 	var o reqOpts
 	for _, opt := range opts {
@@ -119,9 +134,15 @@ func (c *Client) Transform(ctx context.Context, program string, body io.Reader, 
 		if o.gzipped {
 			req.Header.Set("Content-Encoding", "gzip")
 		}
+		if sc := obs.SpanFromContext(ctx).Context(); sc.Valid() {
+			req.Header.Set("traceparent", sc.Traceparent())
+		}
 		resp, err := c.http.Do(req)
 		if err != nil {
 			return nil, err
+		}
+		if o.traceID != nil {
+			*o.traceID = resp.Header.Get("X-Udp-Trace-Id")
 		}
 		if resp.StatusCode == http.StatusOK {
 			return resp.Body, nil

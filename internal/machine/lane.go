@@ -11,6 +11,7 @@ import (
 	"udp/internal/effclip"
 	"udp/internal/encode"
 	"udp/internal/fault"
+	"udp/internal/obs"
 )
 
 // DefaultMaxCycles bounds a single Run as a guard against non-terminating
@@ -82,6 +83,12 @@ type Lane struct {
 	traceBanks bool
 	bankTrace  []uint64
 	trace      io.Writer
+
+	// prof, when non-nil, histograms state visits, transition kinds, action
+	// opcodes and refill/put-back events into the automaton profiler. Every
+	// hot-path touch is guarded by a nil check, so the disabled cost is one
+	// predictable branch per dispatch/action and zero allocations.
+	prof *obs.LaneProfile
 
 	halted bool
 	exit   int32
@@ -221,6 +228,12 @@ func (l *Lane) Reset() {
 		l.stream.SeekBit(0)
 	}
 }
+
+// SetProfiler attaches (or, with nil, detaches) a per-lane automaton
+// profiler. The profiler accumulates across Reset, so one LaneProfile can
+// histogram every sampled shard a pooled lane executes; the executor merges
+// it into the program-wide obs.Profile when the lane's worker exits.
+func (l *Lane) SetProfiler(p *obs.LaneProfile) { l.prof = p }
 
 // BindStop attaches a cooperative stop flag: when it reads true, Run
 // returns ErrInterrupted within interruptStride dispatches. The executor
@@ -435,6 +448,9 @@ func (l *Lane) dispatchMem(sym uint32, hop int) error {
 		l.stats.Cycles++
 		l.stats.Dispatches++
 		l.traceRecord(l.base, sym)
+		if l.prof != nil {
+			l.prof.Dispatch(l.base)
+		}
 		takenAt := slot
 		t, ok, err := l.probe(slot)
 		if err != nil {
@@ -444,6 +460,9 @@ func (l *Lane) dispatchMem(sym uint32, hop int) error {
 			// Signature miss: read the fallback word at base-1.
 			l.stats.Cycles++
 			l.stats.FallbackProbes++
+			if l.prof != nil {
+				l.prof.Fallback()
+			}
 			takenAt = l.base - 1
 			t, ok, err = l.probe(l.base - 1)
 			if err != nil {
@@ -458,8 +477,14 @@ func (l *Lane) dispatchMem(sym uint32, hop int) error {
 			fmt.Fprintf(l.trace, "cyc=%d base=%d sym=%#x %s -> %d\n",
 				l.stats.Cycles, l.base, sym, t.Kind, int(l.cb)+int(t.Target))
 		}
+		if l.prof != nil {
+			l.prof.Take(t.Kind)
+		}
 		if t.Kind == core.KindRefill {
 			pb := l.ss - (t.Attach&(1<<core.RefillLenBits-1) + 1)
+			if l.prof != nil {
+				l.prof.Refill(pb)
+			}
 			if pb > 0 {
 				l.stream.PutBack(pb)
 				l.stats.StreamBits -= uint64(pb)
@@ -475,6 +500,9 @@ func (l *Lane) dispatchMem(sym uint32, hop int) error {
 		}
 		// Default: re-dispatch the same symbol at the target state.
 		l.stats.DefaultHops++
+		if l.prof != nil {
+			l.prof.DefaultHop()
+		}
 		if l.mode != core.ModeStream {
 			return l.trapf(fault.TrapBadSignature, "default transition into non-stream state at base %d", l.base)
 		}
@@ -527,6 +555,9 @@ func (l *Lane) dispatchDecoded(sym uint32) error {
 		l.stats.Cycles++
 		l.stats.Dispatches++
 		l.traceRecord(l.base, sym)
+		if l.prof != nil {
+			l.prof.Dispatch(l.base)
+		}
 		ds := &d.Slots[slot]
 		if ds.Sig != l.baseSig {
 			// Signature miss: read the fallback word at base-1 (in range on
@@ -534,6 +565,9 @@ func (l *Lane) dispatchDecoded(sym uint32) error {
 			// like the memory path's out-of-window fetch of word -1).
 			l.stats.Cycles++
 			l.stats.FallbackProbes++
+			if l.prof != nil {
+				l.prof.Fallback()
+			}
 			if l.base == 0 {
 				return l.trapf(fault.TrapMemOutOfWindow, "dispatch probe at word %d outside window", -1)
 			}
@@ -547,8 +581,14 @@ func (l *Lane) dispatchDecoded(sym uint32) error {
 			fmt.Fprintf(l.trace, "cyc=%d base=%d sym=%#x %s -> %d\n",
 				l.stats.Cycles, l.base, sym, ds.Kind, int(l.cb)+int(ds.Target))
 		}
+		if l.prof != nil {
+			l.prof.Take(ds.Kind)
+		}
 		if ds.Kind == core.KindRefill {
 			pb := l.ss - (ds.Attach&(1<<core.RefillLenBits-1) + 1)
+			if l.prof != nil {
+				l.prof.Refill(pb)
+			}
 			if pb > 0 {
 				l.stream.PutBack(pb)
 				l.stats.StreamBits -= uint64(pb)
@@ -564,6 +604,9 @@ func (l *Lane) dispatchDecoded(sym uint32) error {
 		}
 		// Default: re-dispatch the same symbol at the target state.
 		l.stats.DefaultHops++
+		if l.prof != nil {
+			l.prof.DefaultHop()
+		}
 		if l.mode != core.ModeStream {
 			return l.trapf(fault.TrapBadSignature, "default transition into non-stream state at base %d", l.base)
 		}
@@ -699,6 +742,9 @@ func beats(n uint32) uint64 { return uint64(n+3) / 4 }
 func (l *Lane) execAction(a core.Action) error {
 	l.stats.Cycles++
 	l.stats.Actions++
+	if l.prof != nil {
+		l.prof.Action(a.Op)
+	}
 	src := l.getReg(a.Src)
 	ref := l.getReg(a.Ref)
 	imm := uint32(a.Imm)
@@ -883,9 +929,15 @@ func (l *Lane) execAction(a core.Action) error {
 		l.ss = uint8(src)
 		l.stats.SetSSOps++
 	case core.OpPutBack:
+		if l.prof != nil {
+			l.prof.PutBack(imm)
+		}
 		l.stream.PutBack(uint8(imm))
 		l.stats.StreamBits -= uint64(imm)
 	case core.OpPutBackR:
+		if l.prof != nil {
+			l.prof.PutBack(src)
+		}
 		l.stream.PutBack(uint8(src))
 		l.stats.StreamBits -= uint64(src)
 	case core.OpRead:

@@ -83,6 +83,9 @@ func (l *Lane) nfaProbe(b int, sym uint32, next map[int]bool, depth int) error {
 	l.stats.Cycles++
 	l.stats.Dispatches++
 	l.traceRecord(b, sym)
+	if l.prof != nil {
+		l.prof.Dispatch(b)
+	}
 	addr := b + int(sym)
 	w, err := l.fetch(addr)
 	if err != nil {
@@ -92,6 +95,9 @@ func (l *Lane) nfaProbe(b int, sym uint32, next map[int]bool, depth int) error {
 		// Fallback probe.
 		l.stats.Cycles++
 		l.stats.FallbackProbes++
+		if l.prof != nil {
+			l.prof.Fallback()
+		}
 		fw, err := l.fetch(b - 1)
 		if err != nil {
 			return err
@@ -108,6 +114,10 @@ func (l *Lane) nfaProbe(b int, sym uint32, next map[int]bool, depth int) error {
 			return l.nfaTake(ft, b-1, next)
 		case core.KindDefault:
 			l.stats.DefaultHops++
+			if l.prof != nil {
+				l.prof.DefaultHop()
+				l.prof.Take(core.KindDefault)
+			}
 			if err := l.execAttach(ft, b-1); err != nil {
 				return err
 			}
@@ -135,6 +145,9 @@ func (l *Lane) nfaFork(b, addr int, w uint32, hops int, next map[int]bool) error
 		}
 		if t.Kind == core.KindEpsilon {
 			l.stats.Activations++
+			if l.prof != nil {
+				l.prof.Take(core.KindEpsilon)
+			}
 			next[int(t.Target)] = true
 			if t.Attach == 0 && t.AttachMode == core.AttachDirect {
 				return nil
@@ -164,6 +177,9 @@ func (l *Lane) nfaTake(t encode.Transition, at int, next map[int]bool) error {
 	if next[int(t.Target)] {
 		return nil
 	}
+	if l.prof != nil {
+		l.prof.Take(t.Kind)
+	}
 	if err := l.execAttach(t, at); err != nil {
 		return err
 	}
@@ -188,12 +204,18 @@ func (l *Lane) nfaProbeDecoded(b int, sym uint32, next map[int]bool, depth int) 
 	l.stats.Cycles++
 	l.stats.Dispatches++
 	l.traceRecord(b, sym)
+	if l.prof != nil {
+		l.prof.Dispatch(b)
+	}
 	bs := effclip.Sig(b)
 	ds := &d.Slots[addr]
 	if ds.Sig != bs {
 		// Fallback probe (b ≥ 1 here, so b-1 is in range).
 		l.stats.Cycles++
 		l.stats.FallbackProbes++
+		if l.prof != nil {
+			l.prof.Fallback()
+		}
 		fs := &d.Slots[b-1]
 		if fs.Sig != bs {
 			return nil // empty or foreign slot: deactivate silently
@@ -203,6 +225,10 @@ func (l *Lane) nfaProbeDecoded(b int, sym uint32, next map[int]bool, depth int) 
 			return l.nfaTakeDecoded(fs, next)
 		case core.KindDefault:
 			l.stats.DefaultHops++
+			if l.prof != nil {
+				l.prof.DefaultHop()
+				l.prof.Take(core.KindDefault)
+			}
 			if err := l.execAttachDecoded(fs); err != nil {
 				return err
 			}
@@ -234,6 +260,9 @@ func (l *Lane) nfaForkDecoded(b, addr, hops int, next map[int]bool) error {
 		}
 		if ds.Kind == core.KindEpsilon {
 			l.stats.Activations++
+			if l.prof != nil {
+				l.prof.Take(core.KindEpsilon)
+			}
 			next[int(ds.Target)] = true
 			if ds.Next < 0 {
 				return nil
@@ -257,6 +286,9 @@ func (l *Lane) nfaForkDecoded(b, addr, hops int, next map[int]bool) error {
 func (l *Lane) nfaTakeDecoded(ds *effclip.DecodedSlot, next map[int]bool) error {
 	if next[int(ds.Target)] {
 		return nil
+	}
+	if l.prof != nil {
+		l.prof.Take(ds.Kind)
 	}
 	if err := l.execAttachDecoded(ds); err != nil {
 		return err

@@ -1,0 +1,117 @@
+package machine
+
+import (
+	"testing"
+
+	"udp/internal/core"
+	"udp/internal/obs"
+)
+
+// TestLaneProfilerCountsDispatches attaches a LaneProfile to a lane and
+// checks the histogram against the lane's own Stats — same dispatch count,
+// state visits attributed to the right base, and the action mix recorded.
+func TestLaneProfilerCountsDispatches(t *testing.T) {
+	p := core.NewProgram("copy", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	im := mustLayout(t, p)
+
+	lane, err := NewLane(im, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := obs.NewLaneProfile(len(im.Words))
+	lane.SetProfiler(lp)
+	lane.SetInput([]byte("hello, udp"))
+	if err := lane.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	prof := obs.NewProfile("copy", obs.InvertStateBase(im.StateBase))
+	prof.Merge(lp)
+	snap := prof.Snapshot()
+
+	st := lane.Stats()
+	if snap.Dispatches != st.Dispatches {
+		t.Fatalf("profiler dispatches = %d, lane stats = %d", snap.Dispatches, st.Dispatches)
+	}
+	if snap.Fallbacks != st.FallbackProbes {
+		t.Fatalf("profiler fallbacks = %d, lane stats = %d", snap.Fallbacks, st.FallbackProbes)
+	}
+	if snap.Actions != st.Actions {
+		t.Fatalf("profiler actions = %d, lane stats = %d", snap.Actions, st.Actions)
+	}
+	if len(snap.States) != 1 || snap.States[0].Name != "s" ||
+		snap.States[0].Base != im.StateBase["s"] ||
+		snap.States[0].Dispatches != st.Dispatches {
+		t.Fatalf("hot states: %+v", snap.States)
+	}
+	if len(snap.ActionMix) != 1 || snap.ActionMix[0].Name != core.OpOut8.String() {
+		t.Fatalf("action mix: %+v", snap.ActionMix)
+	}
+}
+
+// TestLaneProfilerDetachedRecordsNothing runs with the profiler detached and
+// checks no counters move — the nil guard paths.
+func TestLaneProfilerDetachedRecordsNothing(t *testing.T) {
+	p := core.NewProgram("copy", 8)
+	s := p.AddState("s", core.ModeStream)
+	s.Majority(s, core.AOut8(core.RSym))
+	im := mustLayout(t, p)
+
+	lane, err := NewLane(im, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := obs.NewLaneProfile(len(im.Words))
+	lane.SetProfiler(lp)
+	lane.SetProfiler(nil) // detach again, as the sampling executor does
+	lane.SetInput([]byte("hello"))
+	if err := lane.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	prof := obs.NewProfile("copy", nil)
+	prof.Merge(lp)
+	if snap := prof.Snapshot(); !snap.Empty() {
+		t.Fatalf("detached profiler recorded activity: %+v", snap)
+	}
+}
+
+// TestLaneProfilerNFA checks the epsilon-fork and taken-transition kinds show
+// up in the dispatch mix for an NFA program.
+func TestLaneProfilerNFA(t *testing.T) {
+	p := core.NewProgram("nfa", 8)
+	p.MultiActive = true
+	a := p.AddState("a", core.ModeStream)
+	b := p.AddState("b", core.ModeStream)
+	c := p.AddState("c", core.ModeStream)
+	a.OnEpsilon('x', b)
+	a.OnEpsilon('x', c)
+	b.On('y', b, core.AAccept(1))
+	c.On('z', c, core.AAccept(2))
+	im := mustLayout(t, p)
+
+	lane, err := NewLane(im, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := obs.NewLaneProfile(len(im.Words))
+	lane.SetProfiler(lp)
+	lane.SetInput([]byte("xy"))
+	if err := lane.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	prof := obs.NewProfile("nfa", nil)
+	prof.Merge(lp)
+	snap := prof.Snapshot()
+	if snap.Dispatches == 0 {
+		t.Fatal("no NFA dispatches recorded")
+	}
+	kinds := make(map[string]bool, len(snap.DispatchMix))
+	for _, m := range snap.DispatchMix {
+		kinds[m.Name] = true
+	}
+	if !kinds[core.KindEpsilon.String()] {
+		t.Fatalf("epsilon forks missing from dispatch mix: %+v", snap.DispatchMix)
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogFlagUsage documents the shared -log flag value accepted by NewLogger,
+// for the cmd/ binaries' flag registrations.
+const LogFlagUsage = "log level and format: debug|info|warn|error[,text|json] (e.g. \"debug\" or \"info,json\")"
+
+// ParseLogSpec parses the shared -log flag value: a level name, a format
+// name, or "level,format" in either order. The empty spec means "info,text".
+func ParseLogSpec(spec string) (level slog.Level, json bool, err error) {
+	level = slog.LevelInfo
+	for _, part := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(strings.ToLower(part)) {
+		case "", "text":
+		case "json":
+			json = true
+		case "debug":
+			level = slog.LevelDebug
+		case "info":
+			level = slog.LevelInfo
+		case "warn", "warning":
+			level = slog.LevelWarn
+		case "error":
+			level = slog.LevelError
+		default:
+			return 0, false, fmt.Errorf("bad -log value %q (want %s)", spec, LogFlagUsage)
+		}
+	}
+	return level, json, nil
+}
+
+// NewLogger builds the slog logger behind a -log flag value, writing to w.
+func NewLogger(w io.Writer, spec string) (*slog.Logger, error) {
+	level, jsonFormat, err := ParseLogSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h), nil
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLogSpec(t *testing.T) {
+	cases := []struct {
+		spec  string
+		level slog.Level
+		json  bool
+		bad   bool
+	}{
+		{"", slog.LevelInfo, false, false},
+		{"debug", slog.LevelDebug, false, false},
+		{"warn", slog.LevelWarn, false, false},
+		{"warning", slog.LevelWarn, false, false},
+		{"error,json", slog.LevelError, true, false},
+		{"json,debug", slog.LevelDebug, true, false},
+		{"info,text", slog.LevelInfo, false, false},
+		{" Debug , JSON ", slog.LevelDebug, true, false},
+		{"bogus", 0, false, true},
+		{"debug,xml", 0, false, true},
+	}
+	for _, c := range cases {
+		level, jsonFmt, err := ParseLogSpec(c.spec)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseLogSpec(%q): want error", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseLogSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if level != c.level || jsonFmt != c.json {
+			t.Errorf("ParseLogSpec(%q) = (%v, %v), want (%v, %v)",
+				c.spec, level, jsonFmt, c.level, c.json)
+		}
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "debug,json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "request_id", "abc123")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json logger emitted non-JSON: %q", buf.String())
+	}
+	if rec["msg"] != "hello" || rec["request_id"] != "abc123" {
+		t.Fatalf("record = %v", rec)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hidden")
+	lg.Info("shown")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("default info,text filtering broken: %q", out)
+	}
+
+	if _, err := NewLogger(&buf, "nope"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

@@ -1,0 +1,14 @@
+// Package obs is the unified observability layer: a lightweight span tracer
+// with W3C traceparent propagation (trace.go), structured-logging helpers on
+// log/slog shared by the cmd/ binaries (log.go), and the sampled per-lane
+// automaton profiler that histograms where a UDP program's dispatches,
+// actions and stream events go (profile.go).
+//
+// The package sits below every layer that produces telemetry — machine,
+// sched, server, client, bench — and imports only the ISA and layout
+// packages, so any of them can depend on it without cycles. Everything here
+// is opt-in and nil-safe: a nil *Span, a missing context span, or a nil
+// profiler costs one branch on the hot path and allocates nothing, which is
+// what keeps the machine's zero-allocation dispatch guarantee intact when
+// observability is off.
+package obs

@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"udp/internal/core"
+)
+
+// LaneProfile is the per-lane automaton histogram: state visits (by dispatch
+// base word address), transition kinds, action opcodes, and stream
+// refill/put-back events. One LaneProfile is attached to one lane at a time
+// (machine.Lane.SetProfiler) and needs no locking; the executor merges it
+// into a shared Profile when the lane's worker exits. All counters are
+// bump-only, so recording is a few adds per dispatch — cheap enough to
+// sample every shard, guarded out entirely when no profiler is attached.
+type LaneProfile struct {
+	states      []uint64 // dispatches per base word address
+	overflow    uint64   // dispatches at bases beyond len(states)
+	kinds       [core.NumTransKinds]uint64
+	ops         [core.NumOpcodes]uint64
+	dispatches  uint64
+	fallbacks   uint64
+	defaultHops uint64
+	refills     uint64
+	putBacks    uint64
+	putBackBits uint64
+	shards      uint64
+}
+
+// NewLaneProfile sizes the state histogram for an image of words code words
+// (dispatch bases are word addresses inside the image).
+func NewLaneProfile(words int) *LaneProfile {
+	return &LaneProfile{states: make([]uint64, words)}
+}
+
+// Dispatch records one multi-way dispatch at state base.
+func (p *LaneProfile) Dispatch(base int) {
+	p.dispatches++
+	if base >= 0 && base < len(p.states) {
+		p.states[base]++
+	} else {
+		p.overflow++
+	}
+}
+
+// Take records the kind of a taken transition.
+func (p *LaneProfile) Take(kind core.TransKind) {
+	if int(kind) < len(p.kinds) {
+		p.kinds[kind]++
+	}
+}
+
+// Fallback records a signature miss that read the fallback word.
+func (p *LaneProfile) Fallback() { p.fallbacks++ }
+
+// DefaultHop records a non-consuming default-transition retry.
+func (p *LaneProfile) DefaultHop() { p.defaultHops++ }
+
+// Refill records a variable-length-symbol refill putting back bits.
+func (p *LaneProfile) Refill(bits uint8) {
+	p.refills++
+	p.putBackBits += uint64(bits)
+}
+
+// PutBack records an explicit put-back action of bits stream bits.
+func (p *LaneProfile) PutBack(bits uint32) {
+	p.putBacks++
+	p.putBackBits += uint64(bits)
+}
+
+// Action records one executed action word.
+func (p *LaneProfile) Action(op core.Opcode) {
+	if op < core.NumOpcodes {
+		p.ops[op]++
+	}
+}
+
+// Shard marks one shard sampled into this profile.
+func (p *LaneProfile) Shard() { p.shards++ }
+
+// add accumulates other into p, growing the state histogram as needed.
+func (p *LaneProfile) add(other *LaneProfile) {
+	if len(other.states) > len(p.states) {
+		grown := make([]uint64, len(other.states))
+		copy(grown, p.states)
+		p.states = grown
+	}
+	for i, v := range other.states {
+		p.states[i] += v
+	}
+	p.overflow += other.overflow
+	for i := range other.kinds {
+		p.kinds[i] += other.kinds[i]
+	}
+	for i := range other.ops {
+		p.ops[i] += other.ops[i]
+	}
+	p.dispatches += other.dispatches
+	p.fallbacks += other.fallbacks
+	p.defaultHops += other.defaultHops
+	p.refills += other.refills
+	p.putBacks += other.putBacks
+	p.putBackBits += other.putBackBits
+	p.shards += other.shards
+}
+
+// Profile aggregates sampled LaneProfiles across a program's lanes and
+// shards — the program's "state flame profile". Safe for concurrent Merge
+// and Snapshot.
+type Profile struct {
+	mu    sync.Mutex
+	prog  string
+	names map[int]string // base word address -> state name
+	acc   LaneProfile
+}
+
+// NewProfile builds an empty aggregate for program. names maps state base
+// word addresses to state names for rendering (an Image's StateBase map,
+// inverted; nil is fine — hot states then show bare base addresses).
+func NewProfile(program string, names map[int]string) *Profile {
+	return &Profile{prog: program, names: names}
+}
+
+// Program returns the profiled program's name.
+func (p *Profile) Program() string { return p.prog }
+
+// Merge folds one lane's histogram into the aggregate.
+func (p *Profile) Merge(lp *LaneProfile) {
+	if lp == nil {
+		return
+	}
+	p.mu.Lock()
+	p.acc.add(lp)
+	p.mu.Unlock()
+}
+
+// StateCount is one ranked hot-state row.
+type StateCount struct {
+	// Base is the state's word address in the image.
+	Base int `json:"base"`
+	// Name is the state name when known.
+	Name string `json:"name,omitempty"`
+	// Dispatches is how many multi-way dispatches ran at this state.
+	Dispatches uint64 `json:"dispatches"`
+	// Pct is the share of all dispatches, in percent.
+	Pct float64 `json:"pct"`
+}
+
+// MixCount is one dispatch-kind or action-opcode histogram row.
+type MixCount struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Pct   float64 `json:"pct"`
+}
+
+// Snapshot is a Profile frozen for export: totals, the ranked hot-state
+// table, and the dispatch/action mixes. It is the JSON document behind
+// /v1/profile/{program} and the text table behind udpbench -stateprofile.
+type Snapshot struct {
+	Program     string       `json:"program"`
+	Shards      uint64       `json:"shards"`
+	Dispatches  uint64       `json:"dispatches"`
+	Fallbacks   uint64       `json:"fallback_probes"`
+	DefaultHops uint64       `json:"default_hops"`
+	Actions     uint64       `json:"actions"`
+	Refills     uint64       `json:"refills"`
+	PutBacks    uint64       `json:"putbacks"`
+	PutBackBits uint64       `json:"putback_bits"`
+	Overflow    uint64       `json:"overflow_dispatches,omitempty"`
+	States      []StateCount `json:"states"`
+	DispatchMix []MixCount   `json:"dispatch_mix"`
+	ActionMix   []MixCount   `json:"action_mix"`
+}
+
+// Empty reports a snapshot with no recorded activity.
+func (s *Snapshot) Empty() bool { return s.Dispatches == 0 && s.Actions == 0 }
+
+// Snapshot freezes the aggregate for export.
+func (p *Profile) Snapshot() *Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a := &p.acc
+	s := &Snapshot{
+		Program:     p.prog,
+		Shards:      a.shards,
+		Dispatches:  a.dispatches,
+		Fallbacks:   a.fallbacks,
+		DefaultHops: a.defaultHops,
+		Refills:     a.refills,
+		PutBacks:    a.putBacks,
+		PutBackBits: a.putBackBits,
+		Overflow:    a.overflow,
+	}
+	for _, n := range a.ops {
+		s.Actions += n
+	}
+	pct := func(n uint64, of uint64) float64 {
+		if of == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(of)
+	}
+	for base, n := range a.states {
+		if n == 0 {
+			continue
+		}
+		s.States = append(s.States, StateCount{
+			Base: base, Name: p.names[base], Dispatches: n, Pct: pct(n, a.dispatches),
+		})
+	}
+	sort.Slice(s.States, func(i, j int) bool {
+		if s.States[i].Dispatches != s.States[j].Dispatches {
+			return s.States[i].Dispatches > s.States[j].Dispatches
+		}
+		return s.States[i].Base < s.States[j].Base
+	})
+	var taken uint64
+	for _, n := range a.kinds {
+		taken += n
+	}
+	for k, n := range a.kinds {
+		if n == 0 {
+			continue
+		}
+		s.DispatchMix = append(s.DispatchMix, MixCount{
+			Name: core.TransKind(k).String(), Count: n, Pct: pct(n, taken),
+		})
+	}
+	sort.Slice(s.DispatchMix, func(i, j int) bool { return s.DispatchMix[i].Count > s.DispatchMix[j].Count })
+	for op, n := range a.ops {
+		if n == 0 {
+			continue
+		}
+		s.ActionMix = append(s.ActionMix, MixCount{
+			Name: core.Opcode(op).String(), Count: n, Pct: pct(n, s.Actions),
+		})
+	}
+	sort.Slice(s.ActionMix, func(i, j int) bool { return s.ActionMix[i].Count > s.ActionMix[j].Count })
+	return s
+}
+
+// Summary is the one-line machine-greppable rendering CI keys off:
+// "kernel csvparse: states=5 dispatches=123 actions=456 shards=7".
+func (s *Snapshot) Summary() string {
+	return fmt.Sprintf("kernel %s: states=%d dispatches=%d actions=%d shards=%d",
+		s.Program, len(s.States), s.Dispatches, s.Actions, s.Shards)
+}
+
+// Render writes the ranked hot-state table plus the dispatch and action
+// mixes. top bounds the state and action rows (0 = 10).
+func (s *Snapshot) Render(w io.Writer, top int) {
+	if top <= 0 {
+		top = 10
+	}
+	fmt.Fprintf(w, "%s\n", s.Summary())
+	fmt.Fprintf(w, "  fallbacks=%d default-hops=%d refills=%d putbacks=%d putback-bits=%d\n",
+		s.Fallbacks, s.DefaultHops, s.Refills, s.PutBacks, s.PutBackBits)
+	n := len(s.States)
+	if n > top {
+		n = top
+	}
+	if n > 0 {
+		fmt.Fprintf(w, "  hot states (top %d of %d):\n", n, len(s.States))
+		fmt.Fprintf(w, "    %4s %-20s %8s %12s %7s\n", "rank", "state", "base", "dispatches", "share")
+		for i := 0; i < n; i++ {
+			st := s.States[i]
+			name := st.Name
+			if name == "" {
+				name = fmt.Sprintf("word%d", st.Base)
+			}
+			fmt.Fprintf(w, "    %4d %-20s %8d %12d %6.1f%%\n", i+1, name, st.Base, st.Dispatches, st.Pct)
+		}
+	}
+	if len(s.DispatchMix) > 0 {
+		fmt.Fprintf(w, "  dispatch mix:")
+		for _, m := range s.DispatchMix {
+			fmt.Fprintf(w, " %s %.1f%%", m.Name, m.Pct)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(s.ActionMix) > 0 {
+		k := len(s.ActionMix)
+		if k > top {
+			k = top
+		}
+		fmt.Fprintf(w, "  action mix (top %d of %d):", k, len(s.ActionMix))
+		for _, m := range s.ActionMix[:k] {
+			fmt.Fprintf(w, " %s %.1f%%", m.Name, m.Pct)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// InvertStateBase turns an image's state-name→base map into the base→name
+// map NewProfile wants.
+func InvertStateBase(bases map[string]int) map[int]string {
+	if len(bases) == 0 {
+		return nil
+	}
+	out := make(map[int]string, len(bases))
+	for name, base := range bases {
+		out[base] = name
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"udp/internal/core"
+)
+
+func TestProfileSnapshotRanksAndMixes(t *testing.T) {
+	lp := NewLaneProfile(8)
+	for i := 0; i < 3; i++ {
+		lp.Dispatch(2)
+		lp.Take(core.KindMajority)
+	}
+	lp.Dispatch(5)
+	lp.Take(core.KindLabeled)
+	lp.Dispatch(100) // beyond the state histogram: overflow bucket
+	lp.Fallback()
+	lp.DefaultHop()
+	lp.Refill(3)
+	lp.PutBack(5)
+	lp.Action(core.OpOut8)
+	lp.Action(core.OpOut8)
+	lp.Action(core.OpMovi)
+	lp.Shard()
+
+	p := NewProfile("test", map[int]string{2: "plain", 5: "field"})
+	p.Merge(lp)
+	p.Merge(nil) // must be a no-op
+
+	s := p.Snapshot()
+	if s.Program != "test" || s.Empty() {
+		t.Fatalf("snapshot header: %+v", s)
+	}
+	if s.Dispatches != 5 || s.Overflow != 1 || s.Fallbacks != 1 || s.DefaultHops != 1 {
+		t.Fatalf("dispatch totals: %+v", s)
+	}
+	if s.Refills != 1 || s.PutBacks != 1 || s.PutBackBits != 8 {
+		t.Fatalf("stream totals: %+v", s)
+	}
+	if s.Actions != 3 || s.Shards != 1 {
+		t.Fatalf("action/shard totals: %+v", s)
+	}
+	if len(s.States) != 2 || s.States[0].Name != "plain" || s.States[0].Dispatches != 3 ||
+		s.States[1].Name != "field" || s.States[1].Dispatches != 1 {
+		t.Fatalf("hot states not ranked: %+v", s.States)
+	}
+	if s.States[0].Pct <= s.States[1].Pct {
+		t.Fatalf("percentages not descending: %+v", s.States)
+	}
+	if len(s.DispatchMix) != 2 || s.DispatchMix[0].Name != core.KindMajority.String() {
+		t.Fatalf("dispatch mix: %+v", s.DispatchMix)
+	}
+	if len(s.ActionMix) != 2 || s.ActionMix[0].Name != core.OpOut8.String() || s.ActionMix[0].Count != 2 {
+		t.Fatalf("action mix: %+v", s.ActionMix)
+	}
+
+	if got := s.Summary(); got != "kernel test: states=2 dispatches=5 actions=3 shards=1" {
+		t.Fatalf("summary = %q", got)
+	}
+	var buf bytes.Buffer
+	s.Render(&buf, 10)
+	out := buf.String()
+	for _, want := range []string{"kernel test:", "hot states", "plain", "dispatch mix:", "action mix"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileMergeAcrossLanes(t *testing.T) {
+	a := NewLaneProfile(4)
+	a.Dispatch(1)
+	a.Shard()
+	b := NewLaneProfile(16) // larger image view: acc must grow
+	b.Dispatch(9)
+	b.Dispatch(1)
+	b.Shard()
+
+	p := NewProfile("merge", nil)
+	p.Merge(a)
+	p.Merge(b)
+	s := p.Snapshot()
+	if s.Dispatches != 3 || s.Shards != 2 || len(s.States) != 2 {
+		t.Fatalf("merged snapshot: %+v", s)
+	}
+	// Unnamed states keep their base address; base 1 has 2 dispatches.
+	if s.States[0].Base != 1 || s.States[0].Dispatches != 2 {
+		t.Fatalf("merged ranking: %+v", s.States)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	s := NewProfile("idle", nil).Snapshot()
+	if !s.Empty() || len(s.States) != 0 {
+		t.Fatalf("empty profile snapshot: %+v", s)
+	}
+}
+
+func TestInvertStateBase(t *testing.T) {
+	if InvertStateBase(nil) != nil {
+		t.Fatal("nil map should invert to nil")
+	}
+	got := InvertStateBase(map[string]int{"a": 1, "b": 9})
+	if len(got) != 2 || got[1] != "a" || got[9] != "b" {
+		t.Fatalf("inverted = %v", got)
+	}
+}

@@ -1,0 +1,356 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxTraces bounds the tracer's finished-trace ring when NewTracer is
+// given zero.
+const DefaultMaxTraces = 64
+
+// DefaultMaxChildren bounds the children recorded under one span; a request
+// fanning out into thousands of shards keeps the first MaxChildren spans and
+// counts the rest in SpanJSON.DroppedChildren.
+const DefaultMaxChildren = 128
+
+// SpanContext identifies a span for cross-process propagation: the W3C
+// trace-context triple carried in a traceparent header.
+type SpanContext struct {
+	// TraceID is the 16-byte trace identifier shared by every span of a
+	// request.
+	TraceID [16]byte
+	// SpanID is the 8-byte identifier of one span.
+	SpanID [8]byte
+	// Flags is the trace-flags byte (bit 0 = sampled).
+	Flags byte
+}
+
+// Valid reports whether the context carries a usable (non-zero) trace ID.
+func (sc SpanContext) Valid() bool { return sc.TraceID != [16]byte{} && sc.SpanID != [8]byte{} }
+
+// TraceIDString is the 32-hex-digit trace ID.
+func (sc SpanContext) TraceIDString() string { return hex.EncodeToString(sc.TraceID[:]) }
+
+// SpanIDString is the 16-hex-digit span ID.
+func (sc SpanContext) SpanIDString() string { return hex.EncodeToString(sc.SpanID[:]) }
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00).
+func (sc SpanContext) Traceparent() string {
+	var b [55]byte
+	b[0], b[1] = '0', '0'
+	b[2] = '-'
+	hex.Encode(b[3:35], sc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.SpanID[:])
+	b[52] = '-'
+	hex.Encode(b[53:55], []byte{sc.Flags})
+	return string(b[:])
+}
+
+// ParseTraceparent parses a W3C traceparent header value. A malformed or
+// all-zero header returns ok = false — per the spec the receiver ignores it
+// and starts a fresh trace rather than rejecting the request.
+func ParseTraceparent(h string) (sc SpanContext, ok bool) {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	if h[0] != '0' || h[1] != '0' { // only version 00 is understood
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(h[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(h[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	var fl [1]byte
+	if _, err := hex.Decode(fl[:], []byte(h[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	sc.Flags = fl[0]
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// idSeq salts fallback IDs if crypto/rand ever fails mid-run.
+var idSeq atomic.Uint64
+
+func randomTraceID() (id [16]byte) {
+	if _, err := rand.Read(id[:]); err != nil {
+		binary.BigEndian.PutUint64(id[:8], uint64(time.Now().UnixNano()))
+		binary.BigEndian.PutUint64(id[8:], idSeq.Add(1))
+	}
+	return id
+}
+
+func randomSpanID() (id [8]byte) {
+	if _, err := rand.Read(id[:]); err != nil {
+		binary.BigEndian.PutUint64(id[:], uint64(time.Now().UnixNano())^idSeq.Add(1))
+	}
+	return id
+}
+
+// NewRequestID draws an opaque 16-hex-digit request identifier, for logging
+// request correlation when no trace is active.
+func NewRequestID() string {
+	id := randomSpanID()
+	return hex.EncodeToString(id[:])
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed operation in a trace tree. Spans are created through
+// Tracer.StartRoot and Span.StartChild, annotated with SetAttr, and closed
+// with End; a nil *Span is a valid no-op receiver for every method, so
+// instrumented code needs no "is tracing on" branches of its own.
+type Span struct {
+	tracer *Tracer
+	name   string
+	sc     SpanContext
+	parent [8]byte // zero for a root with no remote parent
+	root   bool    // created by StartRoot: End hands the tree to the ring
+	start  time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+	dropped  int
+}
+
+// Tracer collects finished root spans in a bounded ring and renders them as
+// JSON for /debug/traces. A nil *Tracer is valid and records nothing.
+type Tracer struct {
+	maxTraces   int
+	maxChildren int
+
+	mu       sync.Mutex
+	finished []*Span // ring, oldest first
+	started  uint64
+	dropped  uint64
+}
+
+// NewTracer builds a tracer keeping the last maxTraces finished traces
+// (DefaultMaxTraces when <= 0).
+func NewTracer(maxTraces int) *Tracer {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	return &Tracer{maxTraces: maxTraces, maxChildren: DefaultMaxChildren}
+}
+
+// StartRoot opens a root span. When parent is valid the new span joins its
+// trace (the parent lives in the caller's process — typically the client
+// side of a traceparent header); otherwise a fresh trace ID is drawn.
+func (t *Tracer) StartRoot(name string, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, name: name, root: true, start: time.Now()}
+	if parent.Valid() {
+		s.sc.TraceID = parent.TraceID
+		s.parent = parent.SpanID
+		s.sc.Flags = parent.Flags | 1
+	} else {
+		s.sc.TraceID = randomTraceID()
+		s.sc.Flags = 1
+	}
+	s.sc.SpanID = randomSpanID()
+	t.mu.Lock()
+	t.started++
+	t.mu.Unlock()
+	return s
+}
+
+// StartChild opens a child span under s. Children beyond the tracer's
+// per-span cap are counted, not kept, so a shard fan-out cannot grow a trace
+// without bound.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{
+		tracer: s.tracer,
+		name:   name,
+		start:  time.Now(),
+		sc:     SpanContext{TraceID: s.sc.TraceID, SpanID: randomSpanID(), Flags: s.sc.Flags},
+		parent: s.sc.SpanID,
+	}
+	s.mu.Lock()
+	if len(s.children) < s.tracer.maxChildren {
+		s.children = append(s.children, c)
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// Context returns the span's propagation context (zero for nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceID is the span's 32-hex-digit trace ID ("" for nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.TraceIDString()
+}
+
+// SetAttr annotates the span. Safe from concurrent goroutines.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span. Ending a root span hands the finished trace to the
+// tracer's ring; ending a span twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	first := s.end.IsZero()
+	if first {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+	if first && s.root {
+		s.tracer.record(s)
+	}
+}
+
+// record appends a finished root trace to the ring.
+func (t *Tracer) record(root *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.finished) >= t.maxTraces {
+		copy(t.finished, t.finished[1:])
+		t.finished[len(t.finished)-1] = root
+		t.dropped++
+		return
+	}
+	t.finished = append(t.finished, root)
+}
+
+// SpanJSON is the exported shape of one span (children nested).
+type SpanJSON struct {
+	Name            string         `json:"name"`
+	TraceID         string         `json:"trace_id"`
+	SpanID          string         `json:"span_id"`
+	ParentID        string         `json:"parent_id,omitempty"`
+	Start           time.Time      `json:"start"`
+	DurationMs      float64        `json:"duration_ms"`
+	Attrs           map[string]any `json:"attrs,omitempty"`
+	Children        []SpanJSON     `json:"children,omitempty"`
+	DroppedChildren int            `json:"dropped_children,omitempty"`
+}
+
+// export snapshots the span tree (thread-safe; an unfinished child reports
+// a zero duration).
+func (s *Span) export() SpanJSON {
+	s.mu.Lock()
+	out := SpanJSON{
+		Name:            s.name,
+		TraceID:         s.sc.TraceIDString(),
+		SpanID:          s.sc.SpanIDString(),
+		Start:           s.start,
+		DroppedChildren: s.dropped,
+	}
+	if s.parent != [8]byte{} {
+		out.ParentID = hex.EncodeToString(s.parent[:])
+	}
+	if !s.end.IsZero() {
+		out.DurationMs = float64(s.end.Sub(s.start)) / float64(time.Millisecond)
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.export())
+	}
+	return out
+}
+
+// TracesJSON is the /debug/traces document.
+type TracesJSON struct {
+	// Enabled is false when the handler has no tracer.
+	Enabled bool `json:"enabled"`
+	// Started counts root spans opened since the tracer was built.
+	Started uint64 `json:"started"`
+	// Dropped counts finished traces evicted from the ring.
+	Dropped uint64 `json:"dropped"`
+	// Traces holds the retained traces, oldest first.
+	Traces []SpanJSON `json:"traces"`
+}
+
+// Export snapshots the retained traces (nil tracer → Enabled false).
+func (t *Tracer) Export() TracesJSON {
+	if t == nil {
+		return TracesJSON{}
+	}
+	t.mu.Lock()
+	roots := make([]*Span, len(t.finished))
+	copy(roots, t.finished)
+	out := TracesJSON{Enabled: true, Started: t.started, Dropped: t.dropped}
+	t.mu.Unlock()
+	out.Traces = make([]SpanJSON, 0, len(roots))
+	for _, r := range roots {
+		out.Traces = append(out.Traces, r.export())
+	}
+	return out
+}
+
+// WriteJSON writes the Export document, indented.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Export())
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s (the executor and client read
+// it back with SpanFromContext). A nil span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

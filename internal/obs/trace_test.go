@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func testContext() SpanContext {
+	var sc SpanContext
+	for i := range sc.TraceID {
+		sc.TraceID[i] = byte(i + 1)
+	}
+	for i := range sc.SpanID {
+		sc.SpanID[i] = byte(0xa0 + i)
+	}
+	sc.Flags = 1
+	return sc
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := testContext()
+	h := sc.Traceparent()
+	if len(h) != 55 {
+		t.Fatalf("traceparent length = %d, want 55: %q", len(h), h)
+	}
+	if !strings.HasPrefix(h, "00-") {
+		t.Fatalf("traceparent missing version 00: %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected own rendering %q", h)
+	}
+	if got != sc {
+		t.Fatalf("roundtrip mismatch: got %+v want %+v", got, sc)
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	valid := testContext().Traceparent()
+	bad := []string{
+		"",
+		"garbage",
+		valid[:54],                          // truncated
+		"01" + valid[2:],                    // unknown version
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+		"00-" + strings.Repeat("zz", 16) + valid[35:],     // non-hex trace id
+		"00-" + strings.Repeat("00", 16) + valid[35:],     // all-zero trace id
+		valid[:36] + strings.Repeat("00", 8) + valid[52:], // all-zero span id
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted a malformed header", h)
+		}
+	}
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("control: valid header rejected")
+	}
+}
+
+func TestSpanTreeExport(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.StartRoot("request", SpanContext{})
+	child := root.StartChild("shard")
+	child.SetAttr("shard", 3)
+	grand := child.StartChild("lane.run")
+	grand.End()
+	child.End()
+	root.SetAttr("program", "csvparse")
+	root.End()
+
+	out := tr.Export()
+	if !out.Enabled || out.Started != 1 || len(out.Traces) != 1 {
+		t.Fatalf("export = %+v, want one enabled trace", out)
+	}
+	rt := out.Traces[0]
+	if rt.Name != "request" || rt.ParentID != "" || rt.Attrs["program"] != "csvparse" {
+		t.Fatalf("bad root: %+v", rt)
+	}
+	if len(rt.Children) != 1 {
+		t.Fatalf("root children = %d, want 1", len(rt.Children))
+	}
+	ch := rt.Children[0]
+	if ch.Name != "shard" || ch.TraceID != rt.TraceID || ch.ParentID != rt.SpanID {
+		t.Fatalf("child not linked to root: child %+v root %+v", ch, rt)
+	}
+	if got, ok := ch.Attrs["shard"].(int); !ok || got != 3 {
+		t.Fatalf("child attrs = %v", ch.Attrs)
+	}
+	if len(ch.Children) != 1 || ch.Children[0].Name != "lane.run" {
+		t.Fatalf("grandchild missing: %+v", ch.Children)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded TracesJSON
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON output not JSON: %v", err)
+	}
+}
+
+func TestStartRootJoinsRemoteParent(t *testing.T) {
+	parent := testContext()
+	tr := NewTracer(1)
+	root := tr.StartRoot("request", parent)
+	if root.Context().TraceID != parent.TraceID {
+		t.Fatalf("root did not join remote trace: %x vs %x",
+			root.Context().TraceID, parent.TraceID)
+	}
+	if root.Context().SpanID == parent.SpanID {
+		t.Fatal("root reused the remote span id")
+	}
+	root.End()
+	got := tr.Export().Traces[0]
+	if got.ParentID != parent.SpanIDString() {
+		t.Fatalf("root parent = %q, want remote span %q", got.ParentID, parent.SpanIDString())
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	for _, name := range []string{"a", "b", "c"} {
+		tr.StartRoot(name, SpanContext{}).End()
+	}
+	out := tr.Export()
+	if out.Started != 3 || out.Dropped != 1 || len(out.Traces) != 2 {
+		t.Fatalf("ring state: %+v", out)
+	}
+	if out.Traces[0].Name != "b" || out.Traces[1].Name != "c" {
+		t.Fatalf("oldest not evicted: %q %q", out.Traces[0].Name, out.Traces[1].Name)
+	}
+}
+
+func TestChildCapCountsDropped(t *testing.T) {
+	tr := NewTracer(1)
+	root := tr.StartRoot("request", SpanContext{})
+	for i := 0; i < DefaultMaxChildren+5; i++ {
+		root.StartChild("shard").End()
+	}
+	root.End()
+	got := tr.Export().Traces[0]
+	if len(got.Children) != DefaultMaxChildren || got.DroppedChildren != 5 {
+		t.Fatalf("children = %d dropped = %d, want %d and 5",
+			len(got.Children), got.DroppedChildren, DefaultMaxChildren)
+	}
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	s := tr.StartRoot("request", SpanContext{})
+	if s != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	// Every method must be callable on the nil span.
+	s.SetAttr("k", "v")
+	s.StartChild("x").End()
+	s.End()
+	if s.TraceID() != "" || s.Context().Valid() {
+		t.Fatal("nil span leaked an identity")
+	}
+	if out := tr.Export(); out.Enabled {
+		t.Fatal("nil tracer reports enabled")
+	}
+}
+
+func TestContextCarriesSpan(t *testing.T) {
+	tr := NewTracer(1)
+	s := tr.StartRoot("request", SpanContext{})
+	ctx := ContextWithSpan(context.Background(), s)
+	if got := SpanFromContext(ctx); got != s {
+		t.Fatal("span did not roundtrip through context")
+	}
+	if got := SpanFromContext(context.Background()); got != nil {
+		t.Fatal("empty context produced a span")
+	}
+	base := context.Background()
+	if got := ContextWithSpan(base, nil); got != base {
+		t.Fatal("nil span should leave the context untouched")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("request ids: %q %q", a, b)
+	}
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"context"
+	"testing"
+
+	"udp/internal/obs"
+)
+
+// TestRunMergesProfile: the executor-attached profiler must account for every
+// shard's dispatches when sampling is off (every shard profiled).
+func TestRunMergesProfile(t *testing.T) {
+	im := echoImage(t)
+	shards := [][]byte{[]byte("aaaa"), []byte("bbbb"), []byte("cccc"), []byte("dddd")}
+	prof := obs.NewProfile("echo", obs.InvertStateBase(im.StateBase))
+	res, err := Run(context.Background(), im, Slice(shards), Config{
+		Lanes:   2,
+		Profile: prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := prof.Snapshot()
+	if snap.Dispatches != res.Total.Dispatches {
+		t.Fatalf("profile dispatches = %d, run total = %d", snap.Dispatches, res.Total.Dispatches)
+	}
+	if snap.Shards != uint64(res.Shards) {
+		t.Fatalf("profile shards = %d, run shards = %d", snap.Shards, res.Shards)
+	}
+	if len(snap.States) != 1 || snap.States[0].Name != "s" {
+		t.Fatalf("hot states: %+v", snap.States)
+	}
+}
+
+// TestRunProfileSampling: with ProfileSample = 2 only even stream indices are
+// profiled, so the sampled shard count halves while the run sees them all.
+func TestRunProfileSampling(t *testing.T) {
+	im := echoImage(t)
+	shards := make([][]byte, 8)
+	for i := range shards {
+		shards[i] = []byte("xxxx")
+	}
+	prof := obs.NewProfile("echo", nil)
+	res, err := Run(context.Background(), im, Slice(shards), Config{
+		Lanes:         2,
+		Profile:       prof,
+		ProfileSample: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 8 {
+		t.Fatalf("run shards = %d", res.Shards)
+	}
+	snap := prof.Snapshot()
+	if snap.Shards != 4 {
+		t.Fatalf("sampled shards = %d, want 4 (every 2nd of 8)", snap.Shards)
+	}
+	// 4 shards × 4 symbols: exactly half the run's dispatches.
+	if snap.Dispatches != res.Total.Dispatches/2 {
+		t.Fatalf("sampled dispatches = %d, run total = %d", snap.Dispatches, res.Total.Dispatches)
+	}
+}
+
+// TestRunNoProfileNoMerge: a nil Profile leaves the config path disabled.
+func TestRunNoProfileNoMerge(t *testing.T) {
+	im := echoImage(t)
+	if _, err := Run(context.Background(), im, Slice([][]byte{[]byte("ok")}), Config{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunEmitsShardSpans: a span carried in the context becomes the parent of
+// one "shard" child per shard, each with a "lane.run" grandchild.
+func TestRunEmitsShardSpans(t *testing.T) {
+	im := echoImage(t)
+	shards := [][]byte{[]byte("aa"), []byte("bb"), []byte("cc")}
+
+	tr := obs.NewTracer(4)
+	root := tr.StartRoot("request", obs.SpanContext{})
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	if _, err := Run(ctx, im, Slice(shards), Config{Lanes: 2}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	traces := tr.Export().Traces
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	rt := traces[0]
+	if len(rt.Children) != len(shards) {
+		t.Fatalf("shard spans = %d, want %d", len(rt.Children), len(shards))
+	}
+	seen := make(map[int]bool)
+	for _, ch := range rt.Children {
+		if ch.Name != "shard" || ch.ParentID != rt.SpanID {
+			t.Fatalf("bad shard span: %+v", ch)
+		}
+		idx, ok := ch.Attrs["shard"].(int)
+		if !ok {
+			t.Fatalf("shard span missing shard attr: %v", ch.Attrs)
+		}
+		seen[idx] = true
+		if _, ok := ch.Attrs["cycles"]; !ok {
+			t.Fatalf("shard span missing cycles attr: %v", ch.Attrs)
+		}
+		if len(ch.Children) != 1 || ch.Children[0].Name != "lane.run" {
+			t.Fatalf("lane.run span missing: %+v", ch.Children)
+		}
+	}
+	for i := range shards {
+		if !seen[i] {
+			t.Fatalf("no span for shard %d (saw %v)", i, seen)
+		}
+	}
+}
+
+// TestRunNoSpanNoTrace: without a context span the run must not create spans
+// (nil-span fast path).
+func TestRunNoSpanNoTrace(t *testing.T) {
+	im := echoImage(t)
+	if _, err := Run(context.Background(), im, Slice([][]byte{[]byte("ok")}), Config{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"udp/internal/effclip"
 	"udp/internal/fault"
 	"udp/internal/machine"
+	"udp/internal/obs"
 )
 
 // Typed argument errors, so callers can distinguish a misuse from an
@@ -240,6 +241,14 @@ type Config struct {
 	// Inject, when non-nil, is the deterministic fault injector rolled
 	// once per shard attempt (chaos testing; see fault.Injector).
 	Inject *fault.Injector
+	// Profile, when non-nil, aggregates the automaton profiler across the
+	// run: each worker attaches a per-lane histogram to sampled shards and
+	// merges it into Profile when the worker exits. The machine's
+	// zero-allocation dispatch path is untouched when Profile is nil.
+	Profile *obs.Profile
+	// ProfileSample profiles one shard in every ProfileSample (by stream
+	// index); values <= 1 profile every shard. Ignored when Profile is nil.
+	ProfileSample int
 	// Sink, when non-nil, receives each successful shard's output in
 	// shard order as soon as it and all its predecessors have finished.
 	// Outputs handed to the sink are NOT accumulated in Result.Outputs,
@@ -496,6 +505,11 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 		}
 	}()
 
+	// The request span carried by ctx (if any) parents one "shard" span per
+	// attempt, each wrapping a "lane.run" span — the request → shards →
+	// lane-runs trace tree. A nil span makes every call below a no-op.
+	reqSpan := obs.SpanFromContext(ctx)
+
 	// Lane pool: each worker owns one lane and resets it between shards. The
 	// lane is created lazily so a panic quarantine (lane = nil) transparently
 	// replaces it on the next shard.
@@ -504,6 +518,13 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 		go func(w int) {
 			defer wg.Done()
 			var lane *machine.Lane
+			// One reusable histogram per worker: attached to the lane for
+			// sampled shards, merged into the shared aggregate on exit.
+			var lp *obs.LaneProfile
+			if cfg.Profile != nil {
+				lp = obs.NewLaneProfile(len(img.Words))
+				defer func() { cfg.Profile.Merge(lp) }()
+			}
 			for {
 				select {
 				case <-ctx.Done():
@@ -528,17 +549,39 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 						}
 						lane.BindStop(&stop)
 					}
+					if lp != nil {
+						if cfg.ProfileSample <= 1 || it.idx%cfg.ProfileSample == 0 {
+							lane.SetProfiler(lp)
+							lp.Shard()
+						} else {
+							lane.SetProfiler(nil)
+						}
+					}
 					qd := len(queue)
 					nb := int(busy.Add(1))
 					t0 := time.Now()
+					sp := reqSpan.StartChild("shard")
+					sp.SetAttr("shard", it.idx)
+					sp.SetAttr("attempt", it.attempt)
+					sp.SetAttr("lane", w)
+					sp.SetAttr("bytes", len(it.data))
+					laneSpan := sp.StartChild("lane.run")
 					out, m, st, err := runShard(lane, it, img, cfg)
+					laneSpan.End()
 					busy.Add(-1)
 					if errors.Is(err, machine.ErrInterrupted) {
 						// Interruption only fires on cancellation: the shard
 						// is abandoned and Run reports the context error.
+						sp.SetAttr("interrupted", true)
+						sp.End()
 						return
 					}
 					tr := fault.AsTrap(err)
+					sp.SetAttr("cycles", st.Cycles)
+					if tr != nil {
+						sp.SetAttr("trap", tr.Kind.String())
+					}
+					sp.End()
 					quarantine := tr != nil && tr.Kind == fault.TrapPanic
 					if quarantine {
 						lane = nil // replaced lazily on the next shard

@@ -7,6 +7,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -235,6 +236,26 @@ func (m *Metrics) Render(w io.Writer, reg *Registry) {
 		fmt.Fprintf(w, "udpserved_request_seconds_sum{program=%q} %.6f\n", p, h.sum)
 		fmt.Fprintf(w, "udpserved_request_seconds_count{program=%q} %d\n", p, h.count)
 	}
+
+	// Go runtime health: enough to spot a leak or GC churn from the same
+	// scrape that carries the transform counters.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP go_goroutines Goroutines that currently exist.\n")
+	fmt.Fprintf(w, "# TYPE go_goroutines gauge\n")
+	fmt.Fprintf(w, "go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP go_heap_alloc_bytes Heap bytes allocated and still in use.\n")
+	fmt.Fprintf(w, "# TYPE go_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(w, "go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP go_heap_sys_bytes Heap bytes obtained from the OS.\n")
+	fmt.Fprintf(w, "# TYPE go_heap_sys_bytes gauge\n")
+	fmt.Fprintf(w, "go_heap_sys_bytes %d\n", ms.HeapSys)
+	fmt.Fprintf(w, "# HELP go_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_cycles_total counter\n")
+	fmt.Fprintf(w, "go_gc_cycles_total %d\n", ms.NumGC)
+	fmt.Fprintf(w, "# HELP go_gc_pause_seconds_total Cumulative stop-the-world GC pause.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "go_gc_pause_seconds_total %.6f\n", float64(ms.PauseTotalNs)/1e9)
 
 	if reg != nil {
 		builtins, posted, evictions := reg.Counts()

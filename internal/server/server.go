@@ -8,8 +8,11 @@
 //	POST /v1/transform/{program}  stream a request body through a program
 //	POST /v1/programs             compile + cache UDP assembly (content hash)
 //	GET  /v1/programs             list built-ins and cached programs
+//	GET  /v1/profile/{program}    aggregated automaton profile (opt-in)
 //	GET  /healthz                 liveness
-//	GET  /metrics                 Prometheus text format
+//	GET  /metrics                 Prometheus text format + Go runtime health
+//	GET  /debug/traces            retained request trace trees (span JSON)
+//	GET  /debug/pprof/*           Go pprof profiling endpoints
 //
 // The transform path pipes the (optionally gzip-compressed) request body
 // through the record-aware chunker into a pool of reusable lanes, and
@@ -27,15 +30,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"udp"
+	"udp/internal/obs"
 )
 
 // Option defaults.
@@ -98,6 +103,18 @@ type Options struct {
 	// BreakerCooldown is how long an open breaker rejects before a probe
 	// (0 = DefaultBreakerCooldown).
 	BreakerCooldown time.Duration
+	// Tracer, when non-nil, records one span tree per transform request
+	// (request → shard attempts → lane runs), joins a client-supplied W3C
+	// traceparent header, and serves the retained trees on /debug/traces.
+	Tracer *obs.Tracer
+	// Logger receives the server's structured log records (nil =
+	// slog.Default()). Every transform record carries a request_id — the
+	// trace ID when tracing is on — and the program ID.
+	Logger *slog.Logger
+	// ProfileSample turns on the per-lane automaton profiler: one shard in
+	// every ProfileSample is histogrammed into the program's aggregate
+	// profile, served on /v1/profile/{program}. 0 disables profiling.
+	ProfileSample int
 }
 
 // Server is the udpserved HTTP core. Create with New, mount Handler, or use
@@ -108,9 +125,13 @@ type Server struct {
 	met  *Metrics
 	mux  *http.ServeMux
 	sem  chan struct{}
+	log  *slog.Logger
 
 	bmu      sync.Mutex
 	breakers map[string]*breaker // per-program; nil when the breaker is disabled
+
+	pmu      sync.Mutex
+	profiles map[string]*udp.Profile // per-program; nil when profiling is disabled
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -145,15 +166,29 @@ func New(opts Options) *Server {
 		met:  NewMetrics(),
 		mux:  http.NewServeMux(),
 		sem:  make(chan struct{}, opts.MaxInflight),
+		log:  opts.Logger,
+	}
+	if s.log == nil {
+		s.log = slog.Default()
 	}
 	if opts.BreakerThreshold > 0 {
 		s.breakers = make(map[string]*breaker)
+	}
+	if opts.ProfileSample > 0 {
+		s.profiles = make(map[string]*udp.Profile)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/programs", s.handlePrograms)
 	s.mux.HandleFunc("POST /v1/programs", s.handleRegister)
 	s.mux.HandleFunc("POST /v1/transform/{program}", s.handleTransform)
+	s.mux.HandleFunc("GET /v1/profile/{program}", s.handleProfile)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -328,9 +363,33 @@ func statusFor(err error) int {
 func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	id := r.PathValue("program")
+
+	// Open the request's root span, joining the client's trace when it sent
+	// a well-formed traceparent header (a malformed one is ignored per the
+	// W3C spec — the request proceeds on a fresh trace). The trace ID doubles
+	// as the request ID in log records and is echoed to the client in
+	// X-Udp-Trace-Id even on error responses.
+	parent, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	sp := s.opts.Tracer.StartRoot("transform", parent)
+	reqID := sp.TraceID()
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Udp-Trace-Id", reqID)
+	status := 0
+	defer func() {
+		sp.SetAttr("status", status)
+		sp.End()
+	}()
+	if sp != nil {
+		sp.SetAttr("program", id)
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+	}
+
 	prog, ok := s.reg.Lookup(id)
 	if !ok {
 		// One shared label keeps arbitrary ids out of the metric space.
+		status = http.StatusNotFound
 		s.met.RequestDone("_unknown", http.StatusNotFound, time.Since(t0))
 		writeErr(w, http.StatusNotFound, "unknown program %q (GET /v1/programs lists them)", id)
 		return
@@ -348,8 +407,11 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 				secs = 1
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			status = http.StatusServiceUnavailable
 			s.met.SetBreakerOpen(prog.ID, true)
 			s.met.RequestDone(prog.ID, http.StatusServiceUnavailable, time.Since(t0))
+			s.log.Warn("transform rejected: circuit breaker open",
+				"request_id", reqID, "program", prog.ID, "retry_after_s", secs)
 			writeErr(w, http.StatusServiceUnavailable,
 				"program %s is degraded (circuit breaker open); retry in %ds", prog.ID, secs)
 			return
@@ -366,7 +428,10 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 			brk.release()
 		}
 		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
 		s.met.RequestDone(prog.ID, http.StatusTooManyRequests, time.Since(t0))
+		s.log.Warn("transform rejected: capacity saturated",
+			"request_id", reqID, "program", prog.ID, "inflight", s.opts.MaxInflight)
 		writeErr(w, http.StatusTooManyRequests, "transform capacity saturated (%d in flight)", s.opts.MaxInflight)
 		return
 	}
@@ -385,6 +450,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	}
 
 	code, err := s.runTransform(w, r, prog)
+	status = code
 	if brk != nil {
 		settled = true
 		var tr *udp.Trap
@@ -404,8 +470,49 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	s.met.RequestDone(prog.ID, code, d)
 	if err != nil && code == http.StatusInternalServerError {
 		// Surface genuinely unexpected failures in the server log.
-		log.Printf("udpserved: transform %s: %v", prog.ID, err)
+		s.log.Error("transform failed unexpectedly",
+			"request_id", reqID, "program", prog.ID, "status", code, "err", err)
+	} else {
+		s.log.Debug("transform done",
+			"request_id", reqID, "program", prog.ID, "status", code,
+			"dur_ms", float64(d)/float64(time.Millisecond))
 	}
+}
+
+// handleTraces serves the tracer's retained span trees ({"enabled": false}
+// when the server runs without a tracer).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.opts.Tracer.WriteJSON(w)
+}
+
+// handleProfile serves a program's aggregated automaton profile.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("program")
+	if s.profiles == nil {
+		writeErr(w, http.StatusNotFound, "profiling disabled (start udpserved with -profile-sample)")
+		return
+	}
+	s.pmu.Lock()
+	p := s.profiles[id]
+	s.pmu.Unlock()
+	if p == nil {
+		writeErr(w, http.StatusNotFound, "no profile recorded for %q yet (run a transform first)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, p.Snapshot())
+}
+
+// profileFor returns (lazily creating) the program's profile aggregate.
+func (s *Server) profileFor(prog *Program, img *udp.Image) *udp.Profile {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	p := s.profiles[prog.ID]
+	if p == nil {
+		p = udp.NewProfile(prog.ID, img)
+		s.profiles[prog.ID] = p
+	}
+	return p
 }
 
 // runTransform streams one request body through prog. It returns the status
@@ -494,6 +601,11 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 	}
 	if prog.Chunk.HasSep {
 		opts = append(opts, udp.WithChunker(prog.Chunk.Sep))
+	}
+	if s.profiles != nil {
+		opts = append(opts,
+			udp.WithProfile(s.profileFor(prog, img)),
+			udp.WithProfileSample(s.opts.ProfileSample))
 	}
 
 	res, err := udp.Exec(ctx, img, body, opts...)

@@ -1,0 +1,260 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"udp"
+	"udp/internal/client"
+	"udp/internal/obs"
+	"udp/internal/server"
+)
+
+// TestMetricsConcurrent hammers every Metrics entry point from parallel
+// goroutines while Render runs; the -race build is the assertion.
+func TestMetricsConcurrent(t *testing.T) {
+	m := server.NewMetrics()
+	reg := server.NewRegistry(4)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prog := []string{"csvparse", "histogram16"}[w%2]
+			for i := 0; i < 200; i++ {
+				m.IncInflight()
+				m.ShardEvent(prog, udp.ShardEvent{
+					Shard: i, Bytes: 64, Cycles: 100, QueueDepth: i % 4, Busy: w,
+				})
+				m.AddBytesOut(prog, 128)
+				m.SetBreakerOpen(prog, i%2 == 0)
+				m.RequestDone(prog, 200, time.Millisecond)
+				m.DecInflight()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		m.Render(io.Discard, reg)
+		m.Inflight()
+		select {
+		case <-done:
+			var sb strings.Builder
+			m.Render(&sb, reg)
+			if !strings.Contains(sb.String(), "udpserved_requests_total") {
+				t.Fatalf("render output truncated:\n%s", sb.String())
+			}
+			return
+		default:
+		}
+	}
+}
+
+// newTracedServer starts a server with tracing enabled and returns the base
+// URL alongside the client, for tests that need to speak raw HTTP.
+func newTracedServer(t *testing.T, opts server.Options) (string, *client.Client) {
+	t.Helper()
+	srv := server.New(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL, client.New(ts.URL, ts.Client())
+}
+
+// TestTraceparentPropagation: a client-side span's trace ID must flow through
+// the traceparent header into the server's root span and its shard children,
+// and come back in X-Udp-Trace-Id.
+func TestTraceparentPropagation(t *testing.T) {
+	tracer := obs.NewTracer(8)
+	url, c := newTracedServer(t, server.Options{Tracer: tracer})
+
+	clientTracer := obs.NewTracer(1)
+	span := clientTracer.StartRoot("test-client", obs.SpanContext{})
+	ctx := obs.ContextWithSpan(context.Background(), span)
+	wantTrace := span.TraceID()
+
+	var echoed string
+	if _, err := c.TransformBytes(ctx, "csvparse", sampleCSV(50),
+		client.WithTraceID(&echoed)); err != nil {
+		t.Fatal(err)
+	}
+	span.End()
+
+	if echoed != wantTrace {
+		t.Fatalf("X-Udp-Trace-Id = %q, want client trace %q", echoed, wantTrace)
+	}
+
+	resp, err := http.Get(url + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc obs.TracesJSON
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Enabled || len(doc.Traces) != 1 {
+		t.Fatalf("/debug/traces = %+v, want one enabled trace", doc)
+	}
+	root := doc.Traces[0]
+	if root.Name != "transform" || root.TraceID != wantTrace {
+		t.Fatalf("server root span not joined to client trace: %+v", root)
+	}
+	if root.ParentID != span.Context().SpanIDString() {
+		t.Fatalf("server root parent = %q, want client span %q",
+			root.ParentID, span.Context().SpanIDString())
+	}
+	if len(root.Children) == 0 {
+		t.Fatal("no shard spans under the transform root")
+	}
+	for _, ch := range root.Children {
+		if ch.Name != "shard" || ch.TraceID != wantTrace || ch.ParentID != root.SpanID {
+			t.Fatalf("bad shard span: %+v", ch)
+		}
+		if len(ch.Children) != 1 || ch.Children[0].Name != "lane.run" {
+			t.Fatalf("shard span missing lane.run child: %+v", ch)
+		}
+	}
+}
+
+// TestMalformedTraceparentIgnored: a bad header must not fail the request —
+// the server starts a fresh trace instead (W3C trace-context behavior).
+func TestMalformedTraceparentIgnored(t *testing.T) {
+	tracer := obs.NewTracer(8)
+	url, _ := newTracedServer(t, server.Options{Tracer: tracer})
+
+	for _, h := range []string{
+		"garbage",
+		"00-zzzz-zzzz-zz",
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("0", 16) + "-01",
+	} {
+		req, err := http.NewRequest("POST", url+"/v1/transform/csvparse",
+			strings.NewReader("a,b,c\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("traceparent", h)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("traceparent %q: status %d, want 200", h, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Udp-Trace-Id"); len(got) != 32 {
+			t.Fatalf("traceparent %q: X-Udp-Trace-Id = %q, want a fresh 32-hex trace id", h, got)
+		}
+	}
+
+	doc := tracer.Export()
+	if len(doc.Traces) != 3 {
+		t.Fatalf("traces recorded = %d, want 3", len(doc.Traces))
+	}
+	for _, tr := range doc.Traces {
+		if tr.ParentID != "" {
+			t.Fatalf("malformed header produced a parented root: %+v", tr)
+		}
+	}
+}
+
+// TestTraceIDHeaderWithoutTracer: with tracing disabled the server still
+// hands back an opaque request ID so clients can correlate error reports.
+func TestTraceIDHeaderWithoutTracer(t *testing.T) {
+	_, c := newTestServer(t, server.Options{})
+	var echoed string
+	if _, err := c.TransformBytes(context.Background(), "csvparse", sampleCSV(5),
+		client.WithTraceID(&echoed)); err != nil {
+		t.Fatal(err)
+	}
+	if len(echoed) != 16 {
+		t.Fatalf("X-Udp-Trace-Id = %q, want a 16-hex request id", echoed)
+	}
+}
+
+// TestProfileEndpoint: with profiling on, a transform populates
+// /v1/profile/{program}; with it off, the endpoint 404s with a hint.
+func TestProfileEndpoint(t *testing.T) {
+	url, c := newTracedServer(t, server.Options{ProfileSample: 1})
+	if _, err := c.TransformBytes(context.Background(), "csvparse", sampleCSV(200)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(url + "/v1/profile/csvparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("profile status %d: %s", resp.StatusCode, body)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Program != "csvparse" || snap.Dispatches == 0 || len(snap.States) == 0 {
+		t.Fatalf("profile snapshot empty: %+v", snap)
+	}
+
+	// Unknown program 404s.
+	resp2, err := http.Get(url + "/v1/profile/nosuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown program: status %d, want 404", resp2.StatusCode)
+	}
+
+	// Profiling disabled: 404 with a hint at the flag.
+	urlOff, _ := newTracedServer(t, server.Options{})
+	resp3, err := http.Get(urlOff + "/v1/profile/csvparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "profile-sample") {
+		t.Fatalf("disabled profiling: status %d body %q", resp3.StatusCode, body)
+	}
+}
+
+// TestPprofEndpoint: the runtime profiler index must be mounted.
+func TestPprofEndpoint(t *testing.T) {
+	url, _ := newTracedServer(t, server.Options{})
+	resp, err := http.Get(url + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}
+
+// TestRuntimeMetricsExposed: the Go runtime gauges ride along /metrics.
+func TestRuntimeMetricsExposed(t *testing.T) {
+	url, _ := newTracedServer(t, server.Options{})
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_cycles_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"udp/internal/effclip"
 	"udp/internal/fault"
 	"udp/internal/machine"
+	"udp/internal/obs"
 	"udp/internal/sched"
 )
 
@@ -85,6 +86,24 @@ type (
 	ShardSource = sched.Source
 	// ErrorPolicy selects how per-shard errors end (or don't end) a run.
 	ErrorPolicy = sched.ErrorPolicy
+)
+
+// Observability types (see internal/obs for full docs).
+type (
+	// Profile aggregates the sampled per-lane automaton profiler across an
+	// Exec run — the program's "state flame profile". Install one with
+	// WithProfile and freeze it with Profile.Snapshot.
+	Profile = obs.Profile
+	// ProfileSnapshot is a frozen profile: totals, the ranked hot-state
+	// table and the dispatch/action mixes, renderable as JSON or text.
+	ProfileSnapshot = obs.Snapshot
+	// Tracer collects finished span trees in a bounded ring (see
+	// internal/obs; udpserved exposes one at /debug/traces).
+	Tracer = obs.Tracer
+	// Span is one timed operation in a trace tree. Put a request span in
+	// the Exec context with obs.ContextWithSpan and the executor parents
+	// per-shard spans under it.
+	Span = obs.Span
 )
 
 // Fault-model types (see internal/fault and internal/sched for full docs).
@@ -302,6 +321,36 @@ func WithRetryPolicy(p RetryPolicy) ExecOption {
 // per shard attempt — the chaos-testing hook. nil disables injection.
 func WithFaultInjection(in *FaultInjector) ExecOption {
 	return func(o *execOpts) { o.cfg.Inject = in }
+}
+
+// NewProfile builds an empty automaton-profile aggregate for im, labeling
+// hot states with im's state names. name overrides the profiled program's
+// display name ("" uses the image name).
+func NewProfile(name string, im *Image) *Profile {
+	var names map[int]string
+	if im != nil {
+		if name == "" {
+			name = im.Name
+		}
+		names = obs.InvertStateBase(im.StateBase)
+	}
+	return obs.NewProfile(name, names)
+}
+
+// WithProfile merges the sampled per-lane automaton profiler into p: state
+// visits, dispatch kinds, action opcodes and stream refill/put-back events,
+// aggregated across every lane of the run. Profiling costs one predictable
+// branch per dispatch and action on the sampled shards and nothing at all
+// when absent — the machine's zero-allocation dispatch guarantee holds
+// either way.
+func WithProfile(p *Profile) ExecOption {
+	return func(o *execOpts) { o.cfg.Profile = p }
+}
+
+// WithProfileSample profiles one shard in every n (by stream index); n <= 1
+// profiles every shard. No effect without WithProfile.
+func WithProfileSample(n int) ExecOption {
+	return func(o *execOpts) { o.cfg.ProfileSample = n }
 }
 
 // WithSink streams each shard's output, in shard order, to sink as soon as
