@@ -144,7 +144,7 @@ func BenchmarkFig13CSVUDP(b *testing.B) {
 	b.ResetTimer()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		lane, err := udp.Run(im, data)
+		lane, err := udp.RunLane(im, data)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +209,7 @@ func BenchmarkFig16Pattern(b *testing.B) {
 	b.ResetTimer()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		lane, err := udp.Run(im, trace)
+		lane, err := udp.RunLane(im, trace)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -233,7 +233,7 @@ func BenchmarkFig17DictRLE(b *testing.B) {
 	b.ResetTimer()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		lane, err := udp.Run(im, stream)
+		lane, err := udp.RunLane(im, stream)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -259,7 +259,7 @@ func BenchmarkFig18Histogram(b *testing.B) {
 	b.ResetTimer()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		lane, err := udp.Run(im, keys)
+		lane, err := udp.RunLane(im, keys)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -345,7 +345,7 @@ func BenchmarkTrigger(b *testing.B) {
 	b.ResetTimer()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		lane, err := udp.Run(im, wave)
+		lane, err := udp.RunLane(im, wave)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -387,7 +387,7 @@ func BenchmarkMachineDispatch(b *testing.B) {
 	b.SetBytes(int64(len(data)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := udp.Run(im, data); err != nil {
+		if _, err := udp.RunLane(im, data); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -404,7 +404,7 @@ func BenchmarkExtEncodingsRLE(b *testing.B) {
 	b.ResetTimer()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		lane, err := udp.Run(im, data)
+		lane, err := udp.RunLane(im, data)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -424,7 +424,7 @@ func BenchmarkExtJSONTokenize(b *testing.B) {
 	b.ResetTimer()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		lane, err := udp.Run(im, data)
+		lane, err := udp.RunLane(im, data)
 		if err != nil {
 			b.Fatal(err)
 		}

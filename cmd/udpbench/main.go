@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"udp"
 	"udp/internal/bench"
 	"udp/internal/experiments"
 	"udp/internal/obs"
@@ -37,6 +38,8 @@ func main() {
 	benchDir := flag.String("benchdir", ".", "directory for BENCH_<name>.json reports")
 	concurrency := flag.Int("concurrency", 4, "server bench: concurrent load clients")
 	passes := flag.Int("passes", 8, "server bench: requests per client")
+	engineName := flag.String("engine", "auto",
+		"exec bench: execution engine (auto measures the kernel suite on every tier; interp, decoded or compiled restricts it)")
 	compare := flag.Bool("compare", false, "diff two BENCH_*.json reports: udpbench -compare OLD NEW")
 	stateprofile := flag.Bool("stateprofile", false,
 		"run every builtin kernel with the automaton profiler and print each state flame profile")
@@ -72,7 +75,12 @@ func main() {
 	}
 
 	if *benchSel != "" {
-		if err := runBenches(*benchSel, *benchDir, *scale, *concurrency, *passes, *seed); err != nil {
+		engine, err := udp.ParseEngine(*engineName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "udpbench:", err)
+			os.Exit(2)
+		}
+		if err := runBenches(*benchSel, *benchDir, *scale, *concurrency, *passes, *seed, engine); err != nil {
 			fmt.Fprintln(os.Stderr, "udpbench:", err)
 			os.Exit(1)
 		}
@@ -119,7 +127,7 @@ func main() {
 
 // runBenches executes the selected benchmarks and writes one
 // BENCH_<name>.json per selection into dir.
-func runBenches(sel, dir string, scale, concurrency, passes int, seed int64) error {
+func runBenches(sel, dir string, scale, concurrency, passes int, seed int64, engine udp.Engine) error {
 	for _, name := range strings.Split(sel, ",") {
 		var (
 			r   *bench.Report
@@ -127,7 +135,7 @@ func runBenches(sel, dir string, scale, concurrency, passes int, seed int64) err
 		)
 		switch strings.TrimSpace(name) {
 		case "exec":
-			r, err = bench.Exec(scale, seed)
+			r, err = bench.Exec(scale, seed, engine)
 		case "server":
 			r, err = bench.Server(scale, concurrency, passes, seed)
 		default:

@@ -24,13 +24,18 @@ import (
 
 func main() {
 	lanes := flag.Int("lanes", 1, "number of lanes to shard across")
+	engineName := flag.String("engine", "auto", "execution engine: auto, interp, decoded or compiled")
 	sep := flag.String("sep", "", "shard on this single-byte record separator (e.g. '\\n')")
 	profile := flag.Bool("profile", false, "print the automaton state profile (hot states, dispatch/action mixes) to stderr")
 	logSpec := flag.String("log", "", obs.LogFlagUsage)
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: udprun [-lanes N] [-sep C] [-profile] file.udp input|-")
+		fmt.Fprintln(os.Stderr, "usage: udprun [-lanes N] [-engine E] [-sep C] [-profile] file.udp input|-")
 		os.Exit(2)
+	}
+	engine, err := udp.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
 	}
 	logger, err := obs.NewLogger(os.Stderr, *logSpec)
 	if err != nil {
@@ -69,7 +74,12 @@ func main() {
 	default:
 		shards = udp.SplitBytes(input, *lanes)
 	}
-	opts := []udp.ExecOption{udp.WithMaxLanes(*lanes)}
+	var ranOn udp.Engine
+	opts := []udp.ExecOption{
+		udp.WithMaxLanes(*lanes),
+		udp.WithEngine(engine),
+		udp.WithStatsHook(func(e udp.ShardEvent) { ranOn = e.Engine }),
+	}
 	var prof *udp.Profile
 	if *profile {
 		prof = udp.NewProfile("", im)
@@ -87,8 +97,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lane %d: accept pattern %d at bit %d\n", i, m.PatternID, m.BitPos)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "lanes=%d cycles=%d dispatches=%d actions=%d rate=%.1f MB/s\n",
-		res.Lanes, res.Cycles, res.Total.Dispatches, res.Total.Actions, res.Rate())
+	fmt.Fprintf(os.Stderr, "lanes=%d engine=%s cycles=%d dispatches=%d actions=%d rate=%.1f MB/s\n",
+		res.Lanes, ranOn, res.Cycles, res.Total.Dispatches, res.Total.Actions, res.Rate())
 	if prof != nil {
 		prof.Snapshot().Render(os.Stderr, 10)
 	}

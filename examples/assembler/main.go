@@ -42,7 +42,7 @@ func main() {
 		im.TransWords, im.ActionWords, im.CodeBytes(), len(im.Segments))
 
 	input := []byte("((a(b)c)((d)))x")
-	lane, err := udp.Run(im, input)
+	lane, err := udp.RunLane(im, input)
 	if err != nil {
 		log.Fatal(err)
 	}

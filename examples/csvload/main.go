@@ -77,7 +77,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lane, err := udp.Run(dictIm, stream)
+	lane, err := udp.RunLane(dictIm, stream)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -60,7 +60,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lane, err := udp.Run(im, recovered)
+	lane, err := udp.RunLane(im, recovered)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -66,7 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lane, err := udp.Run(im, data)
+	lane, err := udp.RunLane(im, data)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mlane, err := udp.Run(mim, seq)
+	mlane, err := udp.RunLane(mim, seq)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lane, err := udp.Run(im, trace)
+	lane, err := udp.RunLane(im, trace)
 	if err != nil {
 		log.Fatal(err)
 	}

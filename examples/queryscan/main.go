@@ -59,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	encLane, err := udp.Run(encIm, stream)
+	encLane, err := udp.RunLane(encIm, stream)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lane, err := udp.Run(scanIm, codes)
+	lane, err := udp.RunLane(scanIm, codes)
 	if err != nil {
 		log.Fatal(err)
 	}

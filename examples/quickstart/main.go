@@ -47,7 +47,7 @@ func main() {
 		p.Name, im.CodeBytes(), udp.MaxLanes(im))
 
 	input := []byte("The UDP accelerates extract, transform & load!")
-	lane, err := udp.Run(im, input)
+	lane, err := udp.RunLane(im, input)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -26,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lane, err := udp.Run(im, wave)
+	lane, err := udp.RunLane(im, wave)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hlane, err := udp.Run(him, histogram.KeyBytes(fares))
+	hlane, err := udp.RunLane(him, histogram.KeyBytes(fares))
 	if err != nil {
 		log.Fatal(err)
 	}

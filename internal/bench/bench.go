@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -64,6 +65,10 @@ type Report struct {
 	MaxMs float64 `json:"max_ms"`
 	// Samples is the latency sample count behind the percentiles.
 	Samples int `json:"samples"`
+	// Engine is the execution tier the overall pass actually ran on
+	// ("compiled" unless degraded; empty in reports predating the tiered
+	// engine).
+	Engine string `json:"engine,omitempty"`
 	// Kernels breaks the exec benchmark down per builtin kernel (the
 	// inputs `make bench-compare` diffs).
 	Kernels []KernelReport `json:"kernels,omitempty"`
@@ -77,6 +82,12 @@ type Report struct {
 type KernelReport struct {
 	// Kernel is the builtin name (echo, csvparse, ...).
 	Kernel string `json:"kernel"`
+	// Engine is the execution tier the row ran on ("compiled", "decoded",
+	// "interp"). Empty in reports predating the tiered engine, whose rows
+	// were measured on the then-default decoded path — Compare matches
+	// them against new compiled rows, so the diff reads as "production
+	// tier now vs production tier then".
+	Engine string `json:"engine,omitempty"`
 	// InputBytes is the input size streamed through the executor.
 	InputBytes int `json:"input_bytes"`
 	// WallSeconds is the host wall-clock for the kernel's pass.
@@ -120,9 +131,11 @@ func fillLatencies(r *Report, samples []time.Duration) {
 }
 
 // Exec benchmarks the in-process streaming executor: lineitem CSV through
-// the pipe-CSV kernel with record-aligned shards. Latency samples are
-// per-shard wall times from the stats hook.
-func Exec(scale int, seed int64) (*Report, error) {
+// the pipe-CSV kernel with record-aligned shards, on the given engine
+// (udp.EngineAuto measures the production default and additionally runs the
+// kernel suite on every tier; a specific engine restricts the suite to that
+// tier). Latency samples are per-shard wall times from the stats hook.
+func Exec(scale int, seed int64, engine udp.Engine) (*Report, error) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -136,10 +149,15 @@ func Exec(scale int, seed int64) (*Report, error) {
 		return nil, err
 	}
 	var samples []time.Duration
+	ranOn := engine
 	t0 := time.Now()
 	res, err := udp.Exec(context.Background(), im, bytes.NewReader(data),
 		udp.WithChunker('\n'),
-		udp.WithStatsHook(func(e udp.ShardEvent) { samples = append(samples, e.Wall) }),
+		udp.WithEngine(engine),
+		udp.WithStatsHook(func(e udp.ShardEvent) {
+			ranOn = e.Engine
+			samples = append(samples, e.Wall)
+		}),
 	)
 	if err != nil {
 		return nil, err
@@ -148,8 +166,9 @@ func Exec(scale int, seed int64) (*Report, error) {
 	r.Passes = 1
 	r.ThroughputMBps = float64(r.InputBytes) / 1e6 / r.WallSeconds
 	r.SimulatedMBps = res.Rate()
+	r.Engine = ranOn.String()
 	fillLatencies(r, samples)
-	r.Kernels, err = kernelSuite(scale, seed)
+	r.Kernels, err = kernelSuite(scale, seed, engine)
 	if err != nil {
 		return nil, err
 	}
@@ -189,44 +208,105 @@ func kernelCases(scale int, seed int64) ([]kernelCase, error) {
 	}, nil
 }
 
+// kernelEngines are the tiers the suite measures per kernel, fastest first.
+var kernelEngines = []udp.Engine{udp.EngineCompiled, udp.EngineDecoded, udp.EngineInterp}
+
+// kernelPasses is how many timed runs back each kernel row; the row reports
+// the best pass so scheduler noise doesn't flap the engine gate.
+const kernelPasses = 7
+
+// engineGateSlack is the noise band of the compiled-vs-decoded gate: a
+// kernel only counts as slower on the compiled tier when it trails decoded
+// by more than this factor on BOTH median per-shard latency and best-pass
+// throughput. The two metrics fail for different reasons on a shared
+// machine (sample-distribution skew vs window luck), so requiring both
+// filters jitter; a compiled tier that genuinely regressed or silently
+// fell back to a slower path fails both consistently.
+const engineGateSlack = 0.9
+
 // kernelSuite streams a representative workload through each builtin server
-// kernel on the executor and samples its throughput, one KernelReport per
-// kernel. These rows are what `make bench-compare` diffs between two
-// BENCH_exec.json files.
-func kernelSuite(scale int, seed int64) ([]KernelReport, error) {
+// kernel on the executor and samples its throughput — one KernelReport per
+// kernel per execution tier (or per kernel on just the requested tier when
+// only is not udp.EngineAuto). These rows are what `make bench-compare`
+// diffs between two BENCH_exec.json files, and what the compiled-vs-decoded
+// engine gate checks.
+func kernelSuite(scale int, seed int64, only udp.Engine) ([]KernelReport, error) {
 	cases, err := kernelCases(scale, seed)
 	if err != nil {
 		return nil, err
 	}
-	reports := make([]KernelReport, 0, len(cases))
+	engines := kernelEngines
+	if only != udp.EngineAuto {
+		engines = []udp.Engine{only}
+	}
+	reports := make([]KernelReport, 0, len(cases)*len(engines))
 	for _, c := range cases {
 		im, err := udp.Compile(c.prog)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
-		var samples []time.Duration
-		opts := []udp.ExecOption{
-			udp.WithStatsHook(func(e udp.ShardEvent) { samples = append(samples, e.Wall) }),
+		type engRun struct {
+			eng     udp.Engine
+			ranOn   udp.Engine
+			samples []time.Duration
+			wall    float64
+			res     *udp.ExecResult
 		}
-		if c.hasSep {
-			opts = append(opts, udp.WithChunker(c.sep))
+		runs := make([]*engRun, len(engines))
+		for i, eng := range engines {
+			runs[i] = &engRun{eng: eng, ranOn: eng}
 		}
-		t0 := time.Now()
-		res, err := udp.Exec(context.Background(), im, bytes.NewReader(c.input), opts...)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.name, err)
+		// Untimed warmup pass per engine: the first run of a kernel pays
+		// one-off costs (page faults, predecode/compile caches, pool
+		// spin-up) that would otherwise bias whichever engine runs first.
+		for _, er := range runs {
+			if _, err := udp.Exec(context.Background(), im, bytes.NewReader(c.input), udp.WithEngine(er.eng)); err != nil {
+				return nil, fmt.Errorf("%s (%s) warmup: %w", c.name, er.eng, err)
+			}
 		}
-		wall := time.Since(t0).Seconds()
-		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-		reports = append(reports, KernelReport{
-			Kernel:         c.name,
-			InputBytes:     len(c.input),
-			WallSeconds:    wall,
-			ThroughputMBps: float64(len(c.input)) / 1e6 / wall,
-			SimulatedMBps:  res.Rate(),
-			P50Ms:          percentile(samples, 0.50),
-			P99Ms:          percentile(samples, 0.99),
-		})
+		// Best of kernelPasses timed runs per engine, with the engines
+		// interleaved in time: the inputs are small enough (tens of ms)
+		// that a run is at the mercy of machine noise, and a load spike
+		// lasting longer than one engine's back-to-back passes would
+		// penalize that engine alone. Round-robin spreads the spike over
+		// every tier; best-of then picks each tier's calm window.
+		for pass := 0; pass < kernelPasses; pass++ {
+			for _, er := range runs {
+				er := er
+				opts := []udp.ExecOption{
+					udp.WithEngine(er.eng),
+					udp.WithStatsHook(func(e udp.ShardEvent) {
+						er.ranOn = e.Engine
+						er.samples = append(er.samples, e.Wall)
+					}),
+				}
+				if c.hasSep {
+					opts = append(opts, udp.WithChunker(c.sep))
+				}
+				t0 := time.Now()
+				pr, err := udp.Exec(context.Background(), im, bytes.NewReader(c.input), opts...)
+				if err != nil {
+					return nil, fmt.Errorf("%s (%s): %w", c.name, er.eng, err)
+				}
+				if d := time.Since(t0).Seconds(); er.wall == 0 || d < er.wall {
+					er.wall = d
+					er.res = pr
+				}
+			}
+		}
+		for _, er := range runs {
+			sort.Slice(er.samples, func(i, j int) bool { return er.samples[i] < er.samples[j] })
+			reports = append(reports, KernelReport{
+				Kernel:         c.name,
+				Engine:         er.ranOn.String(),
+				InputBytes:     len(c.input),
+				WallSeconds:    er.wall,
+				ThroughputMBps: float64(len(c.input)) / 1e6 / er.wall,
+				SimulatedMBps:  er.res.Rate(),
+				P50Ms:          percentile(er.samples, 0.50),
+				P99Ms:          percentile(er.samples, 0.99),
+			})
+		}
 	}
 	return reports, nil
 }
@@ -369,10 +449,25 @@ func ReadJSON(path string) (*Report, error) {
 	return &r, nil
 }
 
+// kernelKey names a row for comparison across reports: the production
+// tier ("compiled", or "" in reports predating the tiered engine, which
+// measured the then-default path) keys by bare kernel name so the
+// production-tier-now vs production-tier-then diff lines up; other tiers
+// key as kernel@engine.
+func kernelKey(k KernelReport) string {
+	if k.Engine == "" || k.Engine == "compiled" {
+		return k.Kernel
+	}
+	return k.Kernel + "@" + k.Engine
+}
+
 // Compare renders the per-kernel throughput deltas between two reports
 // (typically a committed BENCH_exec.json and a fresh run). Kernels present
 // in only one report are shown with a dash; reports predating the kernel
-// suite still diff on the overall row.
+// suite still diff on the overall row. It also enforces the engine gate:
+// if the new report carries per-engine rows and any kernel runs slower on
+// the compiled tier than on the decoded tier, Compare returns an error
+// after printing the table.
 func Compare(oldPath, newPath string, w io.Writer) error {
 	oldR, err := ReadJSON(oldPath)
 	if err != nil {
@@ -382,33 +477,69 @@ func Compare(oldPath, newPath string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-14s %12s %12s %9s\n", "kernel", "old MB/s", "new MB/s", "delta")
+	fmt.Fprintf(w, "%-20s %12s %12s %9s\n", "kernel", "old MB/s", "new MB/s", "delta")
 	row := func(name string, old, new float64) {
 		switch {
 		case old == 0 && new == 0:
 			return
 		case old == 0:
-			fmt.Fprintf(w, "%-14s %12s %12.1f %9s\n", name, "-", new, "-")
+			fmt.Fprintf(w, "%-20s %12s %12.1f %9s\n", name, "-", new, "-")
 		case new == 0:
-			fmt.Fprintf(w, "%-14s %12.1f %12s %9s\n", name, old, "-", "-")
+			fmt.Fprintf(w, "%-20s %12.1f %12s %9s\n", name, old, "-", "-")
 		default:
-			fmt.Fprintf(w, "%-14s %12.1f %12.1f %+8.1f%%\n", name, old, new, (new/old-1)*100)
+			fmt.Fprintf(w, "%-20s %12.1f %12.1f %+8.1f%%\n", name, old, new, (new/old-1)*100)
 		}
 	}
 	row("overall", oldR.ThroughputMBps, newR.ThroughputMBps)
 	oldK := make(map[string]KernelReport, len(oldR.Kernels))
 	for _, k := range oldR.Kernels {
-		oldK[k.Kernel] = k
+		oldK[kernelKey(k)] = k
 	}
 	seen := make(map[string]bool, len(newR.Kernels))
 	for _, k := range newR.Kernels {
-		seen[k.Kernel] = true
-		row(k.Kernel, oldK[k.Kernel].ThroughputMBps, k.ThroughputMBps)
+		key := kernelKey(k)
+		seen[key] = true
+		row(key, oldK[key].ThroughputMBps, k.ThroughputMBps)
 	}
 	for _, k := range oldR.Kernels {
-		if !seen[k.Kernel] {
-			row(k.Kernel, k.ThroughputMBps, 0)
+		if key := kernelKey(k); !seen[key] {
+			row(key, k.ThroughputMBps, 0)
 		}
 	}
-	return nil
+	return engineGate(newR, w)
+}
+
+// engineGate fails the comparison when the compiled tier loses to the
+// decoded tier on any kernel of the new report — the production default
+// must never be the slower choice. A kernel fails only when compiled
+// trails decoded beyond engineGateSlack on both median per-shard latency
+// and throughput. Reports without per-engine rows (older formats, or runs
+// restricted to one engine) pass vacuously.
+func engineGate(r *Report, w io.Writer) error {
+	byEngine := make(map[string]map[string]KernelReport)
+	for _, k := range r.Kernels {
+		if k.Engine == "" {
+			continue
+		}
+		m := byEngine[k.Engine]
+		if m == nil {
+			m = make(map[string]KernelReport)
+			byEngine[k.Engine] = m
+		}
+		m[k.Kernel] = k
+	}
+	var slow []string
+	for kernel, ck := range byEngine["compiled"] {
+		dk, ok := byEngine["decoded"][kernel]
+		if ok && ck.P50Ms > dk.P50Ms/engineGateSlack && ck.ThroughputMBps < dk.ThroughputMBps*engineGateSlack {
+			slow = append(slow, fmt.Sprintf("%s (compiled p50 %.2f ms > decoded %.2f ms, %.1f < %.1f MB/s)",
+				kernel, ck.P50Ms, dk.P50Ms, ck.ThroughputMBps, dk.ThroughputMBps))
+		}
+	}
+	if len(slow) == 0 {
+		return nil
+	}
+	sort.Strings(slow)
+	fmt.Fprintf(w, "engine gate: compiled tier slower than decoded on: %s\n", strings.Join(slow, ", "))
+	return fmt.Errorf("engine gate failed: compiled slower than decoded on %d kernel(s)", len(slow))
 }

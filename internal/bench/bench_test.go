@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"udp"
 )
 
 func TestExecReportShape(t *testing.T) {
-	r, err := Exec(1, 7)
+	r, err := Exec(1, 7, udp.EngineAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,6 +23,77 @@ func TestExecReportShape(t *testing.T) {
 	}
 	if r.Samples == 0 || r.P50Ms < 0 || r.P99Ms < r.P50Ms {
 		t.Fatalf("latency percentiles inconsistent: %+v", r)
+	}
+	if r.Engine != "compiled" {
+		t.Fatalf("overall pass ran on %q, want compiled", r.Engine)
+	}
+	// EngineAuto measures every kernel on every tier.
+	perKernel := make(map[string]map[string]bool)
+	for _, k := range r.Kernels {
+		if k.Engine == "" {
+			t.Fatalf("kernel row without engine: %+v", k)
+		}
+		if perKernel[k.Kernel] == nil {
+			perKernel[k.Kernel] = make(map[string]bool)
+		}
+		perKernel[k.Kernel][k.Engine] = true
+	}
+	for kernel, engines := range perKernel {
+		for _, want := range []string{"compiled", "decoded", "interp"} {
+			if !engines[want] {
+				t.Errorf("%s: missing %s row", kernel, want)
+			}
+		}
+	}
+}
+
+func TestExecSingleEngine(t *testing.T) {
+	r, err := Exec(1, 7, udp.EngineInterp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Engine != "interp" {
+		t.Fatalf("overall pass ran on %q, want interp", r.Engine)
+	}
+	for _, k := range r.Kernels {
+		if k.Engine != "interp" {
+			t.Fatalf("kernel %s ran on %q, want interp", k.Kernel, k.Engine)
+		}
+	}
+}
+
+func TestCompareEngineGate(t *testing.T) {
+	write := func(t *testing.T, r *Report) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "BENCH_exec.json")
+		if err := WriteJSON(path, r); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Old report predates the tiered engine: engineless rows.
+	old := &Report{Name: "exec", ThroughputMBps: 40, Kernels: []KernelReport{
+		{Kernel: "echo", ThroughputMBps: 40},
+	}}
+	good := &Report{Name: "exec", ThroughputMBps: 80, Kernels: []KernelReport{
+		{Kernel: "echo", Engine: "compiled", ThroughputMBps: 90, P50Ms: 2.0},
+		{Kernel: "echo", Engine: "decoded", ThroughputMBps: 60, P50Ms: 3.0},
+	}}
+	var out strings.Builder
+	if err := Compare(write(t, old), write(t, good), &out); err != nil {
+		t.Fatalf("gate tripped on a faster compiled tier: %v\n%s", err, out.String())
+	}
+	// The old engineless row must diff against the new compiled row.
+	if !strings.Contains(out.String(), "+125.0%") {
+		t.Fatalf("old default row not matched to new compiled row:\n%s", out.String())
+	}
+	bad := &Report{Name: "exec", ThroughputMBps: 80, Kernels: []KernelReport{
+		{Kernel: "echo", Engine: "compiled", ThroughputMBps: 50, P50Ms: 4.0},
+		{Kernel: "echo", Engine: "decoded", ThroughputMBps: 60, P50Ms: 3.0},
+	}}
+	out.Reset()
+	if err := Compare(write(t, old), write(t, bad), &out); err == nil {
+		t.Fatalf("gate missed a compiled tier slower than decoded:\n%s", out.String())
 	}
 }
 

@@ -70,6 +70,7 @@ type reqOpts struct {
 	gzipped bool
 	chunk   int
 	retries int
+	engine  string
 	traceID *string
 }
 
@@ -85,6 +86,15 @@ func WithGzippedBody() TransformOption {
 // WithChunkBytes asks the server for a specific shard-size target.
 func WithChunkBytes(n int) TransformOption {
 	return func(o *reqOpts) { o.chunk = n }
+}
+
+// WithEngine overrides the server's default execution tier for this
+// transform ("auto", "interp", "decoded", "compiled"), sent as the
+// X-Udp-Engine request header. A server that doesn't recognize the name
+// rejects the transform with 422; the tier the run actually used comes back
+// in the X-Udp-Engine response trailer.
+func WithEngine(engine string) TransformOption {
+	return func(o *reqOpts) { o.engine = engine }
 }
 
 // WithRetry re-sends a transform rejected with 429 (capacity saturated) or
@@ -133,6 +143,9 @@ func (c *Client) Transform(ctx context.Context, program string, body io.Reader, 
 		}
 		if o.gzipped {
 			req.Header.Set("Content-Encoding", "gzip")
+		}
+		if o.engine != "" {
+			req.Header.Set("X-Udp-Engine", o.engine)
 		}
 		if sc := obs.SpanFromContext(ctx).Context(); sc.Valid() {
 			req.Header.Set("traceparent", sc.Traceparent())

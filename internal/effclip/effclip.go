@@ -115,6 +115,22 @@ type Image struct {
 	// shared read-only by every lane executing this image.
 	decodeOnce sync.Once
 	decoded    *Decoded
+
+	// compiled is the lazily-built compiled-tier form of the image,
+	// stored opaquely so the dependency stays one-way (internal/compile
+	// imports effclip, not the reverse). See CompiledForm.
+	compileOnce sync.Once
+	compiled    any
+}
+
+// CompiledForm memoizes an engine-specific compiled form of the image:
+// build runs at most once per image and the result — opaque to effclip —
+// is shared read-only by every lane. internal/compile stores its lowered
+// program (or the reason the image is ineligible) here, exactly as
+// Decoded memoizes the predecoded cache.
+func (im *Image) CompiledForm(build func() any) any {
+	im.compileOnce.Do(func() { im.compiled = build() })
+	return im.compiled
 }
 
 // CodeBytes returns the byte size of the encoded code image, accounting for

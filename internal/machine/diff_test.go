@@ -1,12 +1,14 @@
-// Differential harness for the predecoded code cache: every program runs
-// twice — once on the memory-word interpreter (SetDecoded(false), the
-// reference semantics) and once on the decoded fast path — and everything
-// observable must match bit for bit: output bytes, exit code, accept
-// matches, the full counter set, the final memory image, and any trap. The
-// suite covers the builtin server kernels (echo, csvparse, csvpipe,
-// jsonparse, xmlparse, histogram16), a memory-counter histogram, every
-// dispatch kind (labeled, majority, default, refill, common, flagged,
-// epsilon/NFA), and self-modifying programs that force cache invalidation.
+// Differential harness for the lane's execution tiers: every program runs
+// three times — on the memory-word interpreter (EngineInterp, the reference
+// semantics), on the predecoded cache (EngineDecoded), and on the compiled
+// tier (EngineCompiled) — and everything observable must match bit for bit:
+// output bytes, exit code, accept matches, the full counter set, the final
+// memory image, and any trap (including the trap's cycle). The suite covers
+// the builtin server kernels (echo, csvparse, csvpipe, jsonparse, xmlparse,
+// histogram16), a memory-counter histogram, every dispatch kind (labeled,
+// majority, default, refill, common, flagged, epsilon/NFA), runtime traps
+// under an injected fault budget, and self-modifying programs that force
+// cache invalidation.
 //
 // It lives in machine_test (not machine) because the pattern kernel imports
 // machine for its UDP runner.
@@ -45,23 +47,24 @@ type runOut struct {
 	matches []machine.Match
 	mem     []byte
 	err     error
-	// decoded reports whether the lane was still on the decoded path when
-	// the run ended (false after a store into the code window).
-	decoded bool
+	// engine is the tier the run actually executed on (EngineInUse), so
+	// cases can assert both that a tier was really exercised and that
+	// degradation (e.g. after a store into the code window) happened.
+	engine machine.Engine
 }
 
-func runPath(t *testing.T, img *effclip.Image, input []byte, setup func(*machine.Lane), decoded bool) runOut {
+func runPath(t *testing.T, img *effclip.Image, input []byte, setup func(*machine.Lane), engine machine.Engine, budget uint64) runOut {
 	t.Helper()
 	lane, err := machine.NewLane(img, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lane.SetDecoded(decoded)
+	lane.SetEngine(engine)
 	lane.SetInput(input)
 	if setup != nil {
 		setup(lane)
 	}
-	runErr := lane.Run(0)
+	runErr := lane.Run(budget)
 	return runOut{
 		out:     append([]byte(nil), lane.Output()...),
 		exit:    lane.Exit(),
@@ -69,48 +72,61 @@ func runPath(t *testing.T, img *effclip.Image, input []byte, setup func(*machine
 		matches: append([]machine.Match(nil), lane.Matches()...),
 		mem:     append([]byte(nil), lane.Mem()...),
 		err:     runErr,
-		decoded: lane.Decoding(),
+		engine:  lane.EngineInUse(),
 	}
 }
 
-// diffRun executes input on both paths and fails the test on any observable
-// divergence, returning both runs for case-specific assertions.
-func diffRun(t *testing.T, img *effclip.Image, input []byte, setup func(*machine.Lane)) (ref, dec runOut) {
+// diffAgainst fails the test on any observable divergence between the
+// reference run and another tier's run.
+func diffAgainst(t *testing.T, name string, ref, got runOut) {
 	t.Helper()
-	ref = runPath(t, img, input, setup, false)
-	dec = runPath(t, img, input, setup, true)
-	refErr, decErr := "", ""
+	refErr, gotErr := "", ""
 	if ref.err != nil {
 		refErr = ref.err.Error()
 	}
-	if dec.err != nil {
-		decErr = dec.err.Error()
+	if got.err != nil {
+		gotErr = got.err.Error()
 	}
-	if refErr != decErr {
-		t.Fatalf("error diverged:\n  memory:  %v\n  decoded: %v", ref.err, dec.err)
+	if refErr != gotErr {
+		t.Fatalf("error diverged:\n  memory:  %v\n  %s: %v", ref.err, name, got.err)
 	}
-	if !bytes.Equal(ref.out, dec.out) {
-		t.Fatalf("output diverged: memory %d bytes, decoded %d bytes\nmemory:  %.80q\ndecoded: %.80q",
-			len(ref.out), len(dec.out), ref.out, dec.out)
+	if !bytes.Equal(ref.out, got.out) {
+		t.Fatalf("output diverged: memory %d bytes, %s %d bytes\nmemory: %.80q\n%s: %.80q",
+			len(ref.out), name, len(got.out), ref.out, name, got.out)
 	}
-	if ref.exit != dec.exit {
-		t.Fatalf("exit diverged: memory %d, decoded %d", ref.exit, dec.exit)
+	if ref.exit != got.exit {
+		t.Fatalf("exit diverged: memory %d, %s %d", ref.exit, name, got.exit)
 	}
-	if ref.stats != dec.stats {
-		t.Fatalf("stats diverged:\n  memory:  %+v\n  decoded: %+v", ref.stats, dec.stats)
+	if ref.stats != got.stats {
+		t.Fatalf("stats diverged:\n  memory:  %+v\n  %s: %+v", ref.stats, name, got.stats)
 	}
-	if len(ref.matches) != len(dec.matches) {
-		t.Fatalf("match count diverged: memory %d, decoded %d", len(ref.matches), len(dec.matches))
+	if len(ref.matches) != len(got.matches) {
+		t.Fatalf("match count diverged: memory %d, %s %d", len(ref.matches), name, len(got.matches))
 	}
 	for i := range ref.matches {
-		if ref.matches[i] != dec.matches[i] {
-			t.Fatalf("match %d diverged: memory %+v, decoded %+v", i, ref.matches[i], dec.matches[i])
+		if ref.matches[i] != got.matches[i] {
+			t.Fatalf("match %d diverged: memory %+v, %s %+v", i, ref.matches[i], name, got.matches[i])
 		}
 	}
-	if !bytes.Equal(ref.mem, dec.mem) {
-		t.Fatalf("final memory image diverged")
+	if !bytes.Equal(ref.mem, got.mem) {
+		t.Fatalf("final memory image diverged (%s)", name)
 	}
-	return ref, dec
+}
+
+// diffRun executes input on all three tiers and fails the test on any
+// observable divergence, returning the runs for case-specific assertions.
+func diffRun(t *testing.T, img *effclip.Image, input []byte, setup func(*machine.Lane)) (ref, dec, comp runOut) {
+	return diffRunBudget(t, img, input, setup, 0)
+}
+
+func diffRunBudget(t *testing.T, img *effclip.Image, input []byte, setup func(*machine.Lane), budget uint64) (ref, dec, comp runOut) {
+	t.Helper()
+	ref = runPath(t, img, input, setup, machine.EngineInterp, budget)
+	dec = runPath(t, img, input, setup, machine.EngineDecoded, budget)
+	comp = runPath(t, img, input, setup, machine.EngineCompiled, budget)
+	diffAgainst(t, "decoded", ref, dec)
+	diffAgainst(t, "compiled", ref, comp)
+	return ref, dec, comp
 }
 
 func echoProgram() *core.Program {
@@ -121,7 +137,7 @@ func echoProgram() *core.Program {
 }
 
 // TestDifferentialKernels runs every builtin kernel plus programs covering
-// the remaining dispatch kinds through both execution paths.
+// the remaining dispatch kinds through all three execution tiers.
 func TestDifferentialKernels(t *testing.T) {
 	crimes := workload.CrimesCSV(workload.CSVSpec{Name: "crimes", Rows: 200, Seed: 2})
 	keys := histogram.KeyBytes(workload.FloatColumn(2048, workload.DistUniform, 0, 1, 4))
@@ -200,16 +216,72 @@ func TestDifferentialKernels(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			img := layout(t, tc.build(t))
-			_, dec := diffRun(t, img, tc.input, nil)
-			if !dec.decoded {
-				t.Fatalf("decoded run fell back to the memory path unexpectedly")
+			_, dec, comp := diffRun(t, img, tc.input, nil)
+			if dec.engine != machine.EngineDecoded {
+				t.Fatalf("decoded run fell back to the memory path unexpectedly (engine %v)", dec.engine)
+			}
+			if comp.engine != machine.EngineCompiled {
+				t.Fatalf("compiled run degraded unexpectedly (engine %v)", comp.engine)
+			}
+		})
+	}
+}
+
+// TestDifferentialTraps drives runtime traps through all three tiers: the
+// trap kind, message, and the full stats at trap time (including the cycle
+// the trap fired on) must be bit-identical.
+func TestDifferentialTraps(t *testing.T) {
+	cases := []struct {
+		name   string
+		build  func(t *testing.T) *core.Program
+		input  []byte
+		setup  func(*machine.Lane)
+		budget uint64
+	}{
+		{"cycle-budget", func(t *testing.T) *core.Program { return echoProgram() },
+			[]byte("aaaaaaaaaaaaaaaa"), nil, 4},
+		{"bad-signature", func(t *testing.T) *core.Program {
+			p := core.NewProgram("strict", 8)
+			s := p.AddState("s", core.ModeStream)
+			s.On('a', s, core.AOut8(core.RSym))
+			return p
+		}, []byte("aaab"), nil, 0},
+		{"mem-out-of-window", func(t *testing.T) *core.Program {
+			p := core.NewProgram("wild-load", 8)
+			s := p.AddState("s", core.ModeStream)
+			s.Majority(s, core.ALdx(core.R2, core.R3, core.R0))
+			return p
+		}, []byte("a"), func(l *machine.Lane) { l.SetReg(core.R3, 1<<22) }, 0},
+		{"bad-symbol-size", func(t *testing.T) *core.Program {
+			p := core.NewProgram("bad-ss", 8)
+			s := p.AddState("s", core.ModeStream)
+			s.Majority(s,
+				core.AMovi(core.R2, 40),
+				core.Action{Op: core.OpSetSSR, Src: core.R2})
+			return p
+		}, []byte("a"), nil, 0},
+		{"putback-livelock", func(t *testing.T) *core.Program {
+			p := core.NewProgram("livelock", 8)
+			s := p.AddState("s", core.ModeStream)
+			s.Majority(s, core.Action{Op: core.OpPutBack, Imm: 8})
+			return p
+		}, []byte("a"), func(l *machine.Lane) { l.SetLivelockWindow(256) }, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := layout(t, tc.build(t))
+			ref, _, _ := diffRunBudget(t, img, tc.input, tc.setup, tc.budget)
+			if ref.err == nil {
+				t.Fatal("reference run succeeded, want a trap")
 			}
 		})
 	}
 }
 
 // TestDifferentialNFA covers multi-active (epsilon/fork-chain) execution
-// with a NIDS-like pattern set over a synthetic trace.
+// with a NIDS-like pattern set over a synthetic trace. A multi-active image
+// is not compilable; asking for the compiled tier must degrade gracefully
+// to the decoded frontier executor.
 func TestDifferentialNFA(t *testing.T) {
 	pats := workload.NIDSPatterns(6, true, 5)
 	set, err := pattern.Compile(pats)
@@ -222,9 +294,12 @@ func TestDifferentialNFA(t *testing.T) {
 	}
 	img := layout(t, prog)
 	trace := workload.NetworkTrace(4096, pats, 0.05, 6)
-	_, dec := diffRun(t, img, trace, nil)
-	if !dec.decoded {
-		t.Fatalf("decoded run fell back to the memory path unexpectedly")
+	_, dec, comp := diffRun(t, img, trace, nil)
+	if dec.engine != machine.EngineDecoded {
+		t.Fatalf("decoded run fell back to the memory path unexpectedly (engine %v)", dec.engine)
+	}
+	if comp.engine != machine.EngineDecoded {
+		t.Fatalf("compiled request on an NFA image ran %v, want degradation to decoded", comp.engine)
 	}
 	if dec.stats.Activations == 0 {
 		t.Fatalf("NFA case never activated a state; not exercising fork chains")
@@ -270,26 +345,29 @@ func mustEncode(t *testing.T, a core.Action) uint32 {
 }
 
 // TestDifferentialSelfModifying: a store into the code window rewrites the
-// majority action from OutI('A') to OutI('B') mid-run. The decoded path must
-// invalidate its cache and finish on the memory interpreter, matching the
-// reference bit for bit; a Reset must restore the pristine code and re-arm
-// the cache.
+// majority action from OutI('A') to OutI('B') mid-run. The decoded and
+// compiled tiers must invalidate their caches and finish on the memory
+// interpreter, matching the reference bit for bit; a Reset must restore the
+// pristine code and re-arm the caches.
 func TestDifferentialSelfModifying(t *testing.T) {
 	img, addr, repl := selfModImage(t, 'B')
 	setup := func(l *machine.Lane) {
 		l.SetReg(core.R1, addr)
 		l.SetReg(core.R2, repl)
 	}
-	ref, dec := diffRun(t, img, []byte("xwx"), setup)
+	ref, dec, comp := diffRun(t, img, []byte("xwx"), setup)
 	if got := string(ref.out); got != "AB" {
 		t.Fatalf("reference output %q, want \"AB\"", got)
 	}
-	if dec.decoded {
-		t.Fatalf("store into code window did not invalidate the decoded cache")
+	if dec.engine != machine.EngineInterp {
+		t.Fatalf("store into code window did not invalidate the decoded cache (engine %v)", dec.engine)
+	}
+	if comp.engine != machine.EngineInterp {
+		t.Fatalf("store into code window did not force the compiled tier off its tables (engine %v)", comp.engine)
 	}
 
 	// Reuse: Reset must restore the rewritten code word from the snapshot
-	// and re-arm the decoded path, so a second run repeats the first.
+	// and re-arm the fast path, so a second run repeats the first.
 	lane, err := machine.NewLane(img, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -311,8 +389,8 @@ func TestDifferentialSelfModifying(t *testing.T) {
 }
 
 // TestDifferentialSelfModifyingMidChain: the store is the first action of a
-// chain whose *second* action it rewrites, so the decoded path must abandon
-// its memoized chain mid-execution and re-fetch the rewritten word.
+// chain whose *second* action it rewrites, so the fast tiers must abandon
+// their memoized chain mid-execution and re-fetch the rewritten word.
 func TestDifferentialSelfModifyingMidChain(t *testing.T) {
 	p := core.NewProgram("selfmod2", 8)
 	s := p.AddState("s", core.ModeStream)
@@ -327,12 +405,15 @@ func TestDifferentialSelfModifyingMidChain(t *testing.T) {
 		l.SetReg(core.R1, addr)
 		l.SetReg(core.R2, repl)
 	}
-	ref, dec := diffRun(t, img, []byte("m"), setup)
+	ref, dec, comp := diffRun(t, img, []byte("m"), setup)
 	if got := string(ref.out); got != "Q" {
 		t.Fatalf("reference output %q, want \"Q\" (the rewritten action)", got)
 	}
-	if dec.decoded {
-		t.Fatalf("mid-chain store did not invalidate the decoded cache")
+	if dec.engine != machine.EngineInterp {
+		t.Fatalf("mid-chain store did not invalidate the decoded cache (engine %v)", dec.engine)
+	}
+	if comp.engine != machine.EngineInterp {
+		t.Fatalf("mid-chain store did not force the compiled tier off its tables (engine %v)", comp.engine)
 	}
 }
 
@@ -373,15 +454,16 @@ func TestLaneReuseDirtyReset(t *testing.T) {
 	}
 }
 
-// TestDispatchZeroAlloc pins the acceptance criterion: the steady-state
-// dispatch loop (Reset, SetInput, Run over a reused lane) performs zero
-// allocations per run once output capacity is warm.
+// TestDispatchZeroAlloc pins the decoded-tier acceptance criterion: the
+// steady-state dispatch loop (Reset, SetInput, Run over a reused lane)
+// performs zero allocations per run once output capacity is warm.
 func TestDispatchZeroAlloc(t *testing.T) {
 	img := layout(t, echoProgram())
 	lane, err := machine.NewLane(img, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	lane.SetEngine(machine.EngineDecoded)
 	input := bytes.Repeat([]byte("0123456789abcdef"), 512)
 	run := func() {
 		lane.Reset()
@@ -395,10 +477,49 @@ func TestDispatchZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestCompiledZeroAlloc pins the compiled-tier acceptance criterion: the
+// steady-state compiled loop performs zero allocations per run — on the
+// action-heavy csvparse kernel, not just echo — once output capacity is
+// warm.
+func TestCompiledZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		prog  *core.Program
+		input []byte
+	}{
+		{"echo", echoProgram(), bytes.Repeat([]byte("0123456789abcdef"), 512)},
+		{"csvparse", csvparse.BuildProgram(),
+			workload.CrimesCSV(workload.CSVSpec{Name: "crimes", Rows: 100, Seed: 3})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			img := layout(t, tc.prog)
+			lane, err := machine.NewLane(img, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lane.SetEngine(machine.EngineCompiled)
+			run := func() {
+				lane.Reset()
+				lane.SetInput(tc.input)
+				if err := lane.Run(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm the output buffer
+			if got := lane.EngineInUse(); got != machine.EngineCompiled {
+				t.Fatalf("engine in use %v, want compiled", got)
+			}
+			if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+				t.Fatalf("steady-state compiled loop: %.1f allocs/run, want 0", allocs)
+			}
+		})
+	}
+}
+
 // benchLane measures the per-lane interpreter over the csvparse kernel, the
 // most action-heavy builtin. Run with -benchmem: the steady state must
-// report 0 allocs/op on both paths.
-func benchLane(b *testing.B, decoded bool) {
+// report 0 allocs/op on every tier.
+func benchLane(b *testing.B, engine machine.Engine) {
 	prog := csvparse.BuildProgram()
 	img, err := effclip.Layout(prog, effclip.Options{})
 	if err != nil {
@@ -409,13 +530,16 @@ func benchLane(b *testing.B, decoded bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	lane.SetDecoded(decoded)
+	lane.SetEngine(engine)
 	// Warm the output buffer so b.N=1 runs do not report the one-time
 	// capacity growth.
 	lane.Reset()
 	lane.SetInput(input)
 	if err := lane.Run(0); err != nil {
 		b.Fatal(err)
+	}
+	if got := lane.EngineInUse(); got != engine {
+		b.Fatalf("engine in use %v, want %v", got, engine)
 	}
 	b.SetBytes(int64(len(input)))
 	b.ReportAllocs()
@@ -429,5 +553,6 @@ func benchLane(b *testing.B, decoded bool) {
 	}
 }
 
-func BenchmarkLaneDecoded(b *testing.B) { benchLane(b, true) }
-func BenchmarkLaneMemory(b *testing.B)  { benchLane(b, false) }
+func BenchmarkLaneCompiled(b *testing.B) { benchLane(b, machine.EngineCompiled) }
+func BenchmarkLaneDecoded(b *testing.B)  { benchLane(b, machine.EngineDecoded) }
+func BenchmarkLaneMemory(b *testing.B)   { benchLane(b, machine.EngineInterp) }

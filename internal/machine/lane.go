@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"udp/internal/compile"
 	"udp/internal/core"
 	"udp/internal/effclip"
 	"udp/internal/encode"
@@ -55,6 +56,13 @@ type Lane struct {
 	decOn   bool
 	decOK   bool
 	codeEnd int // byte offset one past the code words; stores below dirty the cache
+
+	// comp is the compiled-tier program (nil when the engine selection or
+	// image eligibility rules it out); engine is the requested tier and
+	// ranEngine the tier the current/last Run selected (see engine.go).
+	comp      *compile.Program
+	engine    Engine
+	ranEngine Engine
 
 	// baseSig caches effclip.Sig(base) so the per-dispatch signature check
 	// is a byte compare instead of a modulo.
@@ -144,7 +152,7 @@ func NewLane(img *effclip.Image, banks int) (*Lane, error) {
 	}
 	l.memInit = append([]byte(nil), l.mem...)
 	l.dec = img.Decoded()
-	l.decOn = true
+	l.SetEngine(EngineAuto)
 	if l.dec != nil {
 		l.codeEnd = l.dec.CodeEnd
 	}
@@ -153,14 +161,17 @@ func NewLane(img *effclip.Image, banks int) (*Lane, error) {
 	return l, nil
 }
 
-// SetDecoded switches the predecoded fast path on or off (it is on by
-// default whenever the image has a decoded form). Disabling it forces the
-// memory-word interpreter — the reference semantics the decoded path must
-// match bit for bit; the differential tests rely on this switch. Call it
-// before Run (it takes full effect at the next Reset).
+// SetDecoded switches between the predecoded interpreter and the
+// memory-word reference interpreter: SetDecoded(true) is
+// SetEngine(EngineDecoded) and SetDecoded(false) is
+// SetEngine(EngineInterp). The differential tests rely on this switch;
+// SetEngine is the general form.
 func (l *Lane) SetDecoded(on bool) {
-	l.decOn = on
-	l.decOK = on && l.dec != nil
+	if on {
+		l.SetEngine(EngineDecoded)
+	} else {
+		l.SetEngine(EngineInterp)
+	}
 }
 
 // Decoding reports whether the lane is currently executing from the
@@ -379,7 +390,15 @@ func (l *Lane) Run(maxCycles uint64) error {
 		l.stream = NewBitStream(nil)
 	}
 	if l.img.MultiActive {
+		l.ranEngine = EngineDecoded
+		if !l.decOK {
+			l.ranEngine = EngineInterp
+		}
 		return l.runNFA(maxCycles)
+	}
+	l.ranEngine = l.selectEngine()
+	if l.ranEngine == EngineCompiled {
+		return l.runCompiled(maxCycles)
 	}
 	return l.runSingle(maxCycles)
 }

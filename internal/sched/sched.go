@@ -90,6 +90,10 @@ type Event struct {
 	Busy int
 	// Attempt is which execution of the shard this was (0 = first).
 	Attempt int
+	// Engine is the execution tier the shard actually ran on (which can
+	// be lower than the configured engine when the image is ineligible or
+	// the program self-modifies; see machine.Lane.EngineInUse).
+	Engine machine.Engine
 	// Trap is the typed fault behind Err, when there is one.
 	Trap *fault.Trap
 	// Retried reports that this failed attempt was re-enqueued per the
@@ -221,6 +225,10 @@ type Config struct {
 	Lanes int
 	// QueueDepth bounds the shard queue (backpressure); 0 means 2×lanes.
 	QueueDepth int
+	// Engine selects the lane execution tier for the pool
+	// (machine.EngineAuto, the zero value, picks the fastest eligible
+	// tier; see machine.Engine). Every pool lane runs the same engine.
+	Engine machine.Engine
 	// Setup, when non-nil, customizes a lane before each shard runs
 	// (stage memory, preset registers). It runs after Reset and SetInput,
 	// with the shard's stream-order index.
@@ -547,6 +555,7 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 							mu.Unlock()
 							return
 						}
+						lane.SetEngine(cfg.Engine)
 						lane.BindStop(&stop)
 					}
 					if lp != nil {
@@ -567,6 +576,7 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 					sp.SetAttr("bytes", len(it.data))
 					laneSpan := sp.StartChild("lane.run")
 					out, m, st, err := runShard(lane, it, img, cfg)
+					ranOn := lane.EngineInUse()
 					laneSpan.End()
 					busy.Add(-1)
 					if errors.Is(err, machine.ErrInterrupted) {
@@ -590,7 +600,8 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 						Shard: it.idx, Lane: w, Bytes: len(it.data),
 						Cycles: st.Cycles, Wall: time.Since(t0),
 						QueueDepth: qd, Busy: nb,
-						Attempt: it.attempt, Trap: tr, Err: err,
+						Attempt: it.attempt, Engine: ranOn,
+						Trap: tr, Err: err,
 					}
 					mu.Lock()
 					if quarantine {

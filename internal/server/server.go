@@ -82,6 +82,11 @@ type Options struct {
 	CachePrograms int
 	// MaxLanes caps the lane pool per transform (0 = the image's limit).
 	MaxLanes int
+	// Engine is the default lane execution tier for transforms (the zero
+	// value, udp.EngineAuto, compiles whenever the image lowers). A request
+	// overrides it per transform with the X-Udp-Engine header; the tier
+	// that actually ran comes back in the X-Udp-Engine response trailer.
+	Engine udp.Engine
 	// ChunkBytes is the shard-size target (0 = the executor default).
 	ChunkBytes int
 	// CyclesPerByte is the per-shard cycle budget multiplier (0 =
@@ -526,6 +531,16 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 		return http.StatusInternalServerError, err
 	}
 
+	engine := s.opts.Engine
+	if h := r.Header.Get("X-Udp-Engine"); h != "" {
+		e, err := udp.ParseEngine(h)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "X-Udp-Engine: %v", err)
+			return http.StatusUnprocessableEntity, nil
+		}
+		engine = e
+	}
+
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
 
@@ -566,7 +581,7 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 		// trailers once the run finishes (chunked encoding carries them).
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("X-Udp-Program", prog.ID)
-		w.Header().Set("Trailer", "X-Udp-Shards, X-Udp-Input-Bytes, X-Udp-Cycles")
+		w.Header().Set("Trailer", "X-Udp-Shards, X-Udp-Input-Bytes, X-Udp-Cycles, X-Udp-Engine")
 		w.WriteHeader(http.StatusOK)
 	}
 	sink := func(shard int, out []byte) error {
@@ -582,9 +597,17 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 		return err
 	}
 
+	// ranEngine tracks the tier shards actually executed on (it can sit
+	// below the requested engine when the image is ineligible). Events are
+	// delivered serially and read only after Exec returns.
+	ranEngine := engine
 	opts := []udp.ExecOption{
 		udp.WithSink(sink),
-		udp.WithStatsHook(func(e udp.ShardEvent) { s.met.ShardEvent(prog.ID, e) }),
+		udp.WithEngine(engine),
+		udp.WithStatsHook(func(e udp.ShardEvent) {
+			ranEngine = e.Engine
+			s.met.ShardEvent(prog.ID, e)
+		}),
 		udp.WithRetryPolicy(s.opts.Retry),
 	}
 	if s.opts.CyclesPerByte > 0 {
@@ -627,5 +650,6 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 	w.Header().Set("X-Udp-Shards", strconv.Itoa(res.Shards))
 	w.Header().Set("X-Udp-Input-Bytes", strconv.Itoa(res.InputBytes))
 	w.Header().Set("X-Udp-Cycles", strconv.FormatUint(res.Cycles, 10))
+	w.Header().Set("X-Udp-Engine", ranEngine.String())
 	return http.StatusOK, nil
 }

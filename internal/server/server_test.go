@@ -348,6 +348,77 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+func TestTransformEngineHeader(t *testing.T) {
+	srv := server.New(server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	raw := sampleCSV(50)
+	want := csvparse.Parse(raw)
+
+	// The client option sets the request header; every tier transforms
+	// identically and the trailer reports the tier that actually ran.
+	c := client.New(ts.URL, ts.Client())
+	for _, eng := range []string{"auto", "interp", "decoded", "compiled"} {
+		got, err := c.TransformBytes(context.Background(), "csvparse", raw, client.WithEngine(eng))
+		if err != nil {
+			t.Fatalf("engine %s: %v", eng, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("engine %s: output differs", eng)
+		}
+	}
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/transform/csvparse", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Udp-Engine", "interp")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// The ran-on trailer is only available after the body is drained.
+	if got := resp.Trailer.Get("X-Udp-Engine"); got != "interp" {
+		t.Fatalf("X-Udp-Engine trailer = %q, want interp", got)
+	}
+}
+
+func TestTransformUnknownEngine422(t *testing.T) {
+	_, c := newTestServer(t, server.Options{})
+	_, err := c.TransformBytes(context.Background(), "csvparse", sampleCSV(5), client.WithEngine("warp"))
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("want 422 APIError, got %v", err)
+	}
+	if !strings.Contains(ae.Message, "warp") {
+		t.Fatalf("error should name the bad engine: %q", ae.Message)
+	}
+}
+
+func TestServerDefaultEngine(t *testing.T) {
+	srv := server.New(server.Options{Engine: udp.EngineInterp})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := ts.Client().Post(ts.URL+"/v1/transform/csvparse", "", bytes.NewReader(sampleCSV(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Trailer.Get("X-Udp-Engine"); got != "interp" {
+		t.Fatalf("X-Udp-Engine trailer = %q, want interp (server default)", got)
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

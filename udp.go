@@ -13,9 +13,10 @@
 //     action words, Figure 6 formats).
 //  3. Run it on the cycle-level machine: Exec streams any amount of input
 //     through a pool of reusable lanes (at most MaxLanes, the local-memory
-//     footprint limiting parallelism); Run executes one lane for
-//     inspection. The legacy one-shot RunParallel remains as a deprecated
-//     wrapper over the same executor.
+//     footprint limiting parallelism), on the execution tier WithEngine
+//     selects — the compiled production tier by default, with the decoded
+//     and memory-word interpreters behind it (see Engine). NewLane executes
+//     one lane for inspection.
 //
 // Everything the paper's evaluation needs sits underneath: the kernels in
 // internal/kernels, CPU baselines, workload synthesizers, the branch-model
@@ -26,7 +27,6 @@ package udp
 
 import (
 	"context"
-	"fmt"
 	"io"
 
 	"udp/internal/asm"
@@ -70,7 +70,34 @@ type (
 	RunResult = machine.RunResult
 	// LaneSetup customizes a lane before it runs a shard.
 	LaneSetup = machine.LaneSetup
+	// Engine selects a lane execution tier (see the Engine* constants).
+	Engine = machine.Engine
 )
+
+// Execution engines for WithEngine and Lane.SetEngine. All three tiers are
+// bit-identical — same output, exit code, stats, traps and matches — and
+// differ only in speed; the differential harness in internal/machine holds
+// them to that.
+const (
+	// EngineAuto picks the fastest eligible tier per image: compiled when
+	// the image lowers (single-segment deterministic automata — the common
+	// case), else decoded, else the memory interpreter. The default.
+	EngineAuto = machine.EngineAuto
+	// EngineInterp forces the memory-word interpreter, the reference
+	// semantics (the differential oracle).
+	EngineInterp = machine.EngineInterp
+	// EngineDecoded forces the predecoded-cache interpreter.
+	EngineDecoded = machine.EngineDecoded
+	// EngineCompiled asks for the compiled direct-threaded tier; an
+	// ineligible image degrades to decoded (ShardEvent.Engine reports what
+	// actually ran).
+	EngineCompiled = machine.EngineCompiled
+)
+
+// ParseEngine resolves an engine name ("auto", "interp", "decoded",
+// "compiled"; "" means auto) — the form CLI flags and the server's
+// X-Udp-Engine header use.
+func ParseEngine(s string) (Engine, error) { return machine.ParseEngine(s) }
 
 // Executor types (see internal/sched for full docs).
 type (
@@ -276,6 +303,15 @@ func WithErrorPolicy(p ErrorPolicy) ExecOption {
 	return func(o *execOpts) { o.cfg.Policy = p }
 }
 
+// WithEngine selects the execution tier for every lane of the run (default
+// EngineAuto — the compiled tier whenever the image lowers). The tier a
+// shard actually ran on is surfaced in ShardEvent.Engine: a run can degrade
+// below the requested tier when the image is ineligible (NFA frontiers,
+// multi-segment layouts) or the program self-modifies mid-run.
+func WithEngine(e Engine) ExecOption {
+	return func(o *execOpts) { o.cfg.Engine = e }
+}
+
 // WithChunker cuts the input into record-aligned shards: each shard ends
 // just after sep (e.g. '\n'), so no record straddles two lanes. Without it,
 // Exec cuts fixed-size shards.
@@ -408,61 +444,22 @@ func applyExecOpts(opts []ExecOption) execOpts {
 	return o
 }
 
-// Run executes an image over input on one lane and returns the lane for
-// inspection (output, matches, stats, memory).
-//
-// Deprecated: Use Exec for streaming or parallel workloads; Run remains for
-// single-lane inspection and compatibility.
-func Run(im *Image, input []byte) (*Lane, error) {
+// RunLane executes an image over input on one fresh lane and returns the
+// lane for inspection (output, matches, stats, memory) — the debugging
+// counterpart of Exec. It is equivalent to NewLane + SetInput + Run with
+// the default engine.
+func RunLane(im *Image, input []byte) (*Lane, error) {
 	if im == nil {
 		return nil, ErrNilImage
 	}
 	return machine.RunSingle(im, input)
 }
 
-// RunParallel runs one lane per shard and aggregates, erroring when
-// len(shards) exceeds MaxLanes(im). It is a thin wrapper over the streaming
-// executor with a pool of len(shards) lanes, kept so existing callers
-// compile unchanged; RunResult.Cycles remains the one-lane-per-shard
-// makespan (the maximum per-shard cycle count).
-//
-// Deprecated: Use Exec (or ExecShards) — it accepts any number of shards,
-// supports cancellation, error policies and observability.
-func RunParallel(im *Image, shards [][]byte, setup LaneSetup) (*RunResult, error) {
-	if im == nil {
-		return nil, ErrNilImage
-	}
-	limit := MaxLanes(im)
-	if limit == 0 {
-		return nil, fmt.Errorf("machine: image %q does not fit local memory", im.Name)
-	}
-	if len(shards) > limit {
-		return nil, fmt.Errorf("machine: %d shards exceed the %d-lane limit of image %q",
-			len(shards), limit, im.Name)
-	}
-	var maxShard uint64
-	res, err := ExecShards(context.Background(), im, shards,
-		WithMaxLanes(len(shards)),
-		WithLaneSetup(setup),
-		WithStatsHook(func(e ShardEvent) {
-			if e.Cycles > maxShard {
-				maxShard = e.Cycles
-			}
-		}))
-	if err != nil {
-		return nil, err
-	}
-	rr := res.RunResult
-	rr.Lanes = len(shards)
-	rr.Cycles = maxShard
-	return &rr, nil
-}
-
 // MaxLanes is the lane-parallelism limit for an image's memory footprint
 // (code size competes with parallelism, paper Section 3.2.2).
 func MaxLanes(im *Image) int { return machine.MaxLanes(im) }
 
-// SplitBytes and SplitRecords shard inputs for RunParallel.
+// SplitBytes shards an in-memory input into n equal pieces for ExecShards.
 func SplitBytes(data []byte, n int) [][]byte { return machine.SplitBytes(data, n) }
 
 // SplitRecords shards on record boundaries (e.g. '\n').

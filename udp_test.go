@@ -24,7 +24,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if udp.MaxLanes(im) != udp.NumLanes {
 		t.Fatalf("tiny program should fit all %d lanes", udp.NumLanes)
 	}
-	lane, err := udp.Run(im, []byte("abc"))
+	lane, err := udp.RunLane(im, []byte("abc"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 
 	data := bytes.Repeat([]byte("xyz"), 1000)
-	res, err := udp.RunParallel(im, udp.SplitBytes(data, 16), nil)
+	res, err := udp.ExecShards(context.Background(), im, udp.SplitBytes(data, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestFacadeAssembly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lane, err := udp.Run(im, []byte("ok"))
+	lane, err := udp.RunLane(im, []byte("ok"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +91,11 @@ func TestMachineDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	input := bytes.Repeat([]byte("xyzzy"), 500)
-	a, err := udp.Run(im, input)
+	a, err := udp.RunLane(im, input)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := udp.Run(im, input)
+	b, err := udp.RunLane(im, input)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,9 +107,9 @@ func TestMachineDeterminism(t *testing.T) {
 	}
 }
 
-// TestExecStreamsBeyondMaxLanes pins the headline of the redesigned API: an
+// TestExecStreamsBeyondMaxLanes pins the headline of the streaming API: an
 // input cut into far more shards than the lane limit streams through the
-// pool, where RunParallel would refuse it outright.
+// pool, which a one-lane-per-shard design could not run at all.
 func TestExecStreamsBeyondMaxLanes(t *testing.T) {
 	p := udp.NewProgram("echo", 8)
 	s := p.AddState("s", udp.ModeStream)
@@ -125,14 +125,6 @@ func TestExecStreamsBeyondMaxLanes(t *testing.T) {
 		in.WriteString("record-of-forty-bytes-padding-xxxxxxxxx\n")
 	}
 	data := append([]byte(nil), in.Bytes()...)
-
-	// The one-shot API refuses more shards than lanes.
-	tooMany := udp.SplitRecords(data, 2*limit, '\n')
-	if len(tooMany) > limit {
-		if _, err := udp.RunParallel(im, tooMany, nil); err == nil {
-			t.Fatal("RunParallel must refuse more shards than lanes")
-		}
-	}
 
 	// Exec streams them.
 	var events int
@@ -232,10 +224,12 @@ func TestCompileOptions(t *testing.T) {
 	}
 }
 
-// TestRunParallelCompat pins the deprecated wrapper's contract: same
-// shard-count error, one lane per shard, per-shard-max makespan.
-func TestRunParallelCompat(t *testing.T) {
-	p := udp.NewProgram("compat", 8)
+// TestExecEngineSelection pins the WithEngine contract: every tier yields
+// identical shard outputs, and ShardEvent.Engine reports the tier that
+// actually ran (compiled for a compilable kernel, exactly what was asked
+// for interp/decoded).
+func TestExecEngineSelection(t *testing.T) {
+	p := udp.NewProgram("engines", 8)
 	s := p.AddState("s", udp.ModeStream)
 	s.Majority(s, core.AOut8(core.RSym))
 	im, err := udp.Compile(p)
@@ -243,22 +237,31 @@ func TestRunParallelCompat(t *testing.T) {
 		t.Fatal(err)
 	}
 	shards := [][]byte{[]byte("aaaa"), []byte("bb"), []byte("c")}
-	res, err := udp.RunParallel(im, shards, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Lanes != 3 {
-		t.Fatalf("Lanes %d, want 3", res.Lanes)
-	}
-	single, err := udp.Run(im, shards[0])
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Cycles != single.Stats().Cycles {
-		t.Fatalf("makespan %d, want the longest shard's %d", res.Cycles, single.Stats().Cycles)
-	}
-	if string(res.Outputs[0]) != "aaaa" || string(res.Outputs[2]) != "c" {
-		t.Fatal("shard-order outputs broken")
+	want := "aaaabbc"
+
+	for _, e := range []udp.Engine{udp.EngineAuto, udp.EngineInterp, udp.EngineDecoded, udp.EngineCompiled} {
+		var ran []udp.Engine
+		res, err := udp.ExecShards(context.Background(), im, shards,
+			udp.WithEngine(e),
+			udp.WithStatsHook(func(ev udp.ShardEvent) { ran = append(ran, ev.Engine) }))
+		if err != nil {
+			t.Fatalf("engine %v: %v", e, err)
+		}
+		if got := string(res.Output()); got != want {
+			t.Fatalf("engine %v: output %q, want %q", e, got, want)
+		}
+		expect := e
+		if e == udp.EngineAuto {
+			expect = udp.EngineCompiled // echo lowers, so auto compiles
+		}
+		for _, r := range ran {
+			if r != expect {
+				t.Fatalf("engine %v: shard ran on %v, want %v", e, r, expect)
+			}
+		}
+		if len(ran) != len(shards) {
+			t.Fatalf("engine %v: %d events, want %d", e, len(ran), len(shards))
+		}
 	}
 }
 
@@ -290,10 +293,7 @@ func TestNilArgumentsReturnTypedErrors(t *testing.T) {
 	if _, err := udp.ExecSource(ctx, im, nil); !errors.Is(err, udp.ErrNilSource) {
 		t.Fatalf("ExecSource nil source: err = %v, want ErrNilSource", err)
 	}
-	if _, err := udp.Run(nil, []byte("x")); !errors.Is(err, udp.ErrNilImage) {
-		t.Fatalf("Run nil image: err = %v, want ErrNilImage", err)
-	}
-	if _, err := udp.RunParallel(nil, [][]byte{[]byte("x")}, nil); !errors.Is(err, udp.ErrNilImage) {
-		t.Fatalf("RunParallel nil image: err = %v, want ErrNilImage", err)
+	if _, err := udp.RunLane(nil, []byte("x")); !errors.Is(err, udp.ErrNilImage) {
+		t.Fatalf("RunLane nil image: err = %v, want ErrNilImage", err)
 	}
 }
