@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-compare fmt-check smoke fuzz-smoke race check examples reproduce reproduce-paper clean
+.PHONY: all build test bench bench-json bench-compare fmt-check smoke soak-short soak fuzz-smoke race check examples reproduce reproduce-paper clean
 
 all: build test
 
@@ -25,8 +25,17 @@ fmt-check:
 smoke:
 	$(GO) run ./scripts/smoke
 
+# Soak/chaos harness (docs/SOAK.md): udploader launches udpserved, drives a
+# mixed workload with fault injection and mid-run kills, and exits non-zero
+# on any SLO or leak-invariant violation.
+soak-short:
+	$(GO) run ./cmd/udploader -recipe scripts/soak/recipes/short.json
+
+soak:
+	$(GO) run ./cmd/udploader -recipe scripts/soak/recipes/nightly.json
+
 race:
-	$(GO) test -race ./internal/machine ./internal/sched ./internal/server ./internal/kernels/... .
+	$(GO) test -race ./internal/load ./internal/machine ./internal/sched ./internal/server ./internal/kernels/... .
 
 # Short fuzz passes over the hostile-input surfaces: the fault-injection
 # spec parser and the record chunker.

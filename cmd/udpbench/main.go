@@ -38,6 +38,8 @@ func main() {
 	benchDir := flag.String("benchdir", ".", "directory for BENCH_<name>.json reports")
 	concurrency := flag.Int("concurrency", 4, "server bench: concurrent load clients")
 	passes := flag.Int("passes", 8, "server bench: requests per client")
+	reqBytes := flag.Int("req-bytes", 0,
+		"server bench: per-request body bytes, cut on a record boundary (0 = the full scale-sized corpus per request)")
 	engineName := flag.String("engine", "auto",
 		"exec bench: execution engine (auto measures the kernel suite on every tier; interp, decoded or compiled restricts it)")
 	compare := flag.Bool("compare", false, "diff two BENCH_*.json reports: udpbench -compare OLD NEW")
@@ -80,7 +82,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "udpbench:", err)
 			os.Exit(2)
 		}
-		if err := runBenches(*benchSel, *benchDir, *scale, *concurrency, *passes, *seed, engine); err != nil {
+		if err := runBenches(*benchSel, *benchDir, *scale, *concurrency, *passes, *reqBytes, *seed, engine); err != nil {
 			fmt.Fprintln(os.Stderr, "udpbench:", err)
 			os.Exit(1)
 		}
@@ -127,7 +129,7 @@ func main() {
 
 // runBenches executes the selected benchmarks and writes one
 // BENCH_<name>.json per selection into dir.
-func runBenches(sel, dir string, scale, concurrency, passes int, seed int64, engine udp.Engine) error {
+func runBenches(sel, dir string, scale, concurrency, passes, reqBytes int, seed int64, engine udp.Engine) error {
 	for _, name := range strings.Split(sel, ",") {
 		var (
 			r   *bench.Report
@@ -137,7 +139,7 @@ func runBenches(sel, dir string, scale, concurrency, passes int, seed int64, eng
 		case "exec":
 			r, err = bench.Exec(scale, seed, engine)
 		case "server":
-			r, err = bench.Server(scale, concurrency, passes, seed)
+			r, err = bench.Server(scale, concurrency, passes, reqBytes, seed)
 		default:
 			return fmt.Errorf("unknown bench %q (want exec or server)", name)
 		}

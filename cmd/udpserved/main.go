@@ -47,7 +47,11 @@ func main() {
 	cache := flag.Int("cache", server.DefaultCachePrograms, "posted-program LRU capacity")
 	lanes := flag.Int("lanes", 0, "lane-pool cap per transform (0 = image limit)")
 	chunk := flag.Int("chunk", 0, "shard size target in bytes (0 = executor default)")
+	engineName := flag.String("engine", "auto",
+		"default lane execution tier: auto, interp, decoded or compiled (X-Udp-Engine overrides per request)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	drainGrace := flag.Duration("drain-grace", 0,
+		"keep answering 503 on new transforms for this long after SIGTERM before closing the listener")
 	cyclesPerByte := flag.Int64("cycles-per-byte", server.DefaultCyclesPerByte,
 		"per-shard cycle budget multiplier (negative = unbounded)")
 	retries := flag.Int("retries", 2, "shard retry attempts for retryable traps (0 = no retries)")
@@ -71,6 +75,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	engine, err := udp.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "udpserved:", err)
+		os.Exit(2)
+	}
+
 	inject, err := udp.ParseInjectSpec(*injectSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "udpserved:", err)
@@ -89,8 +99,10 @@ func main() {
 		MaxBodyBytes:     *maxBody,
 		RequestTimeout:   *timeout,
 		MaxInflight:      *inflight,
+		DrainGrace:       *drainGrace,
 		CachePrograms:    *cache,
 		MaxLanes:         *lanes,
+		Engine:           engine,
 		ChunkBytes:       *chunk,
 		CyclesPerByte:    *cyclesPerByte,
 		Retry:            udp.RetryPolicy{Max: *retries, Backoff: *retryBackoff},

@@ -12,22 +12,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"udp"
-	"udp/internal/client"
 	"udp/internal/core"
 	"udp/internal/etl"
 	"udp/internal/kernels/csvparse"
 	"udp/internal/kernels/histogram"
 	"udp/internal/kernels/jsonparse"
 	"udp/internal/kernels/xmlparse"
+	"udp/internal/load"
 	"udp/internal/server"
 	"udp/internal/workload"
 )
@@ -350,10 +350,14 @@ func echoProgram() *core.Program {
 }
 
 // Server benchmarks the network path: an in-process udpserved on a loopback
-// listener, with concurrency clients each streaming the CSV body passes
-// times through POST /v1/transform/csvpipe. Latency samples are per-request
-// wall times.
-func Server(scale, concurrency, passes int, seed int64) (*Report, error) {
+// listener, driven by the internal/load generator (the same engine behind
+// cmd/udploader) with concurrency closed-loop workers issuing
+// concurrency*passes POST /v1/transform/csvpipe requests. Every response is
+// byte-checked against the reference parser, so the reported rate is
+// verified-output throughput. reqBytes bounds the per-request body (cut on a
+// record boundary; 0 = the full scale-sized corpus per request, the
+// pre-loader behavior). Latency samples are per-request wall times.
+func Server(scale, concurrency, passes, reqBytes int, seed int64) (*Report, error) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -364,10 +368,18 @@ func Server(scale, concurrency, passes int, seed int64) (*Report, error) {
 		passes = 8
 	}
 	r := newReport("server", scale)
-	r.Rows = RowsPerScale * scale
 	r.Concurrency = concurrency
-	data := etl.LineitemCSV(r.Rows, seed)
-	r.InputBytes = len(data)
+	data := etl.LineitemCSV(RowsPerScale*scale, seed)
+	body := data
+	if reqBytes > 0 && reqBytes < len(data) {
+		if idx := bytes.LastIndexByte(data[:reqBytes], '\n'); idx > 0 {
+			body = data[:idx+1]
+		} else {
+			body = data[:reqBytes]
+		}
+	}
+	r.Rows = bytes.Count(body, []byte{'\n'})
+	r.InputBytes = len(body)
 
 	srv := server.New(server.Options{MaxInflight: concurrency})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -383,40 +395,33 @@ func Server(scale, concurrency, passes int, seed int64) (*Report, error) {
 		<-serveDone
 	}()
 
-	c := client.New("http://"+l.Addr().String(), nil)
-	var (
-		mu      sync.Mutex
-		samples []time.Duration
-		errs    int
-	)
-	want := csvparse.ParseSep(data, '|')
-
-	t0 := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for p := 0; p < passes; p++ {
-				q0 := time.Now()
-				out, err := c.TransformBytes(context.Background(), "csvpipe", data)
-				d := time.Since(q0)
-				mu.Lock()
-				if err != nil || !bytes.Equal(out, want) {
-					errs++
-				} else {
-					samples = append(samples, d)
-				}
-				mu.Unlock()
+	want := csvparse.ParseSep(body, '|')
+	rep, err := load.Run(context.Background(), load.Config{
+		Target:   "http://" + l.Addr().String(),
+		Workers:  concurrency,
+		Requests: concurrency * passes,
+		Programs: []load.Mix{{Name: "csvpipe", Weight: 1}},
+		Seed:     seed,
+		Payload:  func(string, int, *rand.Rand) []byte { return body },
+		Validate: func(_ string, got []byte) error {
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("csvpipe output mismatch: %d bytes, want %d", len(got), len(want))
 			}
-		}()
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	r.WallSeconds = time.Since(t0).Seconds()
-	r.Passes = concurrency * passes
-	r.Errors = errs
-	r.ThroughputMBps = float64(r.InputBytes) * float64(len(samples)) / 1e6 / r.WallSeconds
-	fillLatencies(r, samples)
+	r.Passes = rep.Requests
+	r.Errors = rep.Errors
+	r.WallSeconds = rep.DurationSeconds
+	r.ThroughputMBps = rep.ThroughputMBps
+	r.Samples = rep.Samples
+	r.P50Ms = rep.P50Ms
+	r.P90Ms = rep.P90Ms
+	r.P99Ms = rep.P99Ms
+	r.MaxMs = rep.MaxMs
 	return r, nil
 }
 

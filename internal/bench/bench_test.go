@@ -98,8 +98,9 @@ func TestCompareEngineGate(t *testing.T) {
 }
 
 func TestServerReportShapeAndJSON(t *testing.T) {
-	// Tiny load: 2 clients x 2 passes over scale-1/4 data keeps this fast.
-	r, err := Server(1, 2, 2, 7)
+	// Tiny load: 2 clients x 2 passes over 64 KiB request bodies keeps this
+	// fast.
+	r, err := Server(1, 2, 2, 64<<10, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,6 +109,9 @@ func TestServerReportShapeAndJSON(t *testing.T) {
 	}
 	if r.Passes != 4 || r.Samples != 4 || r.ThroughputMBps <= 0 {
 		t.Fatalf("bad report %+v", r)
+	}
+	if r.InputBytes > 64<<10 || r.Rows <= 0 {
+		t.Fatalf("req-bytes cut not applied: %+v", r)
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_server.json")
 	if err := WriteJSON(path, r); err != nil {

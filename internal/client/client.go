@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -72,6 +73,21 @@ type reqOpts struct {
 	retries int
 	engine  string
 	traceID *string
+	timing  *Timing
+}
+
+// Timing is the per-request measurement WithTiming fills: how many HTTP
+// attempts the transform took, how long the client slept backing off between
+// them, and the time to the final attempt's response header.
+type Timing struct {
+	// Attempts counts HTTP attempts, including the first (1 = no retries).
+	Attempts int
+	// Backoff is the total time slept between attempts (Retry-After hints
+	// plus jittered exponential backoff).
+	Backoff time.Duration
+	// FirstByte is the time from the final attempt's send to its response
+	// header.
+	FirstByte time.Duration
 }
 
 // TransformOption tunes one Transform call.
@@ -98,12 +114,43 @@ func WithEngine(engine string) TransformOption {
 }
 
 // WithRetry re-sends a transform rejected with 429 (capacity saturated) or
-// 503 (circuit breaker open) up to max more times, honoring the server's
-// Retry-After hint. The body must be replayable — an io.Seeker such as
-// bytes.Reader (TransformBytes qualifies) — or the first rejection is
-// returned as-is.
+// 503 (circuit breaker open, node draining) up to max more times. Each
+// backoff is exponential with equal jitter, uses the server's Retry-After
+// hint as a floor when present, and aborts immediately when ctx is
+// canceled. The body must be replayable — an io.Seeker such as bytes.Reader
+// (TransformBytes qualifies) — or the first rejection is returned as-is.
 func WithRetry(max int) TransformOption {
 	return func(o *reqOpts) { o.retries = max }
+}
+
+// WithTiming records the request's attempt count, cumulative backoff sleep,
+// and final time-to-first-byte into *dst (reset at the start of the call).
+// Load generators use it to separate server latency from client backoff.
+func WithTiming(dst *Timing) TransformOption {
+	return func(o *reqOpts) { o.timing = dst }
+}
+
+// Retry backoff bounds: the first re-send backs off around
+// retryBaseBackoff, doubling per attempt up to retryMaxBackoff.
+const (
+	retryBaseBackoff = 100 * time.Millisecond
+	retryMaxBackoff  = 5 * time.Second
+)
+
+// retryBackoff picks the sleep before re-sending attempt+1: exponential in
+// the attempt number with equal jitter (uniform in [b/2, b]), floored by the
+// server's Retry-After hint — which gets its own jitter so a herd of
+// clients released by the same hint doesn't re-arrive in lockstep.
+func retryBackoff(attempt int, hint time.Duration) time.Duration {
+	b := retryBaseBackoff << uint(attempt)
+	if b <= 0 || b > retryMaxBackoff {
+		b = retryMaxBackoff
+	}
+	wait := b/2 + rand.N(b/2+1)
+	if hint > 0 && wait < hint {
+		wait = hint + rand.N(hint/4+1)
+	}
+	return wait
 }
 
 // WithTraceID captures the server's X-Udp-Trace-Id response header into
@@ -130,6 +177,9 @@ func (c *Client) Transform(ctx context.Context, program string, body io.Reader, 
 	if o.chunk > 0 {
 		u += "?chunk=" + strconv.Itoa(o.chunk)
 	}
+	if o.timing != nil {
+		*o.timing = Timing{}
+	}
 	seeker, replayable := body.(io.Seeker)
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -150,7 +200,12 @@ func (c *Client) Transform(ctx context.Context, program string, body io.Reader, 
 		if sc := obs.SpanFromContext(ctx).Context(); sc.Valid() {
 			req.Header.Set("traceparent", sc.Traceparent())
 		}
+		t0 := time.Now()
 		resp, err := c.http.Do(req)
+		if o.timing != nil {
+			o.timing.Attempts++
+			o.timing.FirstByte = time.Since(t0)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -165,14 +220,16 @@ func (c *Client) Transform(ctx context.Context, program string, body io.Reader, 
 		var ae *APIError
 		if attempt < o.retries && replayable && errors.As(apiErr, &ae) &&
 			(ae.StatusCode == http.StatusTooManyRequests || ae.StatusCode == http.StatusServiceUnavailable) {
-			wait := ae.RetryAfter
-			if wait <= 0 {
-				wait = 100 * time.Millisecond
-			}
+			wait := retryBackoff(attempt, ae.RetryAfter)
+			timer := time.NewTimer(wait)
 			select {
-			case <-time.After(wait):
+			case <-timer.C:
+				if o.timing != nil {
+					o.timing.Backoff += wait
+				}
 				continue
 			case <-ctx.Done():
+				timer.Stop()
 				return nil, ctx.Err()
 			}
 		}

@@ -1,0 +1,146 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"udp/internal/client"
+)
+
+// reject429 answers every transform with 429 and the given Retry-After
+// seconds, counting attempts.
+func reject429(attempts *atomic.Int64, retryAfterSecs string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		if retryAfterSecs != "" {
+			w.Header().Set("Retry-After", retryAfterSecs)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"saturated"}`))
+	})
+}
+
+// TestRetryBackoffHonorsContextCancel cancels the context while WithRetry is
+// asleep in a long server-hinted backoff: Transform must return ctx.Err()
+// promptly instead of sleeping out the hint.
+func TestRetryBackoffHonorsContextCancel(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(reject429(&attempts, "5")) // 5 s hint
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err := c.TransformBytes(ctx, "echo", []byte("x"), client.WithRetry(3))
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cancel mid-backoff took %v, want well under the 5s Retry-After hint", elapsed)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (cancel lands inside the first backoff)", got)
+	}
+}
+
+// TestRetryRespectsRetryAfterFloor pins that the server's Retry-After hint
+// floors the backoff: with a 1 s hint the retried request cannot come back
+// sooner.
+func TestRetryRespectsRetryAfterFloor(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(reject429(&attempts, "1"))
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+
+	var tm client.Timing
+	t0 := time.Now()
+	_, err := c.TransformBytes(context.Background(), "echo", []byte("x"),
+		client.WithRetry(1), client.WithTiming(&tm))
+	elapsed := time.Since(t0)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want final 429", err)
+	}
+	if ae.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s", ae.RetryAfter)
+	}
+	if elapsed < time.Second {
+		t.Fatalf("retried after %v, before the 1s Retry-After floor", elapsed)
+	}
+	if tm.Attempts != 2 || tm.Backoff < time.Second {
+		t.Fatalf("timing = %+v, want 2 attempts and >= 1s backoff", tm)
+	}
+}
+
+// TestRetryEventuallySucceeds exercises the jittered exponential path (no
+// server hint): two rejections, then success, with the timing option
+// reporting every attempt.
+func TestRetryEventuallySucceeds(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"breaker open"}`))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("payload"))
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+
+	var tm client.Timing
+	out, err := c.TransformBytes(context.Background(), "echo", []byte("payload"),
+		client.WithRetry(3), client.WithTiming(&tm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "payload" {
+		t.Fatalf("out = %q", out)
+	}
+	if tm.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", tm.Attempts)
+	}
+	// Two backoffs around 100ms and 200ms with equal jitter: at least
+	// b/2 each, and bounded well under the 5s cap.
+	if tm.Backoff < 150*time.Millisecond || tm.Backoff > 2*time.Second {
+		t.Fatalf("backoff = %v, want jittered exponential in [150ms, 2s]", tm.Backoff)
+	}
+	if tm.FirstByte <= 0 {
+		t.Fatalf("timing missing first-byte: %+v", tm)
+	}
+}
+
+// TestNoRetryWithoutReplayableBody: a non-seekable body must fail fast on
+// the first rejection instead of replaying garbage.
+func TestNoRetryWithoutReplayableBody(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(reject429(&attempts, ""))
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+
+	// bytes.Buffer reads like a stream but is not an io.Seeker.
+	rc, err := c.Transform(context.Background(), "echo", bytes.NewBufferString("x"), client.WithRetry(3))
+	if rc != nil {
+		rc.Close()
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want 429 without retries", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a non-replayable body, want 1", got)
+	}
+}

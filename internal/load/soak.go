@@ -1,0 +1,433 @@
+package load
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// SoakResult is one soak run's verdict: the loader report, the before/after
+// leak samples, what chaos was applied, and every SLO violation (empty =
+// pass).
+type SoakResult struct {
+	Recipe     string     `json:"recipe"`
+	Load       *Report    `json:"load"`
+	Before     ProcSample `json:"before"`
+	After      ProcSample `json:"after"`
+	Restarts   int        `json:"restarts"`
+	EventLog   []string   `json:"event_log,omitempty"`
+	Violations []string   `json:"violations"`
+}
+
+// Passed reports whether every SLO held.
+func (r *SoakResult) Passed() bool { return len(r.Violations) == 0 }
+
+// syncWriter serializes the soak log stream: the server's stdout/stderr
+// forwarders, the loader's progress reporter and the harness logf all write
+// to the same destination from different goroutines.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// BuildServed compiles cmd/udpserved into dir and returns the binary path.
+// It must run inside the module (the soak harness execs the binary so chaos
+// kills hit a real process, not an in-process handler).
+func BuildServed(dir string) (string, error) {
+	bin := filepath.Join(dir, "udpserved")
+	cmd := exec.Command("go", "build", "-o", bin, "udp/cmd/udpserved")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("load: building udpserved: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// announceRe matches udpserved's ready line.
+var announceRe = regexp.MustCompile(`udpserved: listening on (\S+)`)
+
+// proc is one running udpserved instance.
+type proc struct {
+	cmd  *exec.Cmd
+	addr string
+	done chan error // closed by the reaper with the exit status
+}
+
+// overrides is the degradation state chaos events accumulate.
+type overrides struct {
+	inflight int
+	engine   string
+}
+
+// soakRunner owns the server process across restarts.
+type soakRunner struct {
+	rec  *Recipe
+	bin  string
+	out  io.Writer
+	addr string // pinned after the first start so restarts reuse the port
+	ov   overrides
+
+	mu   sync.Mutex
+	proc *proc
+
+	restarts int
+	events   []string
+}
+
+func (s *soakRunner) logf(format string, args ...any) {
+	line := fmt.Sprintf("[soak] "+format, args...)
+	s.events = append(s.events, strings.TrimPrefix(line, "[soak] "))
+	if s.out != nil {
+		fmt.Fprintln(s.out, line)
+	}
+}
+
+// args builds the udpserved command line for the current override state.
+func (s *soakRunner) args(addr string) []string {
+	spec := s.rec.Server
+	args := []string{"-addr", addr}
+	inflight := spec.Inflight
+	if s.ov.inflight > 0 {
+		inflight = s.ov.inflight
+	}
+	if inflight > 0 {
+		args = append(args, "-max-inflight", strconv.Itoa(inflight))
+	}
+	engine := spec.Engine
+	if s.ov.engine != "" {
+		engine = s.ov.engine
+	}
+	if engine != "" {
+		args = append(args, "-engine", engine)
+	}
+	if spec.Retries > 0 {
+		args = append(args, "-retries", strconv.Itoa(spec.Retries))
+	}
+	if g := spec.DrainGrace.D(); g > 0 {
+		args = append(args, "-drain-grace", g.String())
+	}
+	if spec.FaultInject != "" {
+		args = append(args, "-fault-inject", spec.FaultInject)
+	}
+	return append(args, spec.Flags...)
+}
+
+// start launches udpserved on addr ("127.0.0.1:0" the first time, the
+// pinned address afterwards) and waits for its ready line. Rebinding a
+// just-freed port can race the kernel, so restarts retry briefly.
+func (s *soakRunner) start(ctx context.Context, addr string) (*proc, error) {
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		p, err := s.spawn(addr)
+		if err == nil {
+			s.mu.Lock()
+			s.proc = p
+			s.mu.Unlock()
+			return p, nil
+		}
+		lastErr = err
+		time.Sleep(250 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("load: udpserved would not start on %s: %w", addr, lastErr)
+}
+
+func (s *soakRunner) spawn(addr string) (*proc, error) {
+	cmd := exec.Command(s.bin, s.args(addr)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = s.out
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &proc{cmd: cmd, done: make(chan error, 1)}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if s.out != nil {
+				fmt.Fprintln(s.out, line)
+			}
+			if m := announceRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	go func() { p.done <- cmd.Wait() }()
+
+	select {
+	case a := <-addrCh:
+		p.addr = a
+		return p, nil
+	case err := <-p.done:
+		return nil, fmt.Errorf("udpserved exited before announcing: %v", err)
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		<-p.done
+		return nil, fmt.Errorf("udpserved never announced its address")
+	}
+}
+
+// stop terminates the current process: SIGTERM + drain wait when graceful,
+// SIGKILL otherwise (and as the fallback when the drain stalls). It claims
+// the proc, so a second stop is a no-op — the exit status can only be
+// received once.
+func (s *soakRunner) stop(graceful bool, wait time.Duration) error {
+	s.mu.Lock()
+	p := s.proc
+	s.proc = nil
+	s.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	if graceful {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case err := <-p.done:
+			return err
+		case <-time.After(wait):
+			// fall through to the kill
+		}
+	}
+	p.cmd.Process.Kill()
+	err := <-p.done
+	if !graceful {
+		// An expected SIGKILL is not a failure.
+		return nil
+	}
+	return err
+}
+
+// restart applies the current overrides by cycling the process.
+func (s *soakRunner) restart(ctx context.Context, graceful bool) error {
+	if err := s.stop(graceful, 5*time.Second); err != nil && graceful {
+		s.logf("graceful stop exited dirty: %v", err)
+	}
+	_, err := s.start(ctx, s.addr)
+	if err == nil {
+		s.restarts++
+	}
+	return err
+}
+
+// apply executes one chaos event.
+func (s *soakRunner) apply(ctx context.Context, e Event) error {
+	switch e.Action {
+	case "kill":
+		s.logf("event kill: SIGKILL + restart on %s", s.addr)
+		return s.restart(ctx, false)
+	case "restart":
+		s.logf("event restart: graceful cycle on %s", s.addr)
+		return s.restart(ctx, true)
+	case "squeeze":
+		s.ov.inflight = e.Inflight
+		s.logf("event squeeze: restart with -max-inflight %d", e.Inflight)
+		return s.restart(ctx, true)
+	case "degrade":
+		s.ov.engine = e.Engine
+		s.logf("event degrade: restart with -engine %s", e.Engine)
+		return s.restart(ctx, true)
+	case "restore":
+		s.ov = overrides{}
+		s.logf("event restore: restart with the original server spec")
+		return s.restart(ctx, true)
+	default:
+		return fmt.Errorf("load: unknown event action %q", e.Action)
+	}
+}
+
+// RunSoak executes one recipe: launch udpserved (built at bin), drive the
+// recipe's load shape, apply its chaos events mid-run, then settle, take
+// leak samples, and gate the outcome on the recipe SLOs. The returned
+// result carries every violation; err is reserved for harness failures
+// (build, spawn, sampling).
+func RunSoak(ctx context.Context, rec *Recipe, bin string, out io.Writer) (*SoakResult, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	if out != nil {
+		out = &syncWriter{w: out}
+	}
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "udploader-soak")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		if bin, err = BuildServed(dir); err != nil {
+			return nil, err
+		}
+	}
+
+	s := &soakRunner{rec: rec, bin: bin, out: out}
+	res := &SoakResult{Recipe: rec.Name}
+	p, err := s.start(ctx, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s.addr = p.addr
+	base := "http://" + s.addr
+	defer s.stop(false, 0) // belt and braces; the happy path already stopped it
+
+	s.logf("recipe %s: server up on %s", rec.Name, s.addr)
+	res.Before, err = SampleProc(ctx, base)
+	if err != nil {
+		return nil, fmt.Errorf("load: pre-run leak sample: %w", err)
+	}
+
+	cfg, err := rec.Load.ToConfig(base, out)
+	if err != nil {
+		return nil, err
+	}
+	loadStart := time.Now()
+	loadDone := make(chan struct{})
+	var (
+		loadRep *Report
+		loadErr error
+	)
+	go func() {
+		defer close(loadDone)
+		loadRep, loadErr = Run(ctx, cfg)
+	}()
+
+	// Chaos timeline: events fire at their offsets while the load runs.
+	for _, e := range rec.Events {
+		if !sleepUntil(ctx, loadStart.Add(e.At.D())) {
+			break
+		}
+		select {
+		case <-loadDone:
+		default:
+		}
+		if err := s.apply(ctx, e); err != nil {
+			res.Violations = append(res.Violations, fmt.Sprintf("chaos event %q failed: %v", e.Action, err))
+		}
+	}
+	<-loadDone
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	res.Load = loadRep
+	res.Restarts = s.restarts
+	if out != nil {
+		fmt.Fprintln(out, loadRep.Summary())
+	}
+
+	// Settle, then take the post-run leak sample on the surviving process.
+	settle := rec.Settle.D()
+	if settle <= 0 {
+		settle = 2 * time.Second
+	}
+	sleepUntil(ctx, time.Now().Add(settle))
+	res.After, err = SampleProc(ctx, base)
+	if err != nil {
+		return nil, fmt.Errorf("load: post-run leak sample: %w", err)
+	}
+
+	// The final server must still drain cleanly.
+	if err := s.stop(true, 15*time.Second); err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("final graceful shutdown failed: %v", err))
+	}
+
+	res.Violations = append(res.Violations, rec.SLO.Check(loadRep)...)
+	res.Violations = append(res.Violations, rec.SLO.CheckLeaks(res.Before, res.After)...)
+	res.EventLog = s.events
+	return res, nil
+}
+
+var (
+	goroutineTotalRe = regexp.MustCompile(`goroutine profile: total (\d+)`)
+	heapAllocRe      = regexp.MustCompile(`# HeapAlloc = (\d+)`)
+)
+
+// SampleProc reads a leak-invariant snapshot from a server's /debug/pprof
+// endpoints: the goroutine count, and HeapAlloc after a forced GC (the
+// ?gc=1 heap profile flavor), so pool-retained garbage doesn't read as a
+// leak. Retries briefly — the server may be milliseconds past its ready
+// line.
+func SampleProc(ctx context.Context, base string) (ProcSample, error) {
+	var (
+		s       ProcSample
+		lastErr error
+	)
+	for attempt := 0; attempt < 10; attempt++ {
+		if ctx.Err() != nil {
+			return s, ctx.Err()
+		}
+		s, lastErr = sampleOnce(ctx, base)
+		if lastErr == nil {
+			return s, nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return s, lastErr
+}
+
+func sampleOnce(ctx context.Context, base string) (ProcSample, error) {
+	var s ProcSample
+	gor, err := fetch(ctx, base+"/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		return s, err
+	}
+	m := goroutineTotalRe.FindStringSubmatch(gor)
+	if m == nil {
+		return s, fmt.Errorf("no goroutine total in profile")
+	}
+	s.Goroutines, _ = strconv.Atoi(m[1])
+
+	heap, err := fetch(ctx, base+"/debug/pprof/heap?gc=1&debug=1")
+	if err != nil {
+		return s, err
+	}
+	m = heapAllocRe.FindStringSubmatch(heap)
+	if m == nil {
+		return s, fmt.Errorf("no HeapAlloc line in heap profile")
+	}
+	s.HeapAlloc, _ = strconv.ParseUint(m[1], 10, 64)
+	return s, nil
+}
+
+func fetch(ctx context.Context, url string) (string, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

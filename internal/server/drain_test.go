@@ -1,0 +1,139 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"udp/internal/client"
+	"udp/internal/server"
+)
+
+// TestDrainGraceConcurrentStreams is the graceful-drain contract under
+// concurrent in-flight streams: transforms accepted before Shutdown keep
+// streaming to completion, new transforms (and health checks) during the
+// grace window get a retryable 503, and the drained server leaks no
+// goroutines.
+func TestDrainGraceConcurrentStreams(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	srv := server.New(server.Options{DrainGrace: 500 * time.Millisecond})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	httpc := &http.Client{}
+	c := client.New("http://"+l.Addr().String(), httpc)
+
+	// Three concurrent in-flight streams, each parked on an open body pipe.
+	const inflight = 3
+	type stream struct {
+		pw  *io.PipeWriter
+		res chan error
+	}
+	streams := make([]stream, inflight)
+	for i := range streams {
+		pr, pw := io.Pipe()
+		res := make(chan error, 1)
+		streams[i] = stream{pw, res}
+		payload := []byte(fmt.Sprintf("stream-%d before-drain ", i))
+		go func() {
+			rc, err := c.Transform(context.Background(), "echo", pr)
+			if err != nil {
+				res <- err
+				return
+			}
+			defer rc.Close()
+			out, err := io.ReadAll(rc)
+			if err == nil && !bytes.Contains(out, payload) {
+				err = fmt.Errorf("echoed %q, want prefix %q", out, payload)
+			}
+			res <- err
+		}()
+		if _, err := pw.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return srv.Metrics().Inflight() == inflight })
+
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutDone <- srv.Shutdown(ctx)
+	}()
+	waitFor(t, srv.Draining)
+
+	// The listener is still open during the grace window: a brand-new
+	// request must be answered 503 with a Retry-After hint, not hang and
+	// not execute.
+	_, err = c.TransformBytes(context.Background(), "echo", []byte("late"))
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("transform during drain err = %v, want 503", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Fatalf("drain 503 carried no Retry-After hint: %+v", ae)
+	}
+	// Health checks fail too, so load balancers stop routing here.
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("healthz succeeded during drain, want 503")
+	}
+
+	// The in-flight streams still complete with their full payloads.
+	for i, s := range streams {
+		if _, err := s.pw.Write([]byte("tail")); err != nil {
+			t.Fatalf("stream %d write during drain: %v", i, err)
+		}
+		s.pw.Close()
+	}
+	for i, s := range streams {
+		if err := <-s.res; err != nil {
+			t.Fatalf("in-flight stream %d failed during drain: %v", i, err)
+		}
+	}
+
+	if err := <-shutDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	// Leak gate: once the client lets go of its keep-alive conns, the
+	// goroutine count must settle back to (about) the pre-server baseline.
+	httpc.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after drain: %d, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestShutdownWithoutGraceStillFlagsDraining pins the zero-grace path: the
+// listener closes immediately, but the draining flag is set so in-process
+// callers (and keep-alive requests that raced in) see the 503 gate.
+func TestShutdownWithoutGraceStillFlagsDraining(t *testing.T) {
+	srv := server.New(server.Options{})
+	if srv.Draining() {
+		t.Fatal("fresh server reports draining")
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Draining() {
+		t.Fatal("server not draining after Shutdown")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"udp"
@@ -78,6 +79,12 @@ type Options struct {
 	// MaxInflight caps concurrent transforms; excess requests get 429
 	// with Retry-After. Default 8.
 	MaxInflight int
+	// DrainGrace holds the listener open for this long after Shutdown is
+	// called: new transforms (and health checks) are answered 503 with
+	// Retry-After while a load balancer notices the node is leaving, then
+	// the listener closes and in-flight transforms drain. 0 skips the
+	// grace window and closes the listener immediately.
+	DrainGrace time.Duration
 	// CachePrograms bounds the POSTed-program LRU. Default 64.
 	CachePrograms int
 	// MaxLanes caps the lane pool per transform (0 = the image's limit).
@@ -140,6 +147,8 @@ type Server struct {
 
 	mu      sync.Mutex
 	httpSrv *http.Server
+
+	draining atomic.Bool
 }
 
 // New builds a Server with the built-in kernels registered.
@@ -233,17 +242,32 @@ func (s *Server) ListenAndServe(addr string, ready chan<- net.Addr) error {
 	return s.Serve(l)
 }
 
-// Shutdown stops accepting connections and waits for in-flight transforms
-// to drain (bounded by ctx).
+// Shutdown drains the server: it flips the node into draining mode (new
+// transforms and health checks answer 503 with Retry-After), waits out
+// Options.DrainGrace so load balancers can route away, then stops accepting
+// connections and waits for in-flight transforms to finish (bounded by ctx).
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	srv := s.httpSrv
 	s.mu.Unlock()
 	if srv == nil {
 		return nil
 	}
+	if g := s.opts.DrainGrace; g > 0 {
+		t := time.NewTimer(g)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
 	return srv.Shutdown(ctx)
 }
+
+// Draining reports whether Shutdown has been called — the window where new
+// transforms are rejected with 503 while in-flight ones finish.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -262,6 +286,13 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// Fail the health check first so load balancers stop routing here
+		// before the listener closes.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -368,6 +399,17 @@ func statusFor(err error) int {
 func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	id := r.PathValue("program")
+
+	// Drain gate: once Shutdown has been called, keep-alive connections can
+	// still deliver new requests during the grace window — reject them with
+	// a retryable 503 so the client moves to another node, while transforms
+	// accepted before the drain keep streaming.
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.met.RequestDone("_drain", http.StatusServiceUnavailable, time.Since(t0))
+		writeErr(w, http.StatusServiceUnavailable, "node draining; retry on another node")
+		return
+	}
 
 	// Open the request's root span, joining the client's trace when it sent
 	// a well-formed traceparent header (a malformed one is ignored per the
