@@ -35,7 +35,7 @@ soak:
 	$(GO) run ./cmd/udploader -recipe scripts/soak/recipes/nightly.json
 
 race:
-	$(GO) test -race ./internal/load ./internal/machine ./internal/sched ./internal/server ./internal/kernels/... .
+	$(GO) test -race ./internal/load ./internal/machine ./internal/memsys ./internal/sched ./internal/server ./internal/kernels/... .
 
 # Short fuzz passes over the hostile-input surfaces: the fault-injection
 # spec parser and the record chunker.

@@ -25,6 +25,7 @@ import (
 	"udp"
 	"udp/internal/bench"
 	"udp/internal/experiments"
+	"udp/internal/memsys"
 	"udp/internal/obs"
 )
 
@@ -46,8 +47,12 @@ func main() {
 	stateprofile := flag.Bool("stateprofile", false,
 		"run every builtin kernel with the automaton profiler and print each state flame profile")
 	top := flag.Int("top", 10, "stateprofile: hot-state and action rows per kernel")
+	memStats := flag.Bool("mem-stats", false, "print slab-manager per-class stats to stderr on exit")
 	logSpec := flag.String("log", "", obs.LogFlagUsage)
 	flag.Parse()
+	if *memStats {
+		defer memsys.Default().Stats().Format(os.Stderr)
+	}
 
 	logger, err := obs.NewLogger(os.Stderr, *logSpec)
 	if err != nil {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"udp/internal/load"
+	"udp/internal/memsys"
 )
 
 func main() {
@@ -61,13 +62,21 @@ func main() {
 	sloMin := flag.Int("slo-min-requests", 0, "fail if fewer requests finished (guards vacuous passes)")
 
 	jsonOut := flag.Bool("json", false, "print the final report/result as JSON on stdout")
+	memStats := flag.Bool("mem-stats", false, "print slab-manager per-class stats to stderr on exit")
 	flag.Parse()
+	if *memStats {
+		defer memsys.Default().Stats().Format(os.Stderr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *recipe != "" {
-		os.Exit(runSoak(ctx, *recipe, *bin, *jsonOut))
+		code := runSoak(ctx, *recipe, *bin, *jsonOut)
+		if *memStats {
+			memsys.Default().Stats().Format(os.Stderr)
+		}
+		os.Exit(code)
 	}
 
 	progMix, err := load.ParseMix(*programs)
@@ -151,6 +160,11 @@ func runSoak(ctx context.Context, path, bin string, jsonOut bool) int {
 			res.Recipe, res.Restarts,
 			res.Before.Goroutines, res.After.Goroutines,
 			float64(res.Before.HeapAlloc)/1e6, float64(res.After.HeapAlloc)/1e6)
+		if a := res.After; a.HeapInuse > 0 {
+			fmt.Printf("soak %s: heap-inuse %.1f MB, gc pause p99 %.2f ms, mem pressure level %d (%d transitions, %d sheds)\n",
+				res.Recipe, float64(a.HeapInuse)/1e6, a.GCPauseP99Ms,
+				a.PressureLevel, a.PressureTransitions, a.PressureSheds)
+		}
 	}
 	if !res.Passed() {
 		for _, v := range res.Violations {

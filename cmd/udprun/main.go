@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"udp"
+	"udp/internal/memsys"
 	"udp/internal/obs"
 )
 
@@ -27,8 +28,12 @@ func main() {
 	engineName := flag.String("engine", "auto", "execution engine: auto, interp, decoded or compiled")
 	sep := flag.String("sep", "", "shard on this single-byte record separator (e.g. '\\n')")
 	profile := flag.Bool("profile", false, "print the automaton state profile (hot states, dispatch/action mixes) to stderr")
+	memStats := flag.Bool("mem-stats", false, "print slab-manager per-class stats to stderr on exit")
 	logSpec := flag.String("log", "", obs.LogFlagUsage)
 	flag.Parse()
+	if *memStats {
+		defer memsys.Default().Stats().Format(os.Stderr)
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: udprun [-lanes N] [-engine E] [-sep C] [-profile] file.udp input|-")
 		os.Exit(2)

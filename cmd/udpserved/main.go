@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"udp"
+	"udp/internal/memsys"
 	"udp/internal/obs"
 	"udp/internal/server"
 )
@@ -67,6 +68,12 @@ func main() {
 		"request trace trees retained for /debug/traces (0 = default, negative = tracing off)")
 	profileSample := flag.Int("profile-sample", 0,
 		"profile one shard in every N into /v1/profile/{program} (0 = profiling off)")
+	memSoftMB := flag.Int("mem-soft-mb", 0,
+		"soft heap watermark in MiB: above it slab rings shrink and the inflight cap halves (0 = pressure gating off)")
+	memCritMB := flag.Int("mem-crit-mb", 0,
+		"critical heap watermark in MiB: above it all transforms shed with 429 (0 = 2x the soft watermark)")
+	memHousekeep := flag.Duration("mem-housekeep", memsys.DefaultHousekeepInterval,
+		"slab-manager housekeeping interval (idle shrink + pressure check)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logSpec)
@@ -95,6 +102,20 @@ func main() {
 		tracer = obs.NewTracer(*traceMax)
 	}
 
+	// The slab manager is process-wide (the executor and server share it);
+	// a dedicated instance here would split the rings. The default manager's
+	// housekeeper ticks at DefaultHousekeepInterval — a custom interval gets
+	// its own manager so the flag takes effect.
+	mem := memsys.Default()
+	if *memHousekeep != memsys.DefaultHousekeepInterval && *memHousekeep > 0 {
+		mem = memsys.New(memsys.Config{Name: "udpserved", HousekeepInterval: *memHousekeep})
+	}
+	mem.SetWatermarks(uint64(*memSoftMB)<<20, uint64(*memCritMB)<<20)
+	if *memSoftMB > 0 {
+		soft, crit := mem.Watermarks()
+		fmt.Printf("udpserved: memory watermarks armed: soft=%dMiB crit=%dMiB\n", soft>>20, crit>>20)
+	}
+
 	srv := server.New(server.Options{
 		MaxBodyBytes:     *maxBody,
 		RequestTimeout:   *timeout,
@@ -112,6 +133,7 @@ func main() {
 		Logger:           logger,
 		Tracer:           tracer,
 		ProfileSample:    *profileSample,
+		Mem:              mem,
 	})
 
 	ready := make(chan net.Addr, 1)

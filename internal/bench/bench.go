@@ -28,6 +28,7 @@ import (
 	"udp/internal/kernels/jsonparse"
 	"udp/internal/kernels/xmlparse"
 	"udp/internal/load"
+	"udp/internal/memsys"
 	"udp/internal/server"
 	"udp/internal/workload"
 )
@@ -65,6 +66,13 @@ type Report struct {
 	MaxMs float64 `json:"max_ms"`
 	// Samples is the latency sample count behind the percentiles.
 	Samples int `json:"samples"`
+	// AllocsPerRequest is the whole-process heap-allocation count divided
+	// by the request count over the run window (server only) — the number
+	// the memsys slab path is meant to hold down. Compare gates on it.
+	AllocsPerRequest float64 `json:"allocs_per_request,omitempty"`
+	// GCPauseP99Ms is the p99 stop-the-world GC pause over the run window
+	// in milliseconds (server only).
+	GCPauseP99Ms float64 `json:"gc_pause_p99_ms,omitempty"`
 	// Engine is the execution tier the overall pass actually ran on
 	// ("compiled" unless degraded; empty in reports predating the tiered
 	// engine).
@@ -396,6 +404,9 @@ func Server(scale, concurrency, passes, reqBytes int, seed int64) (*Report, erro
 	}()
 
 	want := csvparse.ParseSep(body, '|')
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	rtBefore := memsys.ReadRuntime()
 	rep, err := load.Run(context.Background(), load.Config{
 		Target:   "http://" + l.Addr().String(),
 		Workers:  concurrency,
@@ -413,6 +424,13 @@ func Server(scale, concurrency, passes, reqBytes int, seed int64) (*Report, erro
 	if err != nil {
 		return nil, err
 	}
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	rtAfter := memsys.ReadRuntime()
+	if rep.Requests > 0 {
+		r.AllocsPerRequest = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(rep.Requests)
+	}
+	r.GCPauseP99Ms = memsys.PauseDeltaQuantile(rtBefore.GCPauses, rtAfter.GCPauses, 0.99) * 1e3
 	r.Passes = rep.Requests
 	r.Errors = rep.Errors
 	r.WallSeconds = rep.DurationSeconds
@@ -511,7 +529,34 @@ func Compare(oldPath, newPath string, w io.Writer) error {
 			row(key, k.ThroughputMBps, 0)
 		}
 	}
+	if err := allocGate(oldR, newR, w); err != nil {
+		return err
+	}
 	return engineGate(newR, w)
+}
+
+// allocGateSlack is the tolerated allocs-per-request growth between two
+// server reports: more than +10% fails the comparison. Allocation counts
+// are near-deterministic (unlike throughput), so the band only needs to
+// absorb code-path jitter like pool warmup and GC-triggered assists.
+const allocGateSlack = 1.10
+
+// allocGate fails the comparison when the new report allocates more than
+// allocGateSlack times the old report's allocs per request. Reports
+// without the field (exec reports, or server reports predating it) pass
+// vacuously.
+func allocGate(oldR, newR *Report, w io.Writer) error {
+	if oldR.AllocsPerRequest <= 0 || newR.AllocsPerRequest <= 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "%-20s %12.1f %12.1f %+8.1f%%\n", "allocs/request",
+		oldR.AllocsPerRequest, newR.AllocsPerRequest,
+		(newR.AllocsPerRequest/oldR.AllocsPerRequest-1)*100)
+	if newR.AllocsPerRequest > oldR.AllocsPerRequest*allocGateSlack {
+		return fmt.Errorf("alloc gate failed: %.1f allocs/request, was %.1f (>%+.0f%%)",
+			newR.AllocsPerRequest, oldR.AllocsPerRequest, (allocGateSlack-1)*100)
+	}
+	return nil
 }
 
 // engineGate fails the comparison when the compiled tier loses to the

@@ -18,10 +18,34 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"udp/internal/memsys"
 	"udp/internal/obs"
 )
+
+// gzWriters pools deflate state across compressed uploads; a gzip.Writer
+// holds ~800 KiB of window and hash chains that Reset reuses wholesale.
+var gzWriters = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+// GzipBytes compresses data with a pooled gzip.Writer — the allocation-free
+// path for compressed uploads (the loader's corpus builder shares it).
+func GzipBytes(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	gz := gzWriters.Get().(*gzip.Writer)
+	gz.Reset(&buf)
+	if _, err := gz.Write(data); err != nil {
+		gzWriters.Put(gz)
+		return nil, err
+	}
+	if err := gz.Close(); err != nil {
+		gzWriters.Put(gz)
+		return nil, err
+	}
+	gzWriters.Put(gz)
+	return buf.Bytes(), nil
+}
 
 // APIError is a non-2xx server reply, decoded from the JSON error body.
 type APIError struct {
@@ -237,29 +261,33 @@ func (c *Client) Transform(ctx context.Context, program string, body io.Reader, 
 	}
 }
 
-// TransformBytes is Transform over an in-memory input, fully drained.
+// TransformBytes is Transform over an in-memory input, fully drained. The
+// response is staged through a scatter-gather buffer of pooled slabs — the
+// result for the caller is one exact-size allocation instead of
+// io.ReadAll's append-doubling ladder.
 func (c *Client) TransformBytes(ctx context.Context, program string, data []byte, opts ...TransformOption) ([]byte, error) {
 	rc, err := c.Transform(ctx, program, bytes.NewReader(data), opts...)
 	if err != nil {
 		return nil, err
 	}
 	defer rc.Close()
-	return io.ReadAll(rc)
+	sgl := memsys.Default().NewSGL(int64(len(data)))
+	defer sgl.Free()
+	if _, err := sgl.ReadFrom(rc); err != nil {
+		return nil, err
+	}
+	return sgl.AppendTo(nil), nil
 }
 
 // TransformGzipBytes gzips data client-side before sending — the wire shape
 // of the paper's Figure 1 load pipeline (compressed CSV into the engine).
 func (c *Client) TransformGzipBytes(ctx context.Context, program string, data []byte, opts ...TransformOption) ([]byte, error) {
-	var buf bytes.Buffer
-	gz := gzip.NewWriter(&buf)
-	if _, err := gz.Write(data); err != nil {
-		return nil, err
-	}
-	if err := gz.Close(); err != nil {
+	body, err := GzipBytes(data)
+	if err != nil {
 		return nil, err
 	}
 	opts = append(opts, WithGzippedBody())
-	return c.TransformBytes(ctx, program, buf.Bytes(), opts...)
+	return c.TransformBytes(ctx, program, body, opts...)
 }
 
 // Register compiles UDP assembly on the server and returns its cache entry.

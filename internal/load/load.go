@@ -14,7 +14,6 @@ package load
 
 import (
 	"bytes"
-	"compress/gzip"
 	"context"
 	"fmt"
 	"io"
@@ -30,6 +29,7 @@ import (
 	"udp/internal/client"
 	"udp/internal/etl"
 	"udp/internal/kernels/histogram"
+	"udp/internal/memsys"
 	"udp/internal/workload"
 )
 
@@ -178,6 +178,9 @@ func (cfg *Config) defaults() error {
 	return nil
 }
 
+// mem is the shared slab manager staging the payload corpus.
+var mem = memsys.Default()
+
 // corpusEntry is one pre-generated payload (raw plus its gzip twin when the
 // run sends compressed bodies).
 type corpusEntry struct {
@@ -210,18 +213,32 @@ func buildCorpus(cfg *Config) (map[string][]corpusEntry, error) {
 					return nil, err
 				}
 			}
-			entries[i].raw = raw
+			// Corpus payloads live in slabs from the shared manager, so
+			// successive Run invocations in one process (bench passes, soak
+			// phases) recycle the same arrays; freeCorpus returns them.
+			entries[i].raw = append(mem.Get(len(raw)), raw...)
 			if cfg.GzipRatio > 0 {
-				var buf bytes.Buffer
-				gz := gzip.NewWriter(&buf)
-				gz.Write(raw)
-				gz.Close()
-				entries[i].gz = buf.Bytes()
+				gz, err := client.GzipBytes(raw)
+				if err != nil {
+					return nil, err
+				}
+				entries[i].gz = append(mem.Get(len(gz)), gz...)
 			}
 		}
 		out[m.Name] = entries
 	}
 	return out, nil
+}
+
+// freeCorpus parks every corpus slab back in the manager once a run's
+// workers have all exited.
+func freeCorpus(corpus map[string][]corpusEntry) {
+	for _, entries := range corpus {
+		for _, e := range entries {
+			mem.Put(e.raw)
+			mem.Put(e.gz)
+		}
+	}
 }
 
 // builtinPayload generates a representative input for one builtin server
@@ -399,6 +416,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer freeCorpus(corpus)
 	httpc := cfg.HTTP
 	if httpc == nil {
 		httpc = &http.Client{Transport: &http.Transport{

@@ -102,22 +102,30 @@ type Event struct {
 	At Dur `json:"at"`
 	// Action is one of:
 	//
-	//	kill     SIGKILL the server and restart it on the same port
-	//	restart  gracefully restart (SIGTERM, drain, relaunch)
-	//	squeeze  restart with Inflight as the -max-inflight override
-	//	degrade  restart with Engine as the -engine override
-	//	restore  restart with the recipe's original server spec
+	//	kill            SIGKILL the server and restart it on the same port
+	//	restart         gracefully restart (SIGTERM, drain, relaunch)
+	//	squeeze         restart with Inflight as the -max-inflight override
+	//	degrade         restart with Engine as the -engine override
+	//	memory-squeeze  restart with SoftMB as the -mem-soft-mb override
+	//	                (plus a 500ms -mem-housekeep so pressure registers
+	//	                within the event window)
+	//	restore         restart with the recipe's original server spec
 	Action string `json:"action"`
 	// Inflight is the squeeze override.
 	Inflight int `json:"inflight,omitempty"`
 	// Engine is the degrade override.
 	Engine string `json:"engine,omitempty"`
+	// SoftMB is the memory-squeeze override: the soft heap watermark in
+	// MiB. Set it low enough that the loaded server crosses it — the
+	// harness asserts the pressure gate actually fired.
+	SoftMB int `json:"soft_mb,omitempty"`
 	// Comment is free-form documentation.
 	Comment string `json:"comment,omitempty"`
 }
 
 var eventActions = map[string]bool{
-	"kill": true, "restart": true, "squeeze": true, "degrade": true, "restore": true,
+	"kill": true, "restart": true, "squeeze": true, "degrade": true,
+	"memory-squeeze": true, "restore": true,
 }
 
 // Recipe is one soak scenario: a server to launch, a load shape to drive,
@@ -155,6 +163,9 @@ func (r *Recipe) Validate() error {
 		}
 		if e.Action == "degrade" && e.Engine == "" {
 			return fmt.Errorf("load: recipe %s: event %d: degrade needs an engine", r.Name, i)
+		}
+		if e.Action == "memory-squeeze" && e.SoftMB <= 0 {
+			return fmt.Errorf("load: recipe %s: event %d: memory-squeeze needs soft_mb > 0", r.Name, i)
 		}
 		if dur > 0 && e.At.D() >= dur {
 			return fmt.Errorf("load: recipe %s: event %d at %s lands after the %s load phase",

@@ -209,10 +209,22 @@ func sortedKeys(m map[string]int) []string {
 }
 
 // ProcSample is one leak-invariant snapshot of a server process, read from
-// its /debug/pprof endpoints.
+// its /debug/pprof endpoints plus the memory-health gauges on /metrics
+// (zero when the target doesn't serve them).
 type ProcSample struct {
 	Goroutines int    `json:"goroutines"`
 	HeapAlloc  uint64 `json:"heap_alloc_bytes"`
+	// HeapInuse is go_heap_inuse_bytes: the pressure-watermark input.
+	HeapInuse uint64 `json:"heap_inuse_bytes,omitempty"`
+	// GCPauseP99Ms is the p99 stop-the-world GC pause since process start.
+	GCPauseP99Ms float64 `json:"gc_pause_p99_ms,omitempty"`
+	// PressureLevel is the slab manager's current pressure level
+	// (0=ok 1=soft 2=critical); PressureTransitions counts upward level
+	// crossings and PressureSheds the 429s the pressure gate issued —
+	// what the memory-squeeze soak event asserts on.
+	PressureLevel       int    `json:"mem_pressure_level,omitempty"`
+	PressureTransitions uint64 `json:"mem_pressure_transitions,omitempty"`
+	PressureSheds       uint64 `json:"mem_pressure_sheds,omitempty"`
 }
 
 // CheckLeaks compares before/after process samples against the SLO's leak

@@ -72,8 +72,9 @@ type proc struct {
 
 // overrides is the degradation state chaos events accumulate.
 type overrides struct {
-	inflight int
-	engine   string
+	inflight  int
+	engine    string
+	memSoftMB int
 }
 
 // soakRunner owns the server process across restarts.
@@ -87,8 +88,9 @@ type soakRunner struct {
 	mu   sync.Mutex
 	proc *proc
 
-	restarts int
-	events   []string
+	restarts    int
+	memSqueezed bool
+	events      []string
 }
 
 func (s *soakRunner) logf(format string, args ...any) {
@@ -125,6 +127,15 @@ func (s *soakRunner) args(addr string) []string {
 	}
 	if spec.FaultInject != "" {
 		args = append(args, "-fault-inject", spec.FaultInject)
+	}
+	if s.ov.memSoftMB > 0 {
+		// The fast housekeep tick makes the pressure check register within
+		// the event window instead of at the default 2s cadence, and the
+		// critical watermark is pinned to the soft one so a crossing goes
+		// straight to critical — the level that sheds — rather than
+		// stopping at soft (which only halves the inflight cap).
+		mb := strconv.Itoa(s.ov.memSoftMB)
+		args = append(args, "-mem-soft-mb", mb, "-mem-crit-mb", mb, "-mem-housekeep", "500ms")
 	}
 	return append(args, spec.Flags...)
 }
@@ -253,6 +264,11 @@ func (s *soakRunner) apply(ctx context.Context, e Event) error {
 		s.ov.engine = e.Engine
 		s.logf("event degrade: restart with -engine %s", e.Engine)
 		return s.restart(ctx, true)
+	case "memory-squeeze":
+		s.ov.memSoftMB = e.SoftMB
+		s.memSqueezed = true
+		s.logf("event memory-squeeze: restart with -mem-soft-mb %d (crit pinned to soft)", e.SoftMB)
+		return s.restart(ctx, true)
 	case "restore":
 		s.ov = overrides{}
 		s.logf("event restore: restart with the original server spec")
@@ -350,6 +366,22 @@ func RunSoak(ctx context.Context, rec *Recipe, bin string, out io.Writer) (*Soak
 		return nil, fmt.Errorf("load: post-run leak sample: %w", err)
 	}
 
+	// A memory-squeeze still in force at sampling time must have actually
+	// bitten: the loaded server crossed its soft watermark and the pressure
+	// gate shed at least one request. (A restore event after the squeeze
+	// resets the counters with the process, so the assertion only applies
+	// while the override survives to the end.)
+	if s.memSqueezed && s.ov.memSoftMB > 0 {
+		if res.After.PressureTransitions == 0 {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"memory-squeeze (-mem-soft-mb %d) never crossed the soft watermark: heap-inuse %d bytes",
+				s.ov.memSoftMB, res.After.HeapInuse))
+		} else if res.After.PressureSheds == 0 {
+			res.Violations = append(res.Violations,
+				"memory-squeeze crossed the watermark but the pressure gate shed no requests")
+		}
+	}
+
 	// The final server must still drain cleanly.
 	if err := s.stop(true, 15*time.Second); err != nil {
 		res.Violations = append(res.Violations, fmt.Sprintf("final graceful shutdown failed: %v", err))
@@ -364,6 +396,11 @@ func RunSoak(ctx context.Context, rec *Recipe, bin string, out io.Writer) (*Soak
 var (
 	goroutineTotalRe = regexp.MustCompile(`goroutine profile: total (\d+)`)
 	heapAllocRe      = regexp.MustCompile(`# HeapAlloc = (\d+)`)
+	heapInuseRe      = regexp.MustCompile(`(?m)^go_heap_inuse_bytes (\d+)`)
+	gcPauseP99Re     = regexp.MustCompile(`(?m)^go_gc_pause_seconds\{quantile="0\.99"\} ([0-9.eE+-]+)`)
+	pressureLevelRe  = regexp.MustCompile(`(?m)^udpserved_mem_pressure_level (\d+)`)
+	pressureTransRe  = regexp.MustCompile(`(?m)^udpserved_mem_pressure_transitions_total (\d+)`)
+	pressureShedsRe  = regexp.MustCompile(`(?m)^udpserved_mem_pressure_sheds_total (\d+)`)
 )
 
 // SampleProc reads a leak-invariant snapshot from a server's /debug/pprof
@@ -410,6 +447,30 @@ func sampleOnce(ctx context.Context, base string) (ProcSample, error) {
 		return s, fmt.Errorf("no HeapAlloc line in heap profile")
 	}
 	s.HeapAlloc, _ = strconv.ParseUint(m[1], 10, 64)
+
+	// Memory-health gauges come from /metrics; best-effort, so sampling
+	// still works against servers (or test fakes) without the endpoint.
+	met, err := fetch(ctx, base+"/metrics")
+	if err != nil {
+		return s, nil
+	}
+	if m := heapInuseRe.FindStringSubmatch(met); m != nil {
+		s.HeapInuse, _ = strconv.ParseUint(m[1], 10, 64)
+	}
+	if m := gcPauseP99Re.FindStringSubmatch(met); m != nil {
+		if v, err := strconv.ParseFloat(m[1], 64); err == nil {
+			s.GCPauseP99Ms = v * 1e3
+		}
+	}
+	if m := pressureLevelRe.FindStringSubmatch(met); m != nil {
+		s.PressureLevel, _ = strconv.Atoi(m[1])
+	}
+	if m := pressureTransRe.FindStringSubmatch(met); m != nil {
+		s.PressureTransitions, _ = strconv.ParseUint(m[1], 10, 64)
+	}
+	if m := pressureShedsRe.FindStringSubmatch(met); m != nil {
+		s.PressureSheds, _ = strconv.ParseUint(m[1], 10, 64)
+	}
 	return s, nil
 }
 

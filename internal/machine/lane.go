@@ -327,8 +327,14 @@ func (l *Lane) interrupted() bool {
 }
 
 // SetInput attaches the input stream, reusing the lane's BitStream so the
-// per-shard steady state allocates nothing.
+// per-shard steady state allocates nothing. The output buffer is pre-grown
+// to the input size: stream kernels emit roughly one byte per input byte,
+// and one up-front reservation replaces the append-doubling ladder a fresh
+// lane would otherwise climb on its first shard.
 func (l *Lane) SetInput(data []byte) {
+	if cap(l.out) < len(data) {
+		l.out = make([]byte, 0, len(data))
+	}
 	if l.stream == nil {
 		l.stream = NewBitStream(data)
 		return

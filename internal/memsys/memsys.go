@@ -1,0 +1,444 @@
+// Package memsys is the hierarchical slab memory manager behind the
+// zero-GC serving path — the software analogue of the paper's dedicated
+// on-accelerator memory banks. Instead of churning per-request buffers
+// through the managed heap (and paying for it in GC pauses at high
+// concurrency), the request path draws fixed-size slabs from per-class
+// free rings and hands them back when the no-retain Sink/Recycler
+// contracts release them.
+//
+// The design follows the aistore memsys architecture: power-of-two size
+// classes from MinSlabSize to MaxSlabSize, a LIFO free ring per class
+// (LIFO keeps the hottest slab cache-warm), periodic housekeeping that
+// idle-shrinks cold rings back to the heap, and a scatter-gather buffer
+// type (SGL, sgl.go) that streams large payloads over a chain of slabs
+// without any large contiguous allocation.
+//
+// The manager doubles as the process's memory-pressure authority: soft
+// and critical watermarks over the runtime/metrics heap-in-use gauge are
+// evaluated every housekeeping tick. Crossing a watermark immediately
+// shrinks every ring and notifies OnPressure listeners — internal/server
+// uses that to tighten its inflight semaphore (429 + Retry-After) before
+// the process approaches OOM.
+package memsys
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Slab size-class bounds. Classes are the powers of two from MinSlabSize
+// to MaxSlabSize inclusive; requests larger than MaxSlabSize fall through
+// to the heap (and SGL chains slabs instead).
+const (
+	MinSlabSize = 4 << 10 // 4 KiB
+	MaxSlabSize = 1 << 20 // 1 MiB
+	NumClasses  = 9       // 4K, 8K, 16K, 32K, 64K, 128K, 256K, 512K, 1M
+)
+
+// DefaultRetainPerClass caps the bytes one class ring retains between
+// housekeeping shrinks (8 MiB per class, ~72 MiB worst case across all
+// nine — far below the watermarks that would matter).
+const DefaultRetainPerClass = 8 << 20
+
+// DefaultHousekeepInterval is how often the housekeeper runs idle-shrink
+// and the pressure check.
+const DefaultHousekeepInterval = 2 * time.Second
+
+// Level is the memory-pressure state derived from the heap watermarks.
+type Level int32
+
+const (
+	// LevelOK: heap-in-use below the soft watermark (or watermarks off).
+	LevelOK Level = iota
+	// LevelSoft: above the soft watermark — rings are shrunk and admission
+	// should tighten.
+	LevelSoft
+	// LevelCritical: above the critical watermark — shed aggressively; the
+	// next stop is the OOM killer.
+	LevelCritical
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelSoft:
+		return "soft"
+	case LevelCritical:
+		return "critical"
+	default:
+		return "ok"
+	}
+}
+
+// Config tunes a Manager. The zero value is usable (watermarks disabled).
+type Config struct {
+	// Name labels the manager in stats output.
+	Name string
+	// SoftBytes / CritBytes are the heap-in-use pressure watermarks
+	// (0 = pressure tracking disabled). CritBytes defaults to 2×SoftBytes
+	// when only the soft mark is set.
+	SoftBytes uint64
+	CritBytes uint64
+	// RetainPerClass caps the bytes one class ring holds between shrinks
+	// (0 = DefaultRetainPerClass).
+	RetainPerClass int64
+	// HousekeepInterval is the idle-shrink / pressure-check period
+	// (0 = DefaultHousekeepInterval).
+	HousekeepInterval time.Duration
+}
+
+// ClassStats is one size class's counters, exported on /metrics.
+type ClassStats struct {
+	// Size is the slab size in bytes.
+	Size int
+	// Gets counts allocations served from this class; Hits the subset
+	// served from the ring without touching the heap.
+	Gets uint64
+	Hits uint64
+	// Puts counts slabs returned; a Put beyond the ring's retain cap is
+	// dropped to the GC instead.
+	Puts uint64
+	// Shrinks counts slabs released back to the heap by housekeeping or
+	// pressure shrink.
+	Shrinks uint64
+	// Free is the number of slabs currently parked in the ring.
+	Free int
+	// FreeBytes is Free×Size.
+	FreeBytes int64
+}
+
+// Stats is a Manager snapshot.
+type Stats struct {
+	Name    string
+	Classes [NumClasses]ClassStats
+	// Pressure is the current watermark level; Transitions counts upward
+	// level crossings since start.
+	Pressure    Level
+	Transitions uint64
+	// HeapInuse is the last heap gauge the pressure check read (0 until
+	// the first tick with watermarks enabled).
+	HeapInuse uint64
+}
+
+// ring is one size class's LIFO free list. LIFO (stack) order returns the
+// most recently used slab first, keeping the working set cache-warm.
+type ring struct {
+	mu      sync.Mutex
+	bufs    [][]byte
+	max     int // retained-slab cap (RetainPerClass / size)
+	gets    uint64
+	hits    uint64
+	puts    uint64
+	shrinks uint64
+	used    bool // Get hit since the last housekeeping tick
+}
+
+// Manager owns the class rings and the housekeeper. Safe for concurrent
+// use; create with New or share the process-wide Default.
+type Manager struct {
+	name   string
+	rings  [NumClasses]ring
+	retain int64
+
+	soft        atomic.Uint64
+	crit        atomic.Uint64
+	level       atomic.Int32
+	transitions atomic.Uint64
+	heapInuse   atomic.Uint64
+
+	lmu       sync.Mutex
+	listeners []func(Level)
+
+	hkEvery time.Duration
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// classSize returns the slab size of class i.
+func classSize(i int) int { return MinSlabSize << i }
+
+// classFor maps a requested size to its class index, or -1 when the
+// request exceeds MaxSlabSize (heap fallthrough).
+func classFor(n int) int {
+	if n <= MinSlabSize {
+		return 0
+	}
+	if n > MaxSlabSize {
+		return -1
+	}
+	return bits.Len(uint(n-1)) - bits.Len(uint(MinSlabSize)) + 1
+}
+
+// classOf maps a returned buffer's capacity to the largest class whose
+// slab fits inside it. A buffer that grew past its slab via append still
+// parks its usable prefix this way. Capacities below MinSlabSize or above
+// MaxSlabSize return -1 (drop to GC) — parking an oversized array under a
+// smaller class would pin its tail invisibly.
+func classOf(c int) int {
+	if c < MinSlabSize || c > MaxSlabSize {
+		return -1
+	}
+	return bits.Len(uint(c)) - bits.Len(uint(MinSlabSize))
+}
+
+// New builds a Manager and starts its housekeeper. Call Close to stop the
+// housekeeper (the process-wide Default is never closed).
+func New(cfg Config) *Manager {
+	m := &Manager{
+		name:    cfg.Name,
+		retain:  cfg.RetainPerClass,
+		hkEvery: cfg.HousekeepInterval,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if m.name == "" {
+		m.name = "memsys"
+	}
+	if m.retain <= 0 {
+		m.retain = DefaultRetainPerClass
+	}
+	if m.hkEvery <= 0 {
+		m.hkEvery = DefaultHousekeepInterval
+	}
+	for i := range m.rings {
+		max := int(m.retain) / classSize(i)
+		if max < 4 {
+			max = 4
+		}
+		m.rings[i].max = max
+	}
+	m.SetWatermarks(cfg.SoftBytes, cfg.CritBytes)
+	go m.housekeeper()
+	return m
+}
+
+var (
+	defaultOnce sync.Once
+	defaultMgr  *Manager
+)
+
+// Default is the process-wide manager the executor, server, client and
+// loader share. Watermarks start disabled; binaries arm them from flags
+// with SetWatermarks.
+func Default() *Manager {
+	defaultOnce.Do(func() { defaultMgr = New(Config{Name: "default"}) })
+	return defaultMgr
+}
+
+// Close stops the housekeeper and drops every retained slab.
+func (m *Manager) Close() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+		<-m.done
+	}
+	m.Shrink()
+}
+
+// Get returns a zero-length buffer with capacity at least n, drawn from
+// the owning class ring when one is parked there. Requests beyond
+// MaxSlabSize come straight from the heap (consider an SGL instead).
+func (m *Manager) Get(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		return make([]byte, 0, n)
+	}
+	r := &m.rings[ci]
+	r.mu.Lock()
+	r.gets++
+	if len(r.bufs) > 0 {
+		buf := r.bufs[len(r.bufs)-1]
+		r.bufs = r.bufs[:len(r.bufs)-1]
+		r.hits++
+		r.used = true
+		r.mu.Unlock()
+		return buf
+	}
+	r.mu.Unlock()
+	return make([]byte, 0, classSize(ci))
+}
+
+// Put parks a buffer back in its class ring for reuse. Buffers below
+// MinSlabSize capacity, or arriving when the ring is at its retain cap,
+// are dropped to the GC. The caller must not touch buf afterwards.
+func (m *Manager) Put(buf []byte) {
+	ci := classOf(cap(buf))
+	if ci < 0 {
+		return
+	}
+	// Reslice to the exact class slab so every ring entry is interchangeable.
+	buf = buf[0:0:classSize(ci)]
+	r := &m.rings[ci]
+	r.mu.Lock()
+	r.puts++
+	if len(r.bufs) < r.max {
+		r.bufs = append(r.bufs, buf)
+	}
+	r.mu.Unlock()
+}
+
+// Shrink drops every retained slab back to the heap and returns the bytes
+// released — the immediate response to crossing a pressure watermark.
+func (m *Manager) Shrink() int64 {
+	var freed int64
+	for i := range m.rings {
+		r := &m.rings[i]
+		r.mu.Lock()
+		n := len(r.bufs)
+		r.shrinks += uint64(n)
+		freed += int64(n) * int64(classSize(i))
+		r.bufs = nil
+		r.mu.Unlock()
+	}
+	return freed
+}
+
+// SetWatermarks arms (or re-arms) the pressure watermarks over heap-in-use
+// bytes. crit 0 with soft set defaults to 2×soft; both 0 disables
+// pressure tracking.
+func (m *Manager) SetWatermarks(soft, crit uint64) {
+	if soft > 0 && crit == 0 {
+		crit = 2 * soft
+	}
+	if crit > 0 && crit < soft {
+		crit = soft
+	}
+	m.soft.Store(soft)
+	m.crit.Store(crit)
+}
+
+// Watermarks reads the armed (soft, crit) byte watermarks.
+func (m *Manager) Watermarks() (soft, crit uint64) {
+	return m.soft.Load(), m.crit.Load()
+}
+
+// Pressure is the level computed by the last housekeeping tick.
+func (m *Manager) Pressure() Level { return Level(m.level.Load()) }
+
+// HeapInuse is the heap gauge behind the last pressure decision.
+func (m *Manager) HeapInuse() uint64 { return m.heapInuse.Load() }
+
+// OnPressure registers a callback invoked (from the housekeeper
+// goroutine) whenever the pressure level changes.
+func (m *Manager) OnPressure(fn func(Level)) {
+	m.lmu.Lock()
+	m.listeners = append(m.listeners, fn)
+	m.lmu.Unlock()
+}
+
+// Stats snapshots every class ring plus the pressure state.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		Name:        m.name,
+		Pressure:    m.Pressure(),
+		Transitions: m.transitions.Load(),
+		HeapInuse:   m.heapInuse.Load(),
+	}
+	for i := range m.rings {
+		r := &m.rings[i]
+		r.mu.Lock()
+		s.Classes[i] = ClassStats{
+			Size:      classSize(i),
+			Gets:      r.gets,
+			Hits:      r.hits,
+			Puts:      r.puts,
+			Shrinks:   r.shrinks,
+			Free:      len(r.bufs),
+			FreeBytes: int64(len(r.bufs)) * int64(classSize(i)),
+		}
+		r.mu.Unlock()
+	}
+	return s
+}
+
+// Format renders the snapshot as an aligned table (the -mem-stats flag
+// surface of the binaries).
+func (s Stats) Format(w io.Writer) {
+	fmt.Fprintf(w, "memsys %s: pressure=%s heap_inuse=%d transitions=%d\n",
+		s.Name, s.Pressure, s.HeapInuse, s.Transitions)
+	fmt.Fprintf(w, "%10s %10s %10s %10s %10s %6s %12s\n",
+		"class", "gets", "hits", "puts", "shrinks", "free", "free_bytes")
+	for _, c := range s.Classes {
+		if c.Gets == 0 && c.Puts == 0 && c.Free == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%10d %10d %10d %10d %10d %6d %12d\n",
+			c.Size, c.Gets, c.Hits, c.Puts, c.Shrinks, c.Free, c.FreeBytes)
+	}
+}
+
+// housekeeper runs idle-shrink and the pressure check every interval.
+func (m *Manager) housekeeper() {
+	defer close(m.done)
+	t := time.NewTicker(m.hkEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.housekeep()
+		}
+	}
+}
+
+// housekeep is one tick: recompute the pressure level (shrinking
+// immediately and notifying listeners on a change), then halve any ring
+// that went un-hit since the previous tick — cold classes drain back to
+// the heap in a few ticks instead of pinning memory forever.
+func (m *Manager) housekeep() {
+	m.checkPressure()
+	for i := range m.rings {
+		r := &m.rings[i]
+		r.mu.Lock()
+		if !r.used && len(r.bufs) > 0 {
+			keep := len(r.bufs) / 2
+			r.shrinks += uint64(len(r.bufs) - keep)
+			// Copy the survivors so the dropped halves' arrays are not
+			// pinned by the retained backing slice.
+			r.bufs = append([][]byte(nil), r.bufs[:keep]...)
+		}
+		r.used = false
+		r.mu.Unlock()
+	}
+}
+
+// checkPressure reads the heap gauge, derives the level, and reacts to
+// transitions (in either direction) with shrink + listener notification.
+func (m *Manager) checkPressure() {
+	soft := m.soft.Load()
+	if soft == 0 {
+		return
+	}
+	crit := m.crit.Load()
+	heap := heapInuseBytes()
+	m.heapInuse.Store(heap)
+	lvl := LevelOK
+	switch {
+	case crit > 0 && heap >= crit:
+		lvl = LevelCritical
+	case heap >= soft:
+		lvl = LevelSoft
+	}
+	prev := Level(m.level.Swap(int32(lvl)))
+	if lvl == prev {
+		return
+	}
+	if lvl > prev {
+		m.transitions.Add(1)
+		// Give the heap back whatever the rings were hoarding before
+		// asking anyone else to shed load.
+		m.Shrink()
+	}
+	m.lmu.Lock()
+	ls := make([]func(Level), len(m.listeners))
+	copy(ls, m.listeners)
+	m.lmu.Unlock()
+	for _, fn := range ls {
+		fn(lvl)
+	}
+}

@@ -1,0 +1,344 @@
+package memsys
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestManager(t *testing.T) *Manager {
+	t.Helper()
+	// Long housekeep interval so ticks never interleave with assertions;
+	// tests drive housekeep() by hand.
+	m := New(Config{Name: "test", HousekeepInterval: time.Hour})
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestClassRounding(t *testing.T) {
+	cases := []struct {
+		n    int
+		size int
+	}{
+		{0, 4 << 10},
+		{1, 4 << 10},
+		{4 << 10, 4 << 10},
+		{4<<10 + 1, 8 << 10},
+		{8 << 10, 8 << 10},
+		{50 << 10, 64 << 10},
+		{64 << 10, 64 << 10},
+		{64<<10 + 1, 128 << 10},
+		{1 << 20, 1 << 20},
+	}
+	m := newTestManager(t)
+	for _, c := range cases {
+		b := m.Get(c.n)
+		if len(b) != 0 || cap(b) != c.size {
+			t.Errorf("Get(%d): len=%d cap=%d, want len=0 cap=%d", c.n, len(b), cap(b), c.size)
+		}
+		m.Put(b)
+	}
+	// Beyond MaxSlabSize falls through to the heap at the exact size.
+	big := m.Get(MaxSlabSize + 1)
+	if cap(big) != MaxSlabSize+1 {
+		t.Errorf("oversize Get: cap=%d, want %d", cap(big), MaxSlabSize+1)
+	}
+}
+
+func TestRingReuse(t *testing.T) {
+	m := newTestManager(t)
+	b := m.Get(10 << 10) // 16K class
+	b = append(b, "hello"...)
+	p0 := &b[:1][0]
+	m.Put(b)
+	got := m.Get(12 << 10) // same 16K class
+	if len(got) != 0 {
+		t.Fatalf("reused slab has len %d, want 0", len(got))
+	}
+	got = append(got, 'x')
+	if &got[0] != p0 {
+		t.Error("Get after Put did not reuse the parked slab")
+	}
+	st := m.Stats()
+	var cs ClassStats
+	for _, c := range st.Classes {
+		if c.Size == 16<<10 {
+			cs = c
+		}
+	}
+	if cs.Gets != 2 || cs.Hits != 1 || cs.Puts != 1 {
+		t.Errorf("class stats gets=%d hits=%d puts=%d, want 2/1/1", cs.Gets, cs.Hits, cs.Puts)
+	}
+}
+
+func TestPutReclassifiesGrownBuffer(t *testing.T) {
+	m := newTestManager(t)
+	// A 4K slab grown by append to ~40K should park in the largest class
+	// that fits its new capacity, not vanish or corrupt the 4K ring.
+	b := m.Get(4 << 10)
+	b = append(b, make([]byte, 40<<10)...)
+	m.Put(b)
+	st := m.Stats()
+	for _, c := range st.Classes {
+		if c.Free > 0 && c.Size > cap(b) {
+			t.Errorf("parked a slab in class %d larger than cap %d", c.Size, cap(b))
+		}
+	}
+	// Tiny buffers are dropped, not parked.
+	m.Put(make([]byte, 0, 100))
+	st = m.Stats()
+	var free int
+	for _, c := range st.Classes {
+		free += c.Free
+	}
+	if free != 1 {
+		t.Errorf("free slabs = %d, want 1 (tiny Put must drop)", free)
+	}
+}
+
+func TestIdleShrink(t *testing.T) {
+	m := newTestManager(t)
+	var bufs [][]byte
+	for i := 0; i < 8; i++ {
+		bufs = append(bufs, m.Get(64<<10))
+	}
+	for _, b := range bufs {
+		m.Put(b)
+	}
+	ci := classFor(64 << 10)
+	if n := len(m.rings[ci].bufs); n != 8 {
+		t.Fatalf("parked %d slabs, want 8", n)
+	}
+	// First tick after the Puts: the Get marks came before, so the ring is
+	// idle → halve. Repeated idle ticks drain it to zero.
+	m.housekeep()
+	if n := len(m.rings[ci].bufs); n != 4 {
+		t.Errorf("after 1 idle tick: %d slabs, want 4", n)
+	}
+	m.housekeep()
+	m.housekeep()
+	m.housekeep()
+	if n := len(m.rings[ci].bufs); n != 0 {
+		t.Errorf("after 4 idle ticks: %d slabs, want 0", n)
+	}
+	st := m.Stats()
+	if st.Classes[ci].Shrinks != 8 {
+		t.Errorf("shrinks = %d, want 8", st.Classes[ci].Shrinks)
+	}
+	// A hot ring is left alone.
+	m.Put(m.Get(64 << 10))
+	m.Put(m.Get(64 << 10)) // Get marks used; second Put parks again
+	m.housekeep()          // used was set by the Gets → no shrink this tick
+	if n := len(m.rings[ci].bufs); n != 1 {
+		t.Errorf("hot ring shrunk: %d slabs, want 1", n)
+	}
+}
+
+func TestShrinkDropsEverything(t *testing.T) {
+	m := newTestManager(t)
+	m.Put(m.Get(4 << 10))
+	m.Put(m.Get(1 << 20))
+	freed := m.Shrink()
+	if want := int64(4<<10 + 1<<20); freed != want {
+		t.Errorf("Shrink freed %d bytes, want %d", freed, want)
+	}
+	st := m.Stats()
+	for _, c := range st.Classes {
+		if c.Free != 0 {
+			t.Errorf("class %d still holds %d slabs after Shrink", c.Size, c.Free)
+		}
+	}
+}
+
+func TestWatermarkDefaults(t *testing.T) {
+	m := newTestManager(t)
+	m.SetWatermarks(100<<20, 0)
+	soft, crit := m.Watermarks()
+	if soft != 100<<20 || crit != 200<<20 {
+		t.Errorf("watermarks = %d/%d, want 100MiB/200MiB", soft, crit)
+	}
+	if m.Pressure() != LevelOK {
+		t.Errorf("pressure = %v before any check, want ok", m.Pressure())
+	}
+}
+
+func TestPressureTransitions(t *testing.T) {
+	m := newTestManager(t)
+	var mu sync.Mutex
+	var seen []Level
+	m.OnPressure(func(l Level) {
+		mu.Lock()
+		seen = append(seen, l)
+		mu.Unlock()
+	})
+	// Park a slab, then arm a watermark the live heap already exceeds:
+	// the next check must go critical, shrink the rings, and notify.
+	m.Put(m.Get(64 << 10))
+	m.SetWatermarks(1, 0) // soft=1 byte, crit=2 bytes — any heap trips critical
+	m.checkPressure()
+	if m.Pressure() != LevelCritical {
+		t.Fatalf("pressure = %v, want critical", m.Pressure())
+	}
+	st := m.Stats()
+	if st.Transitions != 1 {
+		t.Errorf("transitions = %d, want 1", st.Transitions)
+	}
+	for _, c := range st.Classes {
+		if c.Free != 0 {
+			t.Errorf("class %d not shrunk on pressure transition", c.Size)
+		}
+	}
+	// Disarming drops back to ok and notifies again.
+	m.SetWatermarks(0, 0)
+	m.level.Store(int32(LevelCritical)) // SetWatermarks doesn't re-check; force state
+	m.SetWatermarks(1<<60, 0)
+	m.checkPressure()
+	if m.Pressure() != LevelOK {
+		t.Fatalf("pressure = %v after raising watermark, want ok", m.Pressure())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] != LevelCritical || seen[1] != LevelOK {
+		t.Errorf("listener saw %v, want [critical ok]", seen)
+	}
+}
+
+func TestSGLRoundTrip(t *testing.T) {
+	m := newTestManager(t)
+	rng := rand.New(rand.NewSource(42))
+	for _, size := range []int{0, 1, 100, 4 << 10, DefaultSGLSlab, DefaultSGLSlab + 1, 300 << 10} {
+		want := make([]byte, size)
+		rng.Read(want)
+
+		z := m.NewSGL(0)
+		// Write in ragged pieces to cross slab boundaries mid-copy.
+		for off := 0; off < size; {
+			n := 1 + rng.Intn(17000)
+			if off+n > size {
+				n = size - off
+			}
+			wn, err := z.Write(want[off : off+n])
+			if err != nil || wn != n {
+				t.Fatalf("size %d: Write = %d,%v", size, wn, err)
+			}
+			off += n
+		}
+		if z.Size() != int64(size) || z.Len() != int64(size) {
+			t.Fatalf("size %d: Size=%d Len=%d", size, z.Size(), z.Len())
+		}
+		got, err := io.ReadAll(io.Reader(z))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("size %d: Read round-trip mismatch (err=%v, got %d bytes)", size, err, len(got))
+		}
+		if z.Len() != 0 {
+			t.Fatalf("size %d: Len=%d after full read", size, z.Len())
+		}
+
+		// WriteTo after Reset must reproduce the same bytes.
+		z.Reset()
+		z.Write(want)
+		var sink bytes.Buffer
+		n, err := z.WriteTo(&sink)
+		if err != nil || n != int64(size) || !bytes.Equal(sink.Bytes(), want) {
+			t.Fatalf("size %d: WriteTo = %d,%v", size, n, err)
+		}
+
+		// ReadFrom pulls the same data back in from a reader.
+		z.Reset()
+		rn, err := z.ReadFrom(bytes.NewReader(want))
+		if err != nil || rn != int64(size) {
+			t.Fatalf("size %d: ReadFrom = %d,%v", size, rn, err)
+		}
+		if got := z.AppendTo(nil); !bytes.Equal(got, want) {
+			t.Fatalf("size %d: AppendTo mismatch after ReadFrom", size)
+		}
+		z.Free()
+	}
+}
+
+func TestSGLAppendToKeepsPrefix(t *testing.T) {
+	m := newTestManager(t)
+	z := m.NewSGL(0)
+	z.Write([]byte("world"))
+	got := z.AppendTo([]byte("hello "))
+	if string(got) != "hello world" {
+		t.Errorf("AppendTo = %q", got)
+	}
+	z.Free()
+}
+
+func TestSGLFreeReturnsSlabs(t *testing.T) {
+	m := newTestManager(t)
+	z := m.NewSGL(0)
+	z.Write(make([]byte, 200<<10)) // chains 4 × 64K slabs
+	z.Free()
+	st := m.Stats()
+	ci := classFor(DefaultSGLSlab)
+	if st.Classes[ci].Free != 4 {
+		t.Errorf("freed slabs in 64K ring = %d, want 4", st.Classes[ci].Free)
+	}
+	// The next SGL reuses them.
+	z2 := m.NewSGL(0)
+	z2.Write(make([]byte, 200<<10))
+	st = m.Stats()
+	if st.Classes[ci].Hits < 4 {
+		t.Errorf("ring hits = %d, want ≥ 4", st.Classes[ci].Hits)
+	}
+	z2.Free()
+}
+
+func TestStatsFormat(t *testing.T) {
+	m := newTestManager(t)
+	m.Put(m.Get(32 << 10))
+	var sb strings.Builder
+	m.Stats().Format(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "pressure=ok") || !strings.Contains(out, "32768") {
+		t.Errorf("Format output missing fields:\n%s", out)
+	}
+}
+
+// TestRaceHammer drives Get/Put/SGL/Stats/housekeep concurrently; its
+// value is under -race (make race includes this package).
+func TestRaceHammer(t *testing.T) {
+	m := newTestManager(t)
+	m.SetWatermarks(1<<40, 0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch rng.Intn(4) {
+				case 0:
+					b := m.Get(1 << uint(10+rng.Intn(11)))
+					b = append(b, byte(rng.Intn(256)))
+					m.Put(b)
+				case 1:
+					z := m.NewSGL(int64(rng.Intn(128 << 10)))
+					z.Write(make([]byte, rng.Intn(96<<10)))
+					io.Copy(io.Discard, z)
+					z.Free()
+				case 2:
+					m.Stats()
+				case 3:
+					m.housekeep()
+				}
+			}
+		}(int64(g))
+	}
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

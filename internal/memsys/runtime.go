@@ -1,0 +1,133 @@
+package memsys
+
+import (
+	"runtime/metrics"
+)
+
+// runtime/metrics sample names used by the pressure check and the
+// /metrics runtime gauges. All exist since Go 1.22.
+const (
+	metricHeapObjects = "/memory/classes/heap/objects:bytes"
+	metricHeapUnused  = "/memory/classes/heap/unused:bytes"
+	metricAllocBytes  = "/gc/heap/allocs:bytes"
+	metricGCCycles    = "/gc/cycles/total:gc-cycles"
+	metricGCPauses    = "/sched/pauses/total/gc:seconds"
+)
+
+// RuntimeSnapshot is one read of the runtime memory gauges the serving
+// path cares about: the heap watermark input, the cumulative allocation
+// counter (alloc rate = delta / interval), and the GC stop-the-world
+// pause distribution.
+type RuntimeSnapshot struct {
+	// HeapInuse approximates heap bytes in use: live+dead object bytes
+	// plus unused span tails.
+	HeapInuse uint64
+	// AllocBytes is cumulative bytes allocated since process start.
+	AllocBytes uint64
+	// GCCycles is the completed GC cycle count.
+	GCCycles uint64
+	// GCPauses is the cumulative stop-the-world pause histogram (seconds).
+	GCPauses *metrics.Float64Histogram
+}
+
+// ReadRuntime samples the runtime gauges once.
+func ReadRuntime() RuntimeSnapshot {
+	samples := []metrics.Sample{
+		{Name: metricHeapObjects},
+		{Name: metricHeapUnused},
+		{Name: metricAllocBytes},
+		{Name: metricGCCycles},
+		{Name: metricGCPauses},
+	}
+	metrics.Read(samples)
+	var s RuntimeSnapshot
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		s.HeapInuse += samples[0].Value.Uint64()
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		s.HeapInuse += samples[1].Value.Uint64()
+	}
+	if samples[2].Value.Kind() == metrics.KindUint64 {
+		s.AllocBytes = samples[2].Value.Uint64()
+	}
+	if samples[3].Value.Kind() == metrics.KindUint64 {
+		s.GCCycles = samples[3].Value.Uint64()
+	}
+	if samples[4].Value.Kind() == metrics.KindFloat64Histogram {
+		s.GCPauses = samples[4].Value.Float64Histogram()
+	}
+	return s
+}
+
+// heapInuseBytes is the pressure check's gauge read.
+func heapInuseBytes() uint64 {
+	samples := []metrics.Sample{
+		{Name: metricHeapObjects},
+		{Name: metricHeapUnused},
+	}
+	metrics.Read(samples)
+	var n uint64
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		n += samples[0].Value.Uint64()
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		n += samples[1].Value.Uint64()
+	}
+	return n
+}
+
+// PauseQuantile extracts the q-quantile (0..1) from a runtime pause
+// histogram, in seconds. Buckets are attributed at their upper bound, so
+// the estimate is conservative (never under-reports). Returns 0 for an
+// empty or nil histogram.
+func PauseQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			// Counts[i] covers (Buckets[i], Buckets[i+1]].
+			hi := h.Buckets[i+1]
+			if hi > 1e9 { // +Inf bucket: fall back to its lower bound
+				hi = h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return 0
+}
+
+// PauseDeltaQuantile computes the q-quantile over only the pauses that
+// happened between two snapshots — the window a benchmark or soak run
+// actually covers — by differencing the cumulative histograms.
+func PauseDeltaQuantile(before, after *metrics.Float64Histogram, q float64) float64 {
+	if after == nil {
+		return 0
+	}
+	if before == nil || len(before.Counts) != len(after.Counts) {
+		return PauseQuantile(after, q)
+	}
+	d := &metrics.Float64Histogram{
+		Counts:  make([]uint64, len(after.Counts)),
+		Buckets: after.Buckets,
+	}
+	for i := range after.Counts {
+		if after.Counts[i] >= before.Counts[i] {
+			d.Counts[i] = after.Counts[i] - before.Counts[i]
+		}
+	}
+	return PauseQuantile(d, q)
+}

@@ -1,0 +1,175 @@
+package memsys
+
+import (
+	"io"
+)
+
+// DefaultSGLSlab is the slab class an SGL chains when the caller gives no
+// size hint — matched to the executor's default chunk size so one shard
+// fills one slab.
+const DefaultSGLSlab = 64 << 10
+
+// SGL is a scatter-gather buffer: a growable byte stream backed by a
+// chain of equal-sized slabs from the owning Manager. Large payloads
+// stream through it without ever allocating one large contiguous block —
+// the software stand-in for the paper's banked accelerator memory.
+//
+// SGL implements io.Reader, io.Writer, io.WriterTo and io.ReaderFrom.
+// Reads consume the stream (a read offset advances over written data);
+// Reset rewinds both offsets while keeping the slabs; Free returns the
+// slabs to the manager. An SGL is not safe for concurrent use.
+type SGL struct {
+	m     *Manager
+	slabs [][]byte
+	slab  int   // slab size; every chained slab has exactly this capacity
+	woff  int64 // total bytes written
+	roff  int64 // total bytes read
+	// arr inlines the first few chain links so a typical one-to-four-slab
+	// payload never allocates a slab-pointer slice at all.
+	arr [4][]byte
+}
+
+// NewSGL builds an SGL whose slab class is sized from hint (the expected
+// payload size, 0 for DefaultSGLSlab). Payloads larger than the hint just
+// chain more slabs.
+func (m *Manager) NewSGL(hint int64) *SGL {
+	n := int(hint)
+	if n <= 0 {
+		n = DefaultSGLSlab
+	}
+	if n > MaxSlabSize {
+		n = MaxSlabSize
+	}
+	ci := classFor(n)
+	if ci < 0 {
+		ci = NumClasses - 1
+	}
+	z := &SGL{m: m, slab: classSize(ci)}
+	z.slabs = z.arr[:0]
+	return z
+}
+
+// Size is the total number of bytes written.
+func (z *SGL) Size() int64 { return z.woff }
+
+// Len is the number of unread bytes.
+func (z *SGL) Len() int64 { return z.woff - z.roff }
+
+// grow appends a fresh slab sized to the chain's class. The manager hands
+// back whatever capacity the class ring holds; the chain invariant is
+// that every slab's usable window is exactly z.slab bytes.
+func (z *SGL) grow() {
+	b := z.m.Get(z.slab)
+	z.slabs = append(z.slabs, b[:0:z.slab])
+}
+
+// Write appends p at the write offset, chaining slabs as needed (after a
+// Reset the retained chain refills in place). It never fails.
+func (z *SGL) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		i := int(z.woff / int64(z.slab))
+		if i == len(z.slabs) {
+			z.grow()
+		}
+		off := int(z.woff % int64(z.slab))
+		c := copy(z.slabs[i][off:z.slab], p)
+		z.slabs[i] = z.slabs[i][:off+c]
+		z.woff += int64(c)
+		p = p[c:]
+	}
+	return n, nil
+}
+
+// Read consumes written bytes into p, returning io.EOF once the read
+// offset catches the write offset.
+func (z *SGL) Read(p []byte) (int, error) {
+	if z.roff >= z.woff {
+		return 0, io.EOF
+	}
+	var n int
+	for len(p) > 0 && z.roff < z.woff {
+		i := int(z.roff / int64(z.slab))
+		off := int(z.roff % int64(z.slab))
+		c := copy(p, z.slabs[i][off:])
+		n += c
+		z.roff += int64(c)
+		p = p[c:]
+	}
+	return n, nil
+}
+
+// WriteTo streams every unread byte to w, slab by slab.
+func (z *SGL) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for z.roff < z.woff {
+		i := int(z.roff / int64(z.slab))
+		off := int(z.roff % int64(z.slab))
+		n, err := w.Write(z.slabs[i][off:])
+		total += int64(n)
+		z.roff += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadFrom fills the SGL from r until EOF, reading directly into slab
+// tails — no intermediate copy buffer.
+func (z *SGL) ReadFrom(r io.Reader) (int64, error) {
+	var total int64
+	for {
+		i := int(z.woff / int64(z.slab))
+		if i == len(z.slabs) {
+			z.grow()
+		}
+		off := int(z.woff % int64(z.slab))
+		n, err := r.Read(z.slabs[i][off:z.slab:z.slab])
+		z.slabs[i] = z.slabs[i][: off+n : z.slab]
+		z.woff += int64(n)
+		total += int64(n)
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// AppendTo appends the full written contents (regardless of the read
+// offset) to dst and returns the extended slice — one exact-size
+// allocation when dst lacks capacity, unlike io.ReadAll's doubling walk.
+func (z *SGL) AppendTo(dst []byte) []byte {
+	need := len(dst) + int(z.woff)
+	if cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, s := range z.slabs {
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// Reset rewinds both offsets, keeping the slabs for reuse.
+func (z *SGL) Reset() {
+	for i := range z.slabs {
+		z.slabs[i] = z.slabs[i][:0]
+	}
+	z.woff, z.roff = 0, 0
+}
+
+// Free returns every slab to the manager. The SGL is reusable afterwards
+// (it will chain fresh slabs on the next write). Chain links are nilled so
+// a freed SGL cannot pin slab arrays the manager has since dropped.
+func (z *SGL) Free() {
+	for i := range z.slabs {
+		z.m.Put(z.slabs[i])
+		z.slabs[i] = nil
+	}
+	z.slabs = z.arr[:0]
+	z.woff, z.roff = 0, 0
+}

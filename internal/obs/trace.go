@@ -105,7 +105,9 @@ func randomSpanID() (id [8]byte) {
 // request correlation when no trace is active.
 func NewRequestID() string {
 	id := randomSpanID()
-	return hex.EncodeToString(id[:])
+	var buf [16]byte
+	hex.Encode(buf[:], id[:])
+	return string(buf[:])
 }
 
 // Attr is one key/value annotation on a span.

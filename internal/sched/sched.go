@@ -28,6 +28,7 @@ import (
 	"udp/internal/effclip"
 	"udp/internal/fault"
 	"udp/internal/machine"
+	"udp/internal/memsys"
 	"udp/internal/obs"
 )
 
@@ -317,26 +318,11 @@ type workItem struct {
 	prev    time.Duration // last backoff (decorrelated jitter state)
 }
 
-// outPool recycles per-shard output buffers on the sink path (the Sink
-// contract forbids retaining out past the call, so a delivered buffer's
-// array can back a later shard's output). Entries are *[]byte to keep
-// Put/Get free of slice-header boxing allocations.
-var outPool = sync.Pool{}
-
-func getOutBuf() []byte {
-	if b, ok := outPool.Get().(*[]byte); ok {
-		return (*b)[:0]
-	}
-	return nil
-}
-
-func putOutBuf(buf []byte) {
-	if cap(buf) == 0 {
-		return
-	}
-	buf = buf[:0]
-	outPool.Put(&buf)
-}
+// mem is the shared slab manager backing the sink output windows here and
+// the chunker buffers in source.go. The Sink contract forbids retaining
+// out past the call, so a delivered buffer's slab can back a later
+// shard's output; Recycler does the same for input shards.
+var mem = memsys.Default()
 
 // Run streams shards from src through a pool of reusable lanes executing
 // img, and aggregates outputs, matches and counters in shard order. It
@@ -373,342 +359,388 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	res := &Result{}
-	res.RunResult.Lanes = lanes
-	res.RunResult.BanksPerLane = img.Banks()
-
-	queue := make(chan workItem, depth)
-	var (
-		mu         sync.Mutex // guards everything below, and serializes Hook and Sink
-		outputs    [][]byte
-		matches    [][]machine.Match
-		shardBytes []int
-		total      machine.Stats
-		shardErrs  []ShardError
-		runErr     error // first fatal error (FailFast shard error or source error)
-		highWater  int
-		inflight   int  // shards enqueued but not finally resolved (retries keep it held)
-		prodDone   bool // producer has stopped enqueuing new shards
-	)
-	laneCycles := make([]uint64, lanes)
-	var busy atomic.Int32
-
-	// The cooperative stop flag interrupts lanes mid-shard on cancellation,
-	// so a fail-fast or cancelled run drains in dispatches, not in up to
-	// 2^33 cycles of leftover work per in-flight lane.
-	var stop atomic.Bool
-	go func() {
-		<-ctx.Done()
-		stop.Store(true)
-	}()
-
-	// The queue closes only when the producer is done AND no shard is still
-	// in flight: a retry re-enqueues through this same queue (possibly from
-	// a backoff timer firing after the producer exits), and holding inflight
-	// above zero until a shard's final resolution is what makes that send
-	// race-free against the close.
-	var closeOnce sync.Once
-	maybeClose := func() { // mu held
-		if prodDone && inflight == 0 {
-			closeOnce.Do(func() { close(queue) })
-		}
+	// All shared mutable state lives in one runState allocation: spreading
+	// it over local variables captured by the orchestration closures made
+	// each variable escape to the heap on its own — ~26 one-object
+	// allocations per request on the serving path.
+	s := &runState{
+		ctx: ctx, cancel: cancel, img: img, src: src, cfg: cfg,
+		res:   &Result{},
+		queue: make(chan workItem, depth),
+		lanes: lanes, laneCycles: make([]uint64, lanes),
+		// The request span carried by ctx (if any) parents one "shard"
+		// span per attempt, each wrapping a "lane.run" span — the
+		// request → shards → lane-runs trace tree. A nil span makes every
+		// span call in the workers a no-op.
+		reqSpan: obs.SpanFromContext(ctx),
 	}
+	s.res.RunResult.Lanes = lanes
+	s.res.RunResult.BanksPerLane = img.Banks()
 
 	// Shard buffers flow back to a recycling source once finally resolved
 	// (the lane pool only reads a shard between SetInput and the end of its
 	// Run, and outputs are copied, so resolution is the last touch).
-	recycle, _ := src.(Recycler)
+	s.recycle, _ = src.(Recycler)
 
 	// Reorder window for Config.Sink: finished outputs park here (nil for a
 	// shard skipped under CollectErrors) until every predecessor has been
 	// delivered, so the sink sees outputs in shard order.
-	var (
-		pending  map[int][]byte
-		sinkNext int
-	)
 	if cfg.Sink != nil {
-		pending = make(map[int][]byte)
+		s.pending = make(map[int][]byte)
 	}
 
-	setSlot := func(idx int, out []byte, m []machine.Match, bytes int) {
-		for len(outputs) <= idx {
-			outputs = append(outputs, nil)
-			matches = append(matches, nil)
-			shardBytes = append(shardBytes, 0)
-		}
-		outputs[idx] = out
-		matches[idx] = m
-		shardBytes[idx] = bytes
-	}
+	// The cooperative stop flag interrupts lanes mid-shard on cancellation,
+	// so a fail-fast or cancelled run drains in dispatches, not in up to
+	// 2^33 cycles of leftover work per in-flight lane.
+	go s.watchStop()
 
-	fail := func(err error) {
-		if runErr == nil {
-			runErr = err
-		}
-		cancel()
-	}
+	s.wg.Add(1)
+	go s.produce()
+	s.wg.Wait()
 
-	// drainSink runs with mu held; it delivers every ready output in shard
-	// order and parks the rest in the reorder window.
-	drainSink := func() {
-		for {
-			out, ok := pending[sinkNext]
-			if !ok {
-				return
-			}
-			delete(pending, sinkNext)
-			sinkNext++
-			if out == nil { // failed shard under CollectErrors
-				continue
-			}
-			if err := cfg.Sink(sinkNext-1, out); err != nil {
-				fail(fmt.Errorf("sched: sink: %w", err))
-				return
-			}
-			putOutBuf(out)
-		}
-	}
-
-	// Producer: pull shards from the source into the bounded queue. Each
-	// shard raises inflight before the send so the queue cannot close
-	// underneath it; whoever finally resolves the shard lowers it.
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		defer func() {
-			mu.Lock()
-			prodDone = true
-			maybeClose()
-			mu.Unlock()
-		}()
-		for idx := 0; ; idx++ {
-			shard, err := src.Next()
-			if err == io.EOF {
-				return
-			}
-			if err != nil {
-				mu.Lock()
-				fail(fmt.Errorf("sched: source: %w", err))
-				mu.Unlock()
-				return
-			}
-			mu.Lock()
-			inflight++
-			res.Shards = idx + 1
-			mu.Unlock()
-			select {
-			case queue <- workItem{idx: idx, data: shard}:
-				mu.Lock()
-				if d := len(queue); d > highWater {
-					highWater = d
-				}
-				mu.Unlock()
-			case <-ctx.Done():
-				mu.Lock()
-				inflight--
-				mu.Unlock()
-				return
-			}
-		}
-	}()
-
-	// The request span carried by ctx (if any) parents one "shard" span per
-	// attempt, each wrapping a "lane.run" span — the request → shards →
-	// lane-runs trace tree. A nil span makes every call below a no-op.
-	reqSpan := obs.SpanFromContext(ctx)
-
-	// Lane pool: each worker owns one lane and resets it between shards. The
-	// lane is created lazily so a panic quarantine (lane = nil) transparently
-	// replaces it on the next shard.
-	for w := 0; w < lanes; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var lane *machine.Lane
-			// One reusable histogram per worker: attached to the lane for
-			// sampled shards, merged into the shared aggregate on exit.
-			var lp *obs.LaneProfile
-			if cfg.Profile != nil {
-				lp = obs.NewLaneProfile(len(img.Words))
-				defer func() { cfg.Profile.Merge(lp) }()
-			}
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case it, ok := <-queue:
-					if !ok {
-						return
-					}
-					// A cancelled run drops still-queued shards so the
-					// cancel is observed within one shard boundary.
-					if ctx.Err() != nil {
-						return
-					}
-					if lane == nil {
-						var err error
-						lane, err = machine.NewLane(img, 0)
-						if err != nil {
-							mu.Lock()
-							fail(err)
-							mu.Unlock()
-							return
-						}
-						lane.SetEngine(cfg.Engine)
-						lane.BindStop(&stop)
-					}
-					if lp != nil {
-						if cfg.ProfileSample <= 1 || it.idx%cfg.ProfileSample == 0 {
-							lane.SetProfiler(lp)
-							lp.Shard()
-						} else {
-							lane.SetProfiler(nil)
-						}
-					}
-					qd := len(queue)
-					nb := int(busy.Add(1))
-					t0 := time.Now()
-					sp := reqSpan.StartChild("shard")
-					sp.SetAttr("shard", it.idx)
-					sp.SetAttr("attempt", it.attempt)
-					sp.SetAttr("lane", w)
-					sp.SetAttr("bytes", len(it.data))
-					laneSpan := sp.StartChild("lane.run")
-					out, m, st, err := runShard(lane, it, img, cfg)
-					ranOn := lane.EngineInUse()
-					laneSpan.End()
-					busy.Add(-1)
-					if errors.Is(err, machine.ErrInterrupted) {
-						// Interruption only fires on cancellation: the shard
-						// is abandoned and Run reports the context error.
-						sp.SetAttr("interrupted", true)
-						sp.End()
-						return
-					}
-					tr := fault.AsTrap(err)
-					sp.SetAttr("cycles", st.Cycles)
-					if tr != nil {
-						sp.SetAttr("trap", tr.Kind.String())
-					}
-					sp.End()
-					quarantine := tr != nil && tr.Kind == fault.TrapPanic
-					if quarantine {
-						lane = nil // replaced lazily on the next shard
-					}
-					ev := Event{
-						Shard: it.idx, Lane: w, Bytes: len(it.data),
-						Cycles: st.Cycles, Wall: time.Since(t0),
-						QueueDepth: qd, Busy: nb,
-						Attempt: it.attempt, Engine: ranOn,
-						Trap: tr, Err: err,
-					}
-					mu.Lock()
-					if quarantine {
-						res.LanesQuarantined++
-					}
-					if err != nil {
-						retry := tr != nil && cfg.Retry.retryable(tr.Kind) &&
-							it.attempt < cfg.Retry.Max && runErr == nil && ctx.Err() == nil
-						ev.Retried = retry
-						if tr != nil {
-							rec := FaultRecord{
-								Shard: it.idx, Lane: w, Attempt: it.attempt,
-								Trap: tr, Retried: retry,
-							}
-							if retry {
-								rec.Backoff = cfg.Retry.next(it.prev)
-							}
-							res.Faults = append(res.Faults, rec)
-							if retry {
-								res.Retries++
-								next := workItem{
-									idx: it.idx, data: it.data,
-									attempt: it.attempt + 1, prev: rec.Backoff,
-								}
-								// The shard's inflight hold carries over to
-								// the re-enqueue, so the queue stays open
-								// until the timer delivers or the run dies.
-								time.AfterFunc(rec.Backoff, func() {
-									select {
-									case queue <- next:
-									case <-ctx.Done():
-										if recycle != nil {
-											recycle.Recycle(next.data)
-										}
-										mu.Lock()
-										inflight--
-										maybeClose()
-										mu.Unlock()
-									}
-								})
-							}
-						}
-						if !ev.Retried {
-							if cfg.Policy == CollectErrors {
-								shardErrs = append(shardErrs, ShardError{Shard: it.idx, Err: err})
-								setSlot(it.idx, nil, nil, len(it.data))
-								if cfg.Sink != nil {
-									pending[it.idx] = nil
-									drainSink()
-								}
-							} else {
-								fail(ShardError{Shard: it.idx, Err: err})
-							}
-							if recycle != nil {
-								recycle.Recycle(it.data)
-							}
-							inflight--
-							maybeClose()
-						}
-					} else {
-						if cfg.Sink != nil {
-							setSlot(it.idx, nil, m, len(it.data))
-							pending[it.idx] = out
-							drainSink()
-						} else {
-							setSlot(it.idx, out, m, len(it.data))
-						}
-						total.Add(st)
-						laneCycles[w] += st.Cycles
-						if recycle != nil {
-							recycle.Recycle(it.data)
-						}
-						inflight--
-						maybeClose()
-					}
-					if cfg.Hook != nil {
-						cfg.Hook(ev)
-					}
-					mu.Unlock()
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	if runErr != nil {
-		return nil, runErr
+	if s.runErr != nil {
+		return nil, s.runErr
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	res.Outputs = outputs
-	res.Matches = matches
-	res.Total = total
-	for _, b := range shardBytes {
+	res := s.res
+	res.Outputs = s.outputs
+	res.Matches = s.matches
+	res.Total = s.total
+	for _, b := range s.shardBytes {
 		res.InputBytes += b
 	}
-	for _, c := range laneCycles {
+	for _, c := range s.laneCycles {
 		if c > res.Cycles {
 			res.Cycles = c
 		}
 	}
-	res.Errors = shardErrs
-	res.QueueHighWater = highWater
+	res.Errors = s.shardErrs
+	res.QueueHighWater = s.highWater
 	res.Wall = time.Since(start)
 	return res, nil
+}
+
+// runState is one Run's shared orchestration state. The producer, the lane
+// workers and the retry timers all hold the same *runState, so the whole
+// run costs a single heap allocation for its bookkeeping.
+type runState struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	img     *effclip.Image
+	src     Source
+	cfg     Config
+	res     *Result
+	queue   chan workItem
+	recycle Recycler
+	reqSpan *obs.Span
+	lanes   int
+
+	mu         sync.Mutex // guards everything below, and serializes Hook and Sink
+	outputs    [][]byte
+	matches    [][]machine.Match
+	shardBytes []int
+	total      machine.Stats
+	shardErrs  []ShardError
+	runErr     error // first fatal error (FailFast shard error or source error)
+	highWater  int
+	inflight   int  // shards enqueued but not finally resolved (retries keep it held)
+	prodDone   bool // producer has stopped enqueuing new shards
+	pending    map[int][]byte
+	sinkNext   int
+	spawned    int
+	laneCycles []uint64
+
+	busy      atomic.Int32
+	stop      atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+func (s *runState) watchStop() {
+	<-s.ctx.Done()
+	s.stop.Store(true)
+}
+
+// maybeClose runs with mu held. The queue closes only when the producer is
+// done AND no shard is still in flight: a retry re-enqueues through this
+// same queue (possibly from a backoff timer firing after the producer
+// exits), and holding inflight above zero until a shard's final resolution
+// is what makes that send race-free against the close.
+func (s *runState) maybeClose() {
+	if s.prodDone && s.inflight == 0 {
+		s.closeOnce.Do(func() { close(s.queue) })
+	}
+}
+
+func (s *runState) setSlot(idx int, out []byte, m []machine.Match, bytes int) {
+	for len(s.outputs) <= idx {
+		s.outputs = append(s.outputs, nil)
+		s.matches = append(s.matches, nil)
+		s.shardBytes = append(s.shardBytes, 0)
+	}
+	s.outputs[idx] = out
+	s.matches[idx] = m
+	s.shardBytes[idx] = bytes
+}
+
+func (s *runState) fail(err error) {
+	if s.runErr == nil {
+		s.runErr = err
+	}
+	s.cancel()
+}
+
+// drainSink runs with mu held; it delivers every ready output in shard
+// order and parks the rest in the reorder window.
+func (s *runState) drainSink() {
+	for {
+		out, ok := s.pending[s.sinkNext]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.sinkNext)
+		s.sinkNext++
+		if out == nil { // failed shard under CollectErrors
+			continue
+		}
+		if err := s.cfg.Sink(s.sinkNext-1, out); err != nil {
+			s.fail(fmt.Errorf("sched: sink: %w", err))
+			return
+		}
+		mem.Put(out)
+	}
+}
+
+// spawnWorkers runs with mu held. Lane workers spawn on demand: worker w
+// starts only once the producer has seen at least w+1 shards (capped at
+// lanes), so a one-shard request pays for one goroutine instead of
+// MaxLanes — previously the serving path's single largest per-request
+// allocation.
+func (s *runState) spawnWorkers(want int) {
+	for s.spawned < s.lanes && s.spawned < want {
+		s.wg.Add(1)
+		go s.worker(s.spawned)
+		s.spawned++
+	}
+}
+
+// produce pulls shards from the source into the bounded queue. Each shard
+// raises inflight before the send so the queue cannot close underneath it;
+// whoever finally resolves the shard lowers it.
+func (s *runState) produce() {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		s.prodDone = true
+		s.maybeClose()
+		s.mu.Unlock()
+	}()
+	for idx := 0; ; idx++ {
+		shard, err := s.src.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			s.mu.Lock()
+			s.fail(fmt.Errorf("sched: source: %w", err))
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Lock()
+		s.inflight++
+		s.res.Shards = idx + 1
+		s.spawnWorkers(idx + 1)
+		s.mu.Unlock()
+		select {
+		case s.queue <- workItem{idx: idx, data: shard}:
+			s.mu.Lock()
+			if d := len(s.queue); d > s.highWater {
+				s.highWater = d
+			}
+			s.mu.Unlock()
+		case <-s.ctx.Done():
+			s.mu.Lock()
+			s.inflight--
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+// worker is one lane of the pool: it owns a single lane and resets it
+// between shards. The lane is created lazily so a panic quarantine
+// (lane = nil) transparently replaces it on the next shard.
+func (s *runState) worker(w int) {
+	defer s.wg.Done()
+	cfg := &s.cfg
+	var lane *machine.Lane
+	// One reusable histogram per worker: attached to the lane for
+	// sampled shards, merged into the shared aggregate on exit.
+	var lp *obs.LaneProfile
+	if cfg.Profile != nil {
+		lp = obs.NewLaneProfile(len(s.img.Words))
+		defer func() { cfg.Profile.Merge(lp) }()
+	}
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case it, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			// A cancelled run drops still-queued shards so the
+			// cancel is observed within one shard boundary.
+			if s.ctx.Err() != nil {
+				return
+			}
+			if lane == nil {
+				var err error
+				lane, err = machine.NewLane(s.img, 0)
+				if err != nil {
+					s.mu.Lock()
+					s.fail(err)
+					s.mu.Unlock()
+					return
+				}
+				lane.SetEngine(cfg.Engine)
+				lane.BindStop(&s.stop)
+			}
+			if lp != nil {
+				if cfg.ProfileSample <= 1 || it.idx%cfg.ProfileSample == 0 {
+					lane.SetProfiler(lp)
+					lp.Shard()
+				} else {
+					lane.SetProfiler(nil)
+				}
+			}
+			qd := len(s.queue)
+			nb := int(s.busy.Add(1))
+			t0 := time.Now()
+			sp := s.reqSpan.StartChild("shard")
+			// The nil-span guard lives here, not in SetAttr: boxing the
+			// int attrs into `any` allocates at the call site before the
+			// method's own nil check could skip them.
+			if sp != nil {
+				sp.SetAttr("shard", it.idx)
+				sp.SetAttr("attempt", it.attempt)
+				sp.SetAttr("lane", w)
+				sp.SetAttr("bytes", len(it.data))
+			}
+			laneSpan := sp.StartChild("lane.run")
+			out, m, st, err := runShard(lane, it, s.img, s.cfg)
+			ranOn := lane.EngineInUse()
+			laneSpan.End()
+			s.busy.Add(-1)
+			if errors.Is(err, machine.ErrInterrupted) {
+				// Interruption only fires on cancellation: the shard
+				// is abandoned and Run reports the context error.
+				sp.SetAttr("interrupted", true)
+				sp.End()
+				return
+			}
+			tr := fault.AsTrap(err)
+			if sp != nil { // same boxing-at-call-site rule as above
+				sp.SetAttr("cycles", st.Cycles)
+				if tr != nil {
+					sp.SetAttr("trap", tr.Kind.String())
+				}
+			}
+			sp.End()
+			quarantine := tr != nil && tr.Kind == fault.TrapPanic
+			if quarantine {
+				lane = nil // replaced lazily on the next shard
+			}
+			ev := Event{
+				Shard: it.idx, Lane: w, Bytes: len(it.data),
+				Cycles: st.Cycles, Wall: time.Since(t0),
+				QueueDepth: qd, Busy: nb,
+				Attempt: it.attempt, Engine: ranOn,
+				Trap: tr, Err: err,
+			}
+			s.mu.Lock()
+			if quarantine {
+				s.res.LanesQuarantined++
+			}
+			if err != nil {
+				retry := tr != nil && cfg.Retry.retryable(tr.Kind) &&
+					it.attempt < cfg.Retry.Max && s.runErr == nil && s.ctx.Err() == nil
+				ev.Retried = retry
+				if tr != nil {
+					rec := FaultRecord{
+						Shard: it.idx, Lane: w, Attempt: it.attempt,
+						Trap: tr, Retried: retry,
+					}
+					if retry {
+						rec.Backoff = cfg.Retry.next(it.prev)
+					}
+					s.res.Faults = append(s.res.Faults, rec)
+					if retry {
+						s.res.Retries++
+						next := workItem{
+							idx: it.idx, data: it.data,
+							attempt: it.attempt + 1, prev: rec.Backoff,
+						}
+						// The shard's inflight hold carries over to
+						// the re-enqueue, so the queue stays open
+						// until the timer delivers or the run dies.
+						time.AfterFunc(rec.Backoff, func() {
+							select {
+							case s.queue <- next:
+							case <-s.ctx.Done():
+								if s.recycle != nil {
+									s.recycle.Recycle(next.data)
+								}
+								s.mu.Lock()
+								s.inflight--
+								s.maybeClose()
+								s.mu.Unlock()
+							}
+						})
+					}
+				}
+				if !ev.Retried {
+					if cfg.Policy == CollectErrors {
+						s.shardErrs = append(s.shardErrs, ShardError{Shard: it.idx, Err: err})
+						s.setSlot(it.idx, nil, nil, len(it.data))
+						if cfg.Sink != nil {
+							s.pending[it.idx] = nil
+							s.drainSink()
+						}
+					} else {
+						s.fail(ShardError{Shard: it.idx, Err: err})
+					}
+					if s.recycle != nil {
+						s.recycle.Recycle(it.data)
+					}
+					s.inflight--
+					s.maybeClose()
+				}
+			} else {
+				if cfg.Sink != nil {
+					s.setSlot(it.idx, nil, m, len(it.data))
+					s.pending[it.idx] = out
+					s.drainSink()
+				} else {
+					s.setSlot(it.idx, out, m, len(it.data))
+				}
+				s.total.Add(st)
+				s.laneCycles[w] += st.Cycles
+				if s.recycle != nil {
+					s.recycle.Recycle(it.data)
+				}
+				s.inflight--
+				s.maybeClose()
+			}
+			if cfg.Hook != nil {
+				cfg.Hook(ev)
+			}
+			s.mu.Unlock()
+		}
+	}
 }
 
 // runShard executes one shard attempt on a reused lane: reset, attach
@@ -744,8 +776,8 @@ func runShard(lane *machine.Lane, it workItem, img *effclip.Image, cfg Config) (
 	}
 	if cfg.Sink != nil {
 		// Sink deliveries may not retain the slice, so the copy can come
-		// from (and return to) the output buffer pool.
-		out = append(getOutBuf(), lane.Output()...)
+		// from (and return to) the slab manager's output rings.
+		out = append(mem.Get(len(lane.Output())), lane.Output()...)
 	} else {
 		out = append([]byte(nil), lane.Output()...)
 	}

@@ -9,7 +9,6 @@ package sched
 import (
 	"bytes"
 	"io"
-	"sync"
 )
 
 // DefaultChunkBytes is the shard size Records and Chunks aim for when the
@@ -52,25 +51,15 @@ func (s *sliceSource) Next() ([]byte, error) {
 	return sh, nil
 }
 
-// bufPool recycles shard buffers for the streaming sources; entries are
-// *[]byte to keep Put/Get free of slice-header boxing allocations.
-type bufPool struct{ p sync.Pool }
+// bufPool hands the streaming sources' shard buffers to the shared slab
+// manager, so chunker buffers and sink output windows recycle through the
+// same per-class rings.
+type bufPool struct{}
 
 // get returns a zero-length buffer with at least min capacity.
-func (bp *bufPool) get(min int) []byte {
-	if b, ok := bp.p.Get().(*[]byte); ok && cap(*b) >= min {
-		return (*b)[:0]
-	}
-	return make([]byte, 0, min)
-}
+func (bufPool) get(min int) []byte { return mem.Get(min) }
 
-func (bp *bufPool) put(buf []byte) {
-	if cap(buf) == 0 {
-		return
-	}
-	buf = buf[:0]
-	bp.p.Put(&buf)
-}
+func (bufPool) put(buf []byte) { mem.Put(buf) }
 
 // Chunks streams r as fixed-size shards of chunkBytes (DefaultChunkBytes
 // when 0). The final shard may be shorter. The returned source implements

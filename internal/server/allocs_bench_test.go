@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"udp/internal/client"
+	"udp/internal/etl"
+)
+
+// BenchmarkServerRequestAllocs pins the per-request allocation cost of the
+// transform path: one POST /v1/transform/csvpipe per iteration over a 64 KiB
+// lineitem body through an in-process handler. Run with -benchmem; the
+// "allocs/req" metric is the whole-process Mallocs delta per request (server
+// handler + executor + client), the number the docs/PERF.md baseline table
+// and the BENCH_server.json allocs_per_request field track.
+func BenchmarkServerRequestAllocs(b *testing.B) {
+	data := etl.LineitemCSV(912, 20170101)
+	if idx := bytes.LastIndexByte(data, '\n'); idx > 0 {
+		data = data[:idx+1]
+	}
+
+	srv := New(Options{MaxInflight: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cli := client.New(ts.URL, ts.Client())
+
+	// Warm caches (program compile, lane pools, slab rings) outside the
+	// measured window.
+	if _, err := cli.TransformBytes(context.Background(), "csvpipe", data); err != nil {
+		b.Fatal(err)
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := cli.TransformBytes(context.Background(), "csvpipe", data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty transform output")
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(b.N), "allocs/req")
+	b.ReportMetric(float64(m1.TotalAlloc-m0.TotalAlloc)/float64(b.N), "B/req")
+}
+
+// BenchmarkServerRequestAllocsGzip is the compressed-upload twin: the body
+// travels gzip-encoded, exercising the server's pooled gzip.Reader path.
+func BenchmarkServerRequestAllocsGzip(b *testing.B) {
+	data := etl.LineitemCSV(912, 20170101)
+	if idx := bytes.LastIndexByte(data, '\n'); idx > 0 {
+		data = data[:idx+1]
+	}
+
+	srv := New(Options{MaxInflight: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cli := client.New(ts.URL, ts.Client())
+
+	if _, err := cli.TransformGzipBytes(context.Background(), "csvpipe", data); err != nil {
+		b.Fatal(err)
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.TransformGzipBytes(context.Background(), "csvpipe", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(b.N), "allocs/req")
+	b.ReportMetric(float64(m1.TotalAlloc-m0.TotalAlloc)/float64(b.N), "B/req")
+}

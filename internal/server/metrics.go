@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"udp"
+	"udp/internal/memsys"
 )
 
 // latencyBuckets are the request-latency histogram bounds in seconds.
@@ -60,6 +61,7 @@ type Metrics struct {
 	lanesBusy  map[string]int    // last observed per program
 	breakerOpn map[string]int    // circuit-breaker state per program (1 = open)
 	inflight   int
+	memSheds   uint64 // requests rejected by the memory-pressure gate
 }
 
 // NewMetrics returns an empty metrics sink.
@@ -152,6 +154,20 @@ func (m *Metrics) Inflight() int {
 	return m.inflight
 }
 
+// MemShed records one request rejected by the memory-pressure gate.
+func (m *Metrics) MemShed() {
+	m.mu.Lock()
+	m.memSheds++
+	m.mu.Unlock()
+}
+
+// MemSheds reads the pressure-shed counter (test hook).
+func (m *Metrics) MemSheds() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.memSheds
+}
+
 func sortedKeys[V any](mm map[string]V) []string {
 	keys := make([]string, 0, len(mm))
 	for k := range mm {
@@ -162,8 +178,9 @@ func sortedKeys[V any](mm map[string]V) []string {
 }
 
 // Render writes the Prometheus text exposition. Lines are sorted so the
-// output is deterministic.
-func (m *Metrics) Render(w io.Writer, reg *Registry) {
+// output is deterministic. mem, when non-nil, contributes the slab-manager
+// per-class gauges and the pressure state.
+func (m *Metrics) Render(w io.Writer, reg *Registry, mem *memsys.Manager) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -256,6 +273,58 @@ func (m *Metrics) Render(w io.Writer, reg *Registry) {
 	fmt.Fprintf(w, "# HELP go_gc_pause_seconds_total Cumulative stop-the-world GC pause.\n")
 	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds_total counter\n")
 	fmt.Fprintf(w, "go_gc_pause_seconds_total %.6f\n", float64(ms.PauseTotalNs)/1e9)
+
+	// runtime/metrics gauges: the heap watermark input, the allocation-rate
+	// counter, and GC pause percentiles over the process lifetime — the
+	// numbers that attribute tail latency to the collector.
+	rt := memsys.ReadRuntime()
+	fmt.Fprintf(w, "# HELP go_heap_inuse_bytes Heap bytes in use (objects + unused span tails); the pressure-watermark input.\n")
+	fmt.Fprintf(w, "# TYPE go_heap_inuse_bytes gauge\n")
+	fmt.Fprintf(w, "go_heap_inuse_bytes %d\n", rt.HeapInuse)
+	fmt.Fprintf(w, "# HELP go_alloc_bytes_total Cumulative heap bytes allocated (alloc rate = delta over scrape interval).\n")
+	fmt.Fprintf(w, "# TYPE go_alloc_bytes_total counter\n")
+	fmt.Fprintf(w, "go_alloc_bytes_total %d\n", rt.AllocBytes)
+	fmt.Fprintf(w, "# HELP go_gc_pause_seconds Stop-the-world GC pause percentiles since process start.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds gauge\n")
+	fmt.Fprintf(w, "go_gc_pause_seconds{quantile=\"0.5\"} %.9f\n", memsys.PauseQuantile(rt.GCPauses, 0.5))
+	fmt.Fprintf(w, "go_gc_pause_seconds{quantile=\"0.99\"} %.9f\n", memsys.PauseQuantile(rt.GCPauses, 0.99))
+
+	if mem != nil {
+		st := mem.Stats()
+		fmt.Fprintf(w, "# HELP udpserved_mem_pressure_level Memory-pressure level from the heap watermarks (0=ok 1=soft 2=critical).\n")
+		fmt.Fprintf(w, "# TYPE udpserved_mem_pressure_level gauge\n")
+		fmt.Fprintf(w, "udpserved_mem_pressure_level %d\n", int(st.Pressure))
+		fmt.Fprintf(w, "# HELP udpserved_mem_pressure_transitions_total Upward pressure-level crossings.\n")
+		fmt.Fprintf(w, "# TYPE udpserved_mem_pressure_transitions_total counter\n")
+		fmt.Fprintf(w, "udpserved_mem_pressure_transitions_total %d\n", st.Transitions)
+		fmt.Fprintf(w, "# HELP udpserved_mem_pressure_sheds_total Requests rejected (429) by the memory-pressure admission gate.\n")
+		fmt.Fprintf(w, "# TYPE udpserved_mem_pressure_sheds_total counter\n")
+		fmt.Fprintf(w, "udpserved_mem_pressure_sheds_total %d\n", m.memSheds)
+
+		slabCounter := func(name, help string, v func(memsys.ClassStats) uint64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, c := range st.Classes {
+				if c.Gets == 0 && c.Puts == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%s{class=\"%d\"} %d\n", name, c.Size, v(c))
+			}
+		}
+		slabCounter("memsys_slab_gets_total", "Slab allocations served, by size class.",
+			func(c memsys.ClassStats) uint64 { return c.Gets })
+		slabCounter("memsys_slab_hits_total", "Slab allocations served from the free ring (no heap work), by size class.",
+			func(c memsys.ClassStats) uint64 { return c.Hits })
+		slabCounter("memsys_slab_shrinks_total", "Slabs released back to the heap by housekeeping or pressure shrink, by size class.",
+			func(c memsys.ClassStats) uint64 { return c.Shrinks })
+		fmt.Fprintf(w, "# HELP memsys_slab_free_bytes Bytes parked in the free rings, by size class.\n")
+		fmt.Fprintf(w, "# TYPE memsys_slab_free_bytes gauge\n")
+		for _, c := range st.Classes {
+			if c.Gets == 0 && c.Puts == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "memsys_slab_free_bytes{class=\"%d\"} %d\n", c.Size, c.FreeBytes)
+		}
+	}
 
 	if reg != nil {
 		builtins, posted, evictions := reg.Counts()

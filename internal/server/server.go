@@ -41,8 +41,35 @@ import (
 	"time"
 
 	"udp"
+	"udp/internal/memsys"
 	"udp/internal/obs"
 )
+
+// DefaultFrameBytes is the response-framing window: per-shard outputs
+// coalesce in a scatter-gather buffer and go to the connection in frames
+// of about this size, so a many-small-shards transform does not translate
+// into many small chunked-encoding writes.
+const DefaultFrameBytes = 32 << 10
+
+// gzReaders pools gzip inflate state across requests; a gzip.Reader's
+// window and Huffman tables are ~40 KiB that Reset reuses wholesale.
+var gzReaders = sync.Pool{}
+
+func getGzipReader(r io.Reader) (*gzip.Reader, error) {
+	if gz, ok := gzReaders.Get().(*gzip.Reader); ok {
+		if err := gz.Reset(r); err != nil {
+			gzReaders.Put(gz)
+			return nil, err
+		}
+		return gz, nil
+	}
+	return gzip.NewReader(r)
+}
+
+func putGzipReader(gz *gzip.Reader) {
+	gz.Close()
+	gzReaders.Put(gz)
+}
 
 // Option defaults.
 const (
@@ -127,6 +154,13 @@ type Options struct {
 	// every ProfileSample is histogrammed into the program's aggregate
 	// profile, served on /v1/profile/{program}. 0 disables profiling.
 	ProfileSample int
+	// Mem is the slab manager backing request staging, response framing and
+	// the pressure-tightened admission gate (nil = memsys.Default(), the
+	// manager the executor already draws from). Arm its watermarks with
+	// memsys.Manager.SetWatermarks to enable pressure shedding.
+	Mem *memsys.Manager
+	// FrameBytes is the response-framing window (0 = DefaultFrameBytes).
+	FrameBytes int
 }
 
 // Server is the udpserved HTTP core. Create with New, mount Handler, or use
@@ -138,6 +172,7 @@ type Server struct {
 	mux  *http.ServeMux
 	sem  chan struct{}
 	log  *slog.Logger
+	mem  *memsys.Manager
 
 	bmu      sync.Mutex
 	breakers map[string]*breaker // per-program; nil when the breaker is disabled
@@ -174,6 +209,12 @@ func New(opts Options) *Server {
 	if opts.BreakerCooldown <= 0 {
 		opts.BreakerCooldown = DefaultBreakerCooldown
 	}
+	if opts.Mem == nil {
+		opts.Mem = memsys.Default()
+	}
+	if opts.FrameBytes <= 0 {
+		opts.FrameBytes = DefaultFrameBytes
+	}
 	s := &Server{
 		opts: opts,
 		reg:  NewRegistry(opts.CachePrograms),
@@ -181,6 +222,7 @@ func New(opts Options) *Server {
 		mux:  http.NewServeMux(),
 		sem:  make(chan struct{}, opts.MaxInflight),
 		log:  opts.Logger,
+		mem:  opts.Mem,
 	}
 	if s.log == nil {
 		s.log = slog.Default()
@@ -269,6 +311,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // transforms are rejected with 503 while in-flight ones finish.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// allowedInflight is the semaphore capacity on offer right now: the full
+// MaxInflight at LevelOK, half (rounded up) at the soft watermark, zero at
+// the critical watermark.
+func (s *Server) allowedInflight() (int, memsys.Level) {
+	lvl := s.mem.Pressure()
+	switch lvl {
+	case memsys.LevelSoft:
+		return (s.opts.MaxInflight + 1) / 2, lvl
+	case memsys.LevelCritical:
+		return 0, lvl
+	default:
+		return s.opts.MaxInflight, lvl
+	}
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -298,7 +355,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.Render(w, s.reg)
+	s.met.Render(w, s.reg, s.mem)
 }
 
 func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
@@ -342,11 +399,16 @@ func chunkSpecFromQuery(q map[string][]string) (ChunkSpec, error) {
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
-	if err != nil {
+	// Stage the body through a scatter-gather buffer: the upload streams
+	// into recycled slabs and lands in exactly one right-sized allocation,
+	// instead of io.ReadAll's doubling reallocations.
+	sgl := s.mem.NewSGL(r.ContentLength)
+	defer sgl.Free()
+	if _, err := sgl.ReadFrom(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)); err != nil {
 		writeErr(w, statusFor(err), "reading assembly: %v", err)
 		return
 	}
+	body := sgl.AppendTo(nil)
 	if len(body) == 0 {
 		writeErr(w, http.StatusBadRequest, "empty assembly body")
 		return
@@ -465,23 +527,43 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Saturation gate: answer 429 immediately instead of queueing — the
+	// Saturation gate, tightened under memory pressure: at the soft
+	// watermark only half the configured slots are offered, at the critical
+	// watermark none — shedding with a retryable 429 beats letting the heap
+	// grow into an OOM kill. Answer immediately instead of queueing; the
 	// caller's load balancer can retry on a less busy node.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	default:
+	allowed, lvl := s.allowedInflight()
+	acquired := false
+	if len(s.sem) < allowed {
+		select {
+		case s.sem <- struct{}{}:
+			acquired = true
+		default:
+		}
+	}
+	if !acquired {
 		if brk != nil {
 			brk.release()
 		}
-		w.Header().Set("Retry-After", "1")
 		status = http.StatusTooManyRequests
 		s.met.RequestDone(prog.ID, http.StatusTooManyRequests, time.Since(t0))
+		if lvl != memsys.LevelOK {
+			s.met.MemShed()
+			w.Header().Set("Retry-After", "2")
+			s.log.Warn("transform rejected: memory pressure",
+				"request_id", reqID, "program", prog.ID, "pressure", lvl.String(),
+				"heap_inuse", s.mem.HeapInuse(), "allowed_inflight", allowed)
+			writeErr(w, http.StatusTooManyRequests,
+				"memory pressure (%s): transform capacity reduced to %d", lvl, allowed)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
 		s.log.Warn("transform rejected: capacity saturated",
 			"request_id", reqID, "program", prog.ID, "inflight", s.opts.MaxInflight)
 		writeErr(w, http.StatusTooManyRequests, "transform capacity saturated (%d in flight)", s.opts.MaxInflight)
 		return
 	}
+	defer func() { <-s.sem }()
 	s.met.IncInflight()
 	defer s.met.DecInflight()
 
@@ -588,12 +670,12 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 
 	var body io.Reader = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	if strings.Contains(r.Header.Get("Content-Encoding"), "gzip") {
-		gz, err := gzip.NewReader(body)
+		gz, err := getGzipReader(body)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "gzip body: %v", err)
 			return http.StatusBadRequest, nil
 		}
-		defer gz.Close()
+		defer putGzipReader(gz)
 		body = gz
 	}
 
@@ -617,33 +699,26 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 	}
 
 	flusher, _ := w.(http.Flusher)
-	var wrote int64
-	commit := func() {
-		// Commit the 200 and the stream headers; stats arrive as HTTP
-		// trailers once the run finishes (chunked encoding carries them).
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("X-Udp-Program", prog.ID)
-		w.Header().Set("Trailer", "X-Udp-Shards, X-Udp-Input-Bytes, X-Udp-Cycles, X-Udp-Engine")
-		w.WriteHeader(http.StatusOK)
+	// Per-shard outputs coalesce in a scatter-gather frame and hit the
+	// connection in FrameBytes-sized writes; the 200 commits on the first
+	// frame flush, so a transform that fails before filling one frame still
+	// gets an honest error status instead of a truncated 200.
+	fw := &frameWriter{
+		w: w, flusher: flusher, progID: prog.ID,
+		sgl: s.mem.NewSGL(int64(s.opts.FrameBytes)), frame: int64(s.opts.FrameBytes),
 	}
+	defer fw.sgl.Free()
 	sink := func(shard int, out []byte) error {
-		if wrote == 0 {
-			commit()
-		}
-		n, err := w.Write(out)
-		wrote += int64(n)
-		s.met.AddBytesOut(prog.ID, n)
-		if flusher != nil {
-			flusher.Flush()
-		}
-		return err
+		s.met.AddBytesOut(prog.ID, len(out))
+		return fw.write(out)
 	}
 
 	// ranEngine tracks the tier shards actually executed on (it can sit
 	// below the requested engine when the image is ineligible). Events are
 	// delivered serially and read only after Exec returns.
 	ranEngine := engine
-	opts := []udp.ExecOption{
+	opts := make([]udp.ExecOption, 0, 12)
+	opts = append(opts,
 		udp.WithSink(sink),
 		udp.WithEngine(engine),
 		udp.WithStatsHook(func(e udp.ShardEvent) {
@@ -651,7 +726,7 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 			s.met.ShardEvent(prog.ID, e)
 		}),
 		udp.WithRetryPolicy(s.opts.Retry),
-	}
+	)
 	if s.opts.CyclesPerByte > 0 {
 		opts = append(opts, udp.WithCycleBudget(uint64(s.opts.CyclesPerByte), s.opts.CycleFloor))
 	}
@@ -675,7 +750,7 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 
 	res, err := udp.Exec(ctx, img, body, opts...)
 	if err != nil {
-		if wrote > 0 {
+		if fw.netWrote > 0 {
 			// Mid-stream failure: the only honest signal left is killing
 			// the connection so the client sees a truncated chunked body.
 			panic(http.ErrAbortHandler)
@@ -685,13 +760,69 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 		return code, err
 	}
 
-	if wrote == 0 {
+	if err := fw.flush(); err != nil {
+		// The final frame failed to reach the client: the 200 is committed,
+		// so the only honest signal left is the aborted connection.
+		panic(http.ErrAbortHandler)
+	}
+	if fw.netWrote == 0 {
 		// Valid empty result (e.g. all input out of histogram range).
-		commit()
+		fw.commit()
 	}
 	w.Header().Set("X-Udp-Shards", strconv.Itoa(res.Shards))
 	w.Header().Set("X-Udp-Input-Bytes", strconv.Itoa(res.InputBytes))
 	w.Header().Set("X-Udp-Cycles", strconv.FormatUint(res.Cycles, 10))
 	w.Header().Set("X-Udp-Engine", ranEngine.String())
 	return http.StatusOK, nil
+}
+
+// frameWriter coalesces per-shard outputs into frame-sized network writes
+// through a scatter-gather buffer. The first flush runs commit (the 200 +
+// stream headers), so nothing is promised to the client until a full
+// frame — or the end of the run — forces real bytes onto the wire.
+type frameWriter struct {
+	w        http.ResponseWriter
+	flusher  http.Flusher
+	progID   string
+	sgl      *memsys.SGL
+	frame    int64
+	netWrote int64 // bytes actually written to the connection
+}
+
+// commit sends the 200 and the stream headers; stats arrive as HTTP
+// trailers once the run finishes (chunked encoding carries them).
+func (fw *frameWriter) commit() {
+	fw.w.Header().Set("Content-Type", "application/octet-stream")
+	fw.w.Header().Set("X-Udp-Program", fw.progID)
+	fw.w.Header().Set("Trailer", "X-Udp-Shards, X-Udp-Input-Bytes, X-Udp-Cycles, X-Udp-Engine")
+	fw.w.WriteHeader(http.StatusOK)
+}
+
+func (fw *frameWriter) write(p []byte) error {
+	if _, err := fw.sgl.Write(p); err != nil {
+		return err
+	}
+	if fw.sgl.Len() >= fw.frame {
+		return fw.flush()
+	}
+	return nil
+}
+
+func (fw *frameWriter) flush() error {
+	if fw.sgl.Len() == 0 {
+		return nil
+	}
+	if fw.netWrote == 0 {
+		fw.commit()
+	}
+	n, err := fw.sgl.WriteTo(fw.w)
+	fw.netWrote += n
+	fw.sgl.Reset()
+	if err != nil {
+		return err
+	}
+	if fw.flusher != nil {
+		fw.flusher.Flush()
+	}
+	return nil
 }

@@ -44,12 +44,12 @@ func TestMetricsConcurrent(t *testing.T) {
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	for {
-		m.Render(io.Discard, reg)
+		m.Render(io.Discard, reg, nil)
 		m.Inflight()
 		select {
 		case <-done:
 			var sb strings.Builder
-			m.Render(&sb, reg)
+			m.Render(&sb, reg, nil)
 			if !strings.Contains(sb.String(), "udpserved_requests_total") {
 				t.Fatalf("render output truncated:\n%s", sb.String())
 			}
