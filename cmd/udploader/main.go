@@ -7,6 +7,13 @@
 //	udploader -addr http://127.0.0.1:8080 -workers 16 -duration 30s \
 //	    -programs csvpipe=3,echo=1 -gzip 0.25 -retries 2
 //	udploader -addr ... -rps 200 -slo-p99 250 -slo-error-budget 0.01
+//	udploader -addr ... -stages -slo-stage-share 0.9
+//
+// -stages asks the server for per-stage timing trailers on every request
+// and prints a stage attribution table (p50/p99 per pipeline stage plus
+// each stage's share of p99-cohort time) next to the top-K slowest
+// requests with their trace IDs — the starting point for a tail-latency
+// hunt (see docs/OBSERVABILITY.md).
 //
 // Soak mode runs a recipe file: it builds and launches udpserved itself,
 // drives the recipe's load shape while injecting chaos (kills, restarts,
@@ -54,12 +61,15 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
 	seed := flag.Int64("seed", 1, "corpus and mix-draw seed")
 	reportEvery := flag.Duration("report", 5*time.Second, "live progress interval (0 = quiet until the end)")
+	stages := flag.Bool("stages", false, "request per-stage timing trailers and print the stage attribution table")
 
 	// SLO gates for load mode (soak recipes carry their own).
 	sloP99 := flag.Float64("slo-p99", 0, "fail if p99 latency exceeds this many ms (0 = unchecked)")
 	sloBudget := flag.Float64("slo-error-budget", 0, "fail if the error fraction exceeds this (0 = unchecked)")
 	sloAllow := flag.String("slo-allow", "", "comma-separated failure classes the budget tolerates; any other class is a hard failure")
 	sloMin := flag.Int("slo-min-requests", 0, "fail if fewer requests finished (guards vacuous passes)")
+	sloStageShare := flag.Float64("slo-stage-share", 0,
+		"fail if any stage's share of p99-cohort stage time exceeds this fraction (0 = unchecked; implies -stages)")
 
 	jsonOut := flag.Bool("json", false, "print the final report/result as JSON on stdout")
 	memStats := flag.Bool("mem-stats", false, "print slab-manager per-class stats to stderr on exit")
@@ -107,6 +117,7 @@ func main() {
 		RequestTimeout: *timeout,
 		Seed:           *seed,
 		ReportEvery:    *reportEvery,
+		Stages:         *stages || *sloStageShare > 0,
 		ReportTo:       os.Stderr,
 	}
 	rep, err := load.Run(ctx, cfg)
@@ -115,12 +126,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	slo := load.SLO{P99Ms: *sloP99, ErrorBudget: *sloBudget, MinRequests: *sloMin}
+	slo := load.SLO{P99Ms: *sloP99, ErrorBudget: *sloBudget, MinRequests: *sloMin, StageShareMax: *sloStageShare}
 	for _, m := range allow {
 		slo.Allow = append(slo.Allow, m.Name)
 	}
 	var violations []string
-	if *sloP99 > 0 || *sloBudget > 0 || *sloMin > 0 || len(slo.Allow) > 0 {
+	if *sloP99 > 0 || *sloBudget > 0 || *sloMin > 0 || *sloStageShare > 0 || len(slo.Allow) > 0 {
 		violations = slo.Check(rep)
 	}
 
@@ -130,6 +141,12 @@ func main() {
 		enc.Encode(rep)
 	} else {
 		fmt.Println(rep.Summary())
+		if t := rep.AttributionTable(); t != "" {
+			fmt.Print(t)
+		}
+		if t := rep.SlowestTable(); t != "" {
+			fmt.Print(t)
+		}
 	}
 	for _, v := range violations {
 		fmt.Fprintln(os.Stderr, "udploader: SLO violation:", v)
@@ -156,6 +173,14 @@ func runSoak(ctx context.Context, path, bin string, jsonOut bool) int {
 		enc.Encode(res)
 	} else {
 		fmt.Println(res.Load.Summary())
+		if t := res.Load.AttributionTable(); t != "" {
+			fmt.Print(t)
+		}
+		if t := res.Load.SlowestTable(); t != "" {
+			fmt.Print(t)
+		}
+		fmt.Printf("soak %s: flight recorder captured %d slow requests across %d process generations\n",
+			res.Recipe, res.FlightEntries, res.Restarts+1)
 		fmt.Printf("soak %s: %d restarts, goroutines %d -> %d, heap %.1f MB -> %.1f MB\n",
 			res.Recipe, res.Restarts,
 			res.Before.Goroutines, res.After.Goroutines,

@@ -19,9 +19,11 @@
 //
 // Observability (see docs/OBSERVABILITY.md): -log sets the structured-log
 // level and format; -trace-max sizes the /debug/traces span-tree ring
-// (negative disables tracing); -profile-sample enables the per-lane
-// automaton profiler behind /v1/profile/{program}; /debug/pprof/* serves Go
-// profiling and /metrics includes Go runtime health gauges.
+// (negative disables tracing); -slow-ms/-slow-max configure the
+// slow-request flight recorder behind /debug/slow; -profile-sample enables
+// the per-lane automaton profiler behind /v1/profile/{program};
+// /debug/pprof/* serves Go profiling and /metrics includes Go runtime
+// health gauges plus per-stage latency histograms.
 package main
 
 import (
@@ -66,6 +68,10 @@ func main() {
 	logSpec := flag.String("log", "", obs.LogFlagUsage)
 	traceMax := flag.Int("trace-max", obs.DefaultMaxTraces,
 		"request trace trees retained for /debug/traces (0 = default, negative = tracing off)")
+	slowMS := flag.Int("slow-ms", 250,
+		"flight-recorder latency threshold in ms: requests at or over it are captured for /debug/slow (0 = capture every request)")
+	slowMax := flag.Int("slow-max", obs.DefaultMaxFlightEntries,
+		"slow-request flight-recorder ring size (0 = default, negative = recorder off)")
 	profileSample := flag.Int("profile-sample", 0,
 		"profile one shard in every N into /v1/profile/{program} (0 = profiling off)")
 	memSoftMB := flag.Int("mem-soft-mb", 0,
@@ -102,6 +108,11 @@ func main() {
 		tracer = obs.NewTracer(*traceMax)
 	}
 
+	var flight *obs.FlightRecorder
+	if *slowMax >= 0 {
+		flight = obs.NewFlightRecorder(*slowMax, time.Duration(*slowMS)*time.Millisecond)
+	}
+
 	// The slab manager is process-wide (the executor and server share it);
 	// a dedicated instance here would split the rings. The default manager's
 	// housekeeper ticks at DefaultHousekeepInterval — a custom interval gets
@@ -132,6 +143,7 @@ func main() {
 		BreakerCooldown:  *breakerCool,
 		Logger:           logger,
 		Tracer:           tracer,
+		Flight:           flight,
 		ProfileSample:    *profileSample,
 		Mem:              mem,
 	})

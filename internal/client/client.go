@@ -98,6 +98,19 @@ type reqOpts struct {
 	engine  string
 	traceID *string
 	timing  *Timing
+	stages  *Stages
+}
+
+// Stages is the per-request stage breakdown WithStages fills from the
+// server's X-Udp-Stage-* response trailers: nanoseconds per pipeline stage,
+// indexed by obs.Stage. OK flips true only once the body has been fully
+// drained (trailers arrive after the last chunk) and the server actually
+// sent the trailers.
+type Stages struct {
+	// NS is the per-stage time in nanoseconds, indexed by obs.Stage.
+	NS [obs.NumStages]int64
+	// OK reports the trailers were received and parsed.
+	OK bool
 }
 
 // Timing is the per-request measurement WithTiming fills: how many HTTP
@@ -185,6 +198,60 @@ func WithTraceID(dst *string) TransformOption {
 	return func(o *reqOpts) { o.traceID = dst }
 }
 
+// WithStages opts the request into the server's per-stage timing trailers
+// (the X-Udp-Stages request header) and captures them into *dst (reset at
+// the start of the call). dst.OK turns true only after the response body is
+// fully drained — trailers ride behind the last chunk — so read the stream
+// to EOF before looking. Load generators use it to attribute tail latency
+// to a pipeline stage without scraping the server.
+func WithStages(dst *Stages) TransformOption {
+	return func(o *reqOpts) { o.stages = dst }
+}
+
+// stageBody wraps a transform response body so the stage trailers are
+// harvested exactly once, when the stream is drained (or closed after EOF).
+type stageBody struct {
+	io.ReadCloser
+	resp *http.Response
+	dst  *Stages
+	done bool
+}
+
+func (sb *stageBody) harvest() {
+	if sb.done {
+		return
+	}
+	sb.done = true
+	got := false
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		v := sb.resp.Trailer.Get(obs.StageTrailer(s))
+		if v == "" {
+			continue
+		}
+		ns, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			continue
+		}
+		sb.dst.NS[s] = ns
+		got = true
+	}
+	sb.dst.OK = got
+}
+
+func (sb *stageBody) Read(p []byte) (int, error) {
+	n, err := sb.ReadCloser.Read(p)
+	if err == io.EOF {
+		sb.harvest()
+	}
+	return n, err
+}
+
+func (sb *stageBody) Close() error {
+	err := sb.ReadCloser.Close()
+	sb.harvest()
+	return err
+}
+
 // Transform streams body through the named program and returns the
 // transformed stream. The caller must Close the reader; reading it drives
 // the transfer, so backpressure reaches the server's lane pool.
@@ -221,6 +288,9 @@ func (c *Client) Transform(ctx context.Context, program string, body io.Reader, 
 		if o.engine != "" {
 			req.Header.Set("X-Udp-Engine", o.engine)
 		}
+		if o.stages != nil {
+			req.Header.Set(obs.StagesHeader, "1")
+		}
 		if sc := obs.SpanFromContext(ctx).Context(); sc.Valid() {
 			req.Header.Set("traceparent", sc.Traceparent())
 		}
@@ -237,6 +307,10 @@ func (c *Client) Transform(ctx context.Context, program string, body io.Reader, 
 			*o.traceID = resp.Header.Get("X-Udp-Trace-Id")
 		}
 		if resp.StatusCode == http.StatusOK {
+			if o.stages != nil {
+				*o.stages = Stages{}
+				return &stageBody{ReadCloser: resp.Body, resp: resp, dst: o.stages}, nil
+			}
 			return resp.Body, nil
 		}
 		apiErr := decodeErr(resp)

@@ -30,6 +30,7 @@ import (
 	"udp/internal/etl"
 	"udp/internal/kernels/histogram"
 	"udp/internal/memsys"
+	"udp/internal/obs"
 	"udp/internal/workload"
 )
 
@@ -124,6 +125,10 @@ type Config struct {
 	// Retries is the per-request client retry budget on 429/503 (honoring
 	// Retry-After with jittered exponential backoff). 0 = fail fast.
 	Retries int
+	// Stages opts every request into the server's X-Udp-Stage-* timing
+	// trailers; the Report then carries the per-stage p50/p99 attribution
+	// table (Report.Stages).
+	Stages bool
 	// RequestTimeout bounds one request end to end. Default 30s.
 	RequestTimeout time.Duration
 	// Seed makes corpus generation and mix draws deterministic.
@@ -285,6 +290,18 @@ func cutRecords(data []byte, max int, sep byte) []byte {
 	return data[:max]
 }
 
+// slowestK is how many slowest requests the collector retains with their
+// trace IDs, so a soak failure names concrete traces to pull from the
+// server's /debug/slow.
+const slowestK = 5
+
+// stageSample is one successful request's stage breakdown (from the
+// X-Udp-Stage-* trailers) plus its wall time, for the attribution table.
+type stageSample struct {
+	total time.Duration
+	ns    [obs.NumStages]int64
+}
+
 // collector aggregates per-request outcomes across workers.
 type collector struct {
 	mu       sync.Mutex
@@ -299,6 +316,8 @@ type collector struct {
 	attempts int
 	backoffs int
 	backoff  time.Duration
+	stages   []stageSample // successful requests that returned stage trailers
+	slowest  []SlowRequest // top-slowestK by wall time, slowest first
 }
 
 func newCollector() *collector {
@@ -309,7 +328,15 @@ func newCollector() *collector {
 	}
 }
 
-func (c *collector) add(program, class string, status int, d time.Duration, in, out int64, tm client.Timing) {
+// reqResult is one finished request's identity and measurements beyond the
+// class/status/latency basics: what the attribution features record.
+type reqResult struct {
+	traceID string
+	engine  string // requested tier ("" = server default)
+	stages  *client.Stages
+}
+
+func (c *collector) add(program, class string, status int, d time.Duration, in, out int64, tm client.Timing, rr reqResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.requests++
@@ -329,9 +356,30 @@ func (c *collector) add(program, class string, status int, d time.Duration, in, 
 		c.lat = append(c.lat, d)
 		c.bytesIn += in
 		c.bytesOut += out
+		if rr.stages != nil && rr.stages.OK {
+			c.stages = append(c.stages, stageSample{total: d, ns: rr.stages.NS})
+		}
 	} else {
 		c.errors++
 	}
+	c.noteSlowest(SlowRequest{
+		TraceID: rr.traceID, Program: program, Engine: rr.engine,
+		Status: status, Class: class, Ms: float64(d) / float64(time.Millisecond),
+	})
+}
+
+// noteSlowest insert-sorts one finished request into the top-K slowest list
+// (called with mu held).
+func (c *collector) noteSlowest(s SlowRequest) {
+	if len(c.slowest) == slowestK && s.Ms <= c.slowest[slowestK-1].Ms {
+		return
+	}
+	i := sort.Search(len(c.slowest), func(i int) bool { return c.slowest[i].Ms < s.Ms })
+	if len(c.slowest) < slowestK {
+		c.slowest = append(c.slowest, SlowRequest{})
+	}
+	copy(c.slowest[i+1:], c.slowest[i:])
+	c.slowest[i] = s
 }
 
 // snapshotLine renders the live progress line.
@@ -389,7 +437,64 @@ func (c *collector) report(cfg *Config, wall time.Duration) *Report {
 	if n := len(c.lat); n > 0 {
 		r.MaxMs = float64(c.lat[n-1]) / float64(time.Millisecond)
 	}
+	r.Slowest = append([]SlowRequest(nil), c.slowest...)
+	r.Stages = stageStats(c.stages)
 	return r
+}
+
+// stageStats folds the per-request stage samples into the attribution
+// table: per-stage p50/p99 (over requests that passed through the stage)
+// and each stage's share of the p99 cohort's total stage time — the
+// "p99 is 71% sink-wait" number. The cohort is the stage-sampled requests
+// at or above their own p99 wall time (at least the slowest one).
+func stageStats(samples []stageSample) []StageStat {
+	if len(samples) == 0 {
+		return nil
+	}
+	totals := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		totals[i] = s.total
+	}
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+	cut := totals[int(0.99*float64(len(totals)-1))]
+
+	var cohortNS [obs.NumStages]int64
+	var cohortTotal int64
+	perStage := make([][]time.Duration, obs.NumStages)
+	for _, s := range samples {
+		inCohort := s.total >= cut
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			ns := s.ns[st]
+			if ns <= 0 {
+				continue
+			}
+			perStage[st] = append(perStage[st], time.Duration(ns))
+			if inCohort {
+				cohortNS[st] += ns
+				cohortTotal += ns
+			}
+		}
+	}
+
+	out := make([]StageStat, 0, obs.NumStages)
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		lat := perStage[st]
+		if len(lat) == 0 {
+			continue
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		stat := StageStat{
+			Stage:   st.String(),
+			Samples: len(lat),
+			P50Ms:   percentile(lat, 0.50),
+			P99Ms:   percentile(lat, 0.99),
+		}
+		if cohortTotal > 0 {
+			stat.P99Share = float64(cohortNS[st]) / float64(cohortTotal)
+		}
+		out = append(out, stat)
+	}
+	return out
 }
 
 // runner is one Run invocation's shared state.
@@ -532,8 +637,10 @@ func (r *runner) one(rng *rand.Rand) string {
 		body = ent.gz
 		opts = append(opts, client.WithGzippedBody())
 	}
+	var rr reqResult
 	if len(cfg.Engines) > 0 {
 		if e := pickMix(cfg.Engines, rng); e != "" {
+			rr.engine = e
 			opts = append(opts, client.WithEngine(e))
 		}
 	}
@@ -541,7 +648,11 @@ func (r *runner) one(rng *rand.Rand) string {
 		opts = append(opts, client.WithRetry(cfg.Retries))
 	}
 	var tm client.Timing
-	opts = append(opts, client.WithTiming(&tm))
+	opts = append(opts, client.WithTiming(&tm), client.WithTraceID(&rr.traceID))
+	if cfg.Stages {
+		rr.stages = &client.Stages{}
+		opts = append(opts, client.WithStages(rr.stages))
+	}
 
 	reqCtx, cancel := context.WithTimeout(r.ctx, cfg.RequestTimeout)
 	defer cancel()
@@ -561,7 +672,7 @@ func (r *runner) one(rng *rand.Rand) string {
 				if verr := cfg.Validate(program, buf.Bytes()); verr != nil {
 					rc.Close()
 					d := time.Since(t0)
-					r.col.add(program, ClassBadOutput, 200, d, 0, 0, tm)
+					r.col.add(program, ClassBadOutput, 200, d, 0, 0, tm, rr)
 					return ClassBadOutput
 				}
 			}
@@ -576,6 +687,6 @@ func (r *runner) one(rng *rand.Rand) string {
 	if class == Class2xx {
 		in = int64(len(ent.raw)) // uncompressed size either way
 	}
-	r.col.add(program, class, status, d, in, bytesOut, tm)
+	r.col.add(program, class, status, d, in, bytesOut, tm, rr)
 	return class
 }

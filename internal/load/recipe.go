@@ -47,6 +47,10 @@ type ServerSpec struct {
 	// DrainGrace maps to -drain-grace: the 503 window before the listener
 	// closes on SIGTERM.
 	DrainGrace Dur `json:"drain_grace,omitempty"`
+	// SlowMs maps to -slow-ms: the flight-recorder capture threshold. Set
+	// it low in chaos recipes so degrade windows land entries the harness
+	// can assert on (0 = server default).
+	SlowMs int `json:"slow_ms,omitempty"`
 	// Flags appends raw extra udpserved flags.
 	Flags []string `json:"flags,omitempty"`
 }
@@ -66,6 +70,9 @@ type LoadSpec struct {
 	Retries     int     `json:"retries,omitempty"`
 	Seed        int64   `json:"seed,omitempty"`
 	ReportEvery Dur     `json:"report_every,omitempty"`
+	// Stages asks the server for per-stage trailers on every request and
+	// turns on the report's stage-attribution table.
+	Stages bool `json:"stages,omitempty"`
 }
 
 // ToConfig lowers the spec into a runnable Config.
@@ -92,6 +99,7 @@ func (ls LoadSpec) ToConfig(target string, reportTo io.Writer) (Config, error) {
 		Retries:     ls.Retries,
 		Seed:        ls.Seed,
 		ReportEvery: ls.ReportEvery.D(),
+		Stages:      ls.Stages,
 		ReportTo:    reportTo,
 	}, nil
 }

@@ -109,9 +109,90 @@ type Report struct {
 	Attempts       int     `json:"attempts"`
 	Backoffs       int     `json:"backoffs"`
 	BackoffSeconds float64 `json:"backoff_seconds"`
+	// Stages is the per-stage latency attribution table, present when the
+	// run opted into stage trailers (Config.Stages) and the server sent
+	// them. Stages the run never passed through are omitted.
+	Stages []StageStat `json:"stages,omitempty"`
+	// Slowest is the top-K slowest finished requests with the trace IDs to
+	// pull from the server's /debug/slow and /debug/traces, slowest first.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
 	// GoVersion and Timestamp pin the environment.
 	GoVersion string `json:"go_version"`
 	Timestamp string `json:"timestamp"`
+}
+
+// StageStat is one row of the per-stage attribution table: latency
+// percentiles over the successful requests that passed through the stage,
+// and the stage's share of the p99 cohort's total stage time.
+type StageStat struct {
+	// Stage is the canonical stage name (obs.Stage.String()).
+	Stage string `json:"stage"`
+	// Samples is how many requests passed through the stage (non-zero time).
+	Samples int `json:"samples"`
+	// P50Ms/P99Ms are the stage-time percentiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// P99Share is the stage's fraction of all stage time spent by the p99
+	// latency cohort — "p99 is 71% sink-wait" reads P99Share 0.71. Stage
+	// time is resource time (lane_run sums over shards), so shares compare
+	// where the pipeline's effort went, not wall-clock fractions.
+	P99Share float64 `json:"p99_share"`
+}
+
+// SlowRequest is one of the run's slowest requests, with the identifiers
+// that find it on the server side.
+type SlowRequest struct {
+	// TraceID matches the server's X-Udp-Trace-Id — the key into
+	// /debug/slow and /debug/traces.
+	TraceID string `json:"trace_id"`
+	// Program is the program the request ran; Engine the requested tier
+	// ("" = server default).
+	Program string `json:"program"`
+	Engine  string `json:"engine,omitempty"`
+	// Status/Class are the request's outcome.
+	Status int    `json:"status"`
+	Class  string `json:"class,omitempty"`
+	// Ms is the request wall time (client retry backoff included).
+	Ms float64 `json:"ms"`
+}
+
+// AttributionTable renders Report.Stages as the greppable per-stage table
+// ("" when the run collected no stage samples):
+//
+//	stage attribution (p99 cohort):
+//	  stage lane_run: p50 4.2 ms p99 38.1 ms p99-share 71%
+func (r *Report) AttributionTable() string {
+	if len(r.Stages) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("stage attribution (p99 cohort):\n")
+	for _, s := range r.Stages {
+		fmt.Fprintf(&sb, "  stage %s: p50 %.1f ms p99 %.1f ms p99-share %.0f%% (%d samples)\n",
+			s.Stage, s.P50Ms, s.P99Ms, s.P99Share*100, s.Samples)
+	}
+	return sb.String()
+}
+
+// SlowestTable renders Report.Slowest, slowest first ("" when empty):
+//
+//	slowest requests:
+//	  812.4 ms csvpipe engine=interp status=200 trace=4bf9...
+func (r *Report) SlowestTable() string {
+	if len(r.Slowest) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("slowest requests:\n")
+	for _, s := range r.Slowest {
+		eng := s.Engine
+		if eng == "" {
+			eng = "default"
+		}
+		fmt.Fprintf(&sb, "  %8.1f ms %s engine=%s status=%d trace=%s\n",
+			s.Ms, s.Program, eng, s.Status, s.TraceID)
+	}
+	return sb.String()
 }
 
 // Summary is the one-line human rendering of a report.
@@ -165,6 +246,16 @@ type SLO struct {
 	// (0 = unchecked).
 	HeapFactor  float64 `json:"heap_factor,omitempty"`
 	HeapFloorMB float64 `json:"heap_floor_mb,omitempty"`
+	// StageShareMax caps any single stage's share of the p99 cohort's stage
+	// time (see StageStat.P99Share), e.g. 0.9 fails when one stage is over
+	// 90% of where slow requests spend their time. Only meaningful when the
+	// run collects stage trailers (Config.Stages). 0 = unchecked.
+	StageShareMax float64 `json:"stage_share_max,omitempty"`
+	// MinFlightEntries requires the server's /debug/slow flight recorder to
+	// have captured at least this many entries over a soak run — proof the
+	// tail-latency capture pipeline is live. Checked by RunSoak (the loader
+	// alone cannot see the server's recorder). 0 = unchecked.
+	MinFlightEntries int `json:"min_flight_entries,omitempty"`
 }
 
 // Check returns the latency/error-taxonomy violations of r against the SLO
@@ -194,6 +285,14 @@ func (s SLO) Check(r *Report) []string {
 		if frac > s.ErrorBudget {
 			v = append(v, fmt.Sprintf("error fraction %.3f (%d/%d) exceeds budget %.3f",
 				frac, r.Errors, r.Requests, s.ErrorBudget))
+		}
+	}
+	if s.StageShareMax > 0 {
+		for _, st := range r.Stages {
+			if st.P99Share > s.StageShareMax {
+				v = append(v, fmt.Sprintf("stage %s is %.0f%% of p99-cohort stage time, above the %.0f%% cap",
+					st.Stage, st.P99Share*100, s.StageShareMax*100))
+			}
 		}
 	}
 	return v

@@ -3,6 +3,7 @@ package load
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,13 +22,17 @@ import (
 // leak samples, what chaos was applied, and every SLO violation (empty =
 // pass).
 type SoakResult struct {
-	Recipe     string     `json:"recipe"`
-	Load       *Report    `json:"load"`
-	Before     ProcSample `json:"before"`
-	After      ProcSample `json:"after"`
-	Restarts   int        `json:"restarts"`
-	EventLog   []string   `json:"event_log,omitempty"`
-	Violations []string   `json:"violations"`
+	Recipe   string     `json:"recipe"`
+	Load     *Report    `json:"load"`
+	Before   ProcSample `json:"before"`
+	After    ProcSample `json:"after"`
+	Restarts int        `json:"restarts"`
+	// FlightEntries totals the server's /debug/slow captured counter across
+	// every process generation (chaos restarts wipe the in-process ring, so
+	// the harness samples it before each stop and accumulates).
+	FlightEntries int      `json:"flight_entries"`
+	EventLog      []string `json:"event_log,omitempty"`
+	Violations    []string `json:"violations"`
 }
 
 // Passed reports whether every SLO held.
@@ -90,7 +95,28 @@ type soakRunner struct {
 
 	restarts    int
 	memSqueezed bool
+	flightSeen  uint64 // /debug/slow captures summed across process generations
 	events      []string
+}
+
+// sampleFlight folds the current process's /debug/slow captured counter
+// into the cross-restart total. Each process generation starts its ring at
+// zero, so sampling right before every stop and summing is exact.
+// Best-effort: a server that is already mid-death contributes nothing.
+func (s *soakRunner) sampleFlight(ctx context.Context) {
+	if s.addr == "" {
+		return
+	}
+	body, err := fetch(ctx, "http://"+s.addr+"/debug/slow")
+	if err != nil {
+		return
+	}
+	var doc struct {
+		Captured uint64 `json:"captured"`
+	}
+	if json.Unmarshal([]byte(body), &doc) == nil {
+		s.flightSeen += doc.Captured
+	}
 }
 
 func (s *soakRunner) logf(format string, args ...any) {
@@ -124,6 +150,9 @@ func (s *soakRunner) args(addr string) []string {
 	}
 	if g := spec.DrainGrace.D(); g > 0 {
 		args = append(args, "-drain-grace", g.String())
+	}
+	if spec.SlowMs > 0 {
+		args = append(args, "-slow-ms", strconv.Itoa(spec.SlowMs))
 	}
 	if spec.FaultInject != "" {
 		args = append(args, "-fault-inject", spec.FaultInject)
@@ -235,8 +264,11 @@ func (s *soakRunner) stop(graceful bool, wait time.Duration) error {
 	return err
 }
 
-// restart applies the current overrides by cycling the process.
+// restart applies the current overrides by cycling the process. The flight
+// recorder is in-process state the restart wipes, so its counter is
+// harvested first.
 func (s *soakRunner) restart(ctx context.Context, graceful bool) error {
+	s.sampleFlight(ctx)
 	if err := s.stop(graceful, 5*time.Second); err != nil && graceful {
 		s.logf("graceful stop exited dirty: %v", err)
 	}
@@ -382,6 +414,11 @@ func RunSoak(ctx context.Context, rec *Recipe, bin string, out io.Writer) (*Soak
 		}
 	}
 
+	// Harvest the last process generation's flight-recorder counter before
+	// it dies with the final stop.
+	s.sampleFlight(ctx)
+	res.FlightEntries = int(s.flightSeen)
+
 	// The final server must still drain cleanly.
 	if err := s.stop(true, 15*time.Second); err != nil {
 		res.Violations = append(res.Violations, fmt.Sprintf("final graceful shutdown failed: %v", err))
@@ -389,6 +426,11 @@ func RunSoak(ctx context.Context, rec *Recipe, bin string, out io.Writer) (*Soak
 
 	res.Violations = append(res.Violations, rec.SLO.Check(loadRep)...)
 	res.Violations = append(res.Violations, rec.SLO.CheckLeaks(res.Before, res.After)...)
+	if rec.SLO.MinFlightEntries > 0 && res.FlightEntries < rec.SLO.MinFlightEntries {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"flight recorder captured %d slow requests, SLO floor is %d (is -slow-ms wired?)",
+			res.FlightEntries, rec.SLO.MinFlightEntries))
+	}
 	res.EventLog = s.events
 	return res, nil
 }

@@ -1,0 +1,148 @@
+// The slow-request flight recorder: a bounded lock-free ring that captures
+// the full story of any request whose wall time crosses a configurable
+// threshold — stage breakdown, span tree, engine tier, memory-pressure
+// level and fault taxonomy — so a p99 spike can be attributed after the
+// fact without re-running the load. Writers pay one atomic increment and
+// one atomic pointer store; readers snapshot the ring without stopping
+// writers. Served at /debug/slow and summarized in the request log.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxFlightEntries bounds the recorder's ring when NewFlightRecorder
+// is given zero.
+const DefaultMaxFlightEntries = 64
+
+// FlightEntry is one captured slow request, as served by /debug/slow.
+type FlightEntry struct {
+	// TraceID correlates with X-Udp-Trace-Id, the request log and
+	// /debug/traces.
+	TraceID string `json:"trace_id"`
+	// Program is the resolved program ID.
+	Program string `json:"program"`
+	// Engine is the lane tier the request's shards ran on.
+	Engine string `json:"engine,omitempty"`
+	// Status is the HTTP status the request finished with.
+	Status int `json:"status"`
+	// Pressure is the memory-pressure level at completion ("ok", "soft",
+	// "critical").
+	Pressure string `json:"pressure,omitempty"`
+	// Trap is the typed-fault kind when a lane fault ended the request.
+	Trap string `json:"trap,omitempty"`
+	// Start is the request arrival time.
+	Start time.Time `json:"start"`
+	// DurationMs is the end-to-end wall time.
+	DurationMs float64 `json:"duration_ms"`
+	// StagesMs is the per-stage breakdown in milliseconds (see Stage).
+	StagesMs map[string]float64 `json:"stages_ms"`
+	// Trace is the request's span tree, when tracing was on.
+	Trace *SpanJSON `json:"trace,omitempty"`
+}
+
+// FlightRecorder retains the last N slow requests in a lock-free ring.
+// Record is safe from concurrent request goroutines; a nil *FlightRecorder
+// is a valid no-op receiver (Slow reports false), so the request path needs
+// no "is the recorder on" branches.
+type FlightRecorder struct {
+	threshold int64 // ns; <= 0 captures every request
+	slots     []atomic.Pointer[FlightEntry]
+	seq       atomic.Uint64 // total records; seq % len(slots) is the next slot
+}
+
+// NewFlightRecorder builds a recorder keeping the last max entries
+// (DefaultMaxFlightEntries when <= 0) at or above threshold. A zero or
+// negative threshold captures every request — the firehose setting tests
+// and short diagnostics use.
+func NewFlightRecorder(max int, threshold time.Duration) *FlightRecorder {
+	if max <= 0 {
+		max = DefaultMaxFlightEntries
+	}
+	return &FlightRecorder{
+		threshold: int64(threshold),
+		slots:     make([]atomic.Pointer[FlightEntry], max),
+	}
+}
+
+// Threshold is the capture threshold (0 for a nil recorder).
+func (f *FlightRecorder) Threshold() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return time.Duration(f.threshold)
+}
+
+// Slow reports whether a request of duration d should be captured (false
+// for a nil recorder).
+func (f *FlightRecorder) Slow(d time.Duration) bool {
+	return f != nil && int64(d) >= f.threshold
+}
+
+// Record stores one entry, evicting the oldest once the ring is full.
+// Lock-free: the slot index comes from one atomic fetch-add and the entry
+// lands with one atomic pointer store.
+func (f *FlightRecorder) Record(e *FlightEntry) {
+	if f == nil || e == nil {
+		return
+	}
+	idx := f.seq.Add(1) - 1
+	f.slots[idx%uint64(len(f.slots))].Store(e)
+}
+
+// Captured counts every entry recorded since construction, including ones
+// the ring has since evicted.
+func (f *FlightRecorder) Captured() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// FlightJSON is the /debug/slow document.
+type FlightJSON struct {
+	// Enabled is false when the handler has no recorder.
+	Enabled bool `json:"enabled"`
+	// ThresholdMs is the capture threshold (0 = every request).
+	ThresholdMs float64 `json:"threshold_ms"`
+	// Captured counts all recorded entries, evicted ones included.
+	Captured uint64 `json:"captured"`
+	// Entries holds the retained entries, oldest first (best effort: a
+	// write racing the snapshot can skip or repeat a slot).
+	Entries []*FlightEntry `json:"entries"`
+}
+
+// Export snapshots the ring (nil recorder → Enabled false).
+func (f *FlightRecorder) Export() FlightJSON {
+	if f == nil {
+		return FlightJSON{}
+	}
+	out := FlightJSON{
+		Enabled:     true,
+		ThresholdMs: float64(f.threshold) / 1e6,
+		Captured:    f.seq.Load(),
+		Entries:     make([]*FlightEntry, 0, len(f.slots)),
+	}
+	n := out.Captured
+	size := uint64(len(f.slots))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	for i := start; i < n; i++ {
+		if e := f.slots[i%size].Load(); e != nil {
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the Export document, indented.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f.Export())
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderThreshold(t *testing.T) {
+	f := NewFlightRecorder(4, 100*time.Millisecond)
+	if f.Slow(99 * time.Millisecond) {
+		t.Fatal("under-threshold request marked slow")
+	}
+	if !f.Slow(100*time.Millisecond) || !f.Slow(time.Second) {
+		t.Fatal("at/over-threshold request not marked slow")
+	}
+	if f.Threshold() != 100*time.Millisecond {
+		t.Fatalf("Threshold = %v", f.Threshold())
+	}
+	// Zero threshold is the firehose: every request captures.
+	all := NewFlightRecorder(4, 0)
+	if !all.Slow(0) || !all.Slow(time.Nanosecond) {
+		t.Fatal("zero-threshold recorder skipped a request")
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	if f.Slow(time.Hour) {
+		t.Fatal("nil recorder marked a request slow")
+	}
+	f.Record(&FlightEntry{TraceID: "x"}) // must not panic
+	if f.Captured() != 0 || f.Threshold() != 0 {
+		t.Fatal("nil recorder reported state")
+	}
+	doc := f.Export()
+	if doc.Enabled || len(doc.Entries) != 0 {
+		t.Fatalf("nil export = %+v", doc)
+	}
+}
+
+func TestFlightRecorderRingWrapAround(t *testing.T) {
+	const size = 8
+	f := NewFlightRecorder(size, 0)
+	for i := 0; i < 3*size; i++ {
+		f.Record(&FlightEntry{TraceID: fmt.Sprintf("req-%d", i), DurationMs: float64(i)})
+	}
+	if got := f.Captured(); got != 3*size {
+		t.Fatalf("Captured = %d, want %d", got, 3*size)
+	}
+	doc := f.Export()
+	if !doc.Enabled || doc.Captured != 3*size {
+		t.Fatalf("export header = %+v", doc)
+	}
+	if len(doc.Entries) != size {
+		t.Fatalf("ring retained %d entries, want %d", len(doc.Entries), size)
+	}
+	// Oldest first, and only the newest ring-size survive.
+	for i, e := range doc.Entries {
+		want := fmt.Sprintf("req-%d", 2*size+i)
+		if e.TraceID != want {
+			t.Fatalf("entry %d = %s, want %s (eviction order broken)", i, e.TraceID, want)
+		}
+	}
+}
+
+func TestFlightRecorderDefaultSize(t *testing.T) {
+	f := NewFlightRecorder(0, time.Millisecond)
+	for i := 0; i < DefaultMaxFlightEntries+5; i++ {
+		f.Record(&FlightEntry{})
+	}
+	if got := len(f.Export().Entries); got != DefaultMaxFlightEntries {
+		t.Fatalf("default ring retained %d, want %d", got, DefaultMaxFlightEntries)
+	}
+}
+
+func TestFlightRecorderWriteJSON(t *testing.T) {
+	f := NewFlightRecorder(4, 250*time.Millisecond)
+	f.Record(&FlightEntry{
+		TraceID:    "abc123",
+		Program:    "csvpipe",
+		Engine:     "compiled",
+		Status:     200,
+		Pressure:   "soft",
+		Trap:       "OOB",
+		DurationMs: 312.5,
+		StagesMs:   map[string]float64{"lane_run": 250.0, "queue_wait": 50.0},
+	})
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc FlightJSON
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v\n%s", err, buf.String())
+	}
+	if !doc.Enabled || doc.ThresholdMs != 250 || doc.Captured != 1 || len(doc.Entries) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	e := doc.Entries[0]
+	if e.TraceID != "abc123" || e.Engine != "compiled" || e.Trap != "OOB" ||
+		e.StagesMs["lane_run"] != 250.0 {
+		t.Fatalf("entry round-trip = %+v", e)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers Record from parallel writers while
+// Export snapshots; -race is half the assertion. Afterwards the counter must
+// be exact and the full ring populated with well-formed entries. (Per-slot
+// ordering is deliberately NOT asserted: a writer preempted between its
+// sequence claim and its store may legally publish an older entry — the
+// ring is best-effort by design.)
+func TestFlightRecorderConcurrent(t *testing.T) {
+	const size = 16
+	const workers = 8
+	const perWorker = 2000
+	f := NewFlightRecorder(size, 0)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				doc := f.Export()
+				if len(doc.Entries) > size {
+					panic("export exceeded ring size")
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				f.Record(&FlightEntry{TraceID: fmt.Sprintf("w%d-%d", w, i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := f.Captured(); got != workers*perWorker {
+		t.Fatalf("Captured = %d, want %d (lost records)", got, workers*perWorker)
+	}
+	doc := f.Export()
+	if len(doc.Entries) != size {
+		t.Fatalf("retained %d entries, want full ring of %d", len(doc.Entries), size)
+	}
+	for _, e := range doc.Entries {
+		var w, i int
+		if _, err := fmt.Sscanf(e.TraceID, "w%d-%d", &w, &i); err != nil {
+			t.Fatalf("unparseable entry %q (torn write?)", e.TraceID)
+		}
+		if w < 0 || w >= workers || i < 0 || i >= perWorker {
+			t.Fatalf("entry %q outside any writer's sequence", e.TraceID)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Per-request stage clock: the fixed pipeline-stage taxonomy a transform
+// request moves through (admission gate, gzip decode, chunking, shard-queue
+// wait, lane run, sink reorder wait, frame/network write) and a
+// zero-allocation accumulator that timestamps them. The clock is one
+// fixed-size array of atomic nanosecond counters embedded in the request
+// state; the executor's workers and the server's framing layer add into it
+// concurrently without locks, and the /metrics stage histograms, the
+// X-Udp-Stage-* response trailers and the flight recorder all read the same
+// snapshot.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names one fixed pipeline stage of a transform request. The taxonomy
+// is closed: per-stage histograms, trailers and the flight recorder all index
+// by it, so a new wait state means a new constant here, not a new string.
+type Stage uint8
+
+const (
+	// StageAdmission is the pre-execution gate: breaker check, inflight
+	// semaphore, program lookup — request arrival to transform start.
+	StageAdmission Stage = iota
+	// StageDecode is time inside gzip inflate reads (zero for uncompressed
+	// bodies, whose reads are accounted to StageChunk).
+	StageDecode
+	// StageChunk is time cutting the body into record-aligned shards,
+	// including the underlying body reads, minus StageDecode time.
+	StageChunk
+	// StageQueue is the shard-queue wait, summed over shards: enqueue
+	// attempt to dequeue by a lane worker (backpressure shows up here).
+	StageQueue
+	// StageLane is lane execution (reset, run, output copy), summed over
+	// shards. With several lanes busy this is resource time and can exceed
+	// the request's wall clock.
+	StageLane
+	// StageSink is reorder-window park time, summed over shards: a finished
+	// shard waiting for a slower predecessor before sink delivery.
+	StageSink
+	// StageWrite is frame/network write time: scatter-gather flushes onto
+	// the client connection.
+	StageWrite
+	// NumStages sizes per-stage arrays; it is not a stage.
+	NumStages
+)
+
+// stageNames are the canonical metric-label / log names, index-aligned with
+// the Stage constants.
+var stageNames = [NumStages]string{
+	"admission", "decode", "chunk", "queue_wait", "lane_run", "sink_wait", "write",
+}
+
+// stageTrailers are the response-trailer names carrying the per-stage
+// nanosecond totals when a client opts in with the X-Udp-Stages request
+// header.
+var stageTrailers = [NumStages]string{
+	"X-Udp-Stage-Admission",
+	"X-Udp-Stage-Decode",
+	"X-Udp-Stage-Chunk",
+	"X-Udp-Stage-Queue",
+	"X-Udp-Stage-Lane",
+	"X-Udp-Stage-Sink",
+	"X-Udp-Stage-Write",
+}
+
+// StagesHeader is the request header a client sets (any non-empty value) to
+// opt into the X-Udp-Stage-* response trailers.
+const StagesHeader = "X-Udp-Stages"
+
+// String returns the stage's canonical name ("admission", "queue_wait", ...).
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// StageTrailer returns the response-trailer name carrying stage s.
+func StageTrailer(s Stage) string {
+	if s < NumStages {
+		return stageTrailers[s]
+	}
+	return ""
+}
+
+// StageTrailerList is the comma-joined trailer-name list for the Trailer
+// response header.
+var StageTrailerList = strings.Join(stageTrailers[:], ", ")
+
+// StageClock accumulates per-stage time for one request. All methods are
+// safe for concurrent use and allocation-free; a nil *StageClock is a valid
+// no-op receiver, so instrumented paths carry one branch when stage timing
+// is off.
+type StageClock struct {
+	ns [NumStages]atomic.Int64
+}
+
+// Add folds d into stage s (negative and out-of-range adds are dropped).
+func (c *StageClock) Add(s Stage, d time.Duration) {
+	if c == nil || s >= NumStages || d <= 0 {
+		return
+	}
+	c.ns[s].Add(int64(d))
+}
+
+// NS reads stage s in nanoseconds (0 for a nil clock).
+func (c *StageClock) NS(s Stage) int64 {
+	if c == nil || s >= NumStages {
+		return 0
+	}
+	return c.ns[s].Load()
+}
+
+// Snapshot copies the per-stage nanosecond totals.
+func (c *StageClock) Snapshot() (out [NumStages]int64) {
+	if c == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = c.ns[i].Load()
+	}
+	return out
+}
+
+// String renders the clock as the greppable one-liner the slow-request log
+// carries: "admission=0.1ms decode=0.0ms chunk=0.3ms ...". Allocates; meant
+// for slow paths only.
+func (c *StageClock) String() string {
+	var sb strings.Builder
+	for s := Stage(0); s < NumStages; s++ {
+		if s > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%.1fms", s, float64(c.NS(s))/1e6)
+	}
+	return sb.String()
+}
+
+// StagesMs renders a snapshot as the stage->milliseconds map /debug/slow
+// serves.
+func StagesMs(snap [NumStages]int64) map[string]float64 {
+	out := make(map[string]float64, NumStages)
+	for s := Stage(0); s < NumStages; s++ {
+		out[s.String()] = float64(snap[s]) / 1e6
+	}
+	return out
+}
+
+type stageCtxKey struct{}
+
+// ContextWithStages returns a context carrying the clock; the executor reads
+// it back with StagesFromContext the same way it reads the request span. A
+// nil clock returns ctx unchanged.
+func ContextWithStages(ctx context.Context, c *StageClock) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, stageCtxKey{}, c)
+}
+
+// StagesFromContext returns the clock carried by ctx, or nil.
+func StagesFromContext(ctx context.Context) *StageClock {
+	c, _ := ctx.Value(stageCtxKey{}).(*StageClock)
+	return c
+}
+
+// stageReader attributes the time spent inside an io.Reader's Read calls to
+// one stage — the gzip-decode accounting wrapper.
+type stageReader struct {
+	r     io.Reader
+	clock *StageClock
+	stage Stage
+}
+
+// StageReader wraps r so time inside Read is added to stage s on clock. A
+// nil clock returns r unchanged.
+func StageReader(r io.Reader, clock *StageClock, s Stage) io.Reader {
+	if clock == nil {
+		return r
+	}
+	return &stageReader{r: r, clock: clock, stage: s}
+}
+
+func (sr *stageReader) Read(p []byte) (int, error) {
+	t0 := time.Now()
+	n, err := sr.r.Read(p)
+	sr.clock.Add(sr.stage, time.Since(t0))
+	return n, err
+}

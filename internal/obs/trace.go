@@ -272,6 +272,16 @@ type SpanJSON struct {
 	DroppedChildren int            `json:"dropped_children,omitempty"`
 }
 
+// Export snapshots the span tree as its JSON shape — what the flight
+// recorder embeds in a /debug/slow entry. A nil span returns nil.
+func (s *Span) Export() *SpanJSON {
+	if s == nil {
+		return nil
+	}
+	out := s.export()
+	return &out
+}
+
 // export snapshots the span tree (thread-safe; an unfinished child reports
 // a zero duration).
 func (s *Span) export() SpanJSON {

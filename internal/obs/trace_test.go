@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -187,5 +188,69 @@ func TestNewRequestID(t *testing.T) {
 	a, b := NewRequestID(), NewRequestID()
 	if len(a) != 16 || a == b {
 		t.Fatalf("request ids: %q %q", a, b)
+	}
+}
+
+// TestTracerRingConcurrent hammers the finished-trace ring from parallel
+// request goroutines (each building a small span tree with attrs and
+// children) while Export and Span.Export snapshot it; the -race build is
+// half the assertion, the exact started/dropped accounting is the rest.
+func TestTracerRingConcurrent(t *testing.T) {
+	tr := NewTracer(8)
+	const workers = 8
+	const perWorker = 200
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				out := tr.Export()
+				if len(out.Traces) > 8 {
+					panic("export exceeded ring size")
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				root := tr.StartRoot("transform", SpanContext{})
+				root.SetAttr("worker", w)
+				ch := root.StartChild("shard")
+				ch.SetAttr("idx", i)
+				ch.End()
+				// Exporting a live root while its tree mutates must be safe:
+				// the flight recorder does exactly this on the request path.
+				if root.Export() == nil {
+					panic("live root exported nil")
+				}
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	out := tr.Export()
+	if out.Started != workers*perWorker {
+		t.Fatalf("started = %d, want %d (lost roots)", out.Started, workers*perWorker)
+	}
+	if len(out.Traces) != 8 || out.Dropped != workers*perWorker-8 {
+		t.Fatalf("ring: %d traces, %d dropped; want 8 and %d",
+			len(out.Traces), out.Dropped, workers*perWorker-8)
+	}
+	for _, root := range out.Traces {
+		if root.Name != "transform" || len(root.Children) != 1 {
+			t.Fatalf("survivor trace malformed: %+v", root)
+		}
 	}
 }

@@ -316,6 +316,14 @@ type workItem struct {
 	data    []byte
 	attempt int           // 0 = first execution
 	prev    time.Duration // last backoff (decorrelated jitter state)
+	enq     time.Time     // when the item was offered to the queue (StageQueue)
+}
+
+// parked is one finished shard waiting in the reorder window for a slower
+// predecessor (out is nil for a shard skipped under CollectErrors).
+type parked struct {
+	out []byte
+	at  time.Time
 }
 
 // mem is the shared slab manager backing the sink output windows here and
@@ -373,6 +381,9 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 		// request → shards → lane-runs trace tree. A nil span makes every
 		// span call in the workers a no-op.
 		reqSpan: obs.SpanFromContext(ctx),
+		// The request stage clock rides the context the same way; a nil
+		// clock makes every Add a no-op, so unserved runs pay one branch.
+		clock: obs.StagesFromContext(ctx),
 	}
 	s.res.RunResult.Lanes = lanes
 	s.res.RunResult.BanksPerLane = img.Banks()
@@ -386,7 +397,7 @@ func Run(ctx context.Context, img *effclip.Image, src Source, cfg Config) (*Resu
 	// shard skipped under CollectErrors) until every predecessor has been
 	// delivered, so the sink sees outputs in shard order.
 	if cfg.Sink != nil {
-		s.pending = make(map[int][]byte)
+		s.pending = make(map[int]parked)
 	}
 
 	// The cooperative stop flag interrupts lanes mid-shard on cancellation,
@@ -436,6 +447,7 @@ type runState struct {
 	queue   chan workItem
 	recycle Recycler
 	reqSpan *obs.Span
+	clock   *obs.StageClock
 	lanes   int
 
 	mu         sync.Mutex // guards everything below, and serializes Hook and Sink
@@ -448,7 +460,7 @@ type runState struct {
 	highWater  int
 	inflight   int  // shards enqueued but not finally resolved (retries keep it held)
 	prodDone   bool // producer has stopped enqueuing new shards
-	pending    map[int][]byte
+	pending    map[int]parked
 	sinkNext   int
 	spawned    int
 	laneCycles []uint64
@@ -497,20 +509,23 @@ func (s *runState) fail(err error) {
 // order and parks the rest in the reorder window.
 func (s *runState) drainSink() {
 	for {
-		out, ok := s.pending[s.sinkNext]
+		p, ok := s.pending[s.sinkNext]
 		if !ok {
 			return
 		}
 		delete(s.pending, s.sinkNext)
 		s.sinkNext++
-		if out == nil { // failed shard under CollectErrors
+		// Reorder-window dwell: how long this finished shard waited for a
+		// slower predecessor before the sink could take it.
+		s.clock.Add(obs.StageSink, time.Since(p.at))
+		if p.out == nil { // failed shard under CollectErrors
 			continue
 		}
-		if err := s.cfg.Sink(s.sinkNext-1, out); err != nil {
+		if err := s.cfg.Sink(s.sinkNext-1, p.out); err != nil {
 			s.fail(fmt.Errorf("sched: sink: %w", err))
 			return
 		}
-		mem.Put(out)
+		mem.Put(p.out)
 	}
 }
 
@@ -539,7 +554,15 @@ func (s *runState) produce() {
 		s.mu.Unlock()
 	}()
 	for idx := 0; ; idx++ {
+		// Chunking time is Next() wall time minus whatever the underlying
+		// body reads spent inside gzip inflate (already attributed to
+		// StageDecode by the server's reader wrapper). The producer is the
+		// only goroutine pulling the source, so the decode delta is exact.
+		t0 := time.Now()
+		dec0 := s.clock.NS(obs.StageDecode)
 		shard, err := s.src.Next()
+		s.clock.Add(obs.StageChunk,
+			time.Since(t0)-time.Duration(s.clock.NS(obs.StageDecode)-dec0))
 		if err == io.EOF {
 			return
 		}
@@ -555,7 +578,7 @@ func (s *runState) produce() {
 		s.spawnWorkers(idx + 1)
 		s.mu.Unlock()
 		select {
-		case s.queue <- workItem{idx: idx, data: shard}:
+		case s.queue <- workItem{idx: idx, data: shard, enq: time.Now()}:
 			s.mu.Lock()
 			if d := len(s.queue); d > s.highWater {
 				s.highWater = d
@@ -617,6 +640,11 @@ func (s *runState) worker(w int) {
 					lane.SetProfiler(nil)
 				}
 			}
+			// Queue dwell: enqueue offer (including any producer block on
+			// a full queue) to this dequeue. Summed over shards.
+			if !it.enq.IsZero() {
+				s.clock.Add(obs.StageQueue, time.Since(it.enq))
+			}
 			qd := len(s.queue)
 			nb := int(s.busy.Add(1))
 			t0 := time.Now()
@@ -661,6 +689,9 @@ func (s *runState) worker(w int) {
 				Attempt: it.attempt, Engine: ranOn,
 				Trap: tr, Err: err,
 			}
+			// Lane execution is resource time summed over shards; with
+			// several lanes busy it can exceed the request's wall clock.
+			s.clock.Add(obs.StageLane, ev.Wall)
 			s.mu.Lock()
 			if quarantine {
 				s.res.LanesQuarantined++
@@ -688,6 +719,7 @@ func (s *runState) worker(w int) {
 						// the re-enqueue, so the queue stays open
 						// until the timer delivers or the run dies.
 						time.AfterFunc(rec.Backoff, func() {
+							next.enq = time.Now()
 							select {
 							case s.queue <- next:
 							case <-s.ctx.Done():
@@ -707,7 +739,7 @@ func (s *runState) worker(w int) {
 						s.shardErrs = append(s.shardErrs, ShardError{Shard: it.idx, Err: err})
 						s.setSlot(it.idx, nil, nil, len(it.data))
 						if cfg.Sink != nil {
-							s.pending[it.idx] = nil
+							s.pending[it.idx] = parked{at: time.Now()}
 							s.drainSink()
 						}
 					} else {
@@ -722,7 +754,7 @@ func (s *runState) worker(w int) {
 			} else {
 				if cfg.Sink != nil {
 					s.setSlot(it.idx, nil, m, len(it.data))
-					s.pending[it.idx] = out
+					s.pending[it.idx] = parked{out: out, at: time.Now()}
 					s.drainSink()
 				} else {
 					s.setSlot(it.idx, out, m, len(it.data))

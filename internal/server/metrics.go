@@ -14,28 +14,91 @@ import (
 
 	"udp"
 	"udp/internal/memsys"
+	"udp/internal/obs"
 )
 
-// latencyBuckets are the request-latency histogram bounds in seconds.
+// latencyBuckets are the latency histogram bounds in seconds, shared by the
+// request-duration and per-stage histogram families.
 var latencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-type latencyHist struct {
-	counts []uint64 // one per bucket, non-cumulative
-	sum    float64
-	count  uint64
+// exemplar is the last trace that landed in a histogram bucket — rendered in
+// OpenMetrics exposition so a spike in a bucket links straight to a
+// /debug/traces span tree.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      time.Time
 }
 
-func (h *latencyHist) observe(seconds float64) {
+// hist is one cumulative latency histogram with per-bucket trace exemplars
+// (the +Inf overflow keeps the last slot of ex). Not self-locking; callers
+// hold the Metrics mutex.
+type hist struct {
+	counts []uint64 // one per finite bucket, non-cumulative
+	sum    float64
+	count  uint64
+	ex     []exemplar // len(latencyBuckets)+1: finite buckets then +Inf
+}
+
+func newHist() *hist {
+	return &hist{
+		counts: make([]uint64, len(latencyBuckets)),
+		ex:     make([]exemplar, len(latencyBuckets)+1),
+	}
+}
+
+func (h *hist) observe(seconds float64, traceID string) {
+	slot := len(latencyBuckets) // +Inf
 	for i, le := range latencyBuckets {
 		if seconds <= le {
 			h.counts[i]++
+			slot = i
 			break
 		}
 	}
+	if traceID != "" {
+		h.ex[slot] = exemplar{traceID: traceID, value: seconds, ts: time.Now()}
+	}
 	h.sum += seconds
 	h.count++
+}
+
+// render writes the histogram's bucket/sum/count lines for one label set
+// (labels is the rendered `name="value"` list without braces, may be empty).
+// With exemplars on, each bucket whose slot holds a trace gets the
+// OpenMetrics ` # {trace_id="..."} value ts` suffix.
+func (h *hist) render(w io.Writer, family, labels string, exemplars bool) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, le := range latencyBuckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d", family, labels, sep, le, cum)
+		h.renderExemplar(w, i, exemplars)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d", family, labels, sep, h.count)
+	h.renderExemplar(w, len(latencyBuckets), exemplars)
+	fmt.Fprintf(w, "%s_sum{%s} %.6f\n", family, labels, h.sum)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", family, labels, h.count)
+}
+
+func (h *hist) renderExemplar(w io.Writer, slot int, exemplars bool) {
+	if e := h.ex[slot]; exemplars && e.traceID != "" {
+		fmt.Fprintf(w, " # {trace_id=%q} %g %.3f", e.traceID, e.value,
+			float64(e.ts.UnixMilli())/1e3)
+	}
+	fmt.Fprintln(w)
+}
+
+// stageKey labels one stage-histogram series: engine is "" for every stage
+// except lane_run, which is split by the execution tier that ran.
+type stageKey struct {
+	stage  obs.Stage
+	engine string
 }
 
 type reqKey struct {
@@ -49,7 +112,8 @@ type Metrics struct {
 	mu         sync.Mutex
 	start      time.Time
 	requests   map[reqKey]uint64
-	latency    map[string]*latencyHist
+	latency    map[string]*hist
+	stages     map[stageKey]*hist
 	bytesIn    map[string]uint64
 	bytesOut   map[string]uint64
 	shards     map[string]uint64
@@ -69,7 +133,8 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		start:      time.Now(),
 		requests:   make(map[reqKey]uint64),
-		latency:    make(map[string]*latencyHist),
+		latency:    make(map[string]*hist),
+		stages:     make(map[stageKey]*hist),
 		bytesIn:    make(map[string]uint64),
 		bytesOut:   make(map[string]uint64),
 		shards:     make(map[string]uint64),
@@ -82,17 +147,47 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// RequestDone records one finished transform request.
-func (m *Metrics) RequestDone(program string, code int, d time.Duration) {
+// RequestDone records one finished transform request. traceID (may be "")
+// becomes the bucket exemplar linking the histogram to /debug/traces.
+func (m *Metrics) RequestDone(program string, code int, d time.Duration, traceID string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.requests[reqKey{program, code}]++
 	h := m.latency[program]
 	if h == nil {
-		h = &latencyHist{counts: make([]uint64, len(latencyBuckets))}
+		h = newHist()
 		m.latency[program] = h
 	}
-	h.observe(d.Seconds())
+	h.observe(d.Seconds(), traceID)
+}
+
+// StageObserve folds one finished request's stage clock into the per-stage
+// histograms. Only stages the request actually passed through (non-zero
+// time) are observed, so e.g. uncompressed requests don't drag the decode
+// histogram toward zero. The lane_run series is split by the engine tier
+// that ran.
+func (m *Metrics) StageObserve(clk *obs.StageClock, engine, traceID string) {
+	if clk == nil {
+		return
+	}
+	snap := clk.Snapshot()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		if snap[s] <= 0 {
+			continue
+		}
+		k := stageKey{stage: s}
+		if s == obs.StageLane {
+			k.engine = engine
+		}
+		h := m.stages[k]
+		if h == nil {
+			h = newHist()
+			m.stages[k] = h
+		}
+		h.observe(float64(snap[s])/1e9, traceID)
+	}
 }
 
 // ShardEvent folds one executor shard event into the per-program counters.
@@ -179,8 +274,11 @@ func sortedKeys[V any](mm map[string]V) []string {
 
 // Render writes the Prometheus text exposition. Lines are sorted so the
 // output is deterministic. mem, when non-nil, contributes the slab-manager
-// per-class gauges and the pressure state.
-func (m *Metrics) Render(w io.Writer, reg *Registry, mem *memsys.Manager) {
+// per-class gauges and the pressure state. openMetrics switches to the
+// OpenMetrics flavor: histogram buckets carry trace-ID exemplars and the
+// exposition ends with "# EOF" — classic text-format scrapers keep getting
+// the plain output they parse today.
+func (m *Metrics) Render(w io.Writer, reg *Registry, mem *memsys.Manager, openMetrics bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -243,15 +341,28 @@ func (m *Metrics) Render(w io.Writer, reg *Registry, mem *memsys.Manager) {
 	fmt.Fprintf(w, "# HELP udpserved_request_seconds Transform request latency.\n")
 	fmt.Fprintf(w, "# TYPE udpserved_request_seconds histogram\n")
 	for _, p := range sortedKeys(m.latency) {
-		h := m.latency[p]
-		var cum uint64
-		for i, le := range latencyBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "udpserved_request_seconds_bucket{program=%q,le=\"%g\"} %d\n", p, le, cum)
+		m.latency[p].render(w, "udpserved_request_seconds",
+			fmt.Sprintf("program=%q", p), openMetrics)
+	}
+
+	fmt.Fprintf(w, "# HELP udpserved_stage_seconds Per-stage request time (resource time for fan-out stages; lane_run split by engine tier).\n")
+	fmt.Fprintf(w, "# TYPE udpserved_stage_seconds histogram\n")
+	sk := make([]stageKey, 0, len(m.stages))
+	for k := range m.stages {
+		sk = append(sk, k)
+	}
+	sort.Slice(sk, func(i, j int) bool {
+		if sk[i].stage != sk[j].stage {
+			return sk[i].stage < sk[j].stage
 		}
-		fmt.Fprintf(w, "udpserved_request_seconds_bucket{program=%q,le=\"+Inf\"} %d\n", p, h.count)
-		fmt.Fprintf(w, "udpserved_request_seconds_sum{program=%q} %.6f\n", p, h.sum)
-		fmt.Fprintf(w, "udpserved_request_seconds_count{program=%q} %d\n", p, h.count)
+		return sk[i].engine < sk[j].engine
+	})
+	for _, k := range sk {
+		labels := fmt.Sprintf("stage=%q", k.stage.String())
+		if k.engine != "" {
+			labels += fmt.Sprintf(",engine=%q", k.engine)
+		}
+		m.stages[k].render(w, "udpserved_stage_seconds", labels, openMetrics)
 	}
 
 	// Go runtime health: enough to spot a leak or GC churn from the same
@@ -335,5 +446,9 @@ func (m *Metrics) Render(w io.Writer, reg *Registry, mem *memsys.Manager) {
 		fmt.Fprintf(w, "# HELP udpserved_program_evictions_total Posted programs evicted from the LRU cache.\n")
 		fmt.Fprintf(w, "# TYPE udpserved_program_evictions_total counter\n")
 		fmt.Fprintf(w, "udpserved_program_evictions_total %d\n", evictions)
+	}
+
+	if openMetrics {
+		fmt.Fprintf(w, "# EOF\n")
 	}
 }

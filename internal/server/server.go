@@ -12,6 +12,7 @@
 //	GET  /healthz                 liveness
 //	GET  /metrics                 Prometheus text format + Go runtime health
 //	GET  /debug/traces            retained request trace trees (span JSON)
+//	GET  /debug/slow              slow-request flight recorder (stage-attributed)
 //	GET  /debug/pprof/*           Go pprof profiling endpoints
 //
 // The transform path pipes the (optionally gzip-compressed) request body
@@ -146,6 +147,11 @@ type Options struct {
 	// (request → shard attempts → lane runs), joins a client-supplied W3C
 	// traceparent header, and serves the retained trees on /debug/traces.
 	Tracer *obs.Tracer
+	// Flight, when non-nil, captures a stage-attributed flight-recorder
+	// entry (stage breakdown, span tree, engine, pressure level, fault
+	// taxonomy) for every request at or over its threshold, served on
+	// /debug/slow and mirrored as a greppable warn log line.
+	Flight *obs.FlightRecorder
 	// Logger receives the server's structured log records (nil =
 	// slog.Default()). Every transform record carries a request_id — the
 	// trace ID when tracing is on — and the program ID.
@@ -240,6 +246,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/transform/{program}", s.handleTransform)
 	s.mux.HandleFunc("GET /v1/profile/{program}", s.handleProfile)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/slow", s.handleSlow)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -354,8 +361,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.Render(w, s.reg, s.mem)
+	// Exemplars ride the OpenMetrics flavor only: classic text-format
+	// scrapers (and the soak harness's regexes) keep the plain exposition
+	// unless the client negotiates OpenMetrics or asks with ?exemplars=1.
+	om := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") ||
+		r.URL.Query().Get("exemplars") == "1"
+	if om {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
+	s.met.Render(w, s.reg, s.mem, om)
 }
 
 func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
@@ -468,7 +484,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	// accepted before the drain keep streaming.
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "1")
-		s.met.RequestDone("_drain", http.StatusServiceUnavailable, time.Since(t0))
+		s.met.RequestDone("_drain", http.StatusServiceUnavailable, time.Since(t0), "")
 		writeErr(w, http.StatusServiceUnavailable, "node draining; retry on another node")
 		return
 	}
@@ -485,24 +501,59 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		reqID = obs.NewRequestID()
 	}
 	w.Header().Set("X-Udp-Trace-Id", reqID)
+
+	// The stage clock rides the request context next to the span; the
+	// executor's producer, workers and sink drain add into it lock-free, and
+	// the deferred epilogue below reads one consistent snapshot for the
+	// stage histograms, the flight recorder and the slow-request log.
+	clk := &obs.StageClock{}
+	ctx := obs.ContextWithStages(r.Context(), clk)
+	if sp != nil {
+		sp.SetAttr("program", id)
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
+	r = r.WithContext(ctx)
+
 	status := 0
+	progID := id
+	ranEngine := ""
+	trapKind := ""
 	defer func() {
 		sp.SetAttr("status", status)
 		sp.End()
+		d := time.Since(t0)
+		s.met.StageObserve(clk, ranEngine, reqID)
+		if s.opts.Flight.Slow(d) {
+			s.opts.Flight.Record(&obs.FlightEntry{
+				TraceID:    reqID,
+				Program:    progID,
+				Engine:     ranEngine,
+				Status:     status,
+				Pressure:   s.mem.Pressure().String(),
+				Trap:       trapKind,
+				Start:      t0,
+				DurationMs: float64(d) / float64(time.Millisecond),
+				StagesMs:   obs.StagesMs(clk.Snapshot()),
+				Trace:      sp.Export(),
+			})
+			s.log.Warn("slow transform",
+				"request_id", reqID, "program", progID, "status", status,
+				"dur_ms", float64(d)/float64(time.Millisecond),
+				"engine", ranEngine, "pressure", s.mem.Pressure().String(),
+				"trap", trapKind, "stages", clk.String())
+		}
 	}()
-	if sp != nil {
-		sp.SetAttr("program", id)
-		r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
-	}
 
 	prog, ok := s.reg.Lookup(id)
 	if !ok {
 		// One shared label keeps arbitrary ids out of the metric space.
 		status = http.StatusNotFound
-		s.met.RequestDone("_unknown", http.StatusNotFound, time.Since(t0))
+		progID = "_unknown"
+		s.met.RequestDone("_unknown", http.StatusNotFound, time.Since(t0), reqID)
 		writeErr(w, http.StatusNotFound, "unknown program %q (GET /v1/programs lists them)", id)
 		return
 	}
+	progID = prog.ID
 
 	// Degraded-mode gate: a program whose breaker is open is rejected
 	// before it can take a semaphore slot, so a poisoned program cannot
@@ -518,7 +569,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			status = http.StatusServiceUnavailable
 			s.met.SetBreakerOpen(prog.ID, true)
-			s.met.RequestDone(prog.ID, http.StatusServiceUnavailable, time.Since(t0))
+			s.met.RequestDone(prog.ID, http.StatusServiceUnavailable, time.Since(t0), reqID)
 			s.log.Warn("transform rejected: circuit breaker open",
 				"request_id", reqID, "program", prog.ID, "retry_after_s", secs)
 			writeErr(w, http.StatusServiceUnavailable,
@@ -546,7 +597,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 			brk.release()
 		}
 		status = http.StatusTooManyRequests
-		s.met.RequestDone(prog.ID, http.StatusTooManyRequests, time.Since(t0))
+		s.met.RequestDone(prog.ID, http.StatusTooManyRequests, time.Since(t0), reqID)
 		if lvl != memsys.LevelOK {
 			s.met.MemShed()
 			w.Header().Set("Retry-After", "2")
@@ -578,8 +629,17 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 
-	code, err := s.runTransform(w, r, prog)
+	// Everything before the transform body — drain gate, span setup,
+	// registry lookup, breaker, semaphore — is the admission stage.
+	clk.Add(obs.StageAdmission, time.Since(t0))
+
+	code, ranOn, err := s.runTransform(w, r, prog, clk)
 	status = code
+	ranEngine = ranOn.String()
+	var reqTrap *udp.Trap
+	if errors.As(err, &reqTrap) {
+		trapKind = reqTrap.Kind.String()
+	}
 	if brk != nil {
 		settled = true
 		var tr *udp.Trap
@@ -596,7 +656,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		s.met.SetBreakerOpen(prog.ID, brk.isOpen())
 	}
 	d := time.Since(t0)
-	s.met.RequestDone(prog.ID, code, d)
+	s.met.RequestDone(prog.ID, code, d, reqID)
 	if err != nil && code == http.StatusInternalServerError {
 		// Surface genuinely unexpected failures in the server log.
 		s.log.Error("transform failed unexpectedly",
@@ -613,6 +673,13 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	s.opts.Tracer.WriteJSON(w)
+}
+
+// handleSlow serves the flight recorder's retained slow-request entries
+// ({"enabled": false} when the server runs without one).
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.opts.Flight.WriteJSON(w)
 }
 
 // handleProfile serves a program's aggregated automaton profile.
@@ -645,22 +712,24 @@ func (s *Server) profileFor(prog *Program, img *udp.Image) *udp.Profile {
 }
 
 // runTransform streams one request body through prog. It returns the status
-// code recorded for metrics; when output has already been streamed a
-// mid-transform failure aborts the connection (the client sees a truncated
-// chunked body) since the 200 header is long gone.
-func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Program) (int, error) {
+// code recorded for metrics and the engine tier shards ran on; when output
+// has already been streamed a mid-transform failure aborts the connection
+// (the client sees a truncated chunked body) since the 200 header is long
+// gone. clk receives the decode and write stages here (the executor adds
+// chunk/queue/lane/sink through the request context).
+func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Program, clk *obs.StageClock) (int, udp.Engine, error) {
+	engine := s.opts.Engine
 	img, err := prog.Image()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "compiling %s: %v", prog.ID, err)
-		return http.StatusInternalServerError, err
+		return http.StatusInternalServerError, engine, err
 	}
 
-	engine := s.opts.Engine
 	if h := r.Header.Get("X-Udp-Engine"); h != "" {
 		e, err := udp.ParseEngine(h)
 		if err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, "X-Udp-Engine: %v", err)
-			return http.StatusUnprocessableEntity, nil
+			return http.StatusUnprocessableEntity, engine, nil
 		}
 		engine = e
 	}
@@ -673,10 +742,13 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 		gz, err := getGzipReader(body)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "gzip body: %v", err)
-			return http.StatusBadRequest, nil
+			return http.StatusBadRequest, engine, nil
 		}
 		defer putGzipReader(gz)
-		body = gz
+		// Time spent inside inflate is the decode stage; the chunker's
+		// producer subtracts it from its own Next() wall time so decode and
+		// chunk never double-count.
+		body = obs.StageReader(gz, clk, obs.StageDecode)
 	}
 
 	chunk := s.opts.ChunkBytes
@@ -684,7 +756,7 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 512 || n > 16<<20 {
 			writeErr(w, http.StatusBadRequest, "chunk must be in [512, %d]", 16<<20)
-			return http.StatusBadRequest, nil
+			return http.StatusBadRequest, engine, nil
 		}
 		chunk = n
 	}
@@ -706,6 +778,8 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 	fw := &frameWriter{
 		w: w, flusher: flusher, progID: prog.ID,
 		sgl: s.mem.NewSGL(int64(s.opts.FrameBytes)), frame: int64(s.opts.FrameBytes),
+		clk:    clk,
+		stages: r.Header.Get(obs.StagesHeader) != "",
 	}
 	defer fw.sgl.Free()
 	sink := func(shard int, out []byte) error {
@@ -757,7 +831,7 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 		}
 		code := statusFor(err)
 		writeErr(w, code, "transform failed: %v", err)
-		return code, err
+		return code, ranEngine, err
 	}
 
 	if err := fw.flush(); err != nil {
@@ -773,7 +847,16 @@ func (s *Server) runTransform(w http.ResponseWriter, r *http.Request, prog *Prog
 	w.Header().Set("X-Udp-Input-Bytes", strconv.Itoa(res.InputBytes))
 	w.Header().Set("X-Udp-Cycles", strconv.FormatUint(res.Cycles, 10))
 	w.Header().Set("X-Udp-Engine", ranEngine.String())
-	return http.StatusOK, nil
+	if fw.stages {
+		// Every stage is final here: the executor returned, and the write
+		// stage's last add came from the flush above. Values are integer
+		// nanoseconds.
+		snap := clk.Snapshot()
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			w.Header().Set(obs.StageTrailer(st), strconv.FormatInt(snap[st], 10))
+		}
+	}
+	return http.StatusOK, ranEngine, nil
 }
 
 // frameWriter coalesces per-shard outputs into frame-sized network writes
@@ -787,6 +870,8 @@ type frameWriter struct {
 	sgl      *memsys.SGL
 	frame    int64
 	netWrote int64 // bytes actually written to the connection
+	clk      *obs.StageClock
+	stages   bool // client opted into X-Udp-Stage-* trailers
 }
 
 // commit sends the 200 and the stream headers; stats arrive as HTTP
@@ -794,7 +879,11 @@ type frameWriter struct {
 func (fw *frameWriter) commit() {
 	fw.w.Header().Set("Content-Type", "application/octet-stream")
 	fw.w.Header().Set("X-Udp-Program", fw.progID)
-	fw.w.Header().Set("Trailer", "X-Udp-Shards, X-Udp-Input-Bytes, X-Udp-Cycles, X-Udp-Engine")
+	trailers := "X-Udp-Shards, X-Udp-Input-Bytes, X-Udp-Cycles, X-Udp-Engine"
+	if fw.stages {
+		trailers += ", " + obs.StageTrailerList
+	}
+	fw.w.Header().Set("Trailer", trailers)
 	fw.w.WriteHeader(http.StatusOK)
 }
 
@@ -815,14 +904,14 @@ func (fw *frameWriter) flush() error {
 	if fw.netWrote == 0 {
 		fw.commit()
 	}
+	t0 := time.Now()
 	n, err := fw.sgl.WriteTo(fw.w)
 	fw.netWrote += n
 	fw.sgl.Reset()
-	if err != nil {
-		return err
-	}
-	if fw.flusher != nil {
+	if err == nil && fw.flusher != nil {
 		fw.flusher.Flush()
 	}
-	return nil
+	// Frame write + flush is where a slow client shows up.
+	fw.clk.Add(obs.StageWrite, time.Since(t0))
+	return err
 }

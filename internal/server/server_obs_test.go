@@ -36,7 +36,7 @@ func TestMetricsConcurrent(t *testing.T) {
 				})
 				m.AddBytesOut(prog, 128)
 				m.SetBreakerOpen(prog, i%2 == 0)
-				m.RequestDone(prog, 200, time.Millisecond)
+				m.RequestDone(prog, 200, time.Millisecond, "deadbeef")
 				m.DecInflight()
 			}
 		}(w)
@@ -44,12 +44,12 @@ func TestMetricsConcurrent(t *testing.T) {
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	for {
-		m.Render(io.Discard, reg, nil)
+		m.Render(io.Discard, reg, nil, false)
 		m.Inflight()
 		select {
 		case <-done:
 			var sb strings.Builder
-			m.Render(&sb, reg, nil)
+			m.Render(&sb, reg, nil, true)
 			if !strings.Contains(sb.String(), "udpserved_requests_total") {
 				t.Fatalf("render output truncated:\n%s", sb.String())
 			}
@@ -256,5 +256,157 @@ func TestRuntimeMetricsExposed(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("/metrics missing %s:\n%s", want, body)
 		}
+	}
+}
+
+// TestStageTrailersAndAttribution: with the X-Udp-Stages opt-in (via the
+// client's WithStages option) the per-stage nanosecond totals come back as
+// response trailers, and the same request lands in /metrics as
+// udpserved_stage_seconds series.
+func TestStageTrailersAndAttribution(t *testing.T) {
+	url, c := newTracedServer(t, server.Options{Tracer: obs.NewTracer(8)})
+
+	var st client.Stages
+	if _, err := c.TransformBytes(context.Background(), "csvparse", sampleCSV(500),
+		client.WithStages(&st)); err != nil {
+		t.Fatal(err)
+	}
+	if !st.OK {
+		t.Fatal("stage trailers not harvested")
+	}
+	var total int64
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		if st.NS[s] < 0 {
+			t.Fatalf("stage %s negative: %d", s, st.NS[s])
+		}
+		total += st.NS[s]
+	}
+	if total <= 0 {
+		t.Fatalf("all stages zero: %v", st.NS)
+	}
+	// The pipeline stages that always run must be non-zero.
+	for _, s := range []obs.Stage{obs.StageChunk, obs.StageLane, obs.StageWrite} {
+		if st.NS[s] <= 0 {
+			t.Fatalf("stage %s = 0, want > 0 (breakdown %v)", s, st.NS)
+		}
+	}
+
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `udpserved_stage_seconds_bucket{stage="lane_run"`) {
+		t.Fatalf("/metrics missing lane_run stage histogram:\n%s", body)
+	}
+	// The classic exposition stays exemplar-free for scrape compatibility.
+	if strings.Contains(string(body), "# {trace_id=") || strings.Contains(string(body), "# EOF") {
+		t.Fatal("classic /metrics carries OpenMetrics syntax")
+	}
+}
+
+// TestMetricsExemplars: the OpenMetrics negotiation (Accept header or
+// ?exemplars=1) adds trace-ID exemplars to histogram buckets and the # EOF
+// terminator.
+func TestMetricsExemplars(t *testing.T) {
+	url, c := newTracedServer(t, server.Options{Tracer: obs.NewTracer(8)})
+	var trace string
+	if _, err := c.TransformBytes(context.Background(), "csvparse", sampleCSV(50),
+		client.WithTraceID(&trace)); err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest("GET", url+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	text := string(body)
+	want := `# {trace_id="` + trace + `"}`
+	if !strings.Contains(text, want) {
+		t.Fatalf("no exemplar carrying trace %s:\n%s", trace, text)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(text), "# EOF") {
+		t.Fatal("OpenMetrics exposition missing # EOF terminator")
+	}
+
+	// The query-parameter escape hatch negotiates the same flavor.
+	resp2, err := http.Get(url + "/metrics?exemplars=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(body2), "# {trace_id=") {
+		t.Fatal("?exemplars=1 did not enable exemplars")
+	}
+}
+
+// TestDebugSlowEndpoint: with a zero threshold every request is captured,
+// and /debug/slow serves stage-attributed entries with the span tree
+// embedded; without a recorder the endpoint reports disabled.
+func TestDebugSlowEndpoint(t *testing.T) {
+	flight := obs.NewFlightRecorder(8, 0)
+	url, c := newTracedServer(t, server.Options{
+		Tracer: obs.NewTracer(8),
+		Flight: flight,
+	})
+	var trace string
+	if _, err := c.TransformBytes(context.Background(), "csvparse", sampleCSV(100),
+		client.WithTraceID(&trace)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(url + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc obs.FlightJSON
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Enabled || doc.Captured == 0 || len(doc.Entries) == 0 {
+		t.Fatalf("/debug/slow = %+v, want a captured entry", doc)
+	}
+	var e *obs.FlightEntry
+	for _, cand := range doc.Entries {
+		if cand.TraceID == trace {
+			e = cand
+		}
+	}
+	if e == nil {
+		t.Fatalf("no entry for trace %s in %+v", trace, doc.Entries)
+	}
+	if e.Program != "csvparse" || e.Status != 200 || e.DurationMs <= 0 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.StagesMs["lane_run"] <= 0 {
+		t.Fatalf("entry missing lane_run attribution: %v", e.StagesMs)
+	}
+	if e.Trace == nil || e.Trace.TraceID != trace || len(e.Trace.Children) == 0 {
+		t.Fatalf("entry span tree = %+v", e.Trace)
+	}
+
+	// No recorder: the endpoint answers but reports disabled.
+	urlOff, _ := newTracedServer(t, server.Options{})
+	respOff, err := http.Get(urlOff + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respOff.Body.Close()
+	var docOff obs.FlightJSON
+	if err := json.NewDecoder(respOff.Body).Decode(&docOff); err != nil {
+		t.Fatal(err)
+	}
+	if docOff.Enabled {
+		t.Fatal("recorder-less /debug/slow reports enabled")
 	}
 }
